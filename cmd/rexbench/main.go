@@ -1,0 +1,66 @@
+// Command rexbench regenerates the tables and figures of the REX paper's
+// evaluation section (§6). Each experiment prints the same rows/series the
+// paper plots; see EXPERIMENTS.md for paper-vs-measured commentary.
+//
+// Usage:
+//
+//	rexbench -exp all            # every figure at the default scale
+//	rexbench -exp fig6,fig12     # selected figures
+//	rexbench -exp fig6 -scale 4  # 4× the default dataset sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/rex-data/rex/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (fig2..fig12) or 'all'")
+	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
+	nodes := flag.Int("nodes", 0, "override simulated cluster size")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	sc := bench.DefaultScale()
+	sc.DBPediaVertices = int(float64(sc.DBPediaVertices) * *scale)
+	sc.TwitterVertices = int(float64(sc.TwitterVertices) * *scale)
+	sc.GeoBasePoints = int(float64(sc.GeoBasePoints) * *scale)
+	sc.LineItemRows = int(float64(sc.LineItemRows) * *scale)
+	if *nodes > 0 {
+		sc.Nodes = *nodes
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	ran := 0
+	for _, e := range bench.Experiments {
+		if !want["all"] && !want[e.ID] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		if err := e.Run(os.Stdout, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "rexbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "rexbench: no experiment matches %q (use -list)\n", *exp)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,461 @@
+package algos
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/rex-data/rex/internal/datagen"
+	"github.com/rex-data/rex/internal/mapred"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// This file holds the MapReduce implementations the paper benchmarks
+// against: classic Hadoop-style PageRank / shortest path / K-means, plus
+// HaLoop variants that keep the immutable relation in loop-aware caches.
+// State values use the textual encodings typical of Hadoop jobs — the
+// formatting overhead is part of what §6.1/§6.3 measure.
+
+// encodeAdj renders an adjacency list as "n1,n2,...".
+func encodeAdj(adj []int32) string {
+	parts := make([]string, len(adj))
+	for i, n := range adj {
+		parts[i] = strconv.Itoa(int(n))
+	}
+	return strings.Join(parts, ",")
+}
+
+func decodeAdj(s string) []int64 {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err == nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// MRResult captures an iterative MapReduce run.
+type MRResult struct {
+	State      []mapred.KV
+	Iterations int
+	PerIter    []time.Duration
+	Duration   time.Duration
+}
+
+// HadoopPageRank runs classic MapReduce PageRank: each iteration maps the
+// full state (rank and adjacency ride together through the shuffle — the
+// immutable-data reprocessing §1 criticizes), sums contributions, and
+// rewrites the state. Runs exactly iters iterations (the paper's
+// fixed-iteration methodology; convergence testing is free and external).
+func HadoopPageRank(eng *mapred.Engine, g *datagen.Graph, iters int) (*MRResult, error) {
+	state := PageRankMRState(g)
+	job := PageRankMRJob()
+	return runIters(state, iters, func(st []mapred.KV) ([]mapred.KV, error) {
+		return eng.Run(job, st)
+	})
+}
+
+// PageRankMRState builds the initial (node, "1|adj") state records.
+func PageRankMRState(g *datagen.Graph) []mapred.KV {
+	state := make([]mapred.KV, 0, g.NumVertices)
+	adj := g.Adjacency()
+	for v := 0; v < g.NumVertices; v++ {
+		state = append(state, mapred.KV{K: int64(v), V: "1|" + encodeAdj(adj[v])})
+	}
+	return state
+}
+
+// PageRankMRJob is the classic Hadoop PageRank job (also executed inside
+// REX by the §4.4 wrappers).
+func PageRankMRJob() *mapred.Job {
+	return &mapred.Job{
+		Name: "pagerank",
+		Mapper: mapred.MapperFunc(func(k, v types.Value, emit func(k, v types.Value)) error {
+			s, _ := v.(string)
+			prStr, adjStr, _ := strings.Cut(s, "|")
+			pr, _ := strconv.ParseFloat(prStr, 64)
+			nbrs := decodeAdj(adjStr)
+			emit(k, "S|"+adjStr)
+			if len(nbrs) == 0 {
+				return nil
+			}
+			share := strconv.FormatFloat(pr/float64(len(nbrs)), 'g', -1, 64)
+			for _, n := range nbrs {
+				emit(n, "P|"+share)
+			}
+			return nil
+		}),
+		Combiner: prCombiner(),
+		Reducer: mapred.ReducerFunc(func(k types.Value, vs []types.Value, emit func(k, v types.Value)) error {
+			sum := 0.0
+			adjStr := ""
+			for _, v := range vs {
+				s, _ := v.(string)
+				tag, rest, _ := strings.Cut(s, "|")
+				if tag == "S" {
+					adjStr = rest
+				} else {
+					p, _ := strconv.ParseFloat(rest, 64)
+					sum += p
+				}
+			}
+			pr := (1 - Damping) + Damping*sum
+			emit(k, strconv.FormatFloat(pr, 'g', -1, 64)+"|"+adjStr)
+			return nil
+		}),
+	}
+}
+
+// prCombiner pre-sums P contributions within a map task.
+func prCombiner() mapred.Reducer {
+	return mapred.ReducerFunc(func(k types.Value, vs []types.Value, emit func(k, v types.Value)) error {
+		sum := 0.0
+		have := false
+		for _, v := range vs {
+			s, _ := v.(string)
+			tag, rest, _ := strings.Cut(s, "|")
+			if tag == "P" {
+				p, _ := strconv.ParseFloat(rest, 64)
+				sum += p
+				have = true
+			} else {
+				emit(k, s)
+			}
+		}
+		if have {
+			emit(k, "P|"+strconv.FormatFloat(sum, 'g', -1, 64))
+		}
+		return nil
+	})
+}
+
+// HaLoopPageRank keeps the adjacency lists in HaLoop's loop-aware cache:
+// only ranks and contributions move, but every vertex still recomputes
+// every iteration (HaLoop saves I/O, not computation — §1).
+func HaLoopPageRank(hl *mapred.HaLoopEngine, g *datagen.Graph, iters int) (*MRResult, error) {
+	adj := g.Adjacency()
+	adjCache := make([]mapred.KV, 0, g.NumVertices)
+	state := make([]mapred.KV, 0, g.NumVertices)
+	for v := 0; v < g.NumVertices; v++ {
+		adjCache = append(adjCache, mapred.KV{K: int64(v), V: encodeAdj(adj[v])})
+		state = append(state, mapred.KV{K: int64(v), V: "1"})
+	}
+	hl.BuildCache("pr_adj", adjCache)
+	job := &mapred.Job{
+		Name: "pagerank-haloop",
+		Mapper: mapred.MapperFunc(func(k, v types.Value, emit func(k, v types.Value)) error {
+			s, _ := v.(string)
+			pr, _ := strconv.ParseFloat(s, 64)
+			emit(k, "Z") // presence marker keeps sink vertices alive
+			var nbrs []int64
+			for _, av := range hl.CacheLookup("pr_adj", k) {
+				nbrs = append(nbrs, decodeAdj(av.(string))...)
+			}
+			if len(nbrs) == 0 {
+				return nil
+			}
+			share := strconv.FormatFloat(pr/float64(len(nbrs)), 'g', -1, 64)
+			for _, n := range nbrs {
+				emit(n, "P|"+share)
+			}
+			return nil
+		}),
+		Combiner: prCombiner(),
+		Reducer: mapred.ReducerFunc(func(k types.Value, vs []types.Value, emit func(k, v types.Value)) error {
+			sum := 0.0
+			for _, v := range vs {
+				s, _ := v.(string)
+				if tag, rest, _ := strings.Cut(s, "|"); tag == "P" {
+					p, _ := strconv.ParseFloat(rest, 64)
+					sum += p
+				}
+			}
+			pr := (1 - Damping) + Damping*sum
+			emit(k, strconv.FormatFloat(pr, 'g', -1, 64))
+			return nil
+		}),
+	}
+	return runIters(state, iters, func(st []mapred.KV) ([]mapred.KV, error) {
+		return hl.Run(job, st, "")
+	})
+}
+
+// HadoopSSSP runs shortest path with relation-level Δ updates (the paper
+// grants Hadoop and HaLoop frontier awareness for this query, §6.3): the
+// whole state maps each iteration, but only frontier vertices emit
+// candidate distances. State: "dist|flag|adj", dist = -1 for unreached.
+func HadoopSSSP(eng *mapred.Engine, g *datagen.Graph, source int64, iters int) (*MRResult, error) {
+	adj := g.Adjacency()
+	state := make([]mapred.KV, 0, g.NumVertices)
+	for v := 0; v < g.NumVertices; v++ {
+		d, f := "-1", "0"
+		if int64(v) == source {
+			d, f = "0", "1"
+		}
+		state = append(state, mapred.KV{K: int64(v), V: d + "|" + f + "|" + encodeAdj(adj[v])})
+	}
+	job := &mapred.Job{
+		Name: "sssp",
+		Mapper: mapred.MapperFunc(func(k, v types.Value, emit func(k, v types.Value)) error {
+			s, _ := v.(string)
+			parts := strings.SplitN(s, "|", 3)
+			emit(k, "S|"+parts[0]+"|"+parts[2])
+			if parts[1] == "1" && parts[0] != "-1" {
+				d, _ := strconv.ParseFloat(parts[0], 64)
+				cand := strconv.FormatFloat(d+1, 'g', -1, 64)
+				for _, n := range decodeAdj(parts[2]) {
+					emit(n, "C|"+cand)
+				}
+			}
+			return nil
+		}),
+		Reducer: mapred.ReducerFunc(func(k types.Value, vs []types.Value, emit func(k, v types.Value)) error {
+			cur := math.Inf(1)
+			adjStr := ""
+			best := math.Inf(1)
+			for _, v := range vs {
+				s, _ := v.(string)
+				tag, rest, _ := strings.Cut(s, "|")
+				if tag == "S" {
+					dStr, a, _ := strings.Cut(rest, "|")
+					adjStr = a
+					if dStr != "-1" {
+						cur, _ = strconv.ParseFloat(dStr, 64)
+					}
+				} else {
+					c, _ := strconv.ParseFloat(rest, 64)
+					if c < best {
+						best = c
+					}
+				}
+			}
+			d, flag := cur, "0"
+			if best < cur {
+				d, flag = best, "1"
+			}
+			dStr := "-1"
+			if !math.IsInf(d, 1) {
+				dStr = strconv.FormatFloat(d, 'g', -1, 64)
+			}
+			emit(k, dStr+"|"+flag+"|"+adjStr)
+			return nil
+		}),
+	}
+	return runIters(state, iters, func(st []mapred.KV) ([]mapred.KV, error) {
+		return eng.Run(job, st)
+	})
+}
+
+// HaLoopSSSP keeps adjacency in the cache; state is "dist|flag".
+func HaLoopSSSP(hl *mapred.HaLoopEngine, g *datagen.Graph, source int64, iters int) (*MRResult, error) {
+	adj := g.Adjacency()
+	adjCache := make([]mapred.KV, 0, g.NumVertices)
+	state := make([]mapred.KV, 0, g.NumVertices)
+	for v := 0; v < g.NumVertices; v++ {
+		adjCache = append(adjCache, mapred.KV{K: int64(v), V: encodeAdj(adj[v])})
+		d, f := "-1", "0"
+		if int64(v) == source {
+			d, f = "0", "1"
+		}
+		state = append(state, mapred.KV{K: int64(v), V: d + "|" + f})
+	}
+	hl.BuildCache("sp_adj", adjCache)
+	job := &mapred.Job{
+		Name: "sssp-haloop",
+		Mapper: mapred.MapperFunc(func(k, v types.Value, emit func(k, v types.Value)) error {
+			s, _ := v.(string)
+			dStr, flag, _ := strings.Cut(s, "|")
+			emit(k, "S|"+dStr)
+			if flag == "1" && dStr != "-1" {
+				d, _ := strconv.ParseFloat(dStr, 64)
+				cand := strconv.FormatFloat(d+1, 'g', -1, 64)
+				for _, av := range hl.CacheLookup("sp_adj", k) {
+					for _, n := range decodeAdj(av.(string)) {
+						emit(n, "C|"+cand)
+					}
+				}
+			}
+			return nil
+		}),
+		Reducer: mapred.ReducerFunc(func(k types.Value, vs []types.Value, emit func(k, v types.Value)) error {
+			cur := math.Inf(1)
+			best := math.Inf(1)
+			for _, v := range vs {
+				s, _ := v.(string)
+				tag, rest, _ := strings.Cut(s, "|")
+				if tag == "S" {
+					if rest != "-1" {
+						cur, _ = strconv.ParseFloat(rest, 64)
+					}
+				} else if c, _ := strconv.ParseFloat(rest, 64); c < best {
+					best = c
+				}
+			}
+			d, flag := cur, "0"
+			if best < cur {
+				d, flag = best, "1"
+			}
+			dStr := "-1"
+			if !math.IsInf(d, 1) {
+				dStr = strconv.FormatFloat(d, 'g', -1, 64)
+			}
+			emit(k, dStr+"|"+flag)
+			return nil
+		}),
+	}
+	return runIters(state, iters, func(st []mapred.KV) ([]mapred.KV, error) {
+		return hl.Run(job, st, "")
+	})
+}
+
+// HadoopKMeans runs MapReduce K-means: every iteration re-maps every
+// point against the centroid set (distributed-cache style), re-assigning
+// and re-summing from scratch — no notion of "points that switched".
+// Converges when centroids stop moving, matching Lloyd's termination.
+func HadoopKMeans(eng *mapred.Engine, points []types.Tuple, k, maxIters int) (*MRResult, error) {
+	seed := KMeansSeed(points, k)
+	centroids := make([][2]float64, k)
+	for i, c := range seed {
+		x, _ := types.AsFloat(c[1])
+		y, _ := types.AsFloat(c[2])
+		centroids[i] = [2]float64{x, y}
+	}
+	input := make([]mapred.KV, len(points))
+	for i, p := range points {
+		x, _ := types.AsFloat(p[1])
+		y, _ := types.AsFloat(p[2])
+		input[i] = mapred.KV{K: p[0], V: strconv.FormatFloat(x, 'g', -1, 64) + "," + strconv.FormatFloat(y, 'g', -1, 64)}
+	}
+	res := &MRResult{}
+	start := time.Now()
+	for iter := 1; iter <= maxIters; iter++ {
+		iterStart := time.Now()
+		cs := centroids // closure snapshot for this job's mappers
+		job := &mapred.Job{
+			Name: "kmeans",
+			Mapper: mapred.MapperFunc(func(kk, v types.Value, emit func(k, v types.Value)) error {
+				s, _ := v.(string)
+				xs, ys, _ := strings.Cut(s, ",")
+				x, _ := strconv.ParseFloat(xs, 64)
+				y, _ := strconv.ParseFloat(ys, 64)
+				best, bestD := 0, math.Inf(1)
+				for c := range cs {
+					if d := dist2(x, y, cs[c][0], cs[c][1]); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				emit(int64(best), s+",1")
+				return nil
+			}),
+			Combiner: kmSumReducer(),
+			Reducer:  kmSumReducer(),
+		}
+		out, err := eng.Run(job, input)
+		if err != nil {
+			return nil, err
+		}
+		moved := false
+		for _, kv := range out {
+			cid, _ := types.AsInt(kv.K)
+			parts := strings.Split(kv.V.(string), ",")
+			sx, _ := strconv.ParseFloat(parts[0], 64)
+			sy, _ := strconv.ParseFloat(parts[1], 64)
+			n, _ := strconv.ParseFloat(parts[2], 64)
+			if n > 0 {
+				nx, ny := sx/n, sy/n
+				if nx != centroids[cid][0] || ny != centroids[cid][1] {
+					moved = true
+				}
+				centroids[cid] = [2]float64{nx, ny}
+			}
+		}
+		res.PerIter = append(res.PerIter, time.Since(iterStart))
+		res.Iterations = iter
+		if !moved {
+			break
+		}
+	}
+	res.Duration = time.Since(start)
+	res.State = make([]mapred.KV, k)
+	for c := range centroids {
+		res.State[c] = mapred.KV{K: int64(c), V: strconv.FormatFloat(centroids[c][0], 'g', -1, 64) + "," +
+			strconv.FormatFloat(centroids[c][1], 'g', -1, 64)}
+	}
+	return res, nil
+}
+
+// kmSumReducer sums "x,y,n" triples.
+func kmSumReducer() mapred.Reducer {
+	return mapred.ReducerFunc(func(k types.Value, vs []types.Value, emit func(k, v types.Value)) error {
+		var sx, sy, n float64
+		for _, v := range vs {
+			parts := strings.Split(v.(string), ",")
+			if len(parts) != 3 {
+				continue
+			}
+			x, _ := strconv.ParseFloat(parts[0], 64)
+			y, _ := strconv.ParseFloat(parts[1], 64)
+			c, _ := strconv.ParseFloat(parts[2], 64)
+			sx += x
+			sy += y
+			n += c
+		}
+		emit(k, strconv.FormatFloat(sx, 'g', -1, 64)+","+strconv.FormatFloat(sy, 'g', -1, 64)+","+
+			strconv.FormatFloat(n, 'g', -1, 64))
+		return nil
+	})
+}
+
+// runIters drives a fixed-iteration MapReduce loop with timing.
+func runIters(state []mapred.KV, iters int, step func([]mapred.KV) ([]mapred.KV, error)) (*MRResult, error) {
+	res := &MRResult{}
+	start := time.Now()
+	for i := 1; i <= iters; i++ {
+		iterStart := time.Now()
+		next, err := step(state)
+		if err != nil {
+			return nil, err
+		}
+		state = next
+		res.PerIter = append(res.PerIter, time.Since(iterStart))
+		res.Iterations = i
+	}
+	res.State = state
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// PageRankFromMR extracts ranks from MapReduce state for validation.
+func PageRankFromMR(state []mapred.KV) map[int64]float64 {
+	out := map[int64]float64{}
+	for _, kv := range state {
+		id, _ := types.AsInt(kv.K)
+		s, _ := kv.V.(string)
+		prStr, _, _ := strings.Cut(s, "|")
+		pr, _ := strconv.ParseFloat(prStr, 64)
+		out[id] = pr
+	}
+	return out
+}
+
+// DistsFromMR extracts distances from MapReduce SSSP state.
+func DistsFromMR(state []mapred.KV) map[int64]float64 {
+	out := map[int64]float64{}
+	for _, kv := range state {
+		id, _ := types.AsInt(kv.K)
+		s, _ := kv.V.(string)
+		dStr, _, _ := strings.Cut(s, "|")
+		if dStr != "-1" {
+			d, _ := strconv.ParseFloat(dStr, 64)
+			out[id] = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package algos
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/rex-data/rex/internal/datagen"
+	"github.com/rex-data/rex/internal/mapred"
+	"github.com/rex-data/rex/internal/types"
+)
+
+func TestHadoopPageRankMatchesReference(t *testing.T) {
+	g := datagen.DBPediaGraph(200, 5)
+	want, iters := PageRankRef(g, 1e-9, 30)
+	eng := mapred.NewEngine(mapred.Config{Workers: 4})
+	res, err := HadoopPageRank(eng, g, iters)
+	must(t, err)
+	got := PageRankFromMR(res.State)
+	for v, w := range want {
+		if math.Abs(got[int64(v)]-w) > 1e-6 {
+			t.Fatalf("pr[%d] = %v, want %v", v, got[int64(v)], w)
+		}
+	}
+}
+
+func TestHaLoopPageRankMatchesHadoopWithLessShuffle(t *testing.T) {
+	g := datagen.DBPediaGraph(200, 6)
+	mh := &mapred.Metrics{}
+	eh := mapred.NewEngine(mapred.Config{Workers: 4, Metrics: mh})
+	hres, err := HadoopPageRank(eh, g, 10)
+	must(t, err)
+
+	ml := &mapred.Metrics{}
+	el := mapred.NewEngine(mapred.Config{Workers: 4, Metrics: ml})
+	hl := mapred.NewHaLoopEngine(el)
+	lres, err := HaLoopPageRank(hl, g, 10)
+	must(t, err)
+
+	hpr := PageRankFromMR(hres.State)
+	lpr := PageRankFromMR(lres.State)
+	for v, w := range hpr {
+		if math.Abs(lpr[v]-w) > 1e-9 {
+			t.Fatalf("HaLoop pr[%d] = %v, Hadoop %v", v, lpr[v], w)
+		}
+	}
+	_, _, hBytes := mh.Snapshot()
+	_, _, lBytes := ml.Snapshot()
+	if lBytes >= hBytes {
+		t.Fatalf("HaLoop must shuffle less: %d vs %d", lBytes, hBytes)
+	}
+}
+
+func TestHadoopSSSPMatchesBFS(t *testing.T) {
+	g := datagen.DBPediaGraph(300, 8)
+	want := BFSRef(g, 0)
+	eng := mapred.NewEngine(mapred.Config{Workers: 4})
+	res, err := HadoopSSSP(eng, g, 0, 40)
+	must(t, err)
+	got := DistsFromMR(res.State)
+	for v, d := range want {
+		if d < 0 {
+			if _, ok := got[int64(v)]; ok {
+				t.Fatalf("vertex %d should be unreachable", v)
+			}
+			continue
+		}
+		if got[int64(v)] != float64(d) {
+			t.Fatalf("dist[%d] = %v, want %d", v, got[int64(v)], d)
+		}
+	}
+}
+
+func TestHaLoopSSSPMatchesBFS(t *testing.T) {
+	g := datagen.DBPediaGraph(300, 8)
+	want := BFSRef(g, 0)
+	eng := mapred.NewEngine(mapred.Config{Workers: 4})
+	hl := mapred.NewHaLoopEngine(eng)
+	res, err := HaLoopSSSP(hl, g, 0, 40)
+	must(t, err)
+	got := DistsFromMR(res.State)
+	for v, d := range want {
+		if d >= 0 && got[int64(v)] != float64(d) {
+			t.Fatalf("dist[%d] = %v, want %d", v, got[int64(v)], d)
+		}
+	}
+}
+
+func TestHadoopKMeansMatchesLloyd(t *testing.T) {
+	points := datagen.GeoPoints(300, 4, 1, 31)
+	seed := KMeansSeed(points, 4)
+	want, _ := KMeansRef(points, seed, 60)
+	eng := mapred.NewEngine(mapred.Config{Workers: 4})
+	res, err := HadoopKMeans(eng, points, 4, 60)
+	must(t, err)
+	if len(res.State) != 4 {
+		t.Fatalf("centroids = %d", len(res.State))
+	}
+	for _, kv := range res.State {
+		cid, _ := types.AsInt(kv.K)
+		var x, y float64
+		if _, err := fmtSscan(kv.V.(string), &x, &y); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(x-want[cid][0]) > 1e-6 || math.Abs(y-want[cid][1]) > 1e-6 {
+			t.Fatalf("centroid %d = (%v,%v), want %v", cid, x, y, want[cid])
+		}
+	}
+}
+
+// fmtSscan parses "x,y" into floats.
+func fmtSscan(s string, x, y *float64) (int, error) {
+	xs, ys, _ := strings.Cut(s, ",")
+	var err error
+	if *x, err = strconv.ParseFloat(xs, 64); err != nil {
+		return 0, err
+	}
+	if *y, err = strconv.ParseFloat(ys, 64); err != nil {
+		return 1, err
+	}
+	return 2, nil
+}

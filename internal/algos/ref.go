@@ -1,0 +1,179 @@
+package algos
+
+import (
+	"math"
+
+	"github.com/rex-data/rex/internal/datagen"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// PageRankRef computes reference PageRank by Jacobi iteration until no
+// vertex changes by more than eps, returning the final ranks and the
+// number of iterations.
+func PageRankRef(g *datagen.Graph, eps float64, maxIters int) ([]float64, int) {
+	n := g.NumVertices
+	adj := g.Adjacency()
+	deg := g.OutDegrees()
+	pr := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1.0
+	}
+	next := make([]float64, n)
+	iters := 0
+	for it := 0; it < maxIters; it++ {
+		iters++
+		for i := range next {
+			next[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			if deg[v] == 0 {
+				continue
+			}
+			share := pr[v] / float64(deg[v])
+			for _, u := range adj[v] {
+				next[u] += share
+			}
+		}
+		changed := false
+		for v := 0; v < n; v++ {
+			nv := (1 - Damping) + Damping*next[v]
+			if math.Abs(nv-pr[v]) > eps {
+				changed = true
+			}
+			pr[v] = nv
+		}
+		if !changed {
+			break
+		}
+	}
+	return pr, iters
+}
+
+// ConvergenceProfile records, per iteration, how many vertices have not
+// yet converged (|Δpr| > eps) — the data behind Fig. 2(b) — plus the
+// iteration at which each vertex last changed (Fig. 2(a)).
+type ConvergenceProfile struct {
+	NonConverged []int
+	LastChange   []int
+}
+
+// PageRankConvergence runs the reference iteration while recording the
+// convergence profile of Fig. 2.
+func PageRankConvergence(g *datagen.Graph, eps float64, maxIters int) *ConvergenceProfile {
+	n := g.NumVertices
+	adj := g.Adjacency()
+	deg := g.OutDegrees()
+	pr := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1.0
+	}
+	next := make([]float64, n)
+	prof := &ConvergenceProfile{LastChange: make([]int, n)}
+	for it := 1; it <= maxIters; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			if deg[v] == 0 {
+				continue
+			}
+			share := pr[v] / float64(deg[v])
+			for _, u := range adj[v] {
+				next[u] += share
+			}
+		}
+		non := 0
+		for v := 0; v < n; v++ {
+			nv := (1 - Damping) + Damping*next[v]
+			if math.Abs(nv-pr[v]) > eps {
+				non++
+				prof.LastChange[v] = it
+			}
+			pr[v] = nv
+		}
+		prof.NonConverged = append(prof.NonConverged, non)
+		if non == 0 {
+			break
+		}
+	}
+	return prof
+}
+
+// BFSRef computes reference hop distances from src (−1 = unreachable).
+func BFSRef(g *datagen.Graph, src int64) []int {
+	adj := g.Adjacency()
+	dist := make([]int, g.NumVertices)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// KMeansRef runs Lloyd's algorithm with the given initial centroids,
+// returning final centroids and the iteration count (until no point
+// switches assignment).
+func KMeansRef(points []types.Tuple, centroids []types.Tuple, maxIters int) ([][2]float64, int) {
+	cs := make([][2]float64, len(centroids))
+	for i, c := range centroids {
+		x, _ := types.AsFloat(c[1])
+		y, _ := types.AsFloat(c[2])
+		cs[i] = [2]float64{x, y}
+	}
+	px := make([]float64, len(points))
+	py := make([]float64, len(points))
+	for i, p := range points {
+		px[i], _ = types.AsFloat(p[1])
+		py[i], _ = types.AsFloat(p[2])
+	}
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	iters := 0
+	for it := 0; it < maxIters; it++ {
+		iters++
+		switched := 0
+		for i := range points {
+			best, bestD := -1, math.Inf(1)
+			for c := range cs {
+				if d := dist2(px[i], py[i], cs[c][0], cs[c][1]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if best != assign[i] {
+				assign[i] = best
+				switched++
+			}
+		}
+		if switched == 0 {
+			break
+		}
+		sx := make([]float64, len(cs))
+		sy := make([]float64, len(cs))
+		n := make([]int, len(cs))
+		for i := range points {
+			c := assign[i]
+			sx[c] += px[i]
+			sy[c] += py[i]
+			n[c]++
+		}
+		for c := range cs {
+			if n[c] > 0 {
+				cs[c] = [2]float64{sx[c] / float64(n[c]), sy[c] / float64(n[c])}
+			}
+		}
+	}
+	return cs, iters
+}

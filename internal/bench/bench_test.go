@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyScale keeps the full figure suite runnable inside the unit tests.
+func tinyScale() Scale {
+	return Scale{
+		Nodes:           3,
+		Workers:         3,
+		DBPediaVertices: 300,
+		TwitterVertices: 400,
+		GeoBasePoints:   120,
+		LineItemRows:    2000,
+		HadoopStartup:   time.Millisecond,
+		Epsilon:         0.001,
+	}
+}
+
+func TestAllFiguresProduceReports(t *testing.T) {
+	sc := tinyScale()
+	for _, e := range Experiments {
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, sc); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "==") || len(out) < 50 {
+				t.Fatalf("%s produced no table:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestFig4ResultsAgreeAcrossStrategies(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4(&buf, tinyScale()); err != nil {
+		t.Fatal(err)
+	}
+	// All four strategies must report the same sum and count columns.
+	lines := strings.Split(buf.String(), "\n")
+	var sums, counts []string
+	for _, l := range lines {
+		fields := strings.Fields(l)
+		if len(fields) >= 4 && (strings.HasPrefix(l, "REX") || strings.HasPrefix(l, "Hadoop")) {
+			sums = append(sums, fields[len(fields)-2])
+			counts = append(counts, fields[len(fields)-1])
+		}
+	}
+	if len(sums) != 4 {
+		t.Fatalf("expected 4 strategies, parsed %d from:\n%s", len(sums), buf.String())
+	}
+	for i := 1; i < 4; i++ {
+		if counts[i] != counts[0] {
+			t.Fatalf("count mismatch across strategies: %v", counts)
+		}
+		if sums[i] != sums[0] {
+			t.Fatalf("sum mismatch across strategies: %v", sums)
+		}
+	}
+}
+
+func TestReportPrint(t *testing.T) {
+	var buf bytes.Buffer
+	r := &Report{
+		Title:   "t",
+		Notes:   "n",
+		Headers: []string{"a", "bbbb"},
+		Rows:    [][]string{{"xxxxx", "y"}},
+	}
+	r.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== t ==") || !strings.Contains(out, "xxxxx") {
+		t.Fatalf("bad report:\n%s", out)
+	}
+}

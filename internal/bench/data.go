@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"io"
+	"sync"
+
+	"github.com/rex-data/rex/internal/datagen"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// Dataset generation is deterministic but not free; cache per scale so a
+// full `rexbench -exp all` run generates each dataset once.
+var (
+	dataMu   sync.Mutex
+	dbpCache = map[int]*datagen.Graph{}
+	twCache  = map[int]*datagen.Graph{}
+	geoCache = map[[2]int][]types.Tuple{}
+	liCache  = map[int][]types.Tuple{}
+)
+
+func datagenDBPedia(sc Scale) *datagen.Graph {
+	dataMu.Lock()
+	defer dataMu.Unlock()
+	g, ok := dbpCache[sc.DBPediaVertices]
+	if !ok {
+		g = datagen.DBPediaGraph(sc.DBPediaVertices, 1)
+		dbpCache[sc.DBPediaVertices] = g
+	}
+	return g
+}
+
+func datagenTwitter(sc Scale) *datagen.Graph {
+	dataMu.Lock()
+	defer dataMu.Unlock()
+	g, ok := twCache[sc.TwitterVertices]
+	if !ok {
+		g = datagen.TwitterGraph(sc.TwitterVertices, 2)
+		twCache[sc.TwitterVertices] = g
+	}
+	return g
+}
+
+func datagenGeo(sc Scale, enlarge int) []types.Tuple {
+	dataMu.Lock()
+	defer dataMu.Unlock()
+	key := [2]int{sc.GeoBasePoints, enlarge}
+	pts, ok := geoCache[key]
+	if !ok {
+		pts = datagen.GeoPoints(sc.GeoBasePoints, 8, enlarge, 3)
+		geoCache[key] = pts
+	}
+	return pts
+}
+
+func datagenLineItems(sc Scale) []types.Tuple {
+	dataMu.Lock()
+	defer dataMu.Unlock()
+	rows, ok := liCache[sc.LineItemRows]
+	if !ok {
+		rows = datagen.LineItems(sc.LineItemRows, 4)
+		liCache[sc.LineItemRows] = rows
+	}
+	return rows
+}
+
+// Experiments maps experiment ids to their runners, in figure order.
+var Experiments = []struct {
+	ID   string
+	Desc string
+	Run  func(w io.Writer, sc Scale) error
+}{
+	{"fig2", "PageRank convergence behavior", Fig2},
+	{"fig3", "immutable/mutable/Δi set table", Fig3},
+	{"fig4", "simple aggregation (TPC-H)", Fig4},
+	{"fig5", "K-means scalability", Fig5},
+	{"fig6", "PageRank DBPedia, five strategies", Fig6},
+	{"fig7", "shortest path DBPedia", Fig7},
+	{"fig8", "PageRank Twitter", Fig8},
+	{"fig9", "shortest path Twitter", Fig9},
+	{"fig10", "scalability and DBMS X", Fig10},
+	{"fig11", "bandwidth per node", Fig11},
+	{"fig12", "recovery from node failure", Fig12},
+}

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/rex-data/rex/internal/types"
+)
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := NewRing(5, 64, 3)
+	if r.Replication() != 3 || len(r.Nodes()) != 5 {
+		t.Fatal("ring metadata")
+	}
+	for h := uint64(0); h < 1000; h += 37 {
+		owners := r.Owners(splitmix64(h))
+		if len(owners) != 3 {
+			t.Fatalf("want 3 owners, got %v", owners)
+		}
+		seen := map[NodeID]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner in %v", owners)
+			}
+			seen[o] = true
+		}
+		// stability
+		again := r.Owners(splitmix64(h))
+		for i := range owners {
+			if owners[i] != again[i] {
+				t.Fatal("owners not deterministic")
+			}
+		}
+	}
+}
+
+func TestRingReplicationCap(t *testing.T) {
+	r := NewRing(2, 16, 5)
+	if r.Replication() != 2 {
+		t.Fatal("replication must cap at node count")
+	}
+	if got := len(r.Owners(12345)); got != 2 {
+		t.Fatalf("owners = %d", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With enough virtual nodes the primary-ownership distribution should
+	// be roughly balanced (the ablation DESIGN.md calls out).
+	r := NewRing(8, 128, 1)
+	counts := map[NodeID]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(types.HashValue(int64(i)))[0]]++
+	}
+	want := keys / 8
+	for n, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("node %d owns %d keys, want within [%d,%d]", n, c, want/2, want*2)
+		}
+	}
+}
+
+func TestSnapshotFailover(t *testing.T) {
+	r := NewRing(4, 64, 2)
+	snap := NewSnapshot(r, []NodeID{0, 1, 2, 3})
+	h := types.HashValue(int64(42))
+	primary, err := snap.Primary(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := r.Owners(h)
+	if primary != owners[0] {
+		t.Fatal("primary must be first owner when all alive")
+	}
+	// Kill the primary: the replica takes over.
+	snap2 := snap.Without(primary)
+	if snap2.Alive(primary) {
+		t.Fatal("Without must remove node")
+	}
+	p2, err := snap2.Primary(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != owners[1] {
+		t.Fatalf("takeover should be the replica %v, got %v", owners[1], p2)
+	}
+	if got := len(snap2.AliveNodes()); got != 3 {
+		t.Fatalf("alive nodes = %d", got)
+	}
+	// Even with every configured owner dead, Primary falls back to some
+	// alive node rather than failing.
+	s := snap
+	for _, o := range owners {
+		s = s.Without(o)
+	}
+	if _, err := s.Primary(h); err != nil {
+		t.Fatalf("fallback primary: %v", err)
+	}
+	reps := snap2.Replicas(h)
+	for _, n := range reps {
+		if !snap2.Alive(n) {
+			t.Fatal("replicas must be alive")
+		}
+	}
+}
+
+// Property: every key has exactly min(replication, n) distinct owners and
+// the primary is always among them.
+func TestRingOwnersProperty(t *testing.T) {
+	r := NewRing(7, 32, 3)
+	snap := NewSnapshot(r, r.Nodes())
+	f := func(key int64) bool {
+		h := types.HashValue(key)
+		owners := r.Owners(h)
+		if len(owners) != 3 {
+			return false
+		}
+		p, err := snap.Primary(h)
+		return err == nil && p == owners[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxFIFOAndClose(t *testing.T) {
+	m := NewMailbox()
+	for i := 0; i < 5; i++ {
+		m.Put(Message{Count: i})
+	}
+	if m.Len() != 5 {
+		t.Fatal("len")
+	}
+	for i := 0; i < 5; i++ {
+		msg, ok := m.Get()
+		if !ok || msg.Count != i {
+			t.Fatalf("FIFO violated at %d: %v %v", i, msg.Count, ok)
+		}
+	}
+	done := make(chan bool)
+	go func() {
+		_, ok := m.Get()
+		done <- ok
+	}()
+	m.Close()
+	if <-done {
+		t.Fatal("Get after close on empty mailbox must report closed")
+	}
+	m.Put(Message{}) // no-op after close
+	if m.Len() != 0 {
+		t.Fatal("Put after close must be dropped")
+	}
+}
+
+func TestMailboxConcurrent(t *testing.T) {
+	m := NewMailbox()
+	const producers, each = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				m.Put(Message{Count: 1})
+			}
+		}()
+	}
+	got := 0
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for {
+			msg, ok := m.Get()
+			if !ok {
+				return
+			}
+			got += msg.Count
+			if got == producers*each {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-recvDone
+	if got != producers*each {
+		t.Fatalf("received %d of %d", got, producers*each)
+	}
+}
+
+func TestTransportAccountingAndFailure(t *testing.T) {
+	tr := NewTransport(3)
+	batch := types.Inserts(types.NewTuple(int64(1), 2.5))
+	n := tr.SendData(0, 1, 7, 0, batch)
+	if n <= 0 {
+		t.Fatal("encoded size must be positive")
+	}
+	msg, ok := tr.Inbox(1).Get()
+	if !ok || msg.Kind != MsgData || msg.Edge != 7 {
+		t.Fatalf("delivery: %+v %v", msg, ok)
+	}
+	decoded, err := types.DecodeBatch(msg.Payload)
+	if err != nil || len(decoded) != 1 || !decoded[0].Tup.Equal(batch[0].Tup) {
+		t.Fatal("payload round trip")
+	}
+	if tr.Metrics().BytesSent[0].Load() != int64(n) || tr.Metrics().BytesReceived[1].Load() != int64(n) {
+		t.Fatal("byte accounting")
+	}
+	// Loopback is free.
+	tr.SendData(2, 2, 1, 0, batch)
+	if tr.Metrics().BytesSent[2].Load() != 0 {
+		t.Fatal("self-send must not count as network traffic")
+	}
+	if _, ok := tr.Inbox(2).Get(); !ok {
+		t.Fatal("self-send must still deliver")
+	}
+	// Failure: node 1 dies → requestor notified, sends from 1 dropped.
+	tr.Kill(1)
+	if tr.Alive(1) {
+		t.Fatal("killed node still alive")
+	}
+	fail, ok := tr.Requestor().Get()
+	if !ok || fail.Kind != MsgFailure || fail.From != 1 {
+		t.Fatalf("failure notification: %+v", fail)
+	}
+	before := tr.Metrics().BytesSent[1].Load()
+	tr.SendData(1, 0, 1, 0, batch) // from dead node: dropped
+	if tr.Metrics().BytesSent[1].Load() != before {
+		t.Fatal("dead node must not send")
+	}
+	if got := len(tr.AliveNodes()); got != 2 {
+		t.Fatalf("alive = %d", got)
+	}
+	tr.Kill(1) // double kill is a no-op
+	tr.Revive(1)
+	if !tr.Alive(1) {
+		t.Fatal("revive failed")
+	}
+	tr.Revive(1) // no-op
+}
+
+func TestTransportBroadcastAndDecision(t *testing.T) {
+	tr := NewTransport(3)
+	tr.Broadcast(Message{From: -1, Kind: MsgDecision, Stratum: 2, Terminate: true})
+	for i := 0; i < 3; i++ {
+		msg, ok := tr.Inbox(NodeID(i)).Get()
+		if !ok || msg.Kind != MsgDecision || !msg.Terminate || msg.Stratum != 2 {
+			t.Fatalf("node %d decision: %+v", i, msg)
+		}
+	}
+	tr.SendToRequestor(Message{From: 2, Kind: MsgVote, Count: 5})
+	msg, ok := tr.Requestor().Get()
+	if !ok || msg.Kind != MsgVote || msg.Count != 5 {
+		t.Fatal("vote delivery")
+	}
+	tr.Metrics().Reset()
+	if tr.Metrics().TotalBytesSent() != 0 {
+		t.Fatal("reset")
+	}
+	tr.CloseAll()
+	if _, ok := tr.Requestor().Get(); ok {
+		t.Fatal("closed requestor should drain empty")
+	}
+}
+
+func TestSendOutOfRange(t *testing.T) {
+	tr := NewTransport(1)
+	tr.Send(Message{From: 0, To: 99}) // must not panic
+	tr.Send(Message{From: 0, To: -1})
+}

@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/rex-data/rex/internal/types"
+)
+
+// MsgKind discriminates transport messages.
+type MsgKind uint8
+
+const (
+	// MsgData carries an encoded delta batch for one plan edge.
+	MsgData MsgKind = iota
+	// MsgPunct is an end-of-stratum punctuation marker (§4.2).
+	MsgPunct
+	// MsgVote carries a fixpoint operator's new-tuple count to the
+	// requestor at the end of a stratum.
+	MsgVote
+	// MsgDecision is the requestor's verdict: advance or terminate.
+	MsgDecision
+	// MsgCheckpoint replicates Δᵢ-set state to ring replicas (§4.3).
+	MsgCheckpoint
+	// MsgFailure notifies the requestor that a node died.
+	MsgFailure
+	// MsgShutdown stops a node loop.
+	MsgShutdown
+	// MsgStart begins (or, after a failure, resumes) query execution on a
+	// worker for a given epoch.
+	MsgStart
+	// MsgError reports a fatal operator error to the requestor; the error
+	// text travels in the Table field.
+	MsgError
+)
+
+// Message is one transport frame. Data frames carry the encoded batch in
+// Payload; the decoded form is never shipped across nodes.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Edge    int // plan edge id for data/punct routing
+	Stratum int
+	Kind    MsgKind
+	Payload []byte
+	// Count is the tuple count for data frames or the vote count.
+	Count int
+	// Terminate is set on MsgDecision frames when the query is done.
+	Terminate bool
+	// Closed marks a punctuation as final: the sender will never produce
+	// on this edge again (base-case data closes after stratum 0).
+	Closed bool
+	// Epoch identifies the execution attempt; after a failure the
+	// requestor re-runs the query under a new epoch and workers drop
+	// frames from stale epochs.
+	Epoch int
+	// Table names the checkpoint target for MsgCheckpoint frames.
+	Table string
+}
+
+// Mailbox is an unbounded FIFO queue. Unboundedness matters: worker loops
+// both send and receive, and bounded channels could deadlock on cyclic
+// recursive flows (fixpoint feeds data back upstream).
+type Mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox() *Mailbox {
+	m := &Mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Put enqueues a message; no-op after Close.
+func (m *Mailbox) Put(msg Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+}
+
+// Get blocks until a message is available or the mailbox is closed.
+func (m *Mailbox) Get() (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return Message{}, false
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+// Close wakes all waiters; subsequent Gets drain then report closed.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// Len reports the queued message count.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Metrics aggregates transport statistics. The bandwidth figures of §6.5
+// read BytesSent: "we measured the total amount of data sent by each node".
+type Metrics struct {
+	BytesSent     []atomic.Int64
+	BytesReceived []atomic.Int64
+	MessagesSent  []atomic.Int64
+	TuplesSent    []atomic.Int64
+}
+
+// NewMetrics sizes counters for n nodes.
+func NewMetrics(n int) *Metrics {
+	return &Metrics{
+		BytesSent:     make([]atomic.Int64, n),
+		BytesReceived: make([]atomic.Int64, n),
+		MessagesSent:  make([]atomic.Int64, n),
+		TuplesSent:    make([]atomic.Int64, n),
+	}
+}
+
+// TotalBytesSent sums sent bytes over all nodes.
+func (m *Metrics) TotalBytesSent() int64 {
+	var t int64
+	for i := range m.BytesSent {
+		t += m.BytesSent[i].Load()
+	}
+	return t
+}
+
+// Reset zeroes all counters.
+func (m *Metrics) Reset() {
+	for i := range m.BytesSent {
+		m.BytesSent[i].Store(0)
+		m.BytesReceived[i].Store(0)
+		m.MessagesSent[i].Store(0)
+		m.TuplesSent[i].Store(0)
+	}
+}
+
+// Transport connects the worker nodes and the requestor. It models the
+// paper's batched TCP links: data is encoded once at send time, byte counts
+// accumulate per node, and frames to dead nodes vanish (the network drops
+// them; the requestor learns of the death separately).
+type Transport struct {
+	n         int
+	inboxes   []*Mailbox
+	requestor *Mailbox
+	metrics   *Metrics
+
+	mu    sync.Mutex
+	alive []bool
+}
+
+// NewTransport creates a transport for n worker nodes plus one requestor.
+func NewTransport(n int) *Transport {
+	t := &Transport{
+		n:         n,
+		inboxes:   make([]*Mailbox, n),
+		requestor: NewMailbox(),
+		metrics:   NewMetrics(n),
+		alive:     make([]bool, n),
+	}
+	for i := range t.inboxes {
+		t.inboxes[i] = NewMailbox()
+		t.alive[i] = true
+	}
+	return t
+}
+
+// N reports the worker count.
+func (t *Transport) N() int { return t.n }
+
+// Metrics exposes the transport counters.
+func (t *Transport) Metrics() *Metrics { return t.metrics }
+
+// Inbox returns the mailbox of worker n.
+func (t *Transport) Inbox(n NodeID) *Mailbox { return t.inboxes[n] }
+
+// Requestor returns the requestor's mailbox.
+func (t *Transport) Requestor() *Mailbox { return t.requestor }
+
+// Alive reports whether node n is currently alive.
+func (t *Transport) Alive(n NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.alive[n]
+}
+
+// AliveNodes lists currently alive nodes.
+func (t *Transport) AliveNodes() []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]NodeID, 0, t.n)
+	for i, a := range t.alive {
+		if a {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Kill marks node n dead, drops its queued traffic, and notifies the
+// requestor — the failure-detection path of §4.1/§4.3.
+func (t *Transport) Kill(n NodeID) {
+	t.mu.Lock()
+	wasAlive := t.alive[n]
+	t.alive[n] = false
+	t.mu.Unlock()
+	if !wasAlive {
+		return
+	}
+	t.inboxes[n].Close()
+	t.requestor.Put(Message{From: n, Kind: MsgFailure})
+}
+
+// Revive restores a node (fresh mailbox) so successive experiment runs can
+// reuse one cluster.
+func (t *Transport) Revive(n NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.alive[n] {
+		return
+	}
+	t.alive[n] = true
+	t.inboxes[n] = NewMailbox()
+}
+
+// Send routes msg to its destination worker, accounting bytes. Frames to
+// dead nodes are dropped. Self-sends are delivered (loopback) but not
+// counted as network traffic.
+func (t *Transport) Send(msg Message) {
+	if msg.To < 0 || int(msg.To) >= t.n {
+		return
+	}
+	t.mu.Lock()
+	aliveTo := t.alive[msg.To]
+	aliveFrom := msg.From < 0 || t.alive[msg.From] // requestor is From=-1
+	inbox := t.inboxes[msg.To]
+	t.mu.Unlock()
+	if !aliveFrom {
+		return // a dead node sends nothing
+	}
+	if msg.From != msg.To && msg.From >= 0 {
+		sz := int64(len(msg.Payload))
+		t.metrics.BytesSent[msg.From].Add(sz)
+		t.metrics.MessagesSent[msg.From].Add(1)
+		t.metrics.TuplesSent[msg.From].Add(int64(msg.Count))
+		if aliveTo {
+			t.metrics.BytesReceived[msg.To].Add(sz)
+		}
+	}
+	if !aliveTo {
+		return
+	}
+	inbox.Put(msg)
+}
+
+// SendData encodes and ships a delta batch along a plan edge. It returns
+// the encoded size so callers can account locally buffered bytes.
+func (t *Transport) SendData(from, to NodeID, edge, stratum int, batch []types.Delta) int {
+	payload := types.EncodeBatch(batch)
+	t.Send(Message{
+		From: from, To: to, Edge: edge, Stratum: stratum,
+		Kind: MsgData, Payload: payload, Count: len(batch),
+	})
+	return len(payload)
+}
+
+// SendToRequestor delivers a control frame to the requestor.
+func (t *Transport) SendToRequestor(msg Message) {
+	t.mu.Lock()
+	aliveFrom := msg.From < 0 || t.alive[msg.From]
+	t.mu.Unlock()
+	if !aliveFrom {
+		return
+	}
+	t.requestor.Put(msg)
+}
+
+// Broadcast sends msg to every alive worker (used for decisions).
+func (t *Transport) Broadcast(msg Message) {
+	for _, n := range t.AliveNodes() {
+		m := msg
+		m.To = n
+		t.Send(m)
+	}
+}
+
+// CloseAll closes every mailbox; used at query teardown.
+func (t *Transport) CloseAll() {
+	for _, in := range t.inboxes {
+		in.Close()
+	}
+	t.requestor.Close()
+}

@@ -1,0 +1,177 @@
+// Package datagen generates the synthetic stand-ins for the paper's four
+// datasets (§6 "Data"): a DBPedia-like article-link graph, a Twitter-like
+// follower graph, DBPedia geographic coordinates (with the paper's ×1000
+// enlargement trick), and a TPC-H lineitem table. All generators are
+// deterministic given a seed.
+//
+// Substitution rationale (see DESIGN.md §3): the delta-iteration behaviour
+// REX exploits is governed by degree distribution, diameter, and cluster
+// structure — which these generators reproduce — not by the raw scale of
+// the authors' testbed datasets.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/rex-data/rex/internal/types"
+)
+
+// Graph is an edge list with vertex count metadata.
+type Graph struct {
+	NumVertices int
+	// Edges are (src, dst) tuples of int64 vertex ids.
+	Edges []types.Tuple
+}
+
+// OutDegrees computes the out-degree of every vertex.
+func (g *Graph) OutDegrees() []int {
+	deg := make([]int, g.NumVertices)
+	for _, e := range g.Edges {
+		src, _ := types.AsInt(e[0])
+		deg[src]++
+	}
+	return deg
+}
+
+// Adjacency builds an out-adjacency list.
+func (g *Graph) Adjacency() [][]int32 {
+	adj := make([][]int32, g.NumVertices)
+	for _, e := range g.Edges {
+		src, _ := types.AsInt(e[0])
+		dst, _ := types.AsInt(e[1])
+		adj[src] = append(adj[src], int32(dst))
+	}
+	return adj
+}
+
+// DBPediaGraph approximates the DBPedia article-link graph: a directed
+// graph with Zipf-distributed out-degrees (articles link a handful of
+// others; a few hubs link hundreds), average degree ≈ 14.5 like the
+// paper's 48M edges / 3.3M vertices, and a weakly connected backbone so
+// shortest-path experiments have a large reachable set and a sizeable
+// diameter.
+func DBPediaGraph(vertices int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := &Graph{NumVertices: vertices}
+	zipf := rand.NewZipf(r, 1.3, 2.0, 120)
+	for v := 0; v < vertices; v++ {
+		// Backbone edge keeps the graph connected with diameter ~O(n/k).
+		g.addEdge(v, (v+1+r.Intn(4))%vertices)
+		deg := int(zipf.Uint64()) + 1
+		for i := 0; i < deg; i++ {
+			// Preferential-ish attachment: half the links go to low ids
+			// (old, popular articles), half uniformly.
+			var dst int
+			if r.Intn(2) == 0 {
+				dst = int(math.Sqrt(r.Float64()*float64(vertices)*float64(vertices))) % vertices
+			} else {
+				dst = r.Intn(vertices)
+			}
+			if dst != v {
+				g.addEdge(v, dst)
+			}
+		}
+	}
+	return g
+}
+
+// TwitterGraph approximates the Twitter follower graph: much heavier tail
+// (celebrity hubs collect a large share of all edges) and higher average
+// degree (the paper's dataset has 1.4B edges over 41M users ≈ 34/vertex).
+func TwitterGraph(vertices int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := &Graph{NumVertices: vertices}
+	// Hub set: ~0.1% of vertices receive ~40% of edges.
+	hubs := max(1, vertices/1000)
+	zipf := rand.NewZipf(r, 1.2, 1.5, 400)
+	for v := 0; v < vertices; v++ {
+		g.addEdge(v, (v+1)%vertices) // connectivity backbone
+		deg := int(zipf.Uint64()) + 2
+		for i := 0; i < deg; i++ {
+			var dst int
+			if r.Intn(5) < 2 {
+				dst = r.Intn(hubs)
+			} else {
+				dst = r.Intn(vertices)
+			}
+			if dst != v {
+				g.addEdge(v, dst)
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) addEdge(src, dst int) {
+	g.Edges = append(g.Edges, types.NewTuple(int64(src), int64(dst)))
+}
+
+// GeoPoints generates two-dimensional coordinates clustered around a set
+// of Gaussian centers — the structure of the DBPedia geographic dataset.
+// enlarge replicates each base point (enlarge−1) extra times with jitter,
+// the paper's trick for scaling 328K points up to 382M tuples.
+// Tuples are (pointId, lng, lat) keyed by pointId.
+func GeoPoints(basePoints, centers, enlarge int, seed int64) []types.Tuple {
+	if enlarge < 1 {
+		enlarge = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	cx := make([]float64, centers)
+	cy := make([]float64, centers)
+	for i := range cx {
+		cx[i] = r.Float64()*360 - 180
+		cy[i] = r.Float64()*170 - 85
+	}
+	out := make([]types.Tuple, 0, basePoints*enlarge)
+	id := int64(0)
+	for i := 0; i < basePoints; i++ {
+		c := r.Intn(centers)
+		x := cx[c] + r.NormFloat64()*5
+		y := cy[c] + r.NormFloat64()*5
+		for e := 0; e < enlarge; e++ {
+			jx, jy := 0.0, 0.0
+			if e > 0 {
+				jx = r.NormFloat64() * 0.1
+				jy = r.NormFloat64() * 0.1
+			}
+			out = append(out, types.NewTuple(id, x+jx, y+jy))
+			id++
+		}
+	}
+	return out
+}
+
+// LineItemSchema is the subset of TPC-H lineitem the Fig. 4 query touches.
+var LineItemSchema = []string{
+	"orderkey:Integer", "linenumber:Integer", "quantity:Double",
+	"extendedprice:Double", "discount:Double", "tax:Double",
+	"returnflag:String", "shipmode:String",
+}
+
+// LineItems generates TPC-H-like lineitem rows: every order has 1..7 line
+// numbers, tax in [0, 0.08], prices log-normal-ish — the value
+// distributions the Fig. 4 aggregation exercises.
+func LineItems(rows int, seed int64) []types.Tuple {
+	r := rand.New(rand.NewSource(seed))
+	flags := []string{"A", "N", "R"}
+	modes := []string{"AIR", "SHIP", "TRUCK", "RAIL", "MAIL"}
+	out := make([]types.Tuple, 0, rows)
+	order := int64(1)
+	for len(out) < rows {
+		lines := r.Intn(7) + 1
+		for ln := 1; ln <= lines && len(out) < rows; ln++ {
+			qty := float64(r.Intn(50) + 1)
+			price := qty * (900 + r.Float64()*100)
+			out = append(out, types.NewTuple(
+				order, int64(ln), qty, price,
+				math.Round(r.Float64()*10)/100,
+				math.Round(r.Float64()*8)/100,
+				flags[r.Intn(len(flags))],
+				modes[r.Intn(len(modes))],
+			))
+		}
+		order++
+	}
+	return out
+}

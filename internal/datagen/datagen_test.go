@@ -1,0 +1,100 @@
+package datagen
+
+import (
+	"testing"
+
+	"github.com/rex-data/rex/internal/types"
+)
+
+func TestDBPediaGraphShape(t *testing.T) {
+	g := DBPediaGraph(1000, 1)
+	if g.NumVertices != 1000 {
+		t.Fatal("vertex count")
+	}
+	avg := float64(len(g.Edges)) / float64(g.NumVertices)
+	if avg < 2 || avg > 40 {
+		t.Fatalf("average degree %v out of plausible range", avg)
+	}
+	// Power-law-ish: max degree far above average.
+	deg := g.OutDegrees()
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d == 0 {
+			t.Fatal("backbone guarantees out-degree ≥ 1")
+		}
+	}
+	if float64(maxDeg) < 3*avg {
+		t.Fatalf("expected heavy tail: max=%d avg=%v", maxDeg, avg)
+	}
+	// Determinism.
+	g2 := DBPediaGraph(1000, 1)
+	if len(g2.Edges) != len(g.Edges) || !g2.Edges[17].Equal(g.Edges[17]) {
+		t.Fatal("generator must be deterministic")
+	}
+}
+
+func TestTwitterGraphHubbier(t *testing.T) {
+	d := DBPediaGraph(2000, 2)
+	tw := TwitterGraph(2000, 2)
+	maxIn := func(g *Graph) int {
+		in := make([]int, g.NumVertices)
+		for _, e := range g.Edges {
+			dst, _ := types.AsInt(e[1])
+			in[dst]++
+		}
+		m := 0
+		for _, v := range in {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	// Twitter-like graphs concentrate in-degree on hubs much more.
+	if maxIn(tw) <= maxIn(d) {
+		t.Fatalf("twitter max in-degree %d should exceed dbpedia %d", maxIn(tw), maxIn(d))
+	}
+}
+
+func TestGeoPointsEnlarge(t *testing.T) {
+	base := GeoPoints(100, 4, 1, 3)
+	if len(base) != 100 {
+		t.Fatal("base size")
+	}
+	big := GeoPoints(100, 4, 10, 3)
+	if len(big) != 1000 {
+		t.Fatal("enlarged size")
+	}
+	// ids unique
+	seen := map[int64]bool{}
+	for _, p := range big {
+		id, _ := types.AsInt(p[0])
+		if seen[id] {
+			t.Fatal("duplicate point id")
+		}
+		seen[id] = true
+	}
+}
+
+func TestLineItems(t *testing.T) {
+	rows := LineItems(500, 4)
+	if len(rows) != 500 {
+		t.Fatal("row count")
+	}
+	for _, r := range rows {
+		ln, _ := types.AsInt(r[1])
+		if ln < 1 || ln > 7 {
+			t.Fatalf("linenumber %d", ln)
+		}
+		tax, _ := types.AsFloat(r[5])
+		if tax < 0 || tax > 0.08 {
+			t.Fatalf("tax %v", tax)
+		}
+	}
+	if len(LineItemSchema) != len(rows[0]) {
+		t.Fatal("schema width mismatch")
+	}
+}

@@ -1,0 +1,61 @@
+package dbmsx
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rex-data/rex/internal/algos"
+	"github.com/rex-data/rex/internal/datagen"
+)
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g := datagen.DBPediaGraph(200, 5)
+	want, iters := algos.PageRankRef(g, 1e-9, 25)
+	res, err := New().PageRank(g, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, w := range want {
+		if math.Abs(res.Final[int64(v)]-w) > 1e-6 {
+			t.Fatalf("pr[%d] = %v, want %v", v, res.Final[int64(v)], w)
+		}
+	}
+	// Accumulation: the table must hold every iteration's rows.
+	if res.PeakRows != (iters+1)*g.NumVertices {
+		t.Fatalf("accumulated rows = %d, want %d", res.PeakRows, (iters+1)*g.NumVertices)
+	}
+	if len(res.PerIter) != iters {
+		t.Fatalf("per-iteration timings = %d", len(res.PerIter))
+	}
+}
+
+func TestPageRankRejectsBadIters(t *testing.T) {
+	if _, err := New().PageRank(datagen.DBPediaGraph(10, 1), 0); err == nil {
+		t.Fatal("zero iterations must fail")
+	}
+}
+
+func TestShortestPathMatchesBFS(t *testing.T) {
+	g := datagen.DBPediaGraph(300, 9)
+	want := algos.BFSRef(g, 0)
+	res, err := New().ShortestPath(g, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reachable := 0
+	for v, d := range want {
+		if d < 0 {
+			continue
+		}
+		reachable++
+		if res.Final[int64(v)] != float64(d) {
+			t.Fatalf("dist[%d] = %v, want %d", v, res.Final[int64(v)], d)
+		}
+	}
+	if len(res.Final) != reachable {
+		t.Fatalf("reached %d, want %d", len(res.Final), reachable)
+	}
+	if res.PeakRows < reachable {
+		t.Fatal("accumulated table must retain all derivations")
+	}
+}

@@ -1,0 +1,275 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/expr"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// scanOp streams this node's primary partition of a base table, then emits
+// a closed punctuation: base data never changes during a query, so scans
+// participate only in stratum 0.
+type scanOp struct {
+	ctx   *Context
+	id    int
+	table string
+	outs  outputs
+	batch int
+}
+
+func (s *scanOp) Start() error {
+	buf := make([]types.Delta, 0, s.batch)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		err := s.outs.send(buf)
+		buf = buf[:0]
+		return err
+	}
+	err := s.ctx.Store.ScanOwned(s.table, s.ctx.Snap, func(t types.Tuple) error {
+		buf = append(buf, types.Insert(t))
+		if len(buf) >= s.batch {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return s.outs.punct(0, true)
+}
+
+func (s *scanOp) Push(int, []types.Delta) error { return fmt.Errorf("exec: scan has no inputs") }
+func (s *scanOp) Punct(int, int, bool) error    { return fmt.Errorf("exec: scan has no inputs") }
+
+// filterOp applies a predicate with proper delta semantics: a replacement
+// whose old and new tuples fall on different sides of the predicate
+// degrades into a bare insertion or deletion.
+type filterOp struct {
+	pred expr.Expr
+	outs outputs
+}
+
+func (f *filterOp) Push(port int, batch []types.Delta) error {
+	out := make([]types.Delta, 0, len(batch))
+	for _, d := range batch {
+		switch d.Op {
+		case types.OpReplace:
+			oldOK, err := expr.EvalBool(f.pred, d.Old)
+			if err != nil {
+				return err
+			}
+			newOK, err := expr.EvalBool(f.pred, d.Tup)
+			if err != nil {
+				return err
+			}
+			switch {
+			case oldOK && newOK:
+				out = append(out, d)
+			case oldOK:
+				out = append(out, types.Delete(d.Old))
+			case newOK:
+				out = append(out, types.Insert(d.Tup))
+			}
+		default:
+			ok, err := expr.EvalBool(f.pred, d.Tup)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return f.outs.send(out)
+}
+
+func (f *filterOp) Punct(port, stratum int, closed bool) error {
+	return f.outs.punct(stratum, closed)
+}
+
+// projectOp is applyFunction/projection: one expression per output column,
+// annotations propagated unchanged (§3.3, stateless operators). Replacement
+// deltas map both tuples; no-op replacements are dropped. Deterministic
+// UDF calls are memoized (§5.1 "Caching"), and when UDFArgKinds is set the
+// operator typechecks boxed arguments per batch — the Go stand-in for the
+// paper's Java reflection overhead, amortized by input batching (§4.2).
+type projectOp struct {
+	exprs    []expr.Expr
+	outs     outputs
+	memo     map[string]types.Tuple
+	memoable bool
+	argKinds [][]types.Kind
+}
+
+func newProjectOp(exprs []expr.Expr, argKinds [][]types.Kind) *projectOp {
+	p := &projectOp{exprs: exprs, argKinds: argKinds}
+	p.memoable = true
+	for _, e := range exprs {
+		if c, ok := e.(*expr.Call); ok && !c.Deterministic {
+			p.memoable = false
+		}
+	}
+	hasCall := false
+	for _, e := range exprs {
+		if _, ok := e.(*expr.Call); ok {
+			hasCall = true
+		}
+	}
+	if hasCall && p.memoable {
+		p.memo = map[string]types.Tuple{}
+	}
+	return p
+}
+
+func (p *projectOp) apply(t types.Tuple) (types.Tuple, error) {
+	if p.memo != nil {
+		key := t.String()
+		if out, ok := p.memo[key]; ok {
+			return out, nil
+		}
+		out, err := p.eval(t)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.memo) < 1<<16 { // bounded cache
+			p.memo[key] = out
+		}
+		return out, nil
+	}
+	return p.eval(t)
+}
+
+func (p *projectOp) eval(t types.Tuple) (types.Tuple, error) {
+	out := make(types.Tuple, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := e.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// typecheck simulates the reflection-driven argument validation REX
+// performs when invoking user code; batching lets the engine do it once
+// per batch rather than per tuple.
+func (p *projectOp) typecheck(t types.Tuple) error {
+	for i, kinds := range p.argKinds {
+		if kinds == nil {
+			continue
+		}
+		cols := expr.Columns(p.exprs[i])
+		for j, c := range cols {
+			if j >= len(kinds) {
+				break
+			}
+			if c < len(t) && t[c] != nil && types.KindOf(t[c]) != kinds[j] {
+				return fmt.Errorf("exec: UDF argument %d: got %v want %v", j, types.KindOf(t[c]), kinds[j])
+			}
+		}
+	}
+	return nil
+}
+
+func (p *projectOp) Push(port int, batch []types.Delta) error {
+	if p.argKinds != nil && len(batch) > 0 {
+		if err := p.typecheck(batch[0].Tup); err != nil {
+			return err
+		}
+	}
+	out := make([]types.Delta, 0, len(batch))
+	for _, d := range batch {
+		nt, err := p.apply(d.Tup)
+		if err != nil {
+			return err
+		}
+		nd := d.WithTuple(nt)
+		if d.Op == types.OpReplace {
+			ot, err := p.apply(d.Old)
+			if err != nil {
+				return err
+			}
+			if nt.Equal(ot) {
+				continue // replacement invisible after projection
+			}
+			nd.Old = ot
+		}
+		out = append(out, nd)
+	}
+	return p.outs.send(out)
+}
+
+func (p *projectOp) Punct(port, stratum int, closed bool) error {
+	return p.outs.punct(stratum, closed)
+}
+
+// tvfOp is the dependent-join operator: each input delta is passed to a
+// table-valued function whose results are emitted (§4.2). TVFs may create
+// or manipulate annotations arbitrarily, like applyFunction.
+type tvfOp struct {
+	fn   *catalog.TVFDef
+	outs outputs
+}
+
+func (o *tvfOp) Push(port int, batch []types.Delta) error {
+	var out []types.Delta
+	for _, d := range batch {
+		res, err := o.fn.Fn(d)
+		if err != nil {
+			return fmt.Errorf("exec: TVF %s: %w", o.fn.Name, err)
+		}
+		out = append(out, res...)
+	}
+	return o.outs.send(out)
+}
+
+func (o *tvfOp) Punct(port, stratum int, closed bool) error {
+	return o.outs.punct(stratum, closed)
+}
+
+// outputOp forwards result deltas to the query requestor and reports
+// completion when its input closes. Result frames use the reserved edge.
+type outputOp struct {
+	ctx *Context
+}
+
+// resultEdge is the reserved transport edge for result traffic.
+const resultEdge = -1
+
+func (o *outputOp) Push(port int, batch []types.Delta) error {
+	payload := types.EncodeBatch(batch)
+	o.ctx.Transport.SendToRequestor(cluster.Message{
+		From: o.ctx.Node, Kind: cluster.MsgData, Edge: resultEdge,
+		Payload: payload, Count: len(batch), Epoch: o.ctx.Epoch,
+	})
+	return nil
+}
+
+func (o *outputOp) Punct(port, stratum int, closed bool) error {
+	if closed {
+		o.ctx.Transport.SendToRequestor(cluster.Message{
+			From: o.ctx.Node, Kind: cluster.MsgPunct, Edge: resultEdge,
+			Stratum: stratum, Epoch: o.ctx.Epoch,
+		})
+	}
+	return nil
+}
+
+// describeExprs renders expressions for EXPLAIN.
+func describeExprs(es []expr.Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}

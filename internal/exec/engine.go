@@ -1,0 +1,310 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/storage"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// RecoveryStrategy selects how the requestor reacts to a node failure.
+type RecoveryStrategy uint8
+
+const (
+	// RecoveryNone aborts the query on failure.
+	RecoveryNone RecoveryStrategy = iota
+	// RecoveryRestart re-runs the query from scratch on the survivors —
+	// the "Restart" baseline of §6.6.
+	RecoveryRestart
+	// RecoveryIncremental resumes from the last completed stratum using
+	// the replicated Δᵢ checkpoints — the paper's hybrid scheme (§4.3).
+	RecoveryIncremental
+)
+
+// Options tune one query execution.
+type Options struct {
+	// BatchSize is the transport batching granularity (default 1024).
+	BatchSize int
+	// MaxStrata caps recursion depth (default: plan's setting).
+	MaxStrata int
+	// Recovery selects the failure-handling strategy.
+	Recovery RecoveryStrategy
+	// Checkpoint enables per-stratum Δᵢ replication (required for
+	// RecoveryIncremental; adds measurable but small overhead otherwise).
+	Checkpoint bool
+	// TermFn, when set, is an explicit termination condition evaluated by
+	// the requestor after each stratum over the global new-tuple count
+	// (§3.4). Returning true terminates the query.
+	TermFn func(stratum, newTuples int) bool
+	// OnStratum, when set, observes each completed stratum (used by the
+	// experiment harness, e.g. to inject failures at iteration k).
+	OnStratum func(stratum, newTuples int)
+}
+
+// StratumStats records one stratum of a recursive execution.
+type StratumStats struct {
+	Stratum int
+	// NewTuples is the global Δᵢ set size (sum of fixpoint votes).
+	NewTuples int
+	Duration  time.Duration
+}
+
+// Result is a completed query execution.
+type Result struct {
+	Tuples    []types.Tuple
+	Strata    []StratumStats
+	Duration  time.Duration
+	BytesSent int64
+	// Recoveries counts failures survived during the run.
+	Recoveries int
+}
+
+// Engine executes physical plans on the simulated cluster. One Engine can
+// run many queries sequentially; it owns no per-query state.
+type Engine struct {
+	Transport *cluster.Transport
+	Ring      *cluster.Ring
+	Stores    []*storage.Store
+	Ckpts     []*storage.CheckpointStore
+	Catalog   *catalog.Catalog
+
+	queryCounter atomic.Int64
+}
+
+// NewEngine assembles an engine over n simulated worker nodes.
+func NewEngine(n, vnodes, replication int, cat *catalog.Catalog) *Engine {
+	e := &Engine{
+		Transport: cluster.NewTransport(n),
+		Ring:      cluster.NewRing(n, vnodes, replication),
+		Catalog:   cat,
+	}
+	for i := 0; i < n; i++ {
+		e.Stores = append(e.Stores, storage.NewStore(cluster.NodeID(i)))
+		e.Ckpts = append(e.Ckpts, storage.NewCheckpointStore())
+	}
+	return e
+}
+
+// Load distributes a dataset to the workers' replicated local storage.
+func (e *Engine) Load(table string, keyCol int, tuples []types.Tuple) error {
+	l := &storage.Loader{Ring: e.Ring, Stores: e.Stores}
+	return l.Load(table, keyCol, tuples)
+}
+
+// Run executes the plan to completion, handling failures per opts.
+func (e *Engine) Run(spec *PlanSpec, opts Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1024
+	}
+	maxStrata := spec.MaxStrata
+	if opts.MaxStrata > 0 {
+		maxStrata = opts.MaxStrata
+	}
+	queryID := fmt.Sprintf("q%d", e.queryCounter.Add(1))
+
+	alive := e.Transport.AliveNodes()
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("exec: no alive nodes")
+	}
+	bytesBefore := e.Transport.Metrics().TotalBytesSent()
+	start := time.Now()
+
+	// Spawn one worker loop per currently alive node.
+	var wg sync.WaitGroup
+	for _, n := range alive {
+		w := &worker{
+			node: n, transport: e.Transport, store: e.Stores[n],
+			ckpt: e.Ckpts[n], cat: e.Catalog, ring: e.Ring,
+			spec: spec, queryID: queryID, batchSize: opts.BatchSize,
+			checkpoints: opts.Checkpoint,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.loop()
+		}()
+	}
+
+	res, err := e.coordinate(spec, opts, queryID, maxStrata)
+
+	// Teardown: stop workers and drop the query's checkpoints.
+	e.Transport.Broadcast(cluster.Message{From: -1, Kind: cluster.MsgShutdown})
+	wg.Wait()
+	for _, c := range e.Ckpts {
+		c.Drop(queryID)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Duration = time.Since(start)
+	res.BytesSent = e.Transport.Metrics().TotalBytesSent() - bytesBefore
+	return res, nil
+}
+
+// coordinate is the query-requestor loop of §4.2: it aggregates fixpoint
+// votes, decides stratum advancement or termination, collects results, and
+// orchestrates recovery (§4.3).
+func (e *Engine) coordinate(spec *PlanSpec, opts Options, queryID string, maxStrata int) (*Result, error) {
+	res := &Result{}
+	epoch := 0
+	resume := 0
+	incremental := false
+	completed := -1 // last globally completed stratum
+
+	alive := e.Transport.AliveNodes()
+	broadcastStart := func() {
+		mode := startFresh
+		if incremental {
+			mode = startIncremental
+		}
+		payload := encodeNodeList(alive)
+		for _, n := range alive {
+			e.Transport.Send(cluster.Message{
+				From: -1, To: n, Kind: cluster.MsgStart,
+				Epoch: epoch, Stratum: resume, Count: mode, Payload: payload,
+			})
+		}
+	}
+	broadcastStart()
+
+	votes := map[int]map[cluster.NodeID]int{}
+	done := map[cluster.NodeID]bool{}
+	stratumStart := time.Now()
+	req := e.Transport.Requestor()
+
+	for {
+		msg, ok := req.Get()
+		if !ok {
+			return nil, fmt.Errorf("exec: requestor mailbox closed")
+		}
+		switch msg.Kind {
+		case cluster.MsgError:
+			if msg.Epoch != epoch {
+				continue // stale epoch: the failed attempt's debris
+			}
+			return nil, fmt.Errorf("exec: node %d: %s", msg.From, msg.Table)
+		case cluster.MsgFailure:
+			if opts.Recovery == RecoveryNone {
+				return nil, fmt.Errorf("exec: node %d failed and recovery is disabled", msg.From)
+			}
+			res.Recoveries++
+			epoch++
+			alive = e.Transport.AliveNodes()
+			if len(alive) == 0 {
+				return nil, fmt.Errorf("exec: all nodes failed")
+			}
+			votes = map[int]map[cluster.NodeID]int{}
+			done = map[cluster.NodeID]bool{}
+			res.Tuples = nil
+			if opts.Recovery == RecoveryIncremental && spec.Recursive() && opts.Checkpoint && completed >= 0 {
+				incremental = true
+				resume = completed
+			} else {
+				incremental = false
+				resume = 0
+				completed = -1
+				res.Strata = nil
+			}
+			stratumStart = time.Now()
+			broadcastStart()
+		case cluster.MsgVote:
+			if msg.Epoch != epoch {
+				continue
+			}
+			s := msg.Stratum
+			if votes[s] == nil {
+				votes[s] = map[cluster.NodeID]int{}
+			}
+			votes[s][msg.From] = msg.Count
+			if len(votes[s]) < len(alive) {
+				continue
+			}
+			total := 0
+			for _, c := range votes[s] {
+				total += c
+			}
+			completed = s
+			if !(incremental && s == resume) {
+				// A re-voted restored stratum keeps its original stats.
+				res.Strata = append(res.Strata, StratumStats{
+					Stratum: s, NewTuples: total, Duration: time.Since(stratumStart),
+				})
+			}
+			stratumStart = time.Now()
+			if opts.OnStratum != nil {
+				opts.OnStratum(s, total)
+			}
+			terminate := total == 0 || s+1 >= maxStrata
+			if opts.TermFn != nil && opts.TermFn(s, total) {
+				terminate = true
+			}
+			e.broadcastDecision(alive, epoch, s+1, terminate)
+		case cluster.MsgData:
+			if msg.Epoch != epoch || msg.Edge != resultEdge {
+				continue
+			}
+			batch, err := types.DecodeBatch(msg.Payload)
+			if err != nil {
+				return nil, err
+			}
+			res.Tuples = applyResultDeltas(res.Tuples, batch)
+		case cluster.MsgPunct:
+			if msg.Epoch != epoch || msg.Edge != resultEdge {
+				continue
+			}
+			done[msg.From] = true
+			if len(done) == len(alive) {
+				return res, nil
+			}
+		}
+	}
+}
+
+func (e *Engine) broadcastDecision(alive []cluster.NodeID, epoch, next int, terminate bool) {
+	for _, n := range alive {
+		e.Transport.Send(cluster.Message{
+			From: -1, To: n, Kind: cluster.MsgDecision,
+			Epoch: epoch, Stratum: next, Terminate: terminate,
+		})
+	}
+}
+
+// applyResultDeltas folds a result batch into the accumulated result set.
+// Final flushes are insert-only; replacement and deletion are handled for
+// completeness of non-recursive pipelines.
+func applyResultDeltas(acc []types.Tuple, batch []types.Delta) []types.Tuple {
+	for _, d := range batch {
+		switch d.Op {
+		case types.OpInsert, types.OpUpdate:
+			acc = append(acc, d.Tup)
+		case types.OpDelete:
+			for i, t := range acc {
+				if t.Equal(d.Tup) {
+					acc = append(acc[:i], acc[i+1:]...)
+					break
+				}
+			}
+		case types.OpReplace:
+			replaced := false
+			for i, t := range acc {
+				if t.Equal(d.Old) {
+					acc[i] = d.Tup
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				acc = append(acc, d.Tup)
+			}
+		}
+	}
+	return acc
+}

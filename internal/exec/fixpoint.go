@@ -1,0 +1,282 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/rex-data/rex/internal/types"
+	"github.com/rex-data/rex/internal/uda"
+)
+
+// fixpointOp is the while/fixpoint operator of §3.2/§4.2: it maintains the
+// recursive query's mutable relation keyed by the FIXPOINT BY columns,
+// feeds each stratum's Δ set back into the recursive sub-plan, removes
+// duplicate derivations (set semantics), and — with a while-state delta
+// handler installed — lets user code refine the state in place rather than
+// accumulate it (§3.3).
+//
+// Port 0 receives the base case, port 1 the recursive case. At the end of
+// each stratum the operator reports its new-tuple count to the worker,
+// which relays the vote to the query requestor; the requestor's decision
+// (advance or terminate) arrives via Advance/Finish.
+type fixpointOp struct {
+	spec *OpSpec
+	ctx  *Context
+
+	recursiveOuts outputs
+	finalOuts     outputs
+
+	handler uda.WhileHandler
+	// buckets holds handler-managed state per key (handler mode).
+	buckets map[types.Value]*uda.TupleSet
+	// state holds the mutable relation in default set-semantics mode.
+	state map[types.Value]types.Tuple
+
+	pending  []types.Delta
+	newCount int
+
+	dirty map[types.Value]bool
+
+	// onStratumEnd is the worker callback: checkpoint then vote.
+	onStratumEnd func(stratum, newCount int)
+}
+
+func newFixpointOp(spec *OpSpec, ctx *Context, handler uda.WhileHandler) *fixpointOp {
+	return &fixpointOp{
+		spec:    spec,
+		ctx:     ctx,
+		handler: handler,
+		buckets: map[types.Value]*uda.TupleSet{},
+		state:   map[types.Value]types.Tuple{},
+		dirty:   map[types.Value]bool{},
+	}
+}
+
+func (f *fixpointOp) Push(port int, batch []types.Delta) error {
+	for _, d := range batch {
+		key := d.Tup.Key(f.spec.FixpointKey)
+		if f.handler != nil {
+			b, ok := f.buckets[key]
+			if !ok {
+				b = &uda.TupleSet{}
+				f.buckets[key] = b
+			}
+			v0 := b.Version()
+			res, err := f.handler.Update(b, d)
+			if err != nil {
+				return fmt.Errorf("exec: while handler %s: %w", f.handler.Name(), err)
+			}
+			if b.Version() != v0 {
+				f.dirty[key] = true
+			}
+			f.pending = append(f.pending, res...)
+			f.newCount += len(res)
+			continue
+		}
+		if err := f.defaultUpdate(key, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// defaultUpdate implements the handler-less semantics: the fixpoint
+// "removes duplicate tuples according to a query-specified key, by
+// maintaining a set of processed tuples" (§4.2). A tuple whose key exists
+// with an identical value is a duplicate derivation and is dropped; a
+// different value replaces the stored one and propagates.
+func (f *fixpointOp) defaultUpdate(key types.Value, d types.Delta) error {
+	existing, ok := f.state[key]
+	switch d.Op {
+	case types.OpInsert, types.OpUpdate:
+		if ok && existing.Equal(d.Tup) {
+			return nil // duplicate derivation
+		}
+		f.state[key] = d.Tup
+		f.dirty[key] = true
+		if ok {
+			f.pending = append(f.pending, types.Replace(existing, d.Tup))
+		} else {
+			f.pending = append(f.pending, types.Insert(d.Tup))
+		}
+		f.newCount++
+	case types.OpDelete:
+		if ok {
+			delete(f.state, key)
+			f.dirty[key] = true
+			f.pending = append(f.pending, types.Delete(existing))
+			f.newCount++
+		}
+	case types.OpReplace:
+		if ok && existing.Equal(d.Tup) {
+			return nil
+		}
+		f.state[key] = d.Tup
+		f.dirty[key] = true
+		if ok {
+			f.pending = append(f.pending, types.Replace(existing, d.Tup))
+		} else {
+			f.pending = append(f.pending, types.Insert(d.Tup))
+		}
+		f.newCount++
+	}
+	return nil
+}
+
+// Punct ends the stratum: base-case punctuation closes stratum 0, and the
+// recursive case closes every later stratum.
+func (f *fixpointOp) Punct(port, stratum int, closed bool) error {
+	if port != 0 && port != 1 {
+		return fmt.Errorf("exec: fixpoint punct port %d out of range", port)
+	}
+	if f.onStratumEnd != nil {
+		f.onStratumEnd(stratum, f.newCount)
+	}
+	return nil
+}
+
+// Advance starts stratum next: the buffered Δ set flows into the recursive
+// sub-plan followed by its punctuation. In NoDelta mode the entire mutable
+// relation is re-fed instead — re-processing all mutable data each
+// iteration, like the non-incremental systems of §6.
+func (f *fixpointOp) Advance(next int) error {
+	batch := f.pending
+	if f.spec.NoDelta {
+		batch = batch[:0]
+		if f.handler != nil {
+			for _, b := range f.buckets {
+				for _, t := range b.Tuples {
+					batch = append(batch, types.Update(t))
+				}
+			}
+		} else {
+			for _, t := range f.state {
+				batch = append(batch, types.Update(t))
+			}
+		}
+	}
+	f.pending = nil
+	f.newCount = 0
+	f.ctx.Stratum = next
+	if err := f.recursiveOuts.send(batch); err != nil {
+		return err
+	}
+	return f.recursiveOuts.punct(next, false)
+}
+
+// Finish emits the final mutable relation and closes the output.
+func (f *fixpointOp) Finish() error {
+	var out []types.Delta
+	if f.handler != nil {
+		for _, b := range f.buckets {
+			for _, t := range b.Tuples {
+				out = append(out, types.Insert(t))
+			}
+		}
+	} else {
+		for _, t := range f.state {
+			out = append(out, types.Insert(t))
+		}
+	}
+	const flushChunk = 4096
+	for len(out) > 0 {
+		n := min(flushChunk, len(out))
+		if err := f.finalOuts.send(out[:n]); err != nil {
+			return err
+		}
+		out = out[n:]
+	}
+	return f.finalOuts.punct(f.ctx.Stratum, true)
+}
+
+// PendingCount reports the buffered Δ set size (the restored vote count
+// after incremental recovery).
+func (f *fixpointOp) PendingCount() int { return len(f.pending) }
+
+func (f *fixpointOp) Reset() {
+	f.buckets = map[types.Value]*uda.TupleSet{}
+	f.state = map[types.Value]types.Tuple{}
+	f.pending = nil
+	f.newCount = 0
+	f.dirty = map[types.Value]bool{}
+}
+
+// DirtyState checkpoints (a) the state entries revised this stratum and
+// (b) the pending Δ set, which must survive a failure to resume the next
+// stratum. Layouts:
+//
+//	state:   [keyHash, "S", key, fields...]   (tombstone: no fields)
+//	pending: [keyHash, "P", op, fields...]
+func (f *fixpointOp) DirtyState() []types.Tuple {
+	var out []types.Tuple
+	for key := range f.dirty {
+		h := int64(types.HashValue(key))
+		if f.handler != nil {
+			b := f.buckets[key]
+			if b == nil || b.Len() == 0 {
+				out = append(out, types.NewTuple(h, "S", key))
+				continue
+			}
+			for _, t := range b.Tuples {
+				out = append(out, append(types.NewTuple(h, "S", key), t...))
+			}
+			continue
+		}
+		t, ok := f.state[key]
+		if !ok {
+			out = append(out, types.NewTuple(h, "S", key))
+			continue
+		}
+		out = append(out, append(types.NewTuple(h, "S", key), t...))
+	}
+	f.dirty = map[types.Value]bool{}
+	for _, d := range f.pending {
+		h := int64(d.Tup.HashKey(f.spec.FixpointKey))
+		out = append(out, append(types.NewTuple(h, "P", int64(d.Op)), d.Tup...))
+	}
+	return out
+}
+
+// Restore rebuilds state from checkpointed strata in order; pending deltas
+// are taken from the final stratum only (earlier strata's Δ sets were
+// already consumed by their next stratum).
+func (f *fixpointOp) Restore(strata [][]types.Tuple) error {
+	for si, entries := range strata {
+		last := si == len(strata)-1
+		seen := map[types.Value]bool{}
+		for _, e := range entries {
+			if len(e) < 3 {
+				return fmt.Errorf("exec: fixpoint restore: bad entry %v", e)
+			}
+			tag, _ := e[1].(string)
+			switch tag {
+			case "S":
+				key := e[2]
+				if f.handler != nil {
+					if !seen[key] {
+						seen[key] = true
+						f.buckets[key] = &uda.TupleSet{}
+					}
+					if len(e) > 3 {
+						f.buckets[key].Add(e[3:].Clone())
+					}
+				} else {
+					if len(e) > 3 {
+						f.state[key] = e[3:].Clone()
+					} else {
+						delete(f.state, key)
+					}
+				}
+			case "P":
+				if !last {
+					continue
+				}
+				op, _ := types.AsInt(e[2])
+				f.pending = append(f.pending, types.Delta{Op: types.Op(op), Tup: e[3:].Clone()})
+			default:
+				return fmt.Errorf("exec: fixpoint restore: unknown tag %v", e[1])
+			}
+		}
+	}
+	f.newCount = len(f.pending)
+	return nil
+}

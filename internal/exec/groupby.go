@@ -1,0 +1,379 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/rex-data/rex/internal/expr"
+	"github.com/rex-data/rex/internal/types"
+	"github.com/rex-data/rex/internal/uda"
+)
+
+// groupByOp is the delta-aware pipelined group-by of §3.3: per-key
+// aggregate state is revised by each incoming delta; when the stratum's
+// punctuation arrives, dirty groups emit insertion deltas (first result)
+// or replacement deltas (revised result) downstream. Aggregate state is
+// cumulative across strata — that is exactly what lets recursive queries
+// refine aggregates instead of recomputing them.
+//
+// Two modes: scalar mode evaluates built-in aggregates (sum, count, min,
+// max, avg, argmin) with automatic delta rules; UDA mode delegates to a
+// user-defined aggregator's AGGSTATE/AGGRESULT handlers and resets per
+// stratum (the MapReduce-reduce semantics the wrappers need).
+type groupByOp struct {
+	spec *OpSpec
+	outs outputs
+
+	tracker *portTracker
+
+	// scalar mode
+	aggs     []uda.ScalarAgg
+	argExprs [][]expr.Expr
+	groups   map[types.Value]*groupState
+	// dirty marks groups revised since the last flush; ckptDirty marks
+	// groups revised since the last checkpoint collection.
+	dirty     map[types.Value]bool
+	ckptDirty map[types.Value]bool
+
+	// UDA mode
+	udaAgg    uda.Aggregator
+	udaStates map[types.Value]uda.State
+	udaKeys   map[types.Value]types.Tuple
+}
+
+type groupState struct {
+	keyTuple types.Tuple
+	states   []uda.State
+	last     types.Tuple // last emitted result; nil before first emission
+}
+
+func newGroupByOp(spec *OpSpec, nin int, agg uda.Aggregator) (*groupByOp, error) {
+	g := &groupByOp{
+		spec:      spec,
+		tracker:   newPortTracker(nin),
+		groups:    map[types.Value]*groupState{},
+		dirty:     map[types.Value]bool{},
+		ckptDirty: map[types.Value]bool{},
+	}
+	if agg != nil {
+		g.udaAgg = agg
+		g.udaStates = map[types.Value]uda.State{}
+		g.udaKeys = map[types.Value]types.Tuple{}
+		return g, nil
+	}
+	for _, as := range spec.Aggs {
+		a, err := uda.NewScalarAgg(as.Fn)
+		if err != nil {
+			return nil, err
+		}
+		g.aggs = append(g.aggs, a)
+		g.argExprs = append(g.argExprs, as.Args)
+	}
+	return g, nil
+}
+
+func (g *groupByOp) Push(port int, batch []types.Delta) error {
+	if g.udaAgg != nil {
+		return g.pushUDA(batch)
+	}
+	for _, d := range batch {
+		key := d.Tup.Key(g.spec.GroupKey)
+		gs, ok := g.groups[key]
+		if !ok {
+			gs = &groupState{keyTuple: d.Tup.Project(g.spec.GroupKey)}
+			gs.states = make([]uda.State, len(g.aggs))
+			for i, a := range g.aggs {
+				gs.states[i] = a.NewState()
+			}
+			g.groups[key] = gs
+		}
+		for i, a := range g.aggs {
+			args, err := evalArgs(g.argExprs[i], d.Tup)
+			if err != nil {
+				return err
+			}
+			var oldArgs []types.Value
+			if d.Op == types.OpReplace {
+				if oldArgs, err = evalArgs(g.argExprs[i], d.Old); err != nil {
+					return err
+				}
+			}
+			if err := a.Update(gs.states[i], d.Op, args, oldArgs); err != nil {
+				return fmt.Errorf("exec: group-by %s: %w", a.Name(), err)
+			}
+		}
+		g.dirty[key] = true
+		g.ckptDirty[key] = true
+	}
+	return nil
+}
+
+func (g *groupByOp) pushUDA(batch []types.Delta) error {
+	var out []types.Delta
+	for _, d := range batch {
+		key := d.Tup.Key(g.spec.GroupKey)
+		st, ok := g.udaStates[key]
+		if !ok {
+			st = g.udaAgg.NewState()
+			g.udaKeys[key] = d.Tup.Project(g.spec.GroupKey)
+		}
+		nst, intermediate, err := g.udaAgg.AggState(st, d)
+		if err != nil {
+			return fmt.Errorf("exec: UDA %s: %w", g.udaAgg.Name(), err)
+		}
+		g.udaStates[key] = nst
+		out = append(out, intermediate...)
+	}
+	return g.outs.send(out)
+}
+
+func evalArgs(exprs []expr.Expr, t types.Tuple) ([]types.Value, error) {
+	if len(exprs) == 0 {
+		return nil, nil
+	}
+	out := make([]types.Value, len(exprs))
+	for i, e := range exprs {
+		v, err := e.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Punct flushes dirty groups once all inputs have punctuated the stratum.
+func (g *groupByOp) Punct(port, stratum int, closed bool) error {
+	done, err := g.tracker.mark(port, stratum, closed)
+	if err != nil {
+		return err
+	}
+	if !done {
+		return nil
+	}
+	if g.udaAgg != nil {
+		if err := g.flushUDA(); err != nil {
+			return err
+		}
+	} else if err := g.flushScalar(); err != nil {
+		return err
+	}
+	return g.outs.punct(stratum, g.tracker.allClosed())
+}
+
+func (g *groupByOp) flushScalar() error {
+	var out []types.Delta
+	for key := range g.dirty {
+		gs := g.groups[key]
+		cur := make(types.Tuple, 0, len(gs.keyTuple)+len(g.aggs))
+		cur = append(cur, gs.keyTuple...)
+		for i, a := range g.aggs {
+			cur = append(cur, a.Result(gs.states[i]))
+		}
+		if gs.last == nil {
+			out = append(out, types.Insert(cur))
+		} else if !gs.last.Equal(cur) {
+			out = append(out, types.Replace(gs.last, cur))
+		}
+		gs.last = cur
+	}
+	g.dirty = map[types.Value]bool{}
+	if g.spec.ResetPerStratum {
+		g.groups = map[types.Value]*groupState{}
+	}
+	return g.outs.send(out)
+}
+
+func (g *groupByOp) flushUDA() error {
+	var out []types.Delta
+	for key, st := range g.udaStates {
+		res, err := g.udaAgg.AggResult(st)
+		if err != nil {
+			return fmt.Errorf("exec: UDA %s result: %w", g.udaAgg.Name(), err)
+		}
+		out = append(out, res...)
+		delete(g.udaStates, key)
+		delete(g.udaKeys, key)
+	}
+	return g.outs.send(out)
+}
+
+func (g *groupByOp) Reset() {
+	g.groups = map[types.Value]*groupState{}
+	g.dirty = map[types.Value]bool{}
+	g.ckptDirty = map[types.Value]bool{}
+	if g.udaAgg != nil {
+		g.udaStates = map[types.Value]uda.State{}
+		g.udaKeys = map[types.Value]types.Tuple{}
+	}
+	g.tracker.reset()
+}
+
+// DirtyState checkpoints groups revised during the stratum. Entry layout:
+// [keyHash, nKey, key..., hasLast, last...(outLen), per-agg: stateLen, fields...].
+func (g *groupByOp) DirtyState() []types.Tuple {
+	if g.udaAgg != nil {
+		return nil // UDA groups reset per stratum; nothing to restore
+	}
+	outLen := len(g.spec.GroupKey) + len(g.aggs)
+	var out []types.Tuple
+	for key := range g.ckptDirty {
+		gs := g.groups[key]
+		e := types.NewTuple(int64(types.HashValue(key)), int64(len(gs.keyTuple)))
+		e = append(e, gs.keyTuple...)
+		if gs.last == nil {
+			e = append(e, false)
+			for i := 0; i < outLen; i++ {
+				e = append(e, nil)
+			}
+		} else {
+			e = append(e, true)
+			e = append(e, gs.last...)
+		}
+		for i, a := range g.aggs {
+			st := a.Save(gs.states[i])
+			e = append(e, int64(len(st)))
+			e = append(e, st...)
+		}
+		out = append(out, e)
+	}
+	g.ckptDirty = map[types.Value]bool{}
+	return out
+}
+
+// Restore rebuilds group state from checkpointed entries in stratum order
+// (later strata override earlier ones for the same key).
+func (g *groupByOp) Restore(strata [][]types.Tuple) error {
+	outLen := len(g.spec.GroupKey) + len(g.aggs)
+	for _, entries := range strata {
+		for _, e := range entries {
+			if len(e) < 2 {
+				return fmt.Errorf("exec: group-by restore: bad entry %v", e)
+			}
+			nKey, _ := types.AsInt(e[1])
+			pos := 2
+			keyTuple := e[pos : pos+int(nKey)].Clone()
+			pos += int(nKey)
+			hasLast, _ := types.AsBool(e[pos])
+			pos++
+			var last types.Tuple
+			if hasLast {
+				last = e[pos : pos+outLen].Clone()
+			}
+			pos += outLen
+			gs := &groupState{keyTuple: keyTuple, last: last, states: make([]uda.State, len(g.aggs))}
+			for i, a := range g.aggs {
+				if pos >= len(e) {
+					return fmt.Errorf("exec: group-by restore: truncated entry")
+				}
+				n, _ := types.AsInt(e[pos])
+				pos++
+				st, err := a.Load(e[pos : pos+int(n)])
+				if err != nil {
+					return err
+				}
+				gs.states[i] = st
+				pos += int(n)
+			}
+			key := keyIndex(keyTuple)
+			g.groups[key] = gs
+		}
+	}
+	return nil
+}
+
+// keyIndex rebuilds the map key for a stored key tuple.
+func keyIndex(keyTuple types.Tuple) types.Value {
+	idx := make([]int, len(keyTuple))
+	for i := range idx {
+		idx[i] = i
+	}
+	return keyTuple.Key(idx)
+}
+
+// preAggOp is the combiner-style partial aggregation of §5.2: it
+// accumulates per-key partial state within one stratum and, at punctuation,
+// emits δ() partial-value deltas downstream (which the final aggregate
+// folds in arithmetically), then resets. Only insert-only streams are
+// eligible — the optimizer enforces that.
+type preAggOp struct {
+	spec *OpSpec
+	outs outputs
+
+	tracker  *portTracker
+	aggs     []uda.ScalarAgg
+	argExprs [][]expr.Expr
+	groups   map[types.Value]*groupState
+}
+
+func newPreAggOp(spec *OpSpec, nin int) (*preAggOp, error) {
+	p := &preAggOp{spec: spec, tracker: newPortTracker(nin), groups: map[types.Value]*groupState{}}
+	for _, as := range spec.Aggs {
+		if as.Fn == "avg" || as.Fn == "argmin" {
+			return nil, fmt.Errorf("exec: pre-aggregation of %s must be decomposed by the optimizer", as.Fn)
+		}
+		a, err := uda.NewScalarAgg(as.Fn)
+		if err != nil {
+			return nil, err
+		}
+		p.aggs = append(p.aggs, a)
+		p.argExprs = append(p.argExprs, as.Args)
+	}
+	return p, nil
+}
+
+func (p *preAggOp) Push(port int, batch []types.Delta) error {
+	for _, d := range batch {
+		if d.Op != types.OpInsert && d.Op != types.OpUpdate {
+			return fmt.Errorf("exec: pre-aggregation over non-insert delta %v", d.Op)
+		}
+		key := d.Tup.Key(p.spec.GroupKey)
+		gs, ok := p.groups[key]
+		if !ok {
+			gs = &groupState{keyTuple: d.Tup.Project(p.spec.GroupKey)}
+			gs.states = make([]uda.State, len(p.aggs))
+			for i, a := range p.aggs {
+				gs.states[i] = a.NewState()
+			}
+			p.groups[key] = gs
+		}
+		for i, a := range p.aggs {
+			args, err := evalArgs(p.argExprs[i], d.Tup)
+			if err != nil {
+				return err
+			}
+			if err := a.Update(gs.states[i], d.Op, args, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *preAggOp) Punct(port, stratum int, closed bool) error {
+	done, err := p.tracker.mark(port, stratum, closed)
+	if err != nil {
+		return err
+	}
+	if !done {
+		return nil
+	}
+	var out []types.Delta
+	for key, gs := range p.groups {
+		t := make(types.Tuple, 0, len(gs.keyTuple)+len(p.aggs))
+		t = append(t, gs.keyTuple...)
+		for i, a := range p.aggs {
+			t = append(t, a.Result(gs.states[i]))
+		}
+		out = append(out, types.Update(t))
+		delete(p.groups, key)
+	}
+	if err := p.outs.send(out); err != nil {
+		return err
+	}
+	return p.outs.punct(stratum, p.tracker.allClosed())
+}
+
+func (p *preAggOp) Reset() {
+	p.groups = map[types.Value]*groupState{}
+	p.tracker.reset()
+}

@@ -1,0 +1,245 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/rex-data/rex/internal/types"
+	"github.com/rex-data/rex/internal/uda"
+)
+
+// hashJoinOp is REX's pipelined hash join extended with delta propagation
+// (§3.3): insertions/deletions/replacements follow the Gupta-Mumick rules;
+// δ() value-updates are interpreted by a user-supplied join-state handler
+// when one is installed (the paper's UPDATE(LEFTBUCKET, RIGHTBUCKET, D)).
+//
+// Each input tuple is accumulated into its side's bucket and immediately
+// probed against the opposite bucket — the pipelined form of §3.2.
+type hashJoinOp struct {
+	spec *OpSpec
+	outs outputs
+
+	tracker *portTracker
+	handler uda.JoinHandler
+
+	left, right map[types.Value]*uda.TupleSet
+	// versions tracks handler-bucket versions to detect mutation.
+	// dirty records bucket keys mutated in the current stratum, per side.
+	dirty [2]map[types.Value]bool
+}
+
+func newHashJoinOp(spec *OpSpec, handler uda.JoinHandler) *hashJoinOp {
+	return &hashJoinOp{
+		spec:    spec,
+		tracker: newPortTracker(2),
+		handler: handler,
+		left:    map[types.Value]*uda.TupleSet{},
+		right:   map[types.Value]*uda.TupleSet{},
+		dirty:   [2]map[types.Value]bool{{}, {}},
+	}
+}
+
+func (j *hashJoinOp) bucket(side map[types.Value]*uda.TupleSet, key types.Value) *uda.TupleSet {
+	b, ok := side[key]
+	if !ok {
+		b = &uda.TupleSet{}
+		side[key] = b
+	}
+	return b
+}
+
+func (j *hashJoinOp) keyOf(port int, t types.Tuple) types.Value {
+	if port == 0 {
+		return t.Key(j.spec.LeftKey)
+	}
+	return t.Key(j.spec.RightKey)
+}
+
+func (j *hashJoinOp) Push(port int, batch []types.Delta) error {
+	if port != 0 && port != 1 {
+		return fmt.Errorf("exec: join port %d out of range", port)
+	}
+	var out []types.Delta
+	for _, d := range batch {
+		res, err := j.processDelta(port, d)
+		if err != nil {
+			return err
+		}
+		out = append(out, res...)
+	}
+	return j.outs.send(out)
+}
+
+func (j *hashJoinOp) processDelta(port int, d types.Delta) ([]types.Delta, error) {
+	key := j.keyOf(port, d.Tup)
+	if d.Op == types.OpReplace {
+		// A replacement whose key changed must be split into a deletion at
+		// the old key and an insertion at the new key.
+		oldKey := j.keyOf(port, d.Old)
+		if !types.ValueEq(key, oldKey) {
+			del, err := j.processDelta(port, types.Delete(d.Old))
+			if err != nil {
+				return nil, err
+			}
+			ins, err := j.processDelta(port, types.Insert(d.Tup))
+			if err != nil {
+				return nil, err
+			}
+			return append(del, ins...), nil
+		}
+	}
+	lb := j.bucket(j.left, key)
+	rb := j.bucket(j.right, key)
+
+	if j.handler != nil {
+		lv, rv := lb.Version(), rb.Version()
+		res, err := j.handler.Update(lb, rb, d, port == 0)
+		if err != nil {
+			return nil, fmt.Errorf("exec: join handler %s: %w", j.handler.Name(), err)
+		}
+		if lb.Version() != lv {
+			j.dirty[0][key] = true
+		}
+		if rb.Version() != rv {
+			j.dirty[1][key] = true
+		}
+		return res, nil
+	}
+
+	mine, opp := lb, rb
+	if port == 1 {
+		mine, opp = rb, lb
+	}
+	var out []types.Delta
+	probe := func(op types.Op, t types.Tuple) {
+		for _, o := range opp.Tuples {
+			joined := joinTuples(port, t, o)
+			out = append(out, types.Delta{Op: op, Tup: joined})
+		}
+	}
+	switch d.Op {
+	case types.OpInsert:
+		mine.Add(d.Tup)
+		j.dirty[port][key] = true
+		probe(types.OpInsert, d.Tup)
+	case types.OpDelete:
+		if mine.Remove(d.Tup) {
+			j.dirty[port][key] = true
+		}
+		probe(types.OpDelete, d.Tup)
+	case types.OpReplace:
+		// Same-key replacement: revise the bucket, emit replacements for
+		// every matching opposite tuple.
+		if mine.ReplaceFirst(d.Old, d.Tup) {
+			j.dirty[port][key] = true
+		} else {
+			mine.Add(d.Tup)
+			j.dirty[port][key] = true
+		}
+		for _, o := range opp.Tuples {
+			out = append(out, types.Replace(joinTuples(port, d.Old, o), joinTuples(port, d.Tup, o)))
+		}
+	case types.OpUpdate:
+		// Without a handler, δ() has no special semantics: the annotation
+		// rides along as a hidden attribute (§3.3). The tuple behaves like
+		// an insertion for state purposes and output deltas keep δ.
+		mine.Add(d.Tup)
+		j.dirty[port][key] = true
+		probe(types.OpUpdate, d.Tup)
+	}
+	return out, nil
+}
+
+// joinTuples concatenates left fields then right fields regardless of which
+// side the delta arrived on.
+func joinTuples(port int, mine, opposite types.Tuple) types.Tuple {
+	if port == 0 {
+		out := make(types.Tuple, 0, len(mine)+len(opposite))
+		return append(append(out, mine...), opposite...)
+	}
+	out := make(types.Tuple, 0, len(mine)+len(opposite))
+	return append(append(out, opposite...), mine...)
+}
+
+func (j *hashJoinOp) Punct(port, stratum int, closed bool) error {
+	done, err := j.tracker.mark(port, stratum, closed)
+	if err != nil {
+		return err
+	}
+	if !done {
+		return nil
+	}
+	return j.outs.punct(stratum, j.tracker.allClosed())
+}
+
+func (j *hashJoinOp) Reset() {
+	j.left = map[types.Value]*uda.TupleSet{}
+	j.right = map[types.Value]*uda.TupleSet{}
+	j.dirty = [2]map[types.Value]bool{{}, {}}
+	j.tracker.reset()
+}
+
+// DirtyState checkpoints the buckets mutated this stratum. Buckets on a
+// purely immutable input (rebuilt from base scans during recovery) are
+// skipped. Entry layout: [keyHash, side, key, fields...], one entry per
+// bucket tuple; an empty dirty bucket still emits a tombstone entry
+// [keyHash, side, key] so recovery clears it.
+func (j *hashJoinOp) DirtyState() []types.Tuple {
+	var out []types.Tuple
+	for side := 0; side < 2; side++ {
+		if j.spec.ImmutablePort == side {
+			j.dirty[side] = map[types.Value]bool{}
+			continue
+		}
+		buckets := j.left
+		if side == 1 {
+			buckets = j.right
+		}
+		for key := range j.dirty[side] {
+			h := int64(types.HashValue(key))
+			b := buckets[key]
+			if b == nil || b.Len() == 0 {
+				out = append(out, types.NewTuple(h, int64(side), key))
+				continue
+			}
+			for _, t := range b.Tuples {
+				entry := types.NewTuple(h, int64(side), key)
+				out = append(out, append(entry, t...))
+			}
+		}
+		j.dirty[side] = map[types.Value]bool{}
+	}
+	return out
+}
+
+// Restore rebuilds the mutable buckets from checkpoints, applying strata in
+// order; within a stratum, the first entry for a (side, key) resets the
+// bucket.
+func (j *hashJoinOp) Restore(strata [][]types.Tuple) error {
+	for _, entries := range strata {
+		type sk struct {
+			side int64
+			key  types.Value
+		}
+		seen := map[sk]bool{}
+		for _, e := range entries {
+			if len(e) < 3 {
+				return fmt.Errorf("exec: join restore: bad entry %v", e)
+			}
+			side, _ := types.AsInt(e[1])
+			key := e[2]
+			buckets := j.left
+			if side == 1 {
+				buckets = j.right
+			}
+			id := sk{side, key}
+			if !seen[id] {
+				seen[id] = true
+				buckets[key] = &uda.TupleSet{}
+			}
+			if len(e) > 3 {
+				buckets[key].Add(e[3:].Clone())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/storage"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// Operator is a push-based physical operator instance on one worker node.
+// Operators run on the node's single event-loop goroutine, so they are
+// free of locks.
+type Operator interface {
+	// Push processes a batch of deltas arriving on the given input port.
+	Push(port int, batch []types.Delta) error
+	// Punct signals the end of the current stratum on the given port.
+	// closed marks the port's final punctuation: no data will ever arrive
+	// on it again (base-case inputs close after stratum 0).
+	Punct(port, stratum int, closed bool) error
+}
+
+// starter is implemented by source operators that produce data when the
+// query (or a recovery re-run) starts.
+type starter interface {
+	Start() error
+}
+
+// resetter clears operator state for a recovery re-run.
+type resetter interface {
+	Reset()
+}
+
+// checkpointer is implemented by stateful operators participating in
+// incremental recovery (§4.3): after every stratum the worker collects the
+// state entries dirtied during that stratum and replicates them; on
+// recovery, the takeover node restores them in stratum order.
+type checkpointer interface {
+	// DirtyState drains the entries changed in the current stratum. Each
+	// entry is a tuple whose first field is the int64 partition-key hash
+	// used for replica placement; the rest is operator-specific.
+	DirtyState() []types.Tuple
+	// Restore applies checkpointed entries; strata[i] holds the entries
+	// of stratum i, applied in ascending order.
+	Restore(strata [][]types.Tuple) error
+}
+
+// Context carries the per-node runtime a worker exposes to its operators.
+type Context struct {
+	Node      cluster.NodeID
+	Snap      *cluster.Snapshot
+	Transport *cluster.Transport
+	Store     *storage.Store
+	Catalog   *catalog.Catalog
+	QueryID   string
+	Epoch     int
+	// BatchSize is the rehash message batching granularity (§4.1:
+	// "query processing passes batched messages").
+	BatchSize int
+	// Stratum is the stratum currently executing on this node.
+	Stratum int
+}
+
+// output is a wired edge to a consumer within the same node.
+type output struct {
+	op   Operator
+	port int
+}
+
+// outputs is the fan-out of one operator to its local consumers.
+type outputs []output
+
+// send pushes a batch to every consumer.
+func (o outputs) send(batch []types.Delta) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	for _, out := range o {
+		if err := out.op.Push(out.port, batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// punct forwards punctuation to every consumer.
+func (o outputs) punct(stratum int, closed bool) error {
+	for _, out := range o {
+		if err := out.op.Punct(out.port, stratum, closed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// portTracker aligns punctuation across an operator's input ports: an
+// n-ary operator forwards punctuation only once every open port has seen
+// the current stratum's marker (§4.2: "n-ary operators such as a join or
+// rehash wait until all inputs have received appropriate punctuation").
+type portTracker struct {
+	punctAt []int // last punctuated stratum per port, -1 initially
+	closed  []bool
+}
+
+func newPortTracker(n int) *portTracker {
+	t := &portTracker{punctAt: make([]int, n), closed: make([]bool, n)}
+	for i := range t.punctAt {
+		t.punctAt[i] = -1
+	}
+	return t
+}
+
+// mark records punctuation and reports whether the stratum is complete on
+// all ports.
+func (t *portTracker) mark(port, stratum int, closed bool) (bool, error) {
+	if port < 0 || port >= len(t.punctAt) {
+		return false, fmt.Errorf("exec: punct on invalid port %d", port)
+	}
+	if t.closed[port] {
+		return false, fmt.Errorf("exec: punct on closed port %d", port)
+	}
+	t.punctAt[port] = stratum
+	if closed {
+		t.closed[port] = true
+	}
+	return t.aligned(stratum), nil
+}
+
+// aligned reports whether all ports are punctuated at stratum or closed.
+func (t *portTracker) aligned(stratum int) bool {
+	for i := range t.punctAt {
+		if t.closed[i] {
+			continue
+		}
+		if t.punctAt[i] < stratum {
+			return false
+		}
+	}
+	return true
+}
+
+// allClosed reports whether every port is closed.
+func (t *portTracker) allClosed() bool {
+	for _, c := range t.closed {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *portTracker) reset() {
+	for i := range t.punctAt {
+		t.punctAt[i] = -1
+		t.closed[i] = false
+	}
+}

@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// rehashOp re-partitions a delta stream across worker nodes by key hash
+// (§3.2: "a physical level operator called rehash that is responsible for
+// shipping state from one node to another by key"). The send side (port 0)
+// buffers batched messages per destination; the receive side (port 1) is
+// fed by the worker loop from the transport and aligns punctuation from
+// all alive senders before forwarding downstream (§4.2).
+//
+// OpBroadcast is the same operator with every batch delivered to every
+// node (used when one side of a computation — e.g. K-means centroids —
+// must be visible cluster-wide).
+type rehashOp struct {
+	spec *OpSpec
+	ctx  *Context
+	outs outputs
+
+	broadcast bool
+	buffers   map[cluster.NodeID][]types.Delta
+
+	// receive-side punctuation alignment
+	punctCount  map[int]int
+	closedCount map[int]int
+	nSenders    int
+	closedFwd   bool
+}
+
+func newRehashOp(spec *OpSpec, ctx *Context, broadcast bool) *rehashOp {
+	return &rehashOp{
+		spec:        spec,
+		ctx:         ctx,
+		broadcast:   broadcast,
+		buffers:     map[cluster.NodeID][]types.Delta{},
+		punctCount:  map[int]int{},
+		closedCount: map[int]int{},
+		nSenders:    len(ctx.Snap.AliveNodes()),
+	}
+}
+
+func (r *rehashOp) Push(port int, batch []types.Delta) error {
+	switch port {
+	case 0:
+		return r.route(batch)
+	case 1:
+		// Batch received from a peer (or loopback): hand downstream.
+		return r.outs.send(batch)
+	default:
+		return fmt.Errorf("exec: rehash port %d out of range", port)
+	}
+}
+
+func (r *rehashOp) route(batch []types.Delta) error {
+	for _, d := range batch {
+		if r.broadcast {
+			for _, n := range r.ctx.Snap.AliveNodes() {
+				if err := r.enqueue(n, d); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		dest, err := r.destFor(d.Tup)
+		if err != nil {
+			return err
+		}
+		if d.Op == types.OpReplace {
+			oldDest, err := r.destFor(d.Old)
+			if err != nil {
+				return err
+			}
+			if oldDest != dest {
+				// The replacement moves the tuple across partitions:
+				// split into a deletion at the old home and an insertion
+				// at the new one.
+				if err := r.enqueue(oldDest, types.Delete(d.Old)); err != nil {
+					return err
+				}
+				if err := r.enqueue(dest, types.Insert(d.Tup)); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		if err := r.enqueue(dest, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *rehashOp) destFor(t types.Tuple) (cluster.NodeID, error) {
+	h := t.HashKey(r.spec.HashKey)
+	return r.ctx.Snap.Primary(h)
+}
+
+func (r *rehashOp) enqueue(dest cluster.NodeID, d types.Delta) error {
+	r.buffers[dest] = append(r.buffers[dest], d)
+	if len(r.buffers[dest]) >= r.ctx.BatchSize {
+		return r.flush(dest)
+	}
+	return nil
+}
+
+func (r *rehashOp) flush(dest cluster.NodeID) error {
+	batch := r.buffers[dest]
+	if len(batch) == 0 {
+		return nil
+	}
+	r.buffers[dest] = nil
+	if dest == r.ctx.Node {
+		// Loopback: deliver synchronously, skipping the wire.
+		return r.Push(1, batch)
+	}
+	payload := types.EncodeBatch(batch)
+	r.ctx.Transport.Send(cluster.Message{
+		From: r.ctx.Node, To: dest,
+		Edge: edgeID(r.spec.ID, 1), Kind: cluster.MsgData,
+		Payload: payload, Count: len(batch), Epoch: r.ctx.Epoch,
+		Stratum: r.ctx.Stratum,
+	})
+	return nil
+}
+
+func (r *rehashOp) Punct(port, stratum int, closed bool) error {
+	switch port {
+	case 0:
+		// Local upstream finished the stratum: flush everything, then tell
+		// every peer (and ourselves) so receivers can align.
+		for dest := range r.buffers {
+			if err := r.flush(dest); err != nil {
+				return err
+			}
+		}
+		for _, n := range r.ctx.Snap.AliveNodes() {
+			if n == r.ctx.Node {
+				if err := r.Punct(1, stratum, closed); err != nil {
+					return err
+				}
+				continue
+			}
+			r.ctx.Transport.Send(cluster.Message{
+				From: r.ctx.Node, To: n,
+				Edge: edgeID(r.spec.ID, 1), Kind: cluster.MsgPunct,
+				Stratum: stratum, Closed: closed, Epoch: r.ctx.Epoch,
+			})
+		}
+		return nil
+	case 1:
+		r.punctCount[stratum]++
+		if closed {
+			r.closedCount[stratum]++
+		}
+		if r.punctCount[stratum] < r.nSenders {
+			return nil
+		}
+		allClosed := r.closedCount[stratum] == r.nSenders
+		delete(r.punctCount, stratum)
+		delete(r.closedCount, stratum)
+		return r.outs.punct(stratum, allClosed)
+	default:
+		return fmt.Errorf("exec: rehash punct port %d out of range", port)
+	}
+}
+
+func (r *rehashOp) Reset() {
+	r.buffers = map[cluster.NodeID][]types.Delta{}
+	r.punctCount = map[int]int{}
+	r.closedCount = map[int]int{}
+	r.nSenders = len(r.ctx.Snap.AliveNodes())
+	r.closedFwd = false
+}

@@ -1,0 +1,398 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/storage"
+	"github.com/rex-data/rex/internal/types"
+	"github.com/rex-data/rex/internal/uda"
+)
+
+// worker is one node's query-execution event loop. All operator calls run
+// on this goroutine, so operator state is single-threaded by construction.
+type worker struct {
+	node        cluster.NodeID
+	transport   *cluster.Transport
+	store       *storage.Store
+	ckpt        *storage.CheckpointStore
+	cat         *catalog.Catalog
+	ring        *cluster.Ring
+	spec        *PlanSpec
+	queryID     string
+	batchSize   int
+	checkpoints bool
+
+	// per-epoch state, rebuilt on MsgStart
+	ctx      *Context
+	ops      map[int]Operator
+	scans    []*scanOp
+	baseScan map[int]bool
+	fixpoint *fixpointOp
+	ckptOps  map[int]checkpointer
+	epoch    int
+}
+
+// loop processes the worker's mailbox until shutdown or mailbox close.
+func (w *worker) loop() {
+	inbox := w.transport.Inbox(w.node)
+	for {
+		msg, ok := inbox.Get()
+		if !ok {
+			return // killed: mailbox closed
+		}
+		if err := w.handle(msg); err != nil {
+			w.transport.SendToRequestor(cluster.Message{
+				From: w.node, Kind: cluster.MsgError,
+				Table: err.Error(), Epoch: w.epoch,
+			})
+		}
+		if msg.Kind == cluster.MsgShutdown {
+			return
+		}
+	}
+}
+
+func (w *worker) handle(msg cluster.Message) error {
+	switch msg.Kind {
+	case cluster.MsgShutdown:
+		return nil
+	case cluster.MsgStart:
+		return w.handleStart(msg)
+	case cluster.MsgCheckpoint:
+		return w.handleCheckpoint(msg)
+	case cluster.MsgData:
+		if msg.Epoch != w.epoch || w.ops == nil {
+			return nil // stale epoch: drop
+		}
+		op, port := splitEdge(msg.Edge)
+		inst, ok := w.ops[op]
+		if !ok {
+			return fmt.Errorf("exec: node %d: data for unknown op %d", w.node, op)
+		}
+		batch, err := types.DecodeBatch(msg.Payload)
+		if err != nil {
+			return err
+		}
+		return inst.Push(port, batch)
+	case cluster.MsgPunct:
+		if msg.Epoch != w.epoch || w.ops == nil {
+			return nil
+		}
+		op, port := splitEdge(msg.Edge)
+		inst, ok := w.ops[op]
+		if !ok {
+			return fmt.Errorf("exec: node %d: punct for unknown op %d", w.node, op)
+		}
+		return inst.Punct(port, msg.Stratum, msg.Closed)
+	case cluster.MsgDecision:
+		if msg.Epoch != w.epoch || w.fixpoint == nil {
+			return nil
+		}
+		if msg.Terminate {
+			return w.fixpoint.Finish()
+		}
+		return w.fixpoint.Advance(msg.Stratum)
+	default:
+		return nil
+	}
+}
+
+// startMode values carried in MsgStart.Count.
+const (
+	startFresh       = 0
+	startIncremental = 1
+)
+
+func (w *worker) handleStart(msg cluster.Message) error {
+	w.epoch = msg.Epoch
+	alive, err := decodeNodeList(msg.Payload)
+	if err != nil {
+		return err
+	}
+	snap := cluster.NewSnapshot(w.ring, alive)
+	if err := w.build(snap); err != nil {
+		return err
+	}
+	resume := msg.Stratum
+	incremental := msg.Count == startIncremental
+	if incremental {
+		w.ckpt.DropAbove(w.queryID, resume)
+		for opID, ck := range w.ckptOps {
+			strata := w.ckpt.Restore(w.queryID, opID, resume, w.node, snap)
+			if err := ck.Restore(strata); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range w.scans {
+		if incremental && w.baseScan[s.id] {
+			continue // base case already folded into restored state
+		}
+		if err := s.Start(); err != nil {
+			return err
+		}
+	}
+	if incremental && w.fixpoint != nil {
+		// Report the restored Δ set as this (already completed) stratum's
+		// vote so the requestor can advance past it.
+		w.stratumEnd(resume, w.fixpoint.PendingCount(), false)
+	}
+	return nil
+}
+
+func (w *worker) handleCheckpoint(msg cluster.Message) error {
+	batch, err := types.DecodeBatch(msg.Payload)
+	if err != nil {
+		return err
+	}
+	hashes := make([]uint64, len(batch))
+	tuples := make([]types.Tuple, len(batch))
+	for i, d := range batch {
+		h, _ := types.AsInt(d.Tup[0])
+		hashes[i] = uint64(h)
+		tuples[i] = d.Tup
+	}
+	w.ckpt.Put(w.queryID, msg.Edge, msg.Stratum, hashes, tuples)
+	return nil
+}
+
+// stratumEnd is the fixpoint's end-of-stratum callback: replicate this
+// stratum's dirty state (§4.3), then vote.
+func (w *worker) stratumEnd(stratum, count int, checkpoint bool) {
+	if checkpoint && w.checkpoints {
+		for opID, ck := range w.ckptOps {
+			entries := ck.DirtyState()
+			if len(entries) == 0 {
+				continue
+			}
+			w.replicate(opID, stratum, entries)
+		}
+	}
+	w.transport.SendToRequestor(cluster.Message{
+		From: w.node, Kind: cluster.MsgVote,
+		Stratum: stratum, Count: count, Epoch: w.epoch,
+	})
+}
+
+// replicate stores checkpoint entries locally and ships them to the other
+// ring owners of each entry's key.
+func (w *worker) replicate(opID, stratum int, entries []types.Tuple) {
+	byDest := map[cluster.NodeID][]types.Delta{}
+	var selfHashes []uint64
+	var selfTuples []types.Tuple
+	for _, e := range entries {
+		h64, _ := types.AsInt(e[0])
+		h := uint64(h64)
+		for _, owner := range w.ring.Owners(h) {
+			if owner == w.node {
+				selfHashes = append(selfHashes, h)
+				selfTuples = append(selfTuples, e)
+				continue
+			}
+			byDest[owner] = append(byDest[owner], types.Insert(e))
+		}
+	}
+	if len(selfTuples) > 0 {
+		w.ckpt.Put(w.queryID, opID, stratum, selfHashes, selfTuples)
+	}
+	for dest, batch := range byDest {
+		w.transport.Send(cluster.Message{
+			From: w.node, To: dest, Kind: cluster.MsgCheckpoint,
+			Edge: opID, Stratum: stratum,
+			Payload: types.EncodeBatch(batch), Count: len(batch),
+			Epoch: w.epoch,
+		})
+	}
+}
+
+// build instantiates the plan for the given snapshot.
+func (w *worker) build(snap *cluster.Snapshot) error {
+	ctx := &Context{
+		Node: w.node, Snap: snap, Transport: w.transport,
+		Store: w.store, Catalog: w.cat, QueryID: w.queryID,
+		Epoch: w.epoch, BatchSize: w.batchSize,
+	}
+	w.ctx = ctx
+	w.ops = map[int]Operator{}
+	w.scans = nil
+	w.baseScan = map[int]bool{}
+	w.fixpoint = nil
+	w.ckptOps = map[int]checkpointer{}
+
+	// Phase 1: instantiate.
+	for _, spec := range w.spec.Ops {
+		inst, err := w.instantiate(spec, ctx)
+		if err != nil {
+			return err
+		}
+		w.ops[spec.ID] = inst
+		switch o := inst.(type) {
+		case *scanOp:
+			o.id = spec.ID
+			w.scans = append(w.scans, o)
+		case *fixpointOp:
+			w.fixpoint = o
+			o.onStratumEnd = func(stratum, count int) {
+				w.stratumEnd(stratum, count, true)
+			}
+		}
+		if ck, ok := inst.(checkpointer); ok && w.spec.Recursive() {
+			w.ckptOps[spec.ID] = ck
+		}
+	}
+
+	// Phase 2: wire local edges.
+	outOp := &outputOp{ctx: ctx}
+	cons := w.spec.consumers()
+	for id, inst := range w.ops {
+		var outs outputs
+		for _, ref := range cons[id] {
+			outs = append(outs, output{op: w.ops[ref.op], port: ref.port})
+		}
+		if id == w.spec.RootID && !w.spec.Recursive() {
+			outs = append(outs, output{op: outOp, port: 0})
+		}
+		w.setOuts(inst, outs)
+	}
+	if w.spec.Recursive() {
+		fx := w.ops[w.spec.FixpointID].(*fixpointOp)
+		fx.finalOuts = outputs{{op: outOp, port: 0}}
+	}
+
+	// Mark base-case scans: those whose dataflow reaches the fixpoint's
+	// base port (0) without passing through the fixpoint itself.
+	if w.spec.Recursive() {
+		for _, s := range w.scans {
+			if w.reachesFixpointBase(s.id, cons) {
+				w.baseScan[s.id] = true
+			}
+		}
+	}
+	return nil
+}
+
+func (w *worker) reachesFixpointBase(from int, cons map[int][]portRef) bool {
+	seen := map[int]bool{}
+	var walk func(id int) bool
+	walk = func(id int) bool {
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+		for _, ref := range cons[id] {
+			if ref.op == w.spec.FixpointID {
+				if ref.port == 0 {
+					return true
+				}
+				continue // recursive port: do not cross the fixpoint
+			}
+			if walk(ref.op) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func (w *worker) setOuts(inst Operator, outs outputs) {
+	switch o := inst.(type) {
+	case *scanOp:
+		o.outs = outs
+	case *filterOp:
+		o.outs = outs
+	case *projectOp:
+		o.outs = outs
+	case *tvfOp:
+		o.outs = outs
+	case *hashJoinOp:
+		o.outs = outs
+	case *groupByOp:
+		o.outs = outs
+	case *preAggOp:
+		o.outs = outs
+	case *rehashOp:
+		o.outs = outs
+	case *fixpointOp:
+		o.recursiveOuts = outs
+	}
+}
+
+func (w *worker) instantiate(spec *OpSpec, ctx *Context) (Operator, error) {
+	switch spec.Kind {
+	case OpScan:
+		return &scanOp{ctx: ctx, table: spec.Table, batch: ctx.BatchSize}, nil
+	case OpFilter:
+		return &filterOp{pred: spec.Pred}, nil
+	case OpProject:
+		return newProjectOp(spec.Exprs, spec.UDFArgKinds), nil
+	case OpTVF:
+		fn, err := ctx.Catalog.TVF(spec.TVFName)
+		if err != nil {
+			return nil, err
+		}
+		return &tvfOp{fn: fn}, nil
+	case OpHashJoin:
+		var handler uda.JoinHandler
+		if spec.JoinHandlerName != "" {
+			h, err := ctx.Catalog.JoinHandler(spec.JoinHandlerName)
+			if err != nil {
+				return nil, err
+			}
+			handler = h
+		}
+		return newHashJoinOp(spec, handler), nil
+	case OpGroupBy:
+		var agg uda.Aggregator
+		if spec.UDAName != "" {
+			def, err := ctx.Catalog.Agg(spec.UDAName)
+			if err != nil {
+				return nil, err
+			}
+			agg = def.Agg
+		}
+		return newGroupByOp(spec, max(1, len(spec.Inputs)), agg)
+	case OpPreAgg:
+		return newPreAggOp(spec, max(1, len(spec.Inputs)))
+	case OpRehash:
+		return newRehashOp(spec, ctx, false), nil
+	case OpBroadcast:
+		return newRehashOp(spec, ctx, true), nil
+	case OpFixpoint:
+		var handler uda.WhileHandler
+		if spec.WhileHandlerName != "" {
+			h, err := ctx.Catalog.WhileHandler(spec.WhileHandlerName)
+			if err != nil {
+				return nil, err
+			}
+			handler = h
+		}
+		return newFixpointOp(spec, ctx, handler), nil
+	default:
+		return nil, fmt.Errorf("exec: cannot instantiate op kind %v", spec.Kind)
+	}
+}
+
+// encodeNodeList serializes a node list for MsgStart payloads.
+func encodeNodeList(nodes []cluster.NodeID) []byte {
+	t := make(types.Tuple, len(nodes))
+	for i, n := range nodes {
+		t[i] = int64(n)
+	}
+	return types.EncodeBatch([]types.Delta{types.Insert(t)})
+}
+
+func decodeNodeList(payload []byte) ([]cluster.NodeID, error) {
+	batch, err := types.DecodeBatch(payload)
+	if err != nil || len(batch) != 1 {
+		return nil, fmt.Errorf("exec: bad node list payload")
+	}
+	out := make([]cluster.NodeID, len(batch[0].Tup))
+	for i, v := range batch[0].Tup {
+		n, _ := types.AsInt(v)
+		out[i] = cluster.NodeID(n)
+	}
+	return out, nil
+}

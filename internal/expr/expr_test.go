@@ -1,0 +1,173 @@
+package expr
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/rex-data/rex/internal/types"
+)
+
+func mustEval(t *testing.T, e Expr, tup types.Tuple) types.Value {
+	t.Helper()
+	v, err := e.Eval(tup)
+	if err != nil {
+		t.Fatalf("eval %s: %v", e, err)
+	}
+	return v
+}
+
+func TestColAndConst(t *testing.T) {
+	tup := types.NewTuple(int64(5), "x")
+	c := NewCol(0, types.KindInt, "a")
+	if mustEval(t, c, tup).(int64) != 5 {
+		t.Error("col eval")
+	}
+	if _, err := NewCol(7, types.KindInt, "bad").Eval(tup); err == nil {
+		t.Error("out-of-range column must error")
+	}
+	k := NewConst(2.5)
+	if k.Kind() != types.KindFloat || mustEval(t, k, nil).(float64) != 2.5 {
+		t.Error("const eval")
+	}
+	if NewConst("s").String() != "'s'" {
+		t.Error("const string rendering")
+	}
+}
+
+func TestArith(t *testing.T) {
+	tup := types.NewTuple(int64(7), 2.0)
+	a := NewCol(0, types.KindInt, "a")
+	b := NewCol(1, types.KindFloat, "b")
+	if mustEval(t, NewArith(OpAdd, a, a), tup).(int64) != 14 {
+		t.Error("int add")
+	}
+	if mustEval(t, NewArith(OpMul, a, b), tup).(float64) != 14.0 {
+		t.Error("mixed mul must be float")
+	}
+	if mustEval(t, NewArith(OpDiv, a, NewConst(int64(2))), tup).(int64) != 3 {
+		t.Error("int div truncates")
+	}
+	if mustEval(t, NewArith(OpMod, a, NewConst(int64(4))), tup).(int64) != 3 {
+		t.Error("mod")
+	}
+	if mustEval(t, NewArith(OpSub, b, b), tup).(float64) != 0 {
+		t.Error("float sub")
+	}
+	if _, err := NewArith(OpDiv, a, NewConst(int64(0))).Eval(tup); err == nil {
+		t.Error("div by zero must error")
+	}
+	if _, err := NewArith(OpMod, b, b).Eval(tup); err == nil {
+		t.Error("float mod must error")
+	}
+	if _, err := NewArith(OpAdd, NewConst("x"), a).Eval(tup); err == nil {
+		t.Error("string arith must error")
+	}
+}
+
+func TestCmpAndLogic(t *testing.T) {
+	tup := types.NewTuple(int64(3), int64(5))
+	a := NewCol(0, types.KindInt, "a")
+	b := NewCol(1, types.KindInt, "b")
+	cases := []struct {
+		op   CmpOp
+		want bool
+	}{{OpEq, false}, {OpNe, true}, {OpLt, true}, {OpLe, true}, {OpGt, false}, {OpGe, false}}
+	for _, c := range cases {
+		if got := mustEval(t, NewCmp(c.op, a, b), tup).(bool); got != c.want {
+			t.Errorf("3 %s 5 = %v, want %v", c.op, got, c.want)
+		}
+	}
+	lt := NewCmp(OpLt, a, b)
+	gt := NewCmp(OpGt, a, b)
+	if !mustEval(t, NewLogic(OpOr, gt, lt), tup).(bool) {
+		t.Error("or")
+	}
+	if mustEval(t, NewLogic(OpAnd, gt, lt), tup).(bool) {
+		t.Error("and")
+	}
+	if !mustEval(t, NewNot(gt), tup).(bool) {
+		t.Error("not")
+	}
+	// Short-circuit: the erroring right side must not be reached.
+	boom := NewArith(OpDiv, a, NewConst(int64(0)))
+	boomPred := NewCmp(OpEq, boom, a)
+	if v := mustEval(t, NewLogic(OpAnd, gt, boomPred), tup); v.(bool) {
+		t.Error("and short-circuit")
+	}
+	if v := mustEval(t, NewLogic(OpOr, lt, boomPred), tup); !v.(bool) {
+		t.Error("or short-circuit")
+	}
+}
+
+func TestCall(t *testing.T) {
+	double := func(args []types.Value) (types.Value, error) {
+		f, _ := types.AsFloat(args[0])
+		return f * 2, nil
+	}
+	c := NewCall("double", double, types.KindFloat, true, NewCol(0, types.KindFloat, "x"))
+	if mustEval(t, c, types.NewTuple(2.5)).(float64) != 5.0 {
+		t.Error("call eval")
+	}
+	if c.String() != "double(x)" {
+		t.Errorf("call rendering: %s", c.String())
+	}
+	if !c.Deterministic || c.Kind() != types.KindFloat {
+		t.Error("call metadata")
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	tup := types.NewTuple(int64(1))
+	ok, err := EvalBool(NewCmp(OpGt, NewCol(0, types.KindInt, "x"), NewConst(int64(0))), tup)
+	if err != nil || !ok {
+		t.Error("EvalBool true case")
+	}
+	if _, err := EvalBool(NewCol(0, types.KindInt, "x"), tup); err == nil {
+		t.Error("non-bool predicate must error")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	e := NewLogic(OpAnd,
+		NewCmp(OpGt, NewCol(2, types.KindInt, "c"), NewConst(int64(0))),
+		NewCmp(OpEq, NewArith(OpAdd, NewCol(0, types.KindInt, "a"), NewCol(2, types.KindInt, "c")), NewConst(int64(0))))
+	cols := Columns(e)
+	sort.Ints(cols)
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 2 {
+		t.Errorf("Columns = %v", cols)
+	}
+}
+
+// Property: comparison operators are consistent with ValueCompare for ints.
+func TestCmpConsistencyProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		tup := types.NewTuple(a, b)
+		l := NewCol(0, types.KindInt, "a")
+		r := NewCol(1, types.KindInt, "b")
+		lt, _ := EvalBool(NewCmp(OpLt, l, r), tup)
+		ge, _ := EvalBool(NewCmp(OpGe, l, r), tup)
+		eq, _ := EvalBool(NewCmp(OpEq, l, r), tup)
+		ne, _ := EvalBool(NewCmp(OpNe, l, r), tup)
+		return lt != ge && eq != ne && (eq == (a == b)) && (lt == (a < b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integer add/mul agree with Go semantics.
+func TestArithProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		tup := types.NewTuple(int64(a), int64(b))
+		l := NewCol(0, types.KindInt, "a")
+		r := NewCol(1, types.KindInt, "b")
+		add, err1 := NewArith(OpAdd, l, r).Eval(tup)
+		mul, err2 := NewArith(OpMul, l, r).Eval(tup)
+		return err1 == nil && err2 == nil &&
+			add.(int64) == int64(a)+int64(b) && mul.(int64) == int64(a)*int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package mapred
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/rex-data/rex/internal/types"
+)
+
+func wordCountJob() *Job {
+	return &Job{
+		Name: "wordcount",
+		Mapper: MapperFunc(func(k, v types.Value, emit func(k, v types.Value)) error {
+			emit(v, int64(1))
+			return nil
+		}),
+		Combiner: sumReducer(),
+		Reducer:  sumReducer(),
+	}
+}
+
+func sumReducer() Reducer {
+	return ReducerFunc(func(k types.Value, vs []types.Value, emit func(k, v types.Value)) error {
+		total := int64(0)
+		for _, v := range vs {
+			n, _ := types.AsInt(v)
+			total += n
+		}
+		emit(k, total)
+		return nil
+	})
+}
+
+func TestWordCount(t *testing.T) {
+	m := &Metrics{}
+	eng := NewEngine(Config{Workers: 4, Metrics: m})
+	var input []KV
+	words := []string{"a", "b", "a", "c", "a", "b"}
+	for i, w := range words {
+		input = append(input, KV{int64(i), w})
+	}
+	out, err := eng.Run(wordCountJob(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	for _, kv := range out {
+		counts[kv.K.(string)], _ = types.AsInt(kv.V)
+	}
+	if counts["a"] != 3 || counts["b"] != 2 || counts["c"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	jobs, pairs, bytes := m.Snapshot()
+	if jobs != 1 || pairs == 0 || bytes == 0 {
+		t.Fatalf("metrics: %d %d %d", jobs, pairs, bytes)
+	}
+	// The combiner must have collapsed duplicate keys per split before
+	// the shuffle: at most one pair per (split, key).
+	if pairs > int64(len(words)) {
+		t.Fatalf("combiner should bound shuffle pairs, got %d", pairs)
+	}
+}
+
+func TestMapperErrorPropagates(t *testing.T) {
+	eng := NewEngine(Config{Workers: 2})
+	job := &Job{
+		Mapper: MapperFunc(func(k, v types.Value, emit func(k, v types.Value)) error {
+			return fmt.Errorf("boom")
+		}),
+		Reducer: sumReducer(),
+	}
+	if _, err := eng.Run(job, []KV{{int64(1), int64(1)}}); err == nil {
+		t.Fatal("mapper error must surface")
+	}
+}
+
+func TestReducerErrorPropagates(t *testing.T) {
+	eng := NewEngine(Config{Workers: 2})
+	job := &Job{
+		Mapper: MapperFunc(func(k, v types.Value, emit func(k, v types.Value)) error {
+			emit(k, v)
+			return nil
+		}),
+		Reducer: ReducerFunc(func(k types.Value, vs []types.Value, emit func(k, v types.Value)) error {
+			return fmt.Errorf("boom")
+		}),
+	}
+	if _, err := eng.Run(job, []KV{{int64(1), int64(1)}}); err == nil {
+		t.Fatal("reducer error must surface")
+	}
+}
+
+func TestIterativeDriver(t *testing.T) {
+	eng := NewEngine(Config{Workers: 2})
+	d := &IterativeDriver{Engine: eng}
+	iterSeen := 0
+	d.OnIteration = func(iter int, output []KV, _ time.Duration) { iterSeen = iter }
+	// Doubling computation: value doubles each iteration until ≥ 100.
+	state := []KV{{int64(0), int64(1)}}
+	job := &Job{
+		Mapper: MapperFunc(func(k, v types.Value, emit func(k, v types.Value)) error {
+			n, _ := types.AsInt(v)
+			emit(k, n*2)
+			return nil
+		}),
+		Reducer: ReducerFunc(func(k types.Value, vs []types.Value, emit func(k, v types.Value)) error {
+			emit(k, vs[0])
+			return nil
+		}),
+	}
+	final, iters, err := d.RunIterative(state,
+		func(iter int, st []KV) (*Job, []KV, error) { return job, st, nil },
+		func(iter int, prev, next []KV) bool {
+			n, _ := types.AsInt(next[0].V)
+			return n >= 100
+		}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := types.AsInt(final[0].V)
+	if n != 128 || iters != 7 || iterSeen != 7 {
+		t.Fatalf("final=%d iters=%d seen=%d", n, iters, iterSeen)
+	}
+}
+
+func TestHaLoopCacheCutsShuffle(t *testing.T) {
+	// Same aggregate computed with the invariant relation shuffled every
+	// time (Hadoop) vs cached (HaLoop): HaLoop must shuffle fewer bytes
+	// and produce identical results.
+	var invariant []KV
+	for i := 0; i < 200; i++ {
+		invariant = append(invariant, KV{int64(i % 10), int64(i)})
+	}
+	variant := []KV{{int64(3), int64(1000)}}
+
+	runHadoop := func() (map[int64]int64, int64) {
+		m := &Metrics{}
+		eng := NewEngine(Config{Workers: 4, Metrics: m})
+		out, err := eng.Run(&Job{
+			Mapper: MapperFunc(func(k, v types.Value, emit func(k, v types.Value)) error {
+				emit(k, v)
+				return nil
+			}),
+			Reducer: sumReducer(),
+		}, append(append([]KV{}, invariant...), variant...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := map[int64]int64{}
+		for _, kv := range out {
+			res[kv.K.(int64)], _ = types.AsInt(kv.V)
+		}
+		_, _, bytes := m.Snapshot()
+		return res, bytes
+	}
+	runHaLoop := func() (map[int64]int64, int64) {
+		m := &Metrics{}
+		eng := NewEngine(Config{Workers: 4, Metrics: m})
+		hl := NewHaLoopEngine(eng)
+		hl.BuildCache("inv", invariant)
+		out, err := hl.Run(&Job{
+			Mapper: MapperFunc(func(k, v types.Value, emit func(k, v types.Value)) error {
+				emit(k, v)
+				return nil
+			}),
+			Reducer: sumReducer(),
+		}, variant, "inv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := map[int64]int64{}
+		for _, kv := range out {
+			res[kv.K.(int64)], _ = types.AsInt(kv.V)
+		}
+		_, _, bytes := m.Snapshot()
+		return res, bytes
+	}
+
+	wantRes, hadoopBytes := runHadoop()
+	gotRes, haloopBytes := runHaLoop()
+	if len(gotRes) != len(wantRes) {
+		t.Fatalf("HaLoop result keys %d vs %d", len(gotRes), len(wantRes))
+	}
+	for k, v := range wantRes {
+		if gotRes[k] != v {
+			t.Fatalf("key %d: %d vs %d", k, gotRes[k], v)
+		}
+	}
+	if haloopBytes >= hadoopBytes {
+		t.Fatalf("HaLoop must shuffle less: %d vs %d", haloopBytes, hadoopBytes)
+	}
+}
+
+func TestCacheLookup(t *testing.T) {
+	eng := NewEngine(Config{Workers: 3})
+	hl := NewHaLoopEngine(eng)
+	hl.BuildCache("adj", []KV{{int64(1), "a"}, {int64(1), "b"}, {int64(2), "c"}})
+	vs := hl.CacheLookup("adj", int64(1))
+	if len(vs) != 2 {
+		t.Fatalf("lookup = %v", vs)
+	}
+	if hl.CacheLookup("adj", int64(9)) != nil {
+		t.Fatal("missing key should be nil")
+	}
+	if hl.CacheLookup("nope", int64(1)) != nil {
+		t.Fatal("missing cache should be nil")
+	}
+}

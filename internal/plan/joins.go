@@ -1,0 +1,176 @@
+package plan
+
+import (
+	"math"
+	"sort"
+)
+
+// JoinRel describes one relation participating in join enumeration.
+type JoinRel struct {
+	Name     string
+	Rows     float64
+	AvgBytes float64
+}
+
+// JoinGraphEdge is an equi-join predicate between two relations with its
+// estimated selectivity.
+type JoinGraphEdge struct {
+	A, B        int // indexes into the relation list
+	Selectivity float64
+}
+
+// memoKey identifies a relation subset in the memo (bitmask ≤ 16 rels).
+type memoKey uint32
+
+type memoEntry struct {
+	cost Estimate
+	// left/right record the winning split for plan extraction.
+	left, right memoKey
+}
+
+// Enumerator performs the top-down plan enumeration with memoization and
+// branch-and-bound pruning of §5 (in the style of Volcano/Cascades [10]).
+type Enumerator struct {
+	Model *Model
+	Rels  []JoinRel
+	Edges []JoinGraphEdge
+
+	memo map[memoKey]memoEntry
+	// bound is the branch-and-bound incumbent: subplans costing more are
+	// pruned.
+	bound float64
+}
+
+// BestOrder returns the estimated cost of the best join order over all
+// relations and the bushy join tree rendered as a nested string (for
+// EXPLAIN and tests).
+func (e *Enumerator) BestOrder() (Estimate, string) {
+	n := len(e.Rels)
+	if n == 0 {
+		return Estimate{}, ""
+	}
+	if n > 16 {
+		n = 16 // the memo key is a 16-bit mask; larger FROM lists fall back to greedy prefixes
+	}
+	e.memo = map[memoKey]memoEntry{}
+	all := memoKey(1<<n) - 1
+	e.bound = math.Inf(1)
+	best := e.search(all)
+	e.bound = best.Runtime()
+	return best, e.render(all)
+}
+
+func (e *Enumerator) search(s memoKey) Estimate {
+	if ent, ok := e.memo[s]; ok {
+		return ent.cost
+	}
+	if bits(s) == 1 {
+		i := trailing(s)
+		est := e.Model.ScanCost(e.Rels[i].Rows, e.Rels[i].AvgBytes)
+		e.memo[s] = memoEntry{cost: est}
+		return est
+	}
+	best := Estimate{Res: Resources{CPU: math.Inf(1)}}
+	bestEntry := memoEntry{cost: best}
+	// Enumerate proper subsets as left sides (top-down splitting).
+	for l := (s - 1) & s; l > 0; l = (l - 1) & s {
+		r := s &^ l
+		if l > r {
+			continue // each split once
+		}
+		if !e.connected(l, r) {
+			continue
+		}
+		lc := e.search(l)
+		if lc.Runtime() >= best.Runtime() {
+			continue // branch-and-bound prune
+		}
+		rc := e.search(r)
+		sel := e.crossSelectivity(l, r)
+		outRows := lc.Rows * rc.Rows * sel
+		joined := e.Model.JoinCost(lc, rc, outRows)
+		if joined.Runtime() < best.Runtime() {
+			best = joined
+			bestEntry = memoEntry{cost: joined, left: l, right: r}
+		}
+	}
+	e.memo[s] = bestEntry
+	return best
+}
+
+// connected reports whether any join edge links the two subsets (avoids
+// cross products unless unavoidable).
+func (e *Enumerator) connected(l, r memoKey) bool {
+	if len(e.Edges) == 0 {
+		return true
+	}
+	for _, ed := range e.Edges {
+		am := memoKey(1) << ed.A
+		bm := memoKey(1) << ed.B
+		if (l&am != 0 && r&bm != 0) || (l&bm != 0 && r&am != 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Enumerator) crossSelectivity(l, r memoKey) float64 {
+	sel := 1.0
+	found := false
+	for _, ed := range e.Edges {
+		am := memoKey(1) << ed.A
+		bm := memoKey(1) << ed.B
+		if (l&am != 0 && r&bm != 0) || (l&bm != 0 && r&am != 0) {
+			sel *= ed.Selectivity
+			found = true
+		}
+	}
+	if !found {
+		return 1.0 // cross product
+	}
+	return sel
+}
+
+func (e *Enumerator) render(s memoKey) string {
+	ent := e.memo[s]
+	if bits(s) == 1 {
+		return e.Rels[trailing(s)].Name
+	}
+	if ent.left == 0 && ent.right == 0 {
+		// unreachable split (disconnected); render members
+		names := []string{}
+		for i := range e.Rels {
+			if s&(1<<i) != 0 {
+				names = append(names, e.Rels[i].Name)
+			}
+		}
+		sort.Strings(names)
+		out := ""
+		for i, n := range names {
+			if i > 0 {
+				out += " x "
+			}
+			out += n
+		}
+		return out
+	}
+	return "(" + e.render(ent.left) + " ⋈ " + e.render(ent.right) + ")"
+}
+
+func bits(s memoKey) int {
+	n := 0
+	for s != 0 {
+		s &= s - 1
+		n++
+	}
+	return n
+}
+
+func trailing(s memoKey) int {
+	n := 0
+	for s&1 == 0 {
+		s >>= 1
+		n++
+	}
+	return n
+}

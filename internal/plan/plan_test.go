@@ -1,0 +1,197 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/rex-data/rex/internal/catalog"
+)
+
+func model(nodes int) *Model {
+	return NewModel(catalog.DefaultCalibration(), nodes)
+}
+
+func TestResourceOverlap(t *testing.T) {
+	a := Resources{CPU: 10, Disk: 2}
+	b := Resources{Net: 8, CPU: 1}
+	// Sequential: components add.
+	if got := a.Add(b); got.CPU != 11 || got.Net != 8 || got.Disk != 2 {
+		t.Fatalf("Add = %+v", got)
+	}
+	// Runtime is the bottleneck resource, not the sum.
+	if a.Runtime() != 10 {
+		t.Fatalf("runtime = %v", a.Runtime())
+	}
+	// Disjoint resources overlap almost fully.
+	cpuOnly := Resources{CPU: 10}
+	netOnly := Resources{Net: 10}
+	if got := ParallelRuntime(cpuOnly, netOnly); got != 10 {
+		t.Fatalf("disjoint parallel runtime = %v, want 10", got)
+	}
+	// Contended resources add.
+	if got := ParallelRuntime(cpuOnly, cpuOnly); got != 20 {
+		t.Fatalf("contended parallel runtime = %v, want 20", got)
+	}
+}
+
+func TestScanAndFilterEstimates(t *testing.T) {
+	m := model(4)
+	scan := m.ScanCost(1e6, 32)
+	if scan.Rows != 1e6 || scan.Res.Disk <= 0 {
+		t.Fatalf("scan = %+v", scan)
+	}
+	f := m.FilterCost(scan, 1, 0.1)
+	if f.Rows != 1e5 {
+		t.Fatalf("filter rows = %v", f.Rows)
+	}
+	if f.Res.CPU <= scan.Res.CPU {
+		t.Fatal("filter must add CPU")
+	}
+	r := m.RehashCost(f, 16)
+	if r.Res.Net <= 0 {
+		t.Fatal("rehash must add network")
+	}
+	// More nodes → less per-node work → shorter runtime.
+	m2 := model(16)
+	if m2.ScanCost(1e6, 32).Runtime() >= scan.Runtime() {
+		t.Fatal("scaling out must reduce scan runtime")
+	}
+}
+
+func TestOrderPredicatesByRank(t *testing.T) {
+	preds := []PredInfo{
+		{Name: "expensiveUDF", CostPerTuple: 100, Selectivity: 0.5},
+		{Name: "cheapSelective", CostPerTuple: 1, Selectivity: 0.01},
+		{Name: "nonFiltering", CostPerTuple: 5, Selectivity: 1.0},
+		{Name: "midCost", CostPerTuple: 10, Selectivity: 0.2},
+	}
+	order := OrderPredicates(preds)
+	names := make([]string, len(order))
+	for i, idx := range order {
+		names[i] = preds[idx].Name
+	}
+	want := []string{"cheapSelective", "midCost", "expensiveUDF", "nonFiltering"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order = %v, want %v", names, want)
+		}
+	}
+}
+
+// Property: OrderPredicates yields non-decreasing rank.
+func TestOrderPredicatesProperty(t *testing.T) {
+	f := func(costs []float64) bool {
+		preds := make([]PredInfo, 0, len(costs))
+		for i, c := range costs {
+			if c < 0 {
+				c = -c
+			}
+			preds = append(preds, PredInfo{
+				CostPerTuple: c + 0.001,
+				Selectivity:  float64(i%10) / 10,
+			})
+		}
+		order := OrderPredicates(preds)
+		for i := 1; i < len(order); i++ {
+			if preds[order[i-1]].rank() > preds[order[i]].rank() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreAggDecision(t *testing.T) {
+	m := model(4)
+	// Many rows, few groups: push.
+	if !m.PreAggDecision(1e6, 100, true) {
+		t.Fatal("collapsing aggregation must push pre-agg")
+	}
+	// Nearly distinct keys: don't bother.
+	if m.PreAggDecision(1e6, 9e5, true) {
+		t.Fatal("non-collapsing aggregation must not pre-agg")
+	}
+	// Non-composable never pushes below arbitrary operators.
+	if m.PreAggDecision(1e6, 100, false) {
+		t.Fatal("non-composable must not pre-agg")
+	}
+}
+
+func TestRecursiveEstimateConverges(t *testing.T) {
+	m := model(4)
+	base := Estimate{Rows: 1000, Res: Resources{CPU: 1}}
+	// Each stratum touches 60% of the previous one.
+	est, strata := m.RecursiveEstimate(base, func(in Estimate) Estimate {
+		return Estimate{Rows: in.Rows * 0.6, Res: Resources{CPU: in.Res.CPU * 0.6}}
+	}, 100)
+	if strata < 5 || strata > 30 {
+		t.Fatalf("strata = %d", strata)
+	}
+	// Geometric series: total ≈ base / (1-0.6) = 2.5 CPU units.
+	if est.Res.CPU < 2 || est.Res.CPU > 3 {
+		t.Fatalf("total CPU = %v", est.Res.CPU)
+	}
+}
+
+func TestRecursiveEstimateCapsDivergence(t *testing.T) {
+	m := model(2)
+	base := Estimate{Rows: 100, Res: Resources{CPU: 1}}
+	// A hostile hint doubles cardinality every stratum; the §5.3 cap must
+	// keep the estimate bounded by maxStrata × base.
+	est, strata := m.RecursiveEstimate(base, func(in Estimate) Estimate {
+		return Estimate{Rows: in.Rows * 2, Res: Resources{CPU: in.Res.CPU * 2}}
+	}, 10)
+	if strata != 10 {
+		t.Fatalf("strata = %d", strata)
+	}
+	if est.Rows > base.Rows {
+		t.Fatalf("cardinality must be capped: %v", est.Rows)
+	}
+	if est.Res.CPU > 21 {
+		t.Fatalf("cost must be capped near linear growth: %v", est.Res.CPU)
+	}
+}
+
+func TestJoinEnumerationPicksSelectiveOrder(t *testing.T) {
+	m := model(4)
+	e := &Enumerator{
+		Model: m,
+		Rels: []JoinRel{
+			{Name: "big", Rows: 1e6, AvgBytes: 32},
+			{Name: "mid", Rows: 1e4, AvgBytes: 32},
+			{Name: "small", Rows: 10, AvgBytes: 32},
+		},
+		Edges: []JoinGraphEdge{
+			{A: 0, B: 1, Selectivity: 1e-6},
+			{A: 1, B: 2, Selectivity: 1e-4},
+		},
+	}
+	est, tree := e.BestOrder()
+	if est.Runtime() <= 0 {
+		t.Fatal("estimate must be positive")
+	}
+	// The chosen tree must join along graph edges (no cross product of
+	// big × small).
+	if !strings.Contains(tree, "⋈") {
+		t.Fatalf("tree = %q", tree)
+	}
+	if strings.Contains(tree, "(big ⋈ small)") || strings.Contains(tree, "(small ⋈ big)") {
+		t.Fatalf("picked cross product: %s", tree)
+	}
+}
+
+func TestJoinEnumerationSingle(t *testing.T) {
+	e := &Enumerator{Model: model(2), Rels: []JoinRel{{Name: "t", Rows: 100, AvgBytes: 8}}}
+	est, tree := e.BestOrder()
+	if tree != "t" || est.Rows != 100 {
+		t.Fatalf("single rel: %v %q", est, tree)
+	}
+	empty := &Enumerator{Model: model(2)}
+	if _, tree := empty.BestOrder(); tree != "" {
+		t.Fatal("empty enumeration")
+	}
+}

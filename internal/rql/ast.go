@@ -1,0 +1,95 @@
+package rql
+
+// AST node definitions for the RQL subset.
+
+// Query is either a plain select or a recursive WITH query.
+type Query struct {
+	With   *WithClause // nil for non-recursive queries
+	Select *SelectStmt
+}
+
+// WithClause is `WITH name [(cols)] AS (base) UNION [ALL] UNTIL FIXPOINT
+// BY key [USING handler] (recursive)`.
+type WithClause struct {
+	Name     string
+	Cols     []string
+	Base     *SelectStmt
+	UnionAll bool
+	// FixpointKey is the BY column (resolved against the recursive
+	// relation's schema).
+	FixpointKey string
+	// WhileHandler optionally names a registered while-state delta
+	// handler (REX extension syntax: USING <handler>).
+	WhileHandler string
+	Recursive    *SelectStmt
+}
+
+// SelectStmt is a single-block select.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []FromItem
+	Where   Expr
+	GroupBy []string
+}
+
+// SelectItem is one projection: an expression, an aggregate call, or a
+// handler invocation with the .{out1, out2} destructuring syntax.
+type SelectItem struct {
+	Expr Expr
+	// Alias is the AS name (optional).
+	Alias string
+	// Star marks count(*)-style arguments elsewhere; at the top level a
+	// bare * selects all columns.
+	Star bool
+	// HandlerOuts holds the .{a, b} output names for handler invocations.
+	HandlerOuts []string
+}
+
+// FromItem is a base table or parenthesized subquery with optional alias.
+type FromItem struct {
+	Table string
+	Sub   *SelectStmt
+	Alias string
+}
+
+// Expr is the AST expression interface.
+type Expr interface{ exprNode() }
+
+// Ident references a (possibly qualified) column.
+type Ident struct{ Name string }
+
+// NumberLit is an integer or float literal.
+type NumberLit struct {
+	Text  string
+	IsInt bool
+}
+
+// StringLit is a string literal.
+type StringLit struct{ Val string }
+
+// BoolLit is TRUE/FALSE.
+type BoolLit struct{ Val bool }
+
+// BinExpr is a binary operation (+,-,*,/,%,=,<>,<,<=,>,>=,AND,OR).
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// NotExpr is NOT e.
+type NotExpr struct{ E Expr }
+
+// CallExpr is fn(args); Star marks count(*).
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+	Star bool
+}
+
+func (*Ident) exprNode()     {}
+func (*NumberLit) exprNode() {}
+func (*StringLit) exprNode() {}
+func (*BoolLit) exprNode()   {}
+func (*BinExpr) exprNode()   {}
+func (*NotExpr) exprNode()   {}
+func (*CallExpr) exprNode()  {}

@@ -1,0 +1,149 @@
+package rql
+
+import (
+	"fmt"
+
+	"github.com/rex-data/rex/internal/exec"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// bindRecursive compiles the `WITH R AS (base) UNION [ALL] UNTIL FIXPOINT
+// BY key [USING handler] (recursive)` form into the fixpoint plan of
+// Figure 1. The recursive case follows the shape of Listings 1–3: a
+// nested sub-query applying a join-state delta handler to the immutable
+// relation and R, then an outer aggregation redistributing the emitted
+// deltas.
+func (b *binder) bindRecursive(p *exec.PlanSpec, w *WithClause) error {
+	// 1. Base case.
+	baseRoot, baseSchema, err := b.bindSelect(p, w.Base)
+	if err != nil {
+		return fmt.Errorf("rql: base case: %w", err)
+	}
+	relSchema := baseSchema
+	if len(w.Cols) > 0 {
+		if len(w.Cols) != baseSchema.Len() {
+			return fmt.Errorf("rql: WITH %s declares %d columns, base case yields %d",
+				w.Name, len(w.Cols), baseSchema.Len())
+		}
+		relSchema = &types.Schema{}
+		for i, c := range w.Cols {
+			relSchema.Fields = append(relSchema.Fields, types.Field{Name: c, Kind: baseSchema.Fields[i].Kind})
+		}
+	}
+	keyIdx := relSchema.ColIndex(w.FixpointKey)
+	if keyIdx < 0 {
+		return fmt.Errorf("rql: FIXPOINT BY %s is not a column of %s%s", w.FixpointKey, w.Name, relSchema)
+	}
+
+	// 2. Fixpoint operator.
+	fix := p.Add(&exec.OpSpec{
+		Kind: exec.OpFixpoint, FixpointKey: []int{keyIdx},
+		WhileHandlerName: w.WhileHandler, Out: relSchema,
+	})
+
+	// 3. Recursive case: outer select over a handler sub-query.
+	rec := w.Recursive
+	if len(rec.From) != 1 || rec.From[0].Sub == nil {
+		return fmt.Errorf("rql: the recursive case must select from a handler sub-query (Listing 1 shape)")
+	}
+	inner := rec.From[0].Sub
+	joinID, innerSchema, err := b.bindHandlerJoin(p, inner, w, fix.ID, relSchema)
+	if err != nil {
+		return err
+	}
+
+	// 4. Outer aggregation and projection feed the fixpoint.
+	b.inRecursive = true
+	outerRoot, _, err := b.bindAggregate(p, rec, joinID, innerSchema)
+	b.inRecursive = false
+	if err != nil {
+		return fmt.Errorf("rql: recursive case: %w", err)
+	}
+
+	fix.Inputs = []int{baseRoot, outerRoot}
+	fix.RecursiveOut = joinID
+	p.RootID = fix.ID
+	return nil
+}
+
+// bindHandlerJoin compiles the inner sub-query
+//
+//	SELECT Handler(args).{outs} FROM immutable, R WHERE a.k = R.k GROUP BY k
+//
+// into a handler-equipped hash join between the immutable scan and the
+// fixpoint's recursive feed.
+func (b *binder) bindHandlerJoin(p *exec.PlanSpec, inner *SelectStmt, w *WithClause, fixID int, relSchema *types.Schema) (int, *types.Schema, error) {
+	if len(inner.Items) != 1 || len(inner.Items[0].HandlerOuts) == 0 {
+		return 0, nil, fmt.Errorf("rql: handler sub-query must select exactly one Handler(args).{outs} item")
+	}
+	call, ok := inner.Items[0].Expr.(*CallExpr)
+	if !ok {
+		return 0, nil, fmt.Errorf("rql: handler sub-query item must be a handler invocation")
+	}
+	handler, err := b.cat.JoinHandler(call.Fn)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(inner.From) != 2 {
+		return 0, nil, fmt.Errorf("rql: handler sub-query must join two relations")
+	}
+	// Identify which FROM item is the recursive relation R.
+	var immutable *FromItem
+	recursivePos := -1
+	for i := range inner.From {
+		if inner.From[i].Table == w.Name {
+			recursivePos = i
+		} else {
+			immutable = &inner.From[i]
+		}
+	}
+	if recursivePos < 0 || immutable == nil {
+		return 0, nil, fmt.Errorf("rql: handler sub-query must join the recursive relation %s with a base relation", w.Name)
+	}
+	scanID, immSchema, err := b.bindFrom(p, immutable)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	// Join keys from the WHERE equi-condition.
+	cond, ok := inner.Where.(*BinExpr)
+	if !ok || cond.Op != "=" {
+		return 0, nil, fmt.Errorf("rql: handler sub-query needs an equi-join WHERE condition")
+	}
+	lhs, lok := cond.L.(*Ident)
+	rhs, rok := cond.R.(*Ident)
+	if !lok || !rok {
+		return 0, nil, fmt.Errorf("rql: join condition must compare columns")
+	}
+	resolve := func(name string) (immCol, relCol int) {
+		return immSchema.ColIndex(name), relSchema.ColIndex(name)
+	}
+	li, lr := resolve(lhs.Name)
+	ri, rr := resolve(rhs.Name)
+	var leftKey, rightKey int
+	switch {
+	case li >= 0 && rr >= 0:
+		leftKey, rightKey = li, rr
+	case ri >= 0 && lr >= 0:
+		leftKey, rightKey = ri, lr
+	default:
+		return 0, nil, fmt.Errorf("rql: join condition %s = %s does not span both relations", lhs.Name, rhs.Name)
+	}
+
+	outSchema := handler.OutSchema()
+	if len(inner.Items[0].HandlerOuts) != outSchema.Len() {
+		return 0, nil, fmt.Errorf("rql: handler %s yields %d outputs, query destructures %d",
+			call.Fn, outSchema.Len(), len(inner.Items[0].HandlerOuts))
+	}
+	named := &types.Schema{}
+	for i, n := range inner.Items[0].HandlerOuts {
+		named.Fields = append(named.Fields, types.Field{Name: n, Kind: outSchema.Fields[i].Kind})
+	}
+
+	join := p.Add(&exec.OpSpec{
+		Kind: exec.OpHashJoin, Inputs: []int{scanID, fixID},
+		LeftKey: []int{leftKey}, RightKey: []int{rightKey},
+		JoinHandlerName: call.Fn, ImmutablePort: 0, Out: named,
+	})
+	return join.ID, named, nil
+}

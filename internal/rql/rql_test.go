@@ -1,0 +1,265 @@
+package rql
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rex-data/rex/internal/algos"
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/datagen"
+	"github.com/rex-data/rex/internal/exec"
+	"github.com/rex-data/rex/internal/types"
+)
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("SELECT a.b, 1.5 -- comment\n FROM t WHERE x >= 'hi'")
+	must(t, err)
+	kinds := []tokKind{}
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[0].text != "SELECT" || toks[0].kind != tokKeyword {
+		t.Fatal("keyword")
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.kind == tokSymbol && tk.text == ">=" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal(">= must lex as one token")
+	}
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Fatal("unterminated string must fail")
+	}
+	if _, err := lex("SELECT @"); err == nil {
+		t.Fatal("bad char must fail")
+	}
+	_ = kinds
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q, err := Parse("SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1")
+	must(t, err)
+	if q.With != nil || len(q.Select.Items) != 2 {
+		t.Fatalf("parse: %+v", q)
+	}
+	call := q.Select.Items[1].Expr.(*CallExpr)
+	if !call.Star || call.Fn != "count" {
+		t.Fatal("count(*) parse")
+	}
+	if q.Select.Where == nil {
+		t.Fatal("where lost")
+	}
+}
+
+func TestParseRecursive(t *testing.T) {
+	src := `
+WITH PR (srcId, pr) AS (
+  SELECT srcId, 1.0 AS pr FROM graph
+) UNION UNTIL FIXPOINT BY srcId USING pr_while (
+  SELECT nbr, 0.15 + 0.85 * sum(prDiff)
+  FROM (SELECT PRAgg(srcId, pr).{nbr, prDiff}
+        FROM graph, PR WHERE graph.srcId = PR.srcId GROUP BY srcId)
+  GROUP BY nbr)`
+	q, err := Parse(src)
+	must(t, err)
+	w := q.With
+	if w == nil || w.Name != "PR" || w.FixpointKey != "srcId" || w.WhileHandler != "pr_while" {
+		t.Fatalf("with clause: %+v", w)
+	}
+	if len(w.Cols) != 2 || w.UnionAll {
+		t.Fatalf("cols/union: %+v", w)
+	}
+	inner := w.Recursive.From[0].Sub
+	if inner == nil || len(inner.Items[0].HandlerOuts) != 2 {
+		t.Fatalf("handler outs: %+v", inner)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"WITH R AS (SELECT a FROM t) SELECT b FROM R",
+		"SELECT a FROM t GROUP",
+		"SELECT 1.{x} FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func tpchCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	must(t, cat.AddTable(&catalog.Table{
+		Name:         "lineitem",
+		Schema:       types.MustSchema(datagen.LineItemSchema...),
+		PartitionKey: 0,
+		Stats:        catalog.TableStats{RowCount: 10000, DistinctKeys: 3000, AvgTupleBytes: 48},
+	}))
+	return cat
+}
+
+func TestCompileAndRunTPCHAggregation(t *testing.T) {
+	cat := tpchCatalog(t)
+	eng := exec.NewEngine(3, 32, 2, cat)
+	rows := datagen.LineItems(5000, 7)
+	must(t, eng.Load("lineitem", 0, rows))
+
+	spec, err := Compile("SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1", cat, 3)
+	must(t, err)
+	res, err := eng.Run(spec, exec.Options{})
+	must(t, err)
+	if len(res.Tuples) != 1 {
+		t.Fatalf("rows = %v", res.Tuples)
+	}
+	wantSum, wantCount := 0.0, int64(0)
+	for _, r := range rows {
+		ln, _ := types.AsInt(r[1])
+		if ln > 1 {
+			tax, _ := types.AsFloat(r[5])
+			wantSum += tax
+			wantCount++
+		}
+	}
+	gotSum, _ := types.AsFloat(res.Tuples[0][0])
+	gotCount, _ := types.AsInt(res.Tuples[0][1])
+	if math.Abs(gotSum-wantSum) > 1e-6 || gotCount != wantCount {
+		t.Fatalf("sum=%v count=%v, want %v %v", gotSum, gotCount, wantSum, wantCount)
+	}
+}
+
+func TestCompileGroupByQuery(t *testing.T) {
+	cat := tpchCatalog(t)
+	eng := exec.NewEngine(2, 32, 2, cat)
+	rows := datagen.LineItems(2000, 9)
+	must(t, eng.Load("lineitem", 0, rows))
+	spec, err := Compile("SELECT returnflag, avg(quantity), count(*) FROM lineitem GROUP BY returnflag", cat, 2)
+	must(t, err)
+	res, err := eng.Run(spec, exec.Options{})
+	must(t, err)
+	if len(res.Tuples) != 3 { // flags A, N, R
+		t.Fatalf("groups = %d: %v", len(res.Tuples), res.Tuples)
+	}
+	want := map[string][2]float64{}
+	for _, r := range rows {
+		f := r[6].(string)
+		q, _ := types.AsFloat(r[2])
+		e := want[f]
+		want[f] = [2]float64{e[0] + q, e[1] + 1}
+	}
+	for _, tup := range res.Tuples {
+		f := tup[0].(string)
+		avg, _ := types.AsFloat(tup[1])
+		n, _ := types.AsInt(tup[2])
+		if int64(want[f][1]) != n || math.Abs(avg-want[f][0]/want[f][1]) > 1e-9 {
+			t.Fatalf("group %s: avg=%v n=%v, want %v", f, avg, n, want[f])
+		}
+	}
+}
+
+// TestCompilePageRankRQL runs the full Listing 1 query through the RQL
+// front end and validates the ranks against the reference.
+func TestCompilePageRankRQL(t *testing.T) {
+	g := datagen.DBPediaGraph(250, 15)
+	want, _ := algos.PageRankRef(g, 1e-6, 150)
+
+	cat := catalog.New()
+	must(t, cat.AddTable(&catalog.Table{
+		Name: "graph", Schema: types.MustSchema("srcId:Integer", "destId:Integer"), PartitionKey: 0,
+	}))
+	cfg := algos.PageRankConfig{Epsilon: 1e-4, Delta: true}
+	jn, wn, err := algos.RegisterPageRank(cat, cfg)
+	must(t, err)
+
+	src := `
+WITH PR (srcId, pr) AS (
+  SELECT srcId, 1.0 AS pr FROM graph
+) UNION UNTIL FIXPOINT BY srcId USING ` + wn + ` (
+  SELECT nbr, 0.15 + 0.85 * sum(prDiff)
+  FROM (SELECT ` + jn + `(srcId, pr).{nbr, prDiff}
+        FROM graph, PR WHERE graph.srcId = PR.srcId GROUP BY srcId)
+  GROUP BY nbr)`
+	spec, err := Compile(src, cat, 3)
+	must(t, err)
+
+	eng := exec.NewEngine(3, 32, 2, cat)
+	must(t, eng.Load("graph", 0, g.Edges))
+	res, err := eng.Run(spec, exec.Options{MaxStrata: 200})
+	must(t, err)
+	if len(res.Tuples) != g.NumVertices {
+		t.Fatalf("got %d vertices, want %d", len(res.Tuples), g.NumVertices)
+	}
+	for _, tup := range res.Tuples {
+		id, _ := types.AsInt(tup[0])
+		pr, _ := types.AsFloat(tup[1])
+		if math.Abs(pr-want[id]) > 0.05*math.Max(want[id], 1) {
+			t.Fatalf("pr[%d] = %v, want %v", id, pr, want[id])
+		}
+	}
+}
+
+func TestCompileTypeErrors(t *testing.T) {
+	cat := tpchCatalog(t)
+	bad := []string{
+		"SELECT nosuch FROM lineitem",
+		"SELECT tax FROM nosuchtable",
+		"SELECT sum(tax) FROM lineitem WHERE returnflag > 1", // string vs int comparison
+		"SELECT tax + returnflag FROM lineitem",              // arithmetic over string
+		"SELECT sum(tax) FROM lineitem WHERE tax + 1",        // non-boolean predicate
+		"SELECT sum(tax) FROM lineitem GROUP BY nosuch",      // unknown group col
+		"SELECT nosuchfunc(tax) FROM lineitem",               // unknown function
+		"SELECT returnflag FROM lineitem WHERE NOT quantity", // NOT non-bool
+	}
+	for _, src := range bad {
+		if _, err := Compile(src, cat, 2); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestCompileUDFRankOrdering(t *testing.T) {
+	cat := tpchCatalog(t)
+	must(t, cat.RegisterFunc(&catalog.FuncDef{
+		Name:     "expensive",
+		ArgKinds: []types.Kind{types.KindFloat},
+		RetKind:  types.KindBool,
+		Fn: func(args []types.Value) (types.Value, error) {
+			f, _ := types.AsFloat(args[0])
+			return f > 0.01, nil
+		},
+		CostPerTuple: 100,
+		Selectivity:  0.9,
+	}))
+	spec, err := Compile(
+		"SELECT sum(tax) FROM lineitem WHERE expensive(tax) AND linenumber > 1", cat, 2)
+	must(t, err)
+	// The cheap built-in predicate must be ordered before the expensive
+	// UDF (§5.1 rank ordering).
+	var filterPreds []string
+	for _, op := range spec.Ops {
+		if op.Kind == exec.OpFilter {
+			filterPreds = append(filterPreds, op.Pred.String())
+		}
+	}
+	if len(filterPreds) != 2 {
+		t.Fatalf("filters = %v", filterPreds)
+	}
+	if filterPreds[0] == "expensive(tax)" {
+		t.Fatalf("expensive UDF must be applied last: %v", filterPreds)
+	}
+}

@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"sync"
+
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// CheckpointStore holds the per-stratum mutable-state checkpoints of §4.3:
+// "for a given stratum, every machine buffers and replicates the mutable
+// Δᵢ set processed by the local fixpoint operator to replica machines."
+//
+// Entries are keyed by (query, fixpoint operator, stratum). Each node's
+// checkpoint store accumulates both its own strata and the replicated
+// copies streamed from ring peers; during recovery the takeover node
+// restores the entries whose keys it now primarily owns.
+type CheckpointStore struct {
+	mu      sync.RWMutex
+	entries map[ckptKey][]ckptEntry
+}
+
+type ckptKey struct {
+	queryID string
+	opID    int
+	stratum int
+}
+
+type ckptEntry struct {
+	keyHash uint64
+	tup     types.Tuple
+}
+
+// NewCheckpointStore creates an empty checkpoint store.
+func NewCheckpointStore() *CheckpointStore {
+	return &CheckpointStore{entries: map[ckptKey][]ckptEntry{}}
+}
+
+// Put appends checkpointed state tuples for (queryID, opID, stratum).
+// keyHash is the hash of each tuple's fixpoint key, so recovery can filter
+// by ownership.
+func (c *CheckpointStore) Put(queryID string, opID, stratum int, keyHashes []uint64, tuples []types.Tuple) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := ckptKey{queryID, opID, stratum}
+	for i, t := range tuples {
+		c.entries[k] = append(c.entries[k], ckptEntry{keyHash: keyHashes[i], tup: t})
+	}
+}
+
+// LastStratum reports the most recent stratum with a checkpoint for
+// (queryID, opID), or -1 when none exists.
+func (c *CheckpointStore) LastStratum(queryID string, opID int) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	last := -1
+	for k := range c.entries {
+		if k.queryID == queryID && k.opID == opID && k.stratum > last {
+			last = k.stratum
+		}
+	}
+	return last
+}
+
+// Restore returns the checkpointed tuples of (queryID, opID) at or before
+// stratum whose key this node primarily owns under snap, taking the newest
+// copy per stratum range. It returns the cumulative state: all strata up to
+// and including the given one, later strata overriding earlier entries with
+// the same tuple identity being the handler's concern (fixpoint state is
+// keyed, so the caller applies entries in stratum order).
+func (c *CheckpointStore) Restore(queryID string, opID, throughStratum int, self cluster.NodeID, snap *cluster.Snapshot) [][]types.Tuple {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([][]types.Tuple, throughStratum+1)
+	for k, entries := range c.entries {
+		if k.queryID != queryID || k.opID != opID || k.stratum > throughStratum {
+			continue
+		}
+		for _, e := range entries {
+			primary, err := snap.Primary(e.keyHash)
+			if err != nil || primary != self {
+				continue
+			}
+			out[k.stratum] = append(out[k.stratum], e.tup)
+		}
+	}
+	return out
+}
+
+// DropAbove discards checkpoints of strata later than the given one. A
+// recovery re-run calls this so re-executed strata do not leave duplicate
+// entries behind.
+func (c *CheckpointStore) DropAbove(queryID string, stratum int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.entries {
+		if k.queryID == queryID && k.stratum > stratum {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// Drop discards all checkpoints of a query (called at query completion).
+func (c *CheckpointStore) Drop(queryID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.entries {
+		if k.queryID == queryID {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// Size reports the number of checkpointed tuples held for a query.
+func (c *CheckpointStore) Size(queryID string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for k, e := range c.entries {
+		if k.queryID == queryID {
+			n += len(e)
+		}
+	}
+	return n
+}

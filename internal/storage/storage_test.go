@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"testing"
+
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/types"
+)
+
+func loadedStores(t *testing.T, n, replication, rows int) (*cluster.Ring, []*Store) {
+	t.Helper()
+	ring := cluster.NewRing(n, 64, replication)
+	stores := make([]*Store, n)
+	for i := range stores {
+		stores[i] = NewStore(cluster.NodeID(i))
+	}
+	tuples := make([]types.Tuple, rows)
+	for i := range tuples {
+		tuples[i] = types.NewTuple(int64(i), int64(i*i))
+	}
+	l := &Loader{Ring: ring, Stores: stores}
+	if err := l.Load("edges", 0, tuples); err != nil {
+		t.Fatal(err)
+	}
+	return ring, stores
+}
+
+func TestLoadAndScanOwnedPartitionsDisjointAndComplete(t *testing.T) {
+	ring, stores := loadedStores(t, 4, 2, 500)
+	snap := cluster.NewSnapshot(ring, ring.Nodes())
+	seen := map[int64]int{}
+	total := 0
+	for _, s := range stores {
+		err := s.ScanOwned("edges", snap, func(tp types.Tuple) error {
+			seen[tp[0].(int64)]++
+			total++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 500 {
+		t.Fatalf("scanned %d tuples, want 500", total)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("key %d scanned %d times (partitions overlap)", k, c)
+		}
+	}
+	// Each tuple has 2 local copies total across the cluster.
+	copies := 0
+	for _, s := range stores {
+		copies += s.CountLocal("edges")
+	}
+	if copies != 1000 {
+		t.Fatalf("replica copies = %d, want 1000", copies)
+	}
+}
+
+func TestScanOwnedAfterFailureCoversFailedRange(t *testing.T) {
+	ring, stores := loadedStores(t, 4, 2, 400)
+	snap := cluster.NewSnapshot(ring, ring.Nodes())
+	// Kill node 2: the survivors' primary ranges must still cover all keys.
+	snap2 := snap.Without(2)
+	seen := map[int64]bool{}
+	for _, s := range stores {
+		if s.Node() == 2 {
+			continue
+		}
+		err := s.ScanOwned("edges", snap2, func(tp types.Tuple) error {
+			k := tp[0].(int64)
+			if seen[k] {
+				t.Fatalf("key %d owned twice after failover", k)
+			}
+			seen[k] = true
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 400 {
+		t.Fatalf("after failover only %d/400 keys covered", len(seen))
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	s := NewStore(0)
+	if err := s.Insert("nope", types.NewTuple(int64(1))); err == nil {
+		t.Fatal("insert into unknown table must fail")
+	}
+	ring := cluster.NewRing(1, 8, 1)
+	snap := cluster.NewSnapshot(ring, ring.Nodes())
+	if err := s.ScanOwned("nope", snap, nil); err == nil {
+		t.Fatal("scan of unknown table must fail")
+	}
+	s.CreateTable("t", 0)
+	s.CreateTable("t", 0) // idempotent
+	if got := s.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("tables = %v", got)
+	}
+	if s.CountLocal("missing") != 0 {
+		t.Fatal("missing table count")
+	}
+	if n, err := s.CountOwned("t", snap); err != nil || n != 0 {
+		t.Fatal("empty count")
+	}
+}
+
+func TestCheckpointRestoreByOwnership(t *testing.T) {
+	ring := cluster.NewRing(3, 64, 2)
+	snap := cluster.NewSnapshot(ring, ring.Nodes())
+	cs := NewCheckpointStore()
+
+	// Checkpoint tuples for strata 0..2 with key hashes.
+	var hashes []uint64
+	var tuples []types.Tuple
+	for k := int64(0); k < 30; k++ {
+		hashes = append(hashes, types.HashValue(k))
+		tuples = append(tuples, types.NewTuple(k, float64(k)))
+	}
+	for stratum := 0; stratum <= 2; stratum++ {
+		cs.Put("q1", 5, stratum, hashes, tuples)
+	}
+	if cs.LastStratum("q1", 5) != 2 {
+		t.Fatalf("last stratum = %d", cs.LastStratum("q1", 5))
+	}
+	if cs.LastStratum("q1", 99) != -1 {
+		t.Fatal("unknown op must be -1")
+	}
+
+	// Node 0 dies; node 1 restores the entries it now owns.
+	snap2 := snap.Without(0)
+	restored := cs.Restore("q1", 5, 2, 1, snap2)
+	if len(restored) != 3 {
+		t.Fatalf("restored strata = %d", len(restored))
+	}
+	count := 0
+	for _, stratum := range restored {
+		for _, tp := range stratum {
+			p, err := snap2.Primary(types.HashValue(tp[0]))
+			if err != nil || p != 1 {
+				t.Fatalf("restored tuple %v not owned by node 1", tp)
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("node 1 should own some failed keys")
+	}
+	if cs.Size("q1") == 0 {
+		t.Fatal("size should be positive")
+	}
+	cs.Drop("q1")
+	if cs.Size("q1") != 0 {
+		t.Fatal("drop should clear")
+	}
+}

@@ -1,0 +1,191 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is an ordered list of scalar values. Tuples are treated as
+// immutable once emitted by an operator; operators copy before mutating.
+type Tuple []Value
+
+// NewTuple builds a tuple from values.
+func NewTuple(vs ...Value) Tuple { return Tuple(vs) }
+
+// Clone returns a copy of the tuple (shallow — values are scalars).
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports value equality of two tuples.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !ValueEq(t[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash combines the hashes of all fields.
+func (t Tuple) Hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range t {
+		h = h*1099511628211 ^ HashValue(v)
+	}
+	return h
+}
+
+// HashKey hashes the projection of t onto the given column indexes; this is
+// the hash rehash uses to route tuples to partitions. It is defined as the
+// hash of the normalized Key value so that rehash routing, base-table
+// placement (which hashes the single partition-key value), and checkpoint
+// replica placement all agree on where a key lives.
+func (t Tuple) HashKey(cols []int) uint64 {
+	return HashValue(t.Key(cols))
+}
+
+// Project returns a new tuple with the given columns of t, in order.
+func (t Tuple) Project(cols []int) Tuple {
+	out := make(Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// Key renders the projection of t onto cols as a comparable map key.
+// Scalars are comparable in Go, so single columns use the raw value and
+// multi-column keys use a rendered composite.
+func (t Tuple) Key(cols []int) Value {
+	if len(cols) == 1 {
+		return normKey(t[cols[0]])
+	}
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(AsString(t[c]))
+	}
+	return b.String()
+}
+
+// normKey folds integral floats onto int64 so keys compare consistently.
+func normKey(v Value) Value {
+	if f, ok := v.(float64); ok {
+		if float64(int64(f)) == f {
+			return int64(f)
+		}
+	}
+	return v
+}
+
+// String renders the tuple for diagnostics.
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = AsString(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Field is one column of a schema.
+type Field struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes the shape of a tuple stream.
+type Schema struct {
+	Fields []Field
+}
+
+// NewSchema builds a schema from alternating name/kind pairs.
+func NewSchema(fields ...Field) *Schema { return &Schema{Fields: fields} }
+
+// MustSchema builds a schema from "name:Type" specs, panicking on bad specs.
+// It mirrors the paper's inTypes/outTypes declarations ("nbr:Integer").
+func MustSchema(specs ...string) *Schema {
+	s := &Schema{}
+	for _, spec := range specs {
+		name, typ, ok := strings.Cut(spec, ":")
+		if !ok {
+			panic(fmt.Sprintf("types: bad field spec %q (want name:Type)", spec))
+		}
+		k, err := ParseKind(typ)
+		if err != nil {
+			panic(err)
+		}
+		s.Fields = append(s.Fields, Field{Name: name, Kind: k})
+	}
+	return s
+}
+
+// Len reports the number of columns.
+func (s *Schema) Len() int { return len(s.Fields) }
+
+// ColIndex resolves a (possibly qualified) column name to its index, or -1.
+// Qualified references ("graph.srcId") match fields named either exactly or
+// by their unqualified suffix.
+func (s *Schema) ColIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return s.ColIndex(name[i+1:])
+	}
+	// Also allow matching "x" against a qualified field "t.x".
+	for i, f := range s.Fields {
+		if j := strings.LastIndexByte(f.Name, '.'); j >= 0 && f.Name[j+1:] == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Concat returns the concatenation of two schemas (used by join).
+func (s *Schema) Concat(o *Schema) *Schema {
+	out := &Schema{Fields: make([]Field, 0, len(s.Fields)+len(o.Fields))}
+	out.Fields = append(out.Fields, s.Fields...)
+	out.Fields = append(out.Fields, o.Fields...)
+	return out
+}
+
+// Rename returns a copy with every field qualified by alias ("alias.name").
+func (s *Schema) Rename(alias string) *Schema {
+	out := &Schema{Fields: make([]Field, len(s.Fields))}
+	for i, f := range s.Fields {
+		base := f.Name
+		if j := strings.LastIndexByte(base, '.'); j >= 0 {
+			base = base[j+1:]
+		}
+		out.Fields[i] = Field{Name: alias + "." + base, Kind: f.Kind}
+	}
+	return out
+}
+
+// Names returns the column names.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// String renders the schema for EXPLAIN output.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		parts[i] = f.Name + ":" + f.Kind.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}

@@ -1,0 +1,313 @@
+package types
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindOfAndParse(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want Kind
+	}{
+		{nil, KindNull},
+		{int64(3), KindInt},
+		{3.5, KindFloat},
+		{"x", KindString},
+		{true, KindBool},
+	}
+	for _, c := range cases {
+		if got := KindOf(c.v); got != c.want {
+			t.Errorf("KindOf(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	for _, name := range []string{"Integer", "Double", "String", "Boolean"} {
+		if _, err := ParseKind(name); err != nil {
+			t.Errorf("ParseKind(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseKind("Blob"); err == nil {
+		t.Error("ParseKind(Blob) should fail")
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if v, ok := AsInt(3.9); !ok || v != 3 {
+		t.Errorf("AsInt(3.9) = %d, %v", v, ok)
+	}
+	if v, ok := AsFloat(int64(4)); !ok || v != 4.0 {
+		t.Errorf("AsFloat(4) = %f, %v", v, ok)
+	}
+	if v, ok := AsBool(int64(2)); !ok || !v {
+		t.Errorf("AsBool(2) = %v, %v", v, ok)
+	}
+	if AsString(1.5) != "1.5" || AsString(int64(-7)) != "-7" || AsString(nil) != "" {
+		t.Error("AsString rendering wrong")
+	}
+	v, err := ValueFromString("42", KindInt)
+	if err != nil || v.(int64) != 42 {
+		t.Errorf("ValueFromString int: %v %v", v, err)
+	}
+	if _, err := ValueFromString("xyz", KindFloat); err == nil {
+		t.Error("ValueFromString should reject bad float")
+	}
+}
+
+func TestValueEqAndCompare(t *testing.T) {
+	if !ValueEq(int64(1), 1.0) {
+		t.Error("1 == 1.0 must hold across kinds")
+	}
+	if ValueEq(int64(1), "1") {
+		t.Error("int and string must not be equal")
+	}
+	if ValueCompare(int64(1), 2.0) != -1 || ValueCompare("b", "a") != 1 {
+		t.Error("ValueCompare ordering wrong")
+	}
+	if ValueCompare(nil, nil) != 0 || ValueCompare(nil, int64(0)) != -1 {
+		t.Error("nil ordering wrong")
+	}
+	if ValueCompare(true, false) != 1 {
+		t.Error("bool ordering wrong")
+	}
+}
+
+func TestHashValueIntegralFloatFoldsToInt(t *testing.T) {
+	if HashValue(int64(7)) != HashValue(7.0) {
+		t.Error("hash(7) must equal hash(7.0) for consistent rehash routing")
+	}
+	if HashValue(int64(7)) == HashValue(int64(8)) {
+		t.Error("distinct ints should hash differently")
+	}
+}
+
+func TestTupleBasics(t *testing.T) {
+	tp := NewTuple(int64(1), "a", 2.5)
+	cl := tp.Clone()
+	cl[0] = int64(9)
+	if tp[0].(int64) != 1 {
+		t.Error("Clone must not alias")
+	}
+	if !tp.Equal(NewTuple(int64(1), "a", 2.5)) {
+		t.Error("Equal failed")
+	}
+	if tp.Equal(NewTuple(int64(1), "a")) {
+		t.Error("Equal must check length")
+	}
+	if got := tp.Project([]int{2, 0}); !got.Equal(NewTuple(2.5, int64(1))) {
+		t.Errorf("Project = %v", got)
+	}
+	if tp.Key([]int{0}) != int64(1) {
+		t.Error("single-column Key should be the raw value")
+	}
+	if tp.Key([]int{0, 1}) != "1\x1fa" {
+		t.Errorf("composite Key = %q", tp.Key([]int{0, 1}))
+	}
+	// Integral float keys fold to int so groupings match across kinds.
+	if NewTuple(3.0).Key([]int{0}) != int64(3) {
+		t.Error("integral float key must normalize to int64")
+	}
+}
+
+func TestSchemaResolution(t *testing.T) {
+	s := MustSchema("srcId:Integer", "pr:Double")
+	if s.ColIndex("pr") != 1 || s.ColIndex("srcId") != 0 {
+		t.Error("ColIndex basic failed")
+	}
+	if s.ColIndex("missing") != -1 {
+		t.Error("missing column must be -1")
+	}
+	q := s.Rename("graph")
+	if q.ColIndex("graph.srcId") != 0 {
+		t.Error("qualified lookup failed")
+	}
+	if q.ColIndex("srcId") != 0 {
+		t.Error("unqualified lookup against qualified schema failed")
+	}
+	if s.ColIndex("graph.pr") != 1 {
+		t.Error("qualified name against unqualified schema should fall back to suffix")
+	}
+	cat := s.Concat(q)
+	if cat.Len() != 4 {
+		t.Errorf("Concat len = %d", cat.Len())
+	}
+	if cat.String() == "" || len(cat.Names()) != 4 {
+		t.Error("schema rendering")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema should panic on bad spec")
+		}
+	}()
+	MustSchema("noType")
+}
+
+func TestDeltaConstructors(t *testing.T) {
+	tp := NewTuple(int64(1))
+	if d := Insert(tp); d.Op != OpInsert {
+		t.Error("Insert op")
+	}
+	if d := Delete(tp); d.Op != OpDelete {
+		t.Error("Delete op")
+	}
+	r := Replace(tp, NewTuple(int64(2)))
+	if r.Op != OpReplace || r.Old[0].(int64) != 1 || r.Tup[0].(int64) != 2 {
+		t.Error("Replace wiring")
+	}
+	if d := Update(tp); d.Op != OpUpdate {
+		t.Error("Update op")
+	}
+	ds := Inserts(tp, NewTuple(int64(2)))
+	if len(ds) != 2 || ds[1].Tup[0].(int64) != 2 {
+		t.Error("Inserts helper")
+	}
+	if Replace(tp, tp).String() == "" || Insert(tp).String() == "" {
+		t.Error("String rendering")
+	}
+	if d := Insert(tp).WithTuple(NewTuple(int64(5))); d.Tup[0].(int64) != 5 || d.Op != OpInsert {
+		t.Error("WithTuple must preserve annotation")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	ds := []Delta{
+		Insert(NewTuple(int64(-300), 2.75, "héllo", true, nil)),
+		Delete(NewTuple(int64(0))),
+		Replace(NewTuple("old"), NewTuple("new")),
+		Update(NewTuple(int64(1), -0.01)),
+	}
+	buf := EncodeBatch(ds)
+	if len(buf) != EncodedSize(ds) {
+		t.Fatalf("EncodedSize=%d, actual=%d", EncodedSize(ds), len(buf))
+	}
+	got, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("len=%d", len(got))
+	}
+	for i := range ds {
+		if got[i].Op != ds[i].Op || !got[i].Tup.Equal(ds[i].Tup) {
+			t.Errorf("delta %d mismatch: %v vs %v", i, got[i], ds[i])
+		}
+	}
+	if !got[2].Old.Equal(ds[2].Old) {
+		t.Error("replace old tuple lost")
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("empty value decode should fail")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindFloat), 1, 2}); err == nil {
+		t.Error("short float should fail")
+	}
+	if _, _, err := DecodeValue([]byte{99}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := DecodeBatch([]byte{}); err == nil {
+		t.Error("empty batch should fail")
+	}
+}
+
+func TestCodecSpecialFloats(t *testing.T) {
+	for _, f := range []float64{math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		buf := AppendValue(nil, f)
+		v, n, err := DecodeValue(buf)
+		if err != nil || n != len(buf) || v.(float64) != f {
+			t.Errorf("round trip %v failed: %v %v", f, v, err)
+		}
+	}
+	buf := AppendValue(nil, math.NaN())
+	v, _, err := DecodeValue(buf)
+	if err != nil || !math.IsNaN(v.(float64)) {
+		t.Error("NaN round trip failed")
+	}
+}
+
+// Property: any batch of random tuples round-trips through the codec and
+// EncodedSize always matches the encoded length.
+func TestCodecRoundTripProperty(t *testing.T) {
+	gen := func(r *rand.Rand) Delta {
+		n := r.Intn(5)
+		tup := make(Tuple, n)
+		for i := range tup {
+			switch r.Intn(5) {
+			case 0:
+				tup[i] = r.Int63() - (1 << 62)
+			case 1:
+				tup[i] = r.NormFloat64() * 1e6
+			case 2:
+				tup[i] = randString(r)
+			case 3:
+				tup[i] = r.Intn(2) == 0
+			default:
+				tup[i] = nil
+			}
+		}
+		switch r.Intn(4) {
+		case 0:
+			return Insert(tup)
+		case 1:
+			return Delete(tup)
+		case 2:
+			return Update(tup)
+		default:
+			return Replace(tup.Clone(), tup)
+		}
+	}
+	f := func(seed int64, count uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := make([]Delta, int(count)%32)
+		if len(ds) == 0 {
+			ds = []Delta{Insert(NewTuple())}
+		}
+		for i := range ds {
+			ds[i] = gen(r)
+		}
+		buf := EncodeBatch(ds)
+		if len(buf) != EncodedSize(ds) {
+			return false
+		}
+		got, err := DecodeBatch(buf)
+		if err != nil || len(got) != len(ds) {
+			return false
+		}
+		for i := range ds {
+			if got[i].Op != ds[i].Op || !reflect.DeepEqual(got[i].Tup, ds[i].Tup) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randString(r *rand.Rand) string {
+	b := make([]byte, r.Intn(12))
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+// Property: HashKey is invariant under changes to non-key columns.
+func TestHashKeyProperty(t *testing.T) {
+	f := func(a, b int64, s string) bool {
+		t1 := NewTuple(a, s, b)
+		t2 := NewTuple(a, s+"x", b+1)
+		return t1.HashKey([]int{0}) == t2.HashKey([]int{0})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+// Package types defines the data model shared by every REX component:
+// dynamically typed values, tuples, schemas, and the delta annotations of
+// Definition 1 in the paper (insert, delete, replace, value-update).
+//
+// REX (VLDB 2012) represents data internally as Java objects; the Go port
+// uses a small closed set of scalar kinds behind the Value interface plus a
+// compact binary codec so the simulated transport can account for real
+// serialized bytes.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the scalar types supported by the engine. They map
+// one-to-one onto the paper's base datatypes (which in turn map onto Java
+// scalar types).
+type Kind uint8
+
+const (
+	KindNull  Kind = iota
+	KindInt        // int64
+	KindFloat      // float64
+	KindString
+	KindBool
+)
+
+// String returns the RQL type name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "Integer"
+	case KindFloat:
+		return "Double"
+	case KindString:
+		return "String"
+	case KindBool:
+		return "Boolean"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// KindOf reports the Kind of a dynamically typed value. Unknown dynamic
+// types report KindNull; the type checker rejects them before execution.
+func KindOf(v Value) Kind {
+	switch v.(type) {
+	case nil:
+		return KindNull
+	case int64:
+		return KindInt
+	case float64:
+		return KindFloat
+	case string:
+		return KindString
+	case bool:
+		return KindBool
+	default:
+		return KindNull
+	}
+}
+
+// ParseKind resolves an RQL/Java-style type name ("Integer", "Double", ...).
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "Integer", "Int", "Long", "INTEGER", "INT":
+		return KindInt, nil
+	case "Double", "Float", "DOUBLE", "FLOAT":
+		return KindFloat, nil
+	case "String", "STRING", "Text", "VARCHAR":
+		return KindString, nil
+	case "Boolean", "Bool", "BOOLEAN":
+		return KindBool, nil
+	default:
+		return KindNull, fmt.Errorf("types: unknown type name %q", name)
+	}
+}
+
+// Value is a dynamically typed scalar. The engine stores one of:
+// nil, int64, float64, string, bool.
+type Value = any
+
+// Int builds an integer Value.
+func Int(v int64) Value { return v }
+
+// Float builds a floating-point Value.
+func Float(v float64) Value { return v }
+
+// Str builds a string Value.
+func Str(v string) Value { return v }
+
+// Bool builds a boolean Value.
+func Bool(v bool) Value { return v }
+
+// AsInt coerces v to int64. Floats are truncated; strings parsed.
+func AsInt(v Value) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case float64:
+		return int64(x), true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	case string:
+		n, err := strconv.ParseInt(x, 10, 64)
+		return n, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// AsFloat coerces v to float64.
+func AsFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	case string:
+		f, err := strconv.ParseFloat(x, 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// AsBool coerces v to bool.
+func AsBool(v Value) (bool, bool) {
+	switch x := v.(type) {
+	case bool:
+		return x, true
+	case int64:
+		return x != 0, true
+	default:
+		return false, false
+	}
+}
+
+// AsString renders v as a string (used by the Hadoop wrap text round-trip).
+func AsString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// ValueFromString parses s into the given kind; the inverse of AsString.
+func ValueFromString(s string, k Kind) (Value, error) {
+	switch k {
+	case KindInt:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("types: parse %q as Integer: %w", s, err)
+		}
+		return n, nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("types: parse %q as Double: %w", s, err)
+		}
+		return f, nil
+	case KindBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return nil, fmt.Errorf("types: parse %q as Boolean: %w", s, err)
+		}
+		return b, nil
+	case KindString:
+		return s, nil
+	default:
+		return nil, fmt.Errorf("types: cannot parse into kind %v", k)
+	}
+}
+
+// ValueEq reports deep equality of two scalar values with numeric
+// cross-kind comparison (1 == 1.0).
+func ValueEq(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if af, aok := a.(float64); aok {
+		if bf, bok := AsFloat(b); bok {
+			return af == bf
+		}
+		return false
+	}
+	if bf, bok := b.(float64); bok {
+		if af, aok := AsFloat(a); aok {
+			return af == bf
+		}
+		return false
+	}
+	return a == b
+}
+
+// ValueCompare orders two values: -1, 0, +1. Mixed numeric kinds compare
+// numerically; otherwise kinds must match (callers typecheck first).
+func ValueCompare(a, b Value) int {
+	switch av := a.(type) {
+	case int64:
+		switch bv := b.(type) {
+		case int64:
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			}
+			return 0
+		case float64:
+			return compareFloat(float64(av), bv)
+		}
+	case float64:
+		if bf, ok := AsFloat(b); ok {
+			return compareFloat(av, bf)
+		}
+	case string:
+		if bv, ok := b.(string); ok {
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			}
+			return 0
+		}
+	case bool:
+		if bv, ok := b.(bool); ok {
+			switch {
+			case !av && bv:
+				return -1
+			case av && !bv:
+				return 1
+			}
+			return 0
+		}
+	case nil:
+		if b == nil {
+			return 0
+		}
+		return -1
+	}
+	if b == nil {
+		return 1
+	}
+	// Incomparable kinds: order by kind id to keep sorts total.
+	ka, kb := KindOf(a), KindOf(b)
+	switch {
+	case ka < kb:
+		return -1
+	case ka > kb:
+		return 1
+	}
+	return 0
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case math.IsNaN(a) && !math.IsNaN(b):
+		return -1
+	case !math.IsNaN(a) && math.IsNaN(b):
+		return 1
+	}
+	return 0
+}
+
+// HashValue hashes a scalar with FNV-1a, folding the kind in so that
+// 1 and "1" land apart but 1 and 1.0 (integral floats) coincide — rehash
+// must route numerically equal keys identically.
+func HashValue(v Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	mix8 := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	}
+	switch x := v.(type) {
+	case nil:
+		mix(0)
+	case int64:
+		mix(1)
+		mix8(uint64(x))
+	case float64:
+		if float64(int64(x)) == x && !math.IsInf(x, 0) {
+			mix(1) // integral float hashes like the int
+			mix8(uint64(int64(x)))
+		} else {
+			mix(2)
+			mix8(math.Float64bits(x))
+		}
+	case string:
+		mix(3)
+		for i := 0; i < len(x); i++ {
+			mix(x[i])
+		}
+	case bool:
+		mix(4)
+		if x {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	default:
+		mix(5)
+	}
+	return h
+}

@@ -1,0 +1,123 @@
+// Package wrap implements §4.4: running compiled Hadoop code inside REX
+// through table-valued "wrapper" functions. MapWrap turns a mapred.Mapper
+// into a REX table-valued function; ReduceWrap turns a mapred.Reducer into
+// a user-defined aggregator. Both convert tuples to and from the textual
+// representation Hadoop code consumes — the formatting overhead the wrap
+// configuration of §6 measures — and, as §6.3 observes, for recursive
+// queries that conversion is paid per delta rather than per job, which is
+// why REX-wrap beats HaLoop on iterative workloads.
+package wrap
+
+import (
+	"fmt"
+
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/mapred"
+	"github.com/rex-data/rex/internal/types"
+	"github.com/rex-data/rex/internal/uda"
+)
+
+// textRoundTrip simulates the impedance conversion between REX's typed
+// values and the text Hadoop code consumes: render, then re-parse.
+func textRoundTrip(v types.Value) types.Value {
+	s := types.AsString(v)
+	k := types.KindOf(v)
+	if k == types.KindNull {
+		return v
+	}
+	parsed, err := types.ValueFromString(s, k)
+	if err != nil {
+		return s
+	}
+	return parsed
+}
+
+// RegisterMapWrap registers a TVF named name that feeds (k, v) tuples
+// through the Hadoop mapper. Input tuples must be (key, value); each
+// emitted pair becomes an output delta carrying the input annotation's
+// insert semantics.
+func RegisterMapWrap(cat *catalog.Catalog, name string, mapper mapred.Mapper) error {
+	return cat.RegisterTVF(&catalog.TVFDef{
+		Name: name,
+		Out:  types.MustSchema("k:String", "v:String"),
+		Fn: func(d types.Delta) ([]types.Delta, error) {
+			if len(d.Tup) < 2 {
+				return nil, fmt.Errorf("wrap: MapWrap %s needs (k, v) tuples, got %v", name, d.Tup)
+			}
+			k := textRoundTrip(d.Tup[0])
+			v := textRoundTrip(d.Tup[1])
+			var out []types.Delta
+			emit := func(ek, ev types.Value) {
+				out = append(out, types.Update(types.NewTuple(textRoundTrip(ek), textRoundTrip(ev))))
+			}
+			if err := mapper.Map(k, v, emit); err != nil {
+				return nil, fmt.Errorf("wrap: mapper %s: %w", name, err)
+			}
+			return out, nil
+		},
+	})
+}
+
+// reduceState buffers one group's values until the stratum ends — the
+// blocking semantics of a Hadoop reducer.
+type reduceState struct {
+	key types.Value
+	vs  []types.Value
+}
+
+// reduceWrapAgg adapts a Hadoop reducer to REX's AGGSTATE/AGGRESULT
+// handler pair (§3.3). The group-by operator resets UDA state per stratum,
+// so each stratum behaves like one reduce invocation per key — matching
+// one MapReduce job per recursive step.
+type reduceWrapAgg struct {
+	name    string
+	reducer mapred.Reducer
+}
+
+func (a *reduceWrapAgg) Name() string { return a.name }
+
+func (a *reduceWrapAgg) InSchema() *types.Schema {
+	return types.MustSchema("k:String", "v:String")
+}
+
+func (a *reduceWrapAgg) OutSchema() *types.Schema {
+	return types.MustSchema("k:String", "v:String")
+}
+
+func (a *reduceWrapAgg) NewState() uda.State { return &reduceState{} }
+
+func (a *reduceWrapAgg) AggState(st uda.State, d types.Delta) (uda.State, []types.Delta, error) {
+	s := st.(*reduceState)
+	if len(d.Tup) < 2 {
+		return st, nil, fmt.Errorf("wrap: ReduceWrap %s needs (k, v) tuples", a.name)
+	}
+	if s.key == nil {
+		s.key = d.Tup[0]
+	}
+	s.vs = append(s.vs, textRoundTrip(d.Tup[1]))
+	return s, nil, nil
+}
+
+func (a *reduceWrapAgg) AggResult(st uda.State) ([]types.Delta, error) {
+	s := st.(*reduceState)
+	if s.key == nil {
+		return nil, nil
+	}
+	var out []types.Delta
+	emit := func(k, v types.Value) {
+		out = append(out, types.Update(types.NewTuple(textRoundTrip(k), textRoundTrip(v))))
+	}
+	if err := a.reducer.Reduce(textRoundTrip(s.key), s.vs, emit); err != nil {
+		return nil, fmt.Errorf("wrap: reducer %s: %w", a.name, err)
+	}
+	return out, nil
+}
+
+// RegisterReduceWrap registers a UDA named name wrapping the Hadoop
+// reducer. Use it as the UDA of a group-by keyed on the pair key.
+func RegisterReduceWrap(cat *catalog.Catalog, name string, reducer mapred.Reducer) error {
+	return cat.RegisterAgg(&catalog.AggDef{
+		Name: name,
+		Agg:  &reduceWrapAgg{name: name, reducer: reducer},
+	})
+}

@@ -1,0 +1,126 @@
+package wrap
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rex-data/rex/internal/algos"
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/datagen"
+	"github.com/rex-data/rex/internal/exec"
+	"github.com/rex-data/rex/internal/mapred"
+	"github.com/rex-data/rex/internal/types"
+)
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapWrapRoundTrip(t *testing.T) {
+	cat := catalog.New()
+	mapper := mapred.MapperFunc(func(k, v types.Value, emit func(k, v types.Value)) error {
+		emit(v, int64(1))
+		return nil
+	})
+	must(t, RegisterMapWrap(cat, "wc_map", mapper))
+	tvf, err := cat.TVF("wc_map")
+	must(t, err)
+	out, err := tvf.Fn(types.Insert(types.NewTuple(int64(1), "hello")))
+	must(t, err)
+	if len(out) != 1 || out[0].Tup[0] != "hello" {
+		t.Fatalf("map output = %v", out)
+	}
+	// The wrapper must reject malformed tuples.
+	if _, err := tvf.Fn(types.Insert(types.NewTuple(int64(1)))); err == nil {
+		t.Fatal("single-field tuple must fail")
+	}
+}
+
+func TestReduceWrapAggregates(t *testing.T) {
+	cat := catalog.New()
+	reducer := mapred.ReducerFunc(func(k types.Value, vs []types.Value, emit func(k, v types.Value)) error {
+		total := int64(0)
+		for _, v := range vs {
+			n, _ := types.AsInt(v)
+			total += n
+		}
+		emit(k, total)
+		return nil
+	})
+	must(t, RegisterReduceWrap(cat, "wc_red", reducer))
+	def, err := cat.Agg("wc_red")
+	must(t, err)
+	st := def.Agg.NewState()
+	for i := 0; i < 3; i++ {
+		var inter []types.Delta
+		st, inter, err = def.Agg.AggState(st, types.Insert(types.NewTuple("a", int64(2))))
+		must(t, err)
+		if len(inter) != 0 {
+			t.Fatal("reduce must block until stratum end")
+		}
+	}
+	out, err := def.Agg.AggResult(st)
+	must(t, err)
+	if len(out) != 1 || out[0].Tup[1].(int64) != 6 {
+		t.Fatalf("reduce output = %v", out)
+	}
+	// Empty state yields nothing.
+	empty, err := def.Agg.AggResult(def.Agg.NewState())
+	must(t, err)
+	if len(empty) != 0 {
+		t.Fatal("empty group must emit nothing")
+	}
+}
+
+func TestWrapPageRankMatchesHadoop(t *testing.T) {
+	g := datagen.DBPediaGraph(150, 3)
+	const iters = 8
+
+	// Native Hadoop run for reference.
+	eng := mapred.NewEngine(mapred.Config{Workers: 4})
+	href, err := algos.HadoopPageRank(eng, g, iters)
+	must(t, err)
+	want := algos.PageRankFromMR(href.State)
+
+	// The same compiled job executed inside REX via the wrappers.
+	cat := catalog.New()
+	must(t, cat.AddTable(&catalog.Table{
+		Name: "mrstate", Schema: types.MustSchema("k:Integer", "v:String"), PartitionKey: 0,
+	}))
+	plan, err := IterativeJobPlan(cat, algos.PageRankMRJob(), "mrstate", iters+1)
+	must(t, err)
+	rex := exec.NewEngine(4, 32, 2, cat)
+	must(t, rex.Load("mrstate", 0, StateTuples(algos.PageRankMRState(g))))
+	res, err := rex.Run(plan, exec.Options{})
+	must(t, err)
+
+	got := map[int64]float64{}
+	for _, tup := range res.Tuples {
+		id, _ := types.AsInt(tup[0])
+		s, _ := tup[1].(string)
+		pr := parsePrefix(s)
+		got[id] = pr
+	}
+	if len(got) != g.NumVertices {
+		t.Fatalf("wrap produced %d states, want %d", len(got), g.NumVertices)
+	}
+	for v, w := range want {
+		if math.Abs(got[v]-w) > 1e-9 {
+			t.Fatalf("wrap pr[%d] = %v, hadoop %v", v, got[v], w)
+		}
+	}
+}
+
+func parsePrefix(s string) float64 {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '|' {
+			v, _ := types.AsFloat(s[:i])
+			return v
+		}
+	}
+	v, _ := types.AsFloat(s)
+	return v
+}

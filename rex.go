@@ -1,0 +1,216 @@
+// Package rex is a from-scratch Go implementation of REX — the recursive,
+// delta-based data-centric computation engine of Mihaylov, Ives and Guha
+// (PVLDB 5(11), 2012). It exposes a shared-nothing parallel query engine
+// whose recursive queries propagate programmable deltas between iterations
+// instead of recomputing full state, with SQL-style queries (RQL),
+// user-defined aggregators and delta handlers, cost-based optimization,
+// and incremental failure recovery.
+//
+// Quick start:
+//
+//	cluster := rex.NewCluster(rex.ClusterConfig{Nodes: 4})
+//	cluster.MustCreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0)
+//	cluster.MustLoad("graph", edges)
+//	res, err := cluster.Query(`SELECT srcId, count(*) FROM graph GROUP BY srcId`)
+//
+// Recursive queries use the RQL extension syntax of §3.1:
+//
+//	WITH R (cols) AS (base) UNION UNTIL FIXPOINT BY key [USING handler] (recursive)
+//
+// See the examples/ directory for PageRank, shortest-path, and K-means.
+package rex
+
+import (
+	"fmt"
+
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/exec"
+	"github.com/rex-data/rex/internal/expr"
+	"github.com/rex-data/rex/internal/rql"
+	"github.com/rex-data/rex/internal/types"
+	"github.com/rex-data/rex/internal/uda"
+)
+
+// Re-exported core types, so applications only import this package.
+type (
+	// Tuple is an ordered list of scalar values (int64, float64, string,
+	// bool, nil).
+	Tuple = types.Tuple
+	// Value is a dynamically typed scalar.
+	Value = types.Value
+	// Delta is an annotated tuple: the unit of incremental dataflow.
+	Delta = types.Delta
+	// TupleSet is a mutable bucket of tuples passed to delta handlers.
+	TupleSet = uda.TupleSet
+	// Result is a completed query execution with per-stratum statistics.
+	Result = exec.Result
+	// StratumStats reports one recursive stratum (its Δᵢ size and time).
+	StratumStats = exec.StratumStats
+	// Options tunes one query execution (batching, recovery, termination).
+	Options = exec.Options
+	// RecoveryStrategy selects restart vs incremental failure recovery.
+	RecoveryStrategy = exec.RecoveryStrategy
+)
+
+// Recovery strategies.
+const (
+	RecoveryNone        = exec.RecoveryNone
+	RecoveryRestart     = exec.RecoveryRestart
+	RecoveryIncremental = exec.RecoveryIncremental
+)
+
+// Delta constructors (Definition 1 of the paper).
+var (
+	// Insert builds a +() delta.
+	Insert = types.Insert
+	// Delete builds a −() delta.
+	Delete = types.Delete
+	// Replace builds a →(t') delta.
+	Replace = types.Replace
+	// Update builds a δ(E) value-update delta for custom handlers.
+	Update = types.Update
+	// NewTuple builds a tuple from values.
+	NewTuple = types.NewTuple
+)
+
+// Schema builds a schema from "name:Type" field specs
+// (types: Integer, Double, String, Boolean).
+func Schema(fields ...string) *types.Schema { return types.MustSchema(fields...) }
+
+// ClusterConfig shapes a simulated REX cluster.
+type ClusterConfig struct {
+	// Nodes is the worker count (default 4).
+	Nodes int
+	// Replication is the storage/checkpoint replication factor (default 3).
+	Replication int
+	// VirtualNodes per worker on the consistent-hash ring (default 64).
+	VirtualNodes int
+}
+
+// Cluster is a running REX deployment: a catalog plus worker nodes with
+// partitioned replicated storage.
+type Cluster struct {
+	cfg ClusterConfig
+	cat *catalog.Catalog
+	eng *exec.Engine
+}
+
+// NewCluster boots a simulated shared-nothing cluster.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
+	if cfg.VirtualNodes <= 0 {
+		cfg.VirtualNodes = 64
+	}
+	cat := catalog.New()
+	return &Cluster{
+		cfg: cfg,
+		cat: cat,
+		eng: exec.NewEngine(cfg.Nodes, cfg.VirtualNodes, cfg.Replication, cat),
+	}
+}
+
+// Catalog exposes the cluster's catalog for registering user-defined
+// functions, aggregators, and delta handlers.
+func (c *Cluster) Catalog() *catalog.Catalog { return c.cat }
+
+// Engine exposes the underlying executor (plan-level API and metrics).
+func (c *Cluster) Engine() *exec.Engine { return c.eng }
+
+// CreateTable declares a table hash-partitioned by the given column.
+func (c *Cluster) CreateTable(name string, schema *types.Schema, partitionKey int) error {
+	return c.cat.AddTable(&catalog.Table{Name: name, Schema: schema, PartitionKey: partitionKey})
+}
+
+// MustCreateTable is CreateTable, panicking on error.
+func (c *Cluster) MustCreateTable(name string, schema *types.Schema, partitionKey int) {
+	if err := c.CreateTable(name, schema, partitionKey); err != nil {
+		panic(err)
+	}
+}
+
+// Load distributes tuples into the table's replicated partitions.
+func (c *Cluster) Load(table string, tuples []Tuple) error {
+	tab, err := c.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	stats := tab.Stats
+	stats.RowCount += int64(len(tuples))
+	if err := c.eng.Load(table, tab.PartitionKey, tuples); err != nil {
+		return err
+	}
+	return c.cat.SetStats(table, stats)
+}
+
+// MustLoad is Load, panicking on error.
+func (c *Cluster) MustLoad(table string, tuples []Tuple) {
+	if err := c.Load(table, tuples); err != nil {
+		panic(err)
+	}
+}
+
+// Query compiles and executes an RQL query with default options.
+func (c *Cluster) Query(src string) (*Result, error) {
+	return c.QueryWithOptions(src, Options{})
+}
+
+// QueryWithOptions compiles and executes an RQL query.
+func (c *Cluster) QueryWithOptions(src string, opts Options) (*Result, error) {
+	spec, err := rql.Compile(src, c.cat, c.cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	return c.eng.Run(spec, opts)
+}
+
+// RunPlan executes a hand-built physical plan (the plan-level API used by
+// the algorithm library and benchmarks).
+func (c *Cluster) RunPlan(spec *exec.PlanSpec, opts Options) (*Result, error) {
+	return c.eng.Run(spec, opts)
+}
+
+// RegisterFunc registers a scalar UDF callable from RQL.
+func (c *Cluster) RegisterFunc(name string, argKinds []types.Kind, ret types.Kind,
+	deterministic bool, fn func(args []Value) (Value, error)) error {
+	return c.cat.RegisterFunc(&catalog.FuncDef{
+		Name: name, ArgKinds: argKinds, RetKind: ret,
+		Fn: expr.ScalarFn(fn), Deterministic: deterministic,
+	})
+}
+
+// JoinHandler registers a join-state delta handler (§3.3): called with the
+// join buckets for a delta's key; revises them and returns output deltas.
+func (c *Cluster) JoinHandler(name string, out *types.Schema,
+	fn func(left, right *TupleSet, d Delta, fromLeft bool) ([]Delta, error)) error {
+	return c.cat.RegisterJoinHandler(&uda.FuncJoinHandler{HName: name, Out: out, Fn: fn})
+}
+
+// WhileHandler registers a while-state delta handler (§3.3): called by the
+// fixpoint with the state bucket for a delta's key; returns the Δ set to
+// feed the next stratum.
+func (c *Cluster) WhileHandler(name string,
+	fn func(rel *TupleSet, d Delta) ([]Delta, error)) error {
+	return c.cat.RegisterWhileHandler(&uda.FuncWhileHandler{HName: name, Fn: fn})
+}
+
+// Kill injects a node failure (for testing recovery).
+func (c *Cluster) Kill(node int) {
+	if node < 0 || node >= c.cfg.Nodes {
+		panic(fmt.Sprintf("rex: no node %d", node))
+	}
+	c.eng.Transport.Kill(clusterNode(node))
+}
+
+// BytesShipped reports the total bytes sent over the simulated network.
+func (c *Cluster) BytesShipped() int64 {
+	return c.eng.Transport.Metrics().TotalBytesSent()
+}
+
+// clusterNode converts an int to the internal node id type.
+func clusterNode(n int) cluster.NodeID { return cluster.NodeID(n) }

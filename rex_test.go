@@ -1,0 +1,125 @@
+package rex
+
+import (
+	"testing"
+
+	"github.com/rex-data/rex/internal/datagen"
+	"github.com/rex-data/rex/internal/types"
+)
+
+func TestClusterQuickstart(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 3})
+	c.MustCreateTable("items", Schema("k:Integer", "v:Double"), 0)
+	var rows []Tuple
+	for i := 0; i < 100; i++ {
+		rows = append(rows, NewTuple(int64(i), float64(i)))
+	}
+	c.MustLoad("items", rows)
+	res, err := c.Query(`SELECT sum(v), count(*) FROM items WHERE k >= 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := types.AsFloat(res.Tuples[0][0])
+	n, _ := types.AsInt(res.Tuples[0][1])
+	if n != 50 || sum != float64(50+99)*50/2 {
+		t.Fatalf("sum=%v n=%v", sum, n)
+	}
+	if c.BytesShipped() <= 0 {
+		t.Fatal("bytes shipped should be positive")
+	}
+}
+
+func TestClusterCustomHandlersRecursive(t *testing.T) {
+	// Connected reachability via custom while handler through the public
+	// API only.
+	c := NewCluster(ClusterConfig{Nodes: 2})
+	c.MustCreateTable("graph", Schema("srcId:Integer", "destId:Integer"), 0)
+	c.MustCreateTable("seed", Schema("srcId:Integer", "dist:Double"), 0)
+	g := datagen.DBPediaGraph(100, 5)
+	c.MustLoad("graph", g.Edges)
+	c.MustLoad("seed", []Tuple{NewTuple(int64(0), 0.0)})
+
+	err := c.JoinHandler("hops", Schema("nbr:Integer", "d:Double"),
+		func(left, right *TupleSet, d Delta, fromLeft bool) ([]Delta, error) {
+			if fromLeft {
+				left.Add(d.Tup)
+				return nil, nil
+			}
+			dist, _ := types.AsFloat(d.Tup[1])
+			var out []Delta
+			for _, e := range left.Tuples {
+				out = append(out, Update(NewTuple(e[1], dist+1)))
+			}
+			return out, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.WhileHandler("keepmin", func(rel *TupleSet, d Delta) ([]Delta, error) {
+		nd, _ := types.AsFloat(d.Tup[1])
+		if rel.Len() > 0 {
+			cur, _ := types.AsFloat(rel.Tuples[0][1])
+			if nd >= cur {
+				return nil, nil
+			}
+			rel.ReplaceFirst(rel.Tuples[0], NewTuple(d.Tup[0], nd))
+		} else {
+			rel.Add(NewTuple(d.Tup[0], nd))
+		}
+		return []Delta{Update(NewTuple(d.Tup[0], nd))}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.QueryWithOptions(`
+WITH SP (srcId, dist) AS (
+  SELECT srcId, dist FROM seed
+) UNION ALL UNTIL FIXPOINT BY srcId USING keepmin (
+  SELECT nbr, min(d)
+  FROM (SELECT hops(srcId, dist).{nbr, d}
+        FROM graph, SP WHERE graph.srcId = SP.srcId GROUP BY srcId)
+  GROUP BY nbr)`, Options{MaxStrata: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 100 {
+		t.Fatalf("reached %d vertices, want 100", len(res.Tuples))
+	}
+}
+
+func TestRegisterFuncAndUse(t *testing.T) {
+	c := NewCluster(ClusterConfig{})
+	c.MustCreateTable("t", Schema("x:Integer"), 0)
+	c.MustLoad("t", []Tuple{NewTuple(int64(2)), NewTuple(int64(5))})
+	err := c.RegisterFunc("sq", []types.Kind{types.KindInt}, types.KindInt, true,
+		func(args []Value) (Value, error) {
+			n, _ := types.AsInt(args[0])
+			return n * n, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(`SELECT sq(x) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]bool{}
+	for _, tup := range res.Tuples {
+		n, _ := types.AsInt(tup[0])
+		got[n] = true
+	}
+	if !got[4] || !got[25] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestKillPanicsOnBadNode(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Kill(99) must panic")
+		}
+	}()
+	c.Kill(99)
+}
