@@ -24,6 +24,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
 	nodes := flag.Int("nodes", 0, "override simulated cluster size")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonPath := flag.String("json", "", "write a machine-readable summary (experiment timings plus a wire-traffic benchmark) to this file")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +47,7 @@ func main() {
 	for _, id := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(id)] = true
 	}
+	record := &bench.CIRecord{Scale: *scale, Nodes: sc.Nodes}
 	ran := 0
 	for _, e := range bench.Experiments {
 		if !want["all"] && !want[e.ID] {
@@ -57,10 +59,36 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rexbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\n[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		dur := time.Since(start)
+		record.Experiments = append(record.Experiments, bench.CIExperiment{
+			ID: e.ID, Millis: float64(dur) / float64(time.Millisecond),
+		})
+		fmt.Printf("\n[%s completed in %v]\n", e.ID, dur.Round(time.Millisecond))
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "rexbench: no experiment matches %q (use -list)\n", *exp)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		wire, err := bench.WireBench(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rexbench: wire benchmark: %v\n", err)
+			os.Exit(1)
+		}
+		record.Wire = wire
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rexbench: %v\n", err)
+			os.Exit(1)
+		}
+		werr := record.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "rexbench: write %s: %v\n", *jsonPath, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[summary written to %s]\n", *jsonPath)
 	}
 }

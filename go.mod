@@ -1,0 +1,3 @@
+module github.com/rex-data/rex
+
+go 1.22

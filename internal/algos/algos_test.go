@@ -247,3 +247,78 @@ func TestReferenceBFS(t *testing.T) {
 		t.Fatalf("BFS = %v", d)
 	}
 }
+
+// runSSSPOpts executes SSSP on a fresh engine with the given options.
+func runSSSPOpts(t *testing.T, g *datagen.Graph, opts exec.Options) *exec.Result {
+	t.Helper()
+	cat := graphCatalog(t)
+	cfg := SSSPConfig{Source: 0, Delta: true, MaxIterations: 500}
+	jn, wn, err := RegisterSSSP(cat, cfg)
+	must(t, err)
+	eng := exec.NewEngine(4, 32, 2, cat)
+	must(t, eng.Load("graph", 0, g.Edges))
+	must(t, eng.Load("spseed", 0, SSSPSeed(cfg)))
+	res, err := eng.Run(SSSPPlan(cfg, jn, wn), opts)
+	must(t, err)
+	return res
+}
+
+// Delta-batch compaction must not change query results, and it must
+// measurably shrink the wire volume: SSSP fans many same-destination
+// distance updates into the shuffle, which min-merge collapses.
+func TestSSSPCompactionEquivalence(t *testing.T) {
+	g := datagen.DBPediaGraph(600, 21)
+	off := runSSSPOpts(t, g, exec.Options{})
+	on := runSSSPOpts(t, g, exec.Options{Compaction: true})
+
+	wantDist := prMap(off)
+	gotDist := prMap(on)
+	if len(gotDist) != len(wantDist) {
+		t.Fatalf("compaction changed result size: %d vs %d", len(gotDist), len(wantDist))
+	}
+	for v, d := range wantDist {
+		if gotDist[v] != d {
+			t.Fatalf("compaction changed dist[%d]: %v vs %v", v, gotDist[v], d)
+		}
+	}
+	if off.CompactIn != 0 || off.CompactOut != 0 {
+		t.Fatalf("compaction-off run reported compactor traffic: %d/%d", off.CompactIn, off.CompactOut)
+	}
+	if on.CompactIn == 0 || on.CompactOut >= on.CompactIn {
+		t.Fatalf("compactor did not coalesce: in=%d out=%d", on.CompactIn, on.CompactOut)
+	}
+	if on.BytesSent >= off.BytesSent {
+		t.Fatalf("compaction did not reduce wire bytes: on=%d off=%d", on.BytesSent, off.BytesSent)
+	}
+}
+
+// PageRank with sum-merge compaction must converge to the same ranks
+// (floating-point addition order may differ, hence a tolerance).
+func TestPageRankCompactionEquivalence(t *testing.T) {
+	g := datagen.DBPediaGraph(400, 23)
+	cfg := PageRankConfig{Epsilon: 1e-4, Delta: true, MaxIterations: 200}
+	run := func(opts exec.Options) *exec.Result {
+		cat := graphCatalog(t)
+		jn, wn, err := RegisterPageRank(cat, cfg)
+		must(t, err)
+		eng := exec.NewEngine(4, 32, 2, cat)
+		must(t, eng.Load("graph", 0, g.Edges))
+		res, err := eng.Run(PageRankPlan(cfg, jn, wn), opts)
+		must(t, err)
+		return res
+	}
+	off := prMap(run(exec.Options{}))
+	onRes := run(exec.Options{Compaction: true})
+	on := prMap(onRes)
+	if len(on) != len(off) {
+		t.Fatalf("compaction changed result size: %d vs %d", len(on), len(off))
+	}
+	for v, w := range off {
+		if math.Abs(on[v]-w) > 0.02*math.Max(w, 1) {
+			t.Fatalf("pr[%d] = %v with compaction, %v without", v, on[v], w)
+		}
+	}
+	if onRes.CompactOut >= onRes.CompactIn {
+		t.Fatalf("compactor did not coalesce: in=%d out=%d", onRes.CompactIn, onRes.CompactOut)
+	}
+}

@@ -193,7 +193,12 @@ func KMeansPlan(cfg KMeansConfig, joinName, whileName string) *exec.PlanSpec {
 		LeftKey: []int{0}, RightKey: []int{0},
 		JoinHandlerName: joinName, ImmutablePort: -1,
 	})
-	rehash := p.Add(&exec.OpSpec{Kind: exec.OpRehash, Inputs: []int{join.ID}, HashKey: []int{0}})
+	// Per-centroid coordinate/count adjustments sum in the shuffle
+	// compactor, mirroring the downstream sums.
+	rehash := p.Add(&exec.OpSpec{
+		Kind: exec.OpRehash, Inputs: []int{join.ID}, HashKey: []int{0},
+		CompactMerge: map[int]string{1: "sum", 2: "sum", 3: "sum"},
+	})
 	gby := p.Add(&exec.OpSpec{
 		Kind: exec.OpGroupBy, Inputs: []int{rehash.ID}, GroupKey: []int{0},
 		Aggs: []exec.AggSpec{

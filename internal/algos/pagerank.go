@@ -153,7 +153,12 @@ func PageRankPlan(cfg PageRankConfig, joinName, whileName string) *exec.PlanSpec
 		LeftKey: []int{0}, RightKey: []int{0},
 		JoinHandlerName: joinName, ImmutablePort: 0,
 	})
-	rehash := p.Add(&exec.OpSpec{Kind: exec.OpRehash, Inputs: []int{join.ID}, HashKey: []int{0}})
+	// Same-key contribution deltas may merge by summation in the shuffle
+	// compactor because the downstream group-by sums them anyway.
+	rehash := p.Add(&exec.OpSpec{
+		Kind: exec.OpRehash, Inputs: []int{join.ID}, HashKey: []int{0},
+		CompactMerge: map[int]string{1: "sum"},
+	})
 	gby := p.Add(&exec.OpSpec{
 		Kind: exec.OpGroupBy, Inputs: []int{rehash.ID}, GroupKey: []int{0},
 		Aggs: []exec.AggSpec{{

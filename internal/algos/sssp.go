@@ -103,7 +103,12 @@ func SSSPPlan(cfg SSSPConfig, joinName, whileName string) *exec.PlanSpec {
 		LeftKey: []int{0}, RightKey: []int{0},
 		JoinHandlerName: joinName, ImmutablePort: 0,
 	})
-	rehash := p.Add(&exec.OpSpec{Kind: exec.OpRehash, Inputs: []int{join.ID}, HashKey: []int{0}})
+	// Competing distance deltas for one vertex collapse to the minimum in
+	// the shuffle compactor — the downstream group-by keeps only the min.
+	rehash := p.Add(&exec.OpSpec{
+		Kind: exec.OpRehash, Inputs: []int{join.ID}, HashKey: []int{0},
+		CompactMerge: map[int]string{1: "min"},
+	})
 	gby := p.Add(&exec.OpSpec{
 		Kind: exec.OpGroupBy, Inputs: []int{rehash.ID}, GroupKey: []int{0},
 		Aggs: []exec.AggSpec{{

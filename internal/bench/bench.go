@@ -119,7 +119,7 @@ func graphCatalog() *catalog.Catalog {
 
 // runRexPageRank executes PageRank on a fresh REX engine, returning the
 // result and the engine (for metrics).
-func runRexPageRank(g *datagen.Graph, nodes int, cfg algos.PageRankConfig) (*exec.Result, *exec.Engine, error) {
+func runRexPageRank(g *datagen.Graph, nodes int, cfg algos.PageRankConfig, opts exec.Options) (*exec.Result, *exec.Engine, error) {
 	cat := graphCatalog()
 	jn, wn, err := algos.RegisterPageRank(cat, cfg)
 	if err != nil {
@@ -129,7 +129,7 @@ func runRexPageRank(g *datagen.Graph, nodes int, cfg algos.PageRankConfig) (*exe
 	if err := eng.Load("graph", 0, g.Edges); err != nil {
 		return nil, nil, err
 	}
-	res, err := eng.Run(algos.PageRankPlan(cfg, jn, wn), exec.Options{})
+	res, err := eng.Run(algos.PageRankPlan(cfg, jn, wn), opts)
 	return res, eng, err
 }
 

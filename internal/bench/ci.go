@@ -1,0 +1,80 @@
+// CI summary support: rexbench -json emits a machine-readable record of
+// the experiments it ran plus a wire-traffic benchmark, which the CI
+// bench-smoke job uploads as an artifact so the performance trajectory
+// accumulates across commits.
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"github.com/rex-data/rex/internal/algos"
+	"github.com/rex-data/rex/internal/exec"
+)
+
+// CIRecord is the top-level JSON document.
+type CIRecord struct {
+	Scale       float64        `json:"scale"`
+	Nodes       int            `json:"nodes"`
+	Experiments []CIExperiment `json:"experiments"`
+	Wire        []CIWire       `json:"wire"`
+}
+
+// CIExperiment records one figure run.
+type CIExperiment struct {
+	ID     string  `json:"id"`
+	Millis float64 `json:"ms"`
+}
+
+// CIWire records one wire-traffic measurement: measured frame bytes and
+// the shuffle compactor's delta counts for a workload at this scale.
+type CIWire struct {
+	Workload   string  `json:"workload"`
+	Compaction bool    `json:"compaction"`
+	WireBytes  int64   `json:"wire_bytes"`
+	DeltasIn   int64   `json:"deltas_in"`
+	DeltasOut  int64   `json:"deltas_out"`
+	ResultRows int     `json:"result_rows"`
+	Millis     float64 `json:"ms"`
+}
+
+// WireBench measures SSSP and PageRank wire traffic on the DBPedia-like
+// graph with compaction off and on.
+func WireBench(sc Scale) ([]CIWire, error) {
+	g := datagenDBPedia(sc)
+	var out []CIWire
+	for _, compaction := range []bool{false, true} {
+		opts := exec.Options{Compaction: compaction}
+		res, _, err := runRexSSSP(g, sc.Nodes, algos.SSSPConfig{Source: 0, Delta: true, MaxIterations: 300}, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ciWire("sssp", compaction, res))
+		res, _, err = runRexPageRank(g, sc.Nodes, algos.PageRankConfig{Epsilon: sc.Epsilon, Delta: true, MaxIterations: 60}, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ciWire("pagerank", compaction, res))
+	}
+	return out, nil
+}
+
+func ciWire(workload string, compaction bool, res *exec.Result) CIWire {
+	return CIWire{
+		Workload:   workload,
+		Compaction: compaction,
+		WireBytes:  res.BytesSent,
+		DeltasIn:   res.CompactIn,
+		DeltasOut:  res.CompactOut,
+		ResultRows: len(res.Tuples),
+		Millis:     float64(res.Duration) / float64(time.Millisecond),
+	}
+}
+
+// WriteJSON renders the record as indented JSON.
+func (r *CIRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

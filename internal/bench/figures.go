@@ -62,7 +62,7 @@ func Fig3(w io.Writer, sc Scale) error {
 		Headers: []string{"algorithm", "immutable set", "mutable set", "Δi per iteration"},
 	}
 
-	prRes, _, err := runRexPageRank(g, sc.Nodes, algos.PageRankConfig{Epsilon: sc.Epsilon, Delta: true, MaxIterations: 60})
+	prRes, _, err := runRexPageRank(g, sc.Nodes, algos.PageRankConfig{Epsilon: sc.Epsilon, Delta: true, MaxIterations: 60}, exec.Options{})
 	if err != nil {
 		return err
 	}
@@ -400,7 +400,7 @@ func recursiveComparison(w io.Writer, sc Scale, title string, g *datagen.Graph, 
 			var res *exec.Result
 			var err error
 			if pagerank {
-				res, _, err = runRexPageRank(g, sc.Nodes, algos.PageRankConfig{Epsilon: sc.Epsilon, Delta: false, MaxIterations: iters + 1})
+				res, _, err = runRexPageRank(g, sc.Nodes, algos.PageRankConfig{Epsilon: sc.Epsilon, Delta: false, MaxIterations: iters + 1}, exec.Options{})
 			} else {
 				res, _, err = runRexSSSP(g, sc.Nodes, algos.SSSPConfig{Source: 0, Delta: false, MaxIterations: iters + 1}, exec.Options{})
 			}
@@ -412,7 +412,7 @@ func recursiveComparison(w io.Writer, sc Scale, title string, g *datagen.Graph, 
 			var res *exec.Result
 			var err error
 			if pagerank {
-				res, _, err = runRexPageRank(g, sc.Nodes, algos.PageRankConfig{Epsilon: sc.Epsilon, Delta: true, MaxIterations: 300})
+				res, _, err = runRexPageRank(g, sc.Nodes, algos.PageRankConfig{Epsilon: sc.Epsilon, Delta: true, MaxIterations: 300}, exec.Options{})
 			} else {
 				// REX delta runs to the true fixpoint (§6.3 "Improved
 				// Accuracy": 75 iterations vs everyone else's 6).
@@ -486,7 +486,7 @@ func Fig10(w io.Writer, sc Scale) error {
 	}
 	var base time.Duration
 	for _, n := range []int{1, 3, 9, 28} {
-		res, _, err := runRexPageRank(g, n, algos.PageRankConfig{Epsilon: sc.Epsilon, Delta: true, MaxIterations: iters})
+		res, _, err := runRexPageRank(g, n, algos.PageRankConfig{Epsilon: sc.Epsilon, Delta: true, MaxIterations: iters}, exec.Options{})
 		if err != nil {
 			return err
 		}
@@ -510,37 +510,47 @@ func Fig10(w io.Writer, sc Scale) error {
 }
 
 // Fig11 measures average per-node bandwidth for the Twitter experiments.
+// REX rows report measured wire bytes (encoded frame volume on the
+// simulated link), once with and once without delta-batch compaction; the
+// compaction column is the shuffle's delta-count ratio out/in.
 func Fig11(w io.Writer, sc Scale) error {
 	g := datagenTwitter(sc)
 	rep := &Report{
 		Title:   "Fig 11: average bandwidth per node (Twitter)",
-		Notes:   "iteration counts matched across strategies; KB/iter is the shape the paper plots",
-		Headers: []string{"workload", "strategy", "bytes shipped", "KB/iter per node", "KB/s per node"},
+		Notes:   "iteration counts matched across strategies; REX bytes are measured wire frames, not estimates",
+		Headers: []string{"workload", "strategy", "wire bytes", "KB/iter per node", "KB/s per node", "compaction"},
 	}
-	add := func(workload, strategy string, bytes int64, iters int, dur time.Duration, nodes int) {
+	add := func(workload, strategy string, bytes int64, iters int, dur time.Duration, nodes int, compact string) {
 		rate := float64(bytes) / 1024 / dur.Seconds() / float64(nodes)
 		perIter := float64(bytes) / 1024 / float64(max(1, iters)) / float64(nodes)
 		rep.Rows = append(rep.Rows, []string{workload, strategy,
-			fmt.Sprintf("%d", bytes), fmt.Sprintf("%.1f", perIter), fmt.Sprintf("%.1f", rate)})
+			fmt.Sprintf("%d", bytes), fmt.Sprintf("%.1f", perIter), fmt.Sprintf("%.1f", rate), compact})
 	}
 
 	for _, workload := range []string{"shortest-path", "pagerank"} {
 		pagerank := workload == "pagerank"
-		// REX Δ
-		var res *exec.Result
-		var eng *exec.Engine
-		var err error
-		if pagerank {
-			res, eng, err = runRexPageRank(g, sc.Nodes, algos.PageRankConfig{Epsilon: sc.Epsilon, Delta: true, MaxIterations: 26})
-		} else {
-			res, eng, err = runRexSSSP(g, sc.Nodes, algos.SSSPConfig{Source: 0, Delta: true, MaxIterations: 11}, exec.Options{})
+		// REX Δ with compaction off, then on.
+		for _, compaction := range []bool{false, true} {
+			opts := exec.Options{Compaction: compaction}
+			var res *exec.Result
+			var err error
+			if pagerank {
+				res, _, err = runRexPageRank(g, sc.Nodes, algos.PageRankConfig{Epsilon: sc.Epsilon, Delta: true, MaxIterations: 26}, opts)
+			} else {
+				res, _, err = runRexSSSP(g, sc.Nodes, algos.SSSPConfig{Source: 0, Delta: true, MaxIterations: 11}, opts)
+			}
+			if err != nil {
+				return err
+			}
+			name, ratio := "REX Δ", "-"
+			if compaction {
+				name = "REX Δ compact"
+				ratio = compactionRatio(res)
+			}
+			add(workload, name, res.BytesSent, len(res.Strata), res.Duration, sc.Nodes, ratio)
 		}
-		if err != nil {
-			return err
-		}
-		_ = eng
-		add(workload, "REX Δ", res.BytesSent, len(res.Strata), res.Duration, sc.Nodes)
 
+		var err error
 		for _, strat := range []string{"HaLoop LB", "Hadoop LB"} {
 			meng, metrics := mrEngine(sc)
 			start := time.Now()
@@ -566,11 +576,20 @@ func Fig11(w io.Writer, sc Scale) error {
 			if !pagerank {
 				iters = 10
 			}
-			add(workload, strat, bytes, iters, time.Since(start), sc.Workers)
+			add(workload, strat, bytes, iters, time.Since(start), sc.Workers, "-")
 		}
 	}
 	rep.Print(w)
 	return nil
+}
+
+// compactionRatio renders the shuffle compactor's out/in delta ratio.
+func compactionRatio(res *exec.Result) string {
+	if res.CompactIn == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f (%d→%d Δs)",
+		float64(res.CompactOut)/float64(res.CompactIn), res.CompactIn, res.CompactOut)
 }
 
 // Fig12 measures recovery: shortest path with a node failure injected at

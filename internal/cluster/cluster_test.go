@@ -192,7 +192,7 @@ func TestMailboxConcurrent(t *testing.T) {
 func TestTransportAccountingAndFailure(t *testing.T) {
 	tr := NewTransport(3)
 	batch := types.Inserts(types.NewTuple(int64(1), 2.5))
-	n := tr.SendData(0, 1, 7, 0, batch)
+	n := tr.SendData(0, 1, 7, 0, 0, batch)
 	if n <= 0 {
 		t.Fatal("encoded size must be positive")
 	}
@@ -200,15 +200,17 @@ func TestTransportAccountingAndFailure(t *testing.T) {
 	if !ok || msg.Kind != MsgData || msg.Edge != 7 {
 		t.Fatalf("delivery: %+v %v", msg, ok)
 	}
-	decoded, err := types.DecodeBatch(msg.Payload)
+	decoded, err := DecodeDeltas(msg.Payload)
 	if err != nil || len(decoded) != 1 || !decoded[0].Tup.Equal(batch[0].Tup) {
 		t.Fatal("payload round trip")
 	}
-	if tr.Metrics().BytesSent[0].Load() != int64(n) || tr.Metrics().BytesReceived[1].Load() != int64(n) {
-		t.Fatal("byte accounting")
+	// BytesSent counts full frame bytes: payload plus the wire header.
+	sent := tr.Metrics().BytesSent[0].Load()
+	if sent <= int64(n) || tr.Metrics().BytesReceived[1].Load() != sent {
+		t.Fatalf("byte accounting: sent=%d payload=%d", sent, n)
 	}
 	// Loopback is free.
-	tr.SendData(2, 2, 1, 0, batch)
+	tr.SendData(2, 2, 1, 0, 0, batch)
 	if tr.Metrics().BytesSent[2].Load() != 0 {
 		t.Fatal("self-send must not count as network traffic")
 	}
@@ -225,7 +227,7 @@ func TestTransportAccountingAndFailure(t *testing.T) {
 		t.Fatalf("failure notification: %+v", fail)
 	}
 	before := tr.Metrics().BytesSent[1].Load()
-	tr.SendData(1, 0, 1, 0, batch) // from dead node: dropped
+	tr.SendData(1, 0, 1, 0, 0, batch) // from dead node: dropped
 	if tr.Metrics().BytesSent[1].Load() != before {
 		t.Fatal("dead node must not send")
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -118,11 +119,16 @@ func (m *Mailbox) Len() int {
 
 // Metrics aggregates transport statistics. The bandwidth figures of §6.5
 // read BytesSent: "we measured the total amount of data sent by each node".
+// BytesSent counts encoded frame bytes — the measured wire volume, not an
+// estimate. CompactIn/CompactOut count deltas entering and leaving the
+// shuffle compactors, so callers can report the compaction ratio.
 type Metrics struct {
 	BytesSent     []atomic.Int64
 	BytesReceived []atomic.Int64
 	MessagesSent  []atomic.Int64
 	TuplesSent    []atomic.Int64
+	CompactIn     []atomic.Int64
+	CompactOut    []atomic.Int64
 }
 
 // NewMetrics sizes counters for n nodes.
@@ -132,6 +138,8 @@ func NewMetrics(n int) *Metrics {
 		BytesReceived: make([]atomic.Int64, n),
 		MessagesSent:  make([]atomic.Int64, n),
 		TuplesSent:    make([]atomic.Int64, n),
+		CompactIn:     make([]atomic.Int64, n),
+		CompactOut:    make([]atomic.Int64, n),
 	}
 }
 
@@ -144,6 +152,15 @@ func (m *Metrics) TotalBytesSent() int64 {
 	return t
 }
 
+// TotalCompaction sums the shuffle compactor in/out delta counts.
+func (m *Metrics) TotalCompaction() (in, out int64) {
+	for i := range m.CompactIn {
+		in += m.CompactIn[i].Load()
+		out += m.CompactOut[i].Load()
+	}
+	return in, out
+}
+
 // Reset zeroes all counters.
 func (m *Metrics) Reset() {
 	for i := range m.BytesSent {
@@ -151,6 +168,8 @@ func (m *Metrics) Reset() {
 		m.BytesReceived[i].Store(0)
 		m.MessagesSent[i].Store(0)
 		m.TuplesSent[i].Store(0)
+		m.CompactIn[i].Store(0)
+		m.CompactOut[i].Store(0)
 	}
 }
 
@@ -242,9 +261,13 @@ func (t *Transport) Revive(n NodeID) {
 	t.inboxes[n] = NewMailbox()
 }
 
-// Send routes msg to its destination worker, accounting bytes. Frames to
-// dead nodes are dropped. Self-sends are delivered (loopback) but not
-// counted as network traffic.
+// Send routes msg to its destination worker over the simulated link:
+// inter-node frames are wire-encoded, their frame size accounted, then
+// decoded on the receiving side — what arrives is what survived
+// serialization, and BytesSent is the measured wire volume. Frames to dead
+// nodes are dropped. Self-sends are delivered (loopback, never encoded)
+// and not counted as network traffic; requestor traffic (From=-1) is
+// control-plane and also skips the wire.
 func (t *Transport) Send(msg Message) {
 	if msg.To < 0 || int(msg.To) >= t.n {
 		return
@@ -258,13 +281,22 @@ func (t *Transport) Send(msg Message) {
 		return // a dead node sends nothing
 	}
 	if msg.From != msg.To && msg.From >= 0 {
-		sz := int64(len(msg.Payload))
+		frame := EncodeFrame(msg)
+		sz := int64(len(frame))
 		t.metrics.BytesSent[msg.From].Add(sz)
 		t.metrics.MessagesSent[msg.From].Add(1)
 		t.metrics.TuplesSent[msg.From].Add(int64(msg.Count))
-		if aliveTo {
-			t.metrics.BytesReceived[msg.To].Add(sz)
+		if !aliveTo {
+			return // dropped on the floor: the sender still paid the bytes
 		}
+		t.metrics.BytesReceived[msg.To].Add(sz)
+		decoded, err := DecodeFrame(frame)
+		if err != nil {
+			// A frame that fails to round-trip is a codec bug, not a
+			// runtime condition; fail loudly rather than deliver garbage.
+			panic(fmt.Sprintf("cluster: wire frame round-trip: %v", err))
+		}
+		msg = decoded
 	}
 	if !aliveTo {
 		return
@@ -272,15 +304,36 @@ func (t *Transport) Send(msg Message) {
 	inbox.Put(msg)
 }
 
-// SendData encodes and ships a delta batch along a plan edge. It returns
-// the encoded size so callers can account locally buffered bytes.
-func (t *Transport) SendData(from, to NodeID, edge, stratum int, batch []types.Delta) int {
-	payload := types.EncodeBatch(batch)
+// SendData encodes and ships a delta batch along a plan edge using the
+// dictionary wire format; it is the shuffle path's send primitive. It
+// returns the encoded payload size — note Metrics.BytesSent records the
+// full frame (payload plus header), so do not add the return value to
+// those counters.
+func (t *Transport) SendData(from, to NodeID, edge, stratum, epoch int, batch []types.Delta) int {
+	payload := EncodeDeltas(batch)
 	t.Send(Message{
 		From: from, To: to, Edge: edge, Stratum: stratum,
-		Kind: MsgData, Payload: payload, Count: len(batch),
+		Kind: MsgData, Payload: payload, Count: len(batch), Epoch: epoch,
 	})
 	return len(payload)
+}
+
+// InboxLen reports the queue depth of worker n's mailbox (0 for dead or
+// out-of-range nodes). Compacting senders use it as the backpressure
+// high-water signal: rather than flooding a backlogged peer they hold
+// deltas back for further coalescing.
+func (t *Transport) InboxLen(n NodeID) int {
+	if n < 0 || int(n) >= t.n {
+		return 0
+	}
+	t.mu.Lock()
+	alive := t.alive[n]
+	inbox := t.inboxes[n]
+	t.mu.Unlock()
+	if !alive {
+		return 0
+	}
+	return inbox.Len()
 }
 
 // SendToRequestor delivers a control frame to the requestor.

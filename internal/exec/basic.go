@@ -247,7 +247,7 @@ type outputOp struct {
 const resultEdge = -1
 
 func (o *outputOp) Push(port int, batch []types.Delta) error {
-	payload := types.EncodeBatch(batch)
+	payload := cluster.EncodeDeltas(batch)
 	o.ctx.Transport.SendToRequestor(cluster.Message{
 		From: o.ctx.Node, Kind: cluster.MsgData, Edge: resultEdge,
 		Payload: payload, Count: len(batch), Epoch: o.ctx.Epoch,

@@ -37,6 +37,18 @@ type Options struct {
 	// Checkpoint enables per-stratum Δᵢ replication (required for
 	// RecoveryIncremental; adds measurable but small overhead otherwise).
 	Checkpoint bool
+	// Compaction enables delta-batch compaction in the shuffle path:
+	// per-(edge, destination) buffers coalesce same-key deltas
+	// (insert+delete annihilation, replace-chain folding, and
+	// aggregate-delta merging where the plan declares merge functions)
+	// before encoding, shrinking wire volume at the cost of cross-key
+	// reordering inside a batch (sound for keyed consumers).
+	Compaction bool
+	// CompactionHighWater is the destination-mailbox depth above which a
+	// compacting sender defers its flush — holding deltas back for
+	// further coalescing instead of flooding a backlogged peer
+	// (default 64; soft backpressure, punctuation always flushes).
+	CompactionHighWater int
 	// TermFn, when set, is an explicit termination condition evaluated by
 	// the requestor after each stratum over the global new-tuple count
 	// (§3.4). Returning true terminates the query.
@@ -56,10 +68,16 @@ type StratumStats struct {
 
 // Result is a completed query execution.
 type Result struct {
-	Tuples    []types.Tuple
-	Strata    []StratumStats
-	Duration  time.Duration
+	Tuples   []types.Tuple
+	Strata   []StratumStats
+	Duration time.Duration
+	// BytesSent is the measured wire volume of the run: encoded frame
+	// bytes shipped between workers (loopback excluded).
 	BytesSent int64
+	// CompactIn/CompactOut count deltas entering and leaving the shuffle
+	// compactors (both zero when Options.Compaction is off); their ratio
+	// is the compaction win.
+	CompactIn, CompactOut int64
 	// Recoveries counts failures survived during the run.
 	Recoveries int
 }
@@ -104,6 +122,9 @@ func (e *Engine) Run(spec *PlanSpec, opts Options) (*Result, error) {
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = 1024
 	}
+	if opts.CompactionHighWater <= 0 {
+		opts.CompactionHighWater = 64
+	}
 	maxStrata := spec.MaxStrata
 	if opts.MaxStrata > 0 {
 		maxStrata = opts.MaxStrata
@@ -115,6 +136,7 @@ func (e *Engine) Run(spec *PlanSpec, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("exec: no alive nodes")
 	}
 	bytesBefore := e.Transport.Metrics().TotalBytesSent()
+	compactInBefore, compactOutBefore := e.Transport.Metrics().TotalCompaction()
 	start := time.Now()
 
 	// Spawn one worker loop per currently alive node.
@@ -125,6 +147,7 @@ func (e *Engine) Run(spec *PlanSpec, opts Options) (*Result, error) {
 			ckpt: e.Ckpts[n], cat: e.Catalog, ring: e.Ring,
 			spec: spec, queryID: queryID, batchSize: opts.BatchSize,
 			checkpoints: opts.Checkpoint,
+			compaction:  opts.Compaction, highWater: opts.CompactionHighWater,
 		}
 		wg.Add(1)
 		go func() {
@@ -146,6 +169,9 @@ func (e *Engine) Run(spec *PlanSpec, opts Options) (*Result, error) {
 	}
 	res.Duration = time.Since(start)
 	res.BytesSent = e.Transport.Metrics().TotalBytesSent() - bytesBefore
+	compactIn, compactOut := e.Transport.Metrics().TotalCompaction()
+	res.CompactIn = compactIn - compactInBefore
+	res.CompactOut = compactOut - compactOutBefore
 	return res, nil
 }
 
@@ -251,7 +277,7 @@ func (e *Engine) coordinate(spec *PlanSpec, opts Options, queryID string, maxStr
 			if msg.Epoch != epoch || msg.Edge != resultEdge {
 				continue
 			}
-			batch, err := types.DecodeBatch(msg.Payload)
+			batch, err := cluster.DecodeDeltas(msg.Payload)
 			if err != nil {
 				return nil, err
 			}

@@ -58,6 +58,11 @@ type Context struct {
 	// BatchSize is the rehash message batching granularity (§4.1:
 	// "query processing passes batched messages").
 	BatchSize int
+	// Compaction enables delta-batch compaction in rehash send buffers.
+	Compaction bool
+	// CompactionHighWater is the destination-mailbox depth above which
+	// compacting senders defer flushes (soft backpressure).
+	CompactionHighWater int
 	// Stratum is the stratum currently executing on this node.
 	Stratum int
 }

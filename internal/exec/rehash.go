@@ -14,6 +14,13 @@ import (
 // fed by the worker loop from the transport and aligns punctuation from
 // all alive senders before forwarding downstream (§4.2).
 //
+// With Options.Compaction on, the per-destination buffers are
+// cluster.Compactors that coalesce same-key deltas before encoding, and
+// flushes observe a soft backpressure rule: when the destination mailbox
+// is over the high-water mark the flush is deferred, so deltas keep
+// coalescing locally instead of flooding a backlogged peer. Punctuation
+// always flushes, and a hard cap bounds deferral.
+//
 // OpBroadcast is the same operator with every batch delivered to every
 // node (used when one side of a computation — e.g. K-means centroids —
 // must be visible cluster-wide).
@@ -22,8 +29,15 @@ type rehashOp struct {
 	ctx  *Context
 	outs outputs
 
-	broadcast bool
-	buffers   map[cluster.NodeID][]types.Delta
+	broadcast  bool
+	buffers    map[cluster.NodeID][]types.Delta
+	compactors map[cluster.NodeID]*cluster.Compactor
+	mergeFn    cluster.MergeFunc
+	allCols    []int // cached 0..n-1 index for keyless (broadcast) edges
+	// flushedIn tracks each compactor's cumulative added-count at its
+	// last flush, so CompactIn/CompactOut metrics are accounted together
+	// at flush time (deltas a Reset discards count toward neither).
+	flushedIn map[cluster.NodeID]int
 
 	// receive-side punctuation alignment
 	punctCount  map[int]int
@@ -32,8 +46,13 @@ type rehashOp struct {
 	closedFwd   bool
 }
 
+// compactionOverflow bounds backpressure deferral: once a compactor holds
+// this many batches' worth of deltas it flushes regardless of the
+// destination's mailbox depth.
+const compactionOverflow = 8
+
 func newRehashOp(spec *OpSpec, ctx *Context, broadcast bool) *rehashOp {
-	return &rehashOp{
+	r := &rehashOp{
 		spec:        spec,
 		ctx:         ctx,
 		broadcast:   broadcast,
@@ -42,6 +61,12 @@ func newRehashOp(spec *OpSpec, ctx *Context, broadcast bool) *rehashOp {
 		closedCount: map[int]int{},
 		nSenders:    len(ctx.Snap.AliveNodes()),
 	}
+	if ctx.Compaction {
+		r.compactors = map[cluster.NodeID]*cluster.Compactor{}
+		r.flushedIn = map[cluster.NodeID]int{}
+		r.mergeFn = compactMergeFn(spec)
+	}
+	return r
 }
 
 func (r *rehashOp) Push(port int, batch []types.Delta) error {
@@ -100,7 +125,35 @@ func (r *rehashOp) destFor(t types.Tuple) (cluster.NodeID, error) {
 	return r.ctx.Snap.Primary(h)
 }
 
+// routingKey is the compactor's same-key test: the rehash key columns, or
+// the whole tuple for broadcast edges (which have no hash key).
+func (r *rehashOp) routingKey(t types.Tuple) types.Value {
+	if len(r.spec.HashKey) > 0 {
+		return t.Key(r.spec.HashKey)
+	}
+	for len(r.allCols) < len(t) {
+		r.allCols = append(r.allCols, len(r.allCols))
+	}
+	return t.Key(r.allCols[:len(t)])
+}
+
 func (r *rehashOp) enqueue(dest cluster.NodeID, d types.Delta) error {
+	if r.compactors != nil {
+		c := r.compactors[dest]
+		if c == nil {
+			c = cluster.NewCompactor(r.routingKey, r.mergeFn)
+			r.compactors[dest] = c
+		}
+		c.Add(d)
+		// Probe the flush condition only when the buffer crosses a batch
+		// boundary: under backpressure deferral the buffer sits above
+		// BatchSize for a while, and per-delta InboxLen probes would
+		// serialize every sender on the transport mutex.
+		if b := c.Buffered(); b >= r.ctx.BatchSize && b%r.ctx.BatchSize == 0 && r.shouldFlush(dest, b) {
+			return r.flush(dest)
+		}
+		return nil
+	}
 	r.buffers[dest] = append(r.buffers[dest], d)
 	if len(r.buffers[dest]) >= r.ctx.BatchSize {
 		return r.flush(dest)
@@ -108,23 +161,59 @@ func (r *rehashOp) enqueue(dest cluster.NodeID, d types.Delta) error {
 	return nil
 }
 
+// shouldFlush is the backpressure rule: a full buffer flushes unless the
+// destination mailbox is over the high-water mark, in which case the
+// sender holds back (coalescing more) until the hard cap.
+func (r *rehashOp) shouldFlush(dest cluster.NodeID, buffered int) bool {
+	if dest == r.ctx.Node {
+		return true // loopback: no mailbox pressure
+	}
+	if buffered >= r.ctx.BatchSize*compactionOverflow {
+		return true
+	}
+	return r.ctx.Transport.InboxLen(dest) <= r.ctx.CompactionHighWater
+}
+
 func (r *rehashOp) flush(dest cluster.NodeID) error {
-	batch := r.buffers[dest]
+	var batch []types.Delta
+	if r.compactors != nil {
+		c := r.compactors[dest]
+		if c == nil {
+			return nil
+		}
+		batch = c.Drain()
+		added, _, _ := c.Stats()
+		m := r.ctx.Transport.Metrics()
+		m.CompactIn[r.ctx.Node].Add(int64(added - r.flushedIn[dest]))
+		m.CompactOut[r.ctx.Node].Add(int64(len(batch)))
+		r.flushedIn[dest] = added
+	} else {
+		batch = r.buffers[dest]
+		r.buffers[dest] = nil
+	}
 	if len(batch) == 0 {
 		return nil
 	}
-	r.buffers[dest] = nil
 	if dest == r.ctx.Node {
 		// Loopback: deliver synchronously, skipping the wire.
 		return r.Push(1, batch)
 	}
-	payload := types.EncodeBatch(batch)
-	r.ctx.Transport.Send(cluster.Message{
-		From: r.ctx.Node, To: dest,
-		Edge: edgeID(r.spec.ID, 1), Kind: cluster.MsgData,
-		Payload: payload, Count: len(batch), Epoch: r.ctx.Epoch,
-		Stratum: r.ctx.Stratum,
-	})
+	r.ctx.Transport.SendData(r.ctx.Node, dest, edgeID(r.spec.ID, 1),
+		r.ctx.Stratum, r.ctx.Epoch, batch)
+	return nil
+}
+
+func (r *rehashOp) flushAll() error {
+	for dest := range r.buffers {
+		if err := r.flush(dest); err != nil {
+			return err
+		}
+	}
+	for dest := range r.compactors {
+		if err := r.flush(dest); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -133,10 +222,8 @@ func (r *rehashOp) Punct(port, stratum int, closed bool) error {
 	case 0:
 		// Local upstream finished the stratum: flush everything, then tell
 		// every peer (and ourselves) so receivers can align.
-		for dest := range r.buffers {
-			if err := r.flush(dest); err != nil {
-				return err
-			}
+		if err := r.flushAll(); err != nil {
+			return err
 		}
 		for _, n := range r.ctx.Snap.AliveNodes() {
 			if n == r.ctx.Node {
@@ -171,8 +258,78 @@ func (r *rehashOp) Punct(port, stratum int, closed bool) error {
 
 func (r *rehashOp) Reset() {
 	r.buffers = map[cluster.NodeID][]types.Delta{}
+	if r.ctx.Compaction {
+		r.compactors = map[cluster.NodeID]*cluster.Compactor{}
+		r.flushedIn = map[cluster.NodeID]int{}
+	}
 	r.punctCount = map[int]int{}
 	r.closedCount = map[int]int{}
 	r.nSenders = len(r.ctx.Snap.AliveNodes())
 	r.closedFwd = false
+}
+
+// compactMergeFn builds the compactor's δ-merge function from the spec's
+// CompactMerge declarations, or nil when none are declared.
+func compactMergeFn(spec *OpSpec) cluster.MergeFunc {
+	if len(spec.CompactMerge) == 0 {
+		return nil
+	}
+	isKey := map[int]bool{}
+	for _, c := range spec.HashKey {
+		isKey[c] = true
+	}
+	return func(a, b types.Delta) (types.Delta, bool) {
+		if len(a.Tup) != len(b.Tup) {
+			return a, false
+		}
+		out := a.Tup.Clone()
+		for i := range out {
+			if isKey[i] {
+				continue // same routing key by construction
+			}
+			fn, declared := spec.CompactMerge[i]
+			if !declared {
+				if !types.ValueEq(a.Tup[i], b.Tup[i]) {
+					return a, false
+				}
+				continue
+			}
+			m, ok := mergeColumn(fn, a.Tup[i], b.Tup[i])
+			if !ok {
+				return a, false
+			}
+			out[i] = m
+		}
+		return types.Update(out), true
+	}
+}
+
+// mergeColumn folds two column values with the declared aggregate.
+func mergeColumn(fn string, a, b types.Value) (types.Value, bool) {
+	switch fn {
+	case "sum":
+		if ai, ok := a.(int64); ok {
+			if bi, ok := b.(int64); ok {
+				return ai + bi, true
+			}
+		}
+		af, aok := types.AsFloat(a)
+		bf, bok := types.AsFloat(b)
+		if !aok || !bok {
+			return nil, false
+		}
+		return af + bf, true
+	case "min":
+		if types.ValueCompare(a, b) <= 0 {
+			return a, true
+		}
+		return b, true
+	case "max":
+		if types.ValueCompare(a, b) >= 0 {
+			return a, true
+		}
+		return b, true
+	default:
+		return nil, false
+	}
 }

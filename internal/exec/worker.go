@@ -23,6 +23,8 @@ type worker struct {
 	queryID     string
 	batchSize   int
 	checkpoints bool
+	compaction  bool
+	highWater   int
 
 	// per-epoch state, rebuilt on MsgStart
 	ctx      *Context
@@ -71,7 +73,7 @@ func (w *worker) handle(msg cluster.Message) error {
 		if !ok {
 			return fmt.Errorf("exec: node %d: data for unknown op %d", w.node, op)
 		}
-		batch, err := types.DecodeBatch(msg.Payload)
+		batch, err := cluster.DecodeDeltas(msg.Payload)
 		if err != nil {
 			return err
 		}
@@ -143,7 +145,7 @@ func (w *worker) handleStart(msg cluster.Message) error {
 }
 
 func (w *worker) handleCheckpoint(msg cluster.Message) error {
-	batch, err := types.DecodeBatch(msg.Payload)
+	batch, err := cluster.DecodeDeltas(msg.Payload)
 	if err != nil {
 		return err
 	}
@@ -201,7 +203,7 @@ func (w *worker) replicate(opID, stratum int, entries []types.Tuple) {
 		w.transport.Send(cluster.Message{
 			From: w.node, To: dest, Kind: cluster.MsgCheckpoint,
 			Edge: opID, Stratum: stratum,
-			Payload: types.EncodeBatch(batch), Count: len(batch),
+			Payload: cluster.EncodeDeltas(batch), Count: len(batch),
 			Epoch: w.epoch,
 		})
 	}
@@ -213,6 +215,7 @@ func (w *worker) build(snap *cluster.Snapshot) error {
 		Node: w.node, Snap: snap, Transport: w.transport,
 		Store: w.store, Catalog: w.cat, QueryID: w.queryID,
 		Epoch: w.epoch, BatchSize: w.batchSize,
+		Compaction: w.compaction, CompactionHighWater: w.highWater,
 	}
 	w.ctx = ctx
 	w.ops = map[int]Operator{}

@@ -63,7 +63,9 @@ func DecodeValue(buf []byte) (Value, int, error) {
 		return math.Float64frombits(binary.BigEndian.Uint64(rest)), 9, nil
 	case KindString:
 		l, n := binary.Uvarint(rest)
-		if n <= 0 || len(rest) < n+int(l) {
+		// uint64 comparison so a forged huge length cannot overflow int
+		// and slip past the bounds check.
+		if n <= 0 || l > uint64(len(rest)-n) {
 			return nil, 0, fmt.Errorf("types: decode string: short buffer")
 		}
 		return string(rest[n : n+int(l)]), 1 + n + int(l), nil
@@ -89,7 +91,9 @@ func AppendTuple(buf []byte, t Tuple) []byte {
 // DecodeTuple decodes one tuple, returning it and the bytes consumed.
 func DecodeTuple(buf []byte) (Tuple, int, error) {
 	n64, n := binary.Uvarint(buf)
-	if n <= 0 {
+	// Every field costs at least one byte; bounding the count before the
+	// allocation keeps forged buffers from panicking in makeslice.
+	if n <= 0 || n64 > uint64(len(buf)-n) {
 		return nil, 0, fmt.Errorf("types: decode tuple: bad count")
 	}
 	off := n
@@ -152,7 +156,7 @@ func EncodeBatch(ds []Delta) []byte {
 // DecodeBatch decodes a batch encoded by EncodeBatch.
 func DecodeBatch(buf []byte) ([]Delta, error) {
 	n64, n := binary.Uvarint(buf)
-	if n <= 0 {
+	if n <= 0 || n64 > uint64(len(buf)-n) {
 		return nil, fmt.Errorf("types: decode batch: bad count")
 	}
 	off := n
@@ -183,23 +187,30 @@ func EncodedSize(ds []Delta) int {
 func tupleSize(t Tuple) int {
 	n := uvarintLen(uint64(len(t)))
 	for _, v := range t {
-		switch x := v.(type) {
-		case nil:
-			n++
-		case int64:
-			n += 1 + varintLen(x)
-		case float64:
-			n += 9
-		case string:
-			n += 1 + uvarintLen(uint64(len(x))) + len(x)
-		case bool:
-			n += 2
-		default:
-			s := AsString(x)
-			n += 1 + uvarintLen(uint64(len(s))) + len(s)
-		}
+		n += ValueSize(v)
 	}
 	return n
+}
+
+// ValueSize reports the encoded size of one value without materializing
+// it. Wire-level codecs use it to decide when dictionary-encoding a
+// repeated value pays for itself.
+func ValueSize(v Value) int {
+	switch x := v.(type) {
+	case nil:
+		return 1
+	case int64:
+		return 1 + varintLen(x)
+	case float64:
+		return 9
+	case string:
+		return 1 + uvarintLen(uint64(len(x))) + len(x)
+	case bool:
+		return 2
+	default:
+		s := AsString(x)
+		return 1 + uvarintLen(uint64(len(s))) + len(s)
+	}
 }
 
 func uvarintLen(v uint64) int {
