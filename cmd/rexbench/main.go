@@ -1,12 +1,22 @@
 // Command rexbench regenerates the tables and figures of the REX paper's
-// evaluation section (§6). Each experiment prints the same rows/series the
-// paper plots; see EXPERIMENTS.md for paper-vs-measured commentary.
+// evaluation section (§6), plus a transport suite that runs PageRank,
+// SSSP, and K-means on a selectable transport backend. Each experiment
+// prints the same rows/series the paper plots; see EXPERIMENTS.md for
+// paper-vs-measured commentary.
 //
 // Usage:
 //
 //	rexbench -exp all            # every figure at the default scale
 //	rexbench -exp fig6,fig12     # selected figures
 //	rexbench -exp fig6 -scale 4  # 4× the default dataset sizes
+//
+//	rexbench -transport tcp                      # spawn rexnode children, run over sockets
+//	rexbench -transport tcp -peers h1:7101,...   # drive already-running rexnode daemons
+//
+// With -transport tcp the figure experiments are skipped (they measure
+// the simulated substrate) and the transport suite runs across real OS
+// processes; its JSON record carries result hashes comparable against an
+// inproc run.
 package main
 
 import (
@@ -17,15 +27,33 @@ import (
 	"time"
 
 	"github.com/rex-data/rex/internal/bench"
+	"github.com/rex-data/rex/internal/job"
+	"github.com/rex-data/rex/internal/noded"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids (fig2..fig12) or 'all'")
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
-	nodes := flag.Int("nodes", 0, "override simulated cluster size")
+	nodes := flag.Int("nodes", 0, "override cluster size")
 	list := flag.Bool("list", false, "list experiments and exit")
-	jsonPath := flag.String("json", "", "write a machine-readable summary (experiment timings plus a wire-traffic benchmark) to this file")
+	jsonPath := flag.String("json", "", "write a machine-readable summary (experiment timings plus wire-traffic benchmarks) to this file")
+	transport := flag.String("transport", "inproc", "transport backend: inproc (goroutine nodes) | tcp (one OS process per node)")
+	peers := flag.String("peers", "", "comma-separated rexnode addresses for -transport tcp; spawns local daemons when empty")
+	nodeMode := flag.Bool("node", false, "run as a rexnode worker daemon (internal: used by -transport tcp auto-spawn)")
+	listen := flag.String("listen", "127.0.0.1:0", "daemon listen address (with -node)")
 	flag.Parse()
+
+	if *nodeMode {
+		n, err := noded.Listen(*listen, os.Stderr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%s%s\n", job.SpawnPrefix, n.Addr())
+		if err := n.Serve(); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Experiments {
@@ -43,52 +71,103 @@ func main() {
 		sc.Nodes = *nodes
 	}
 
-	want := map[string]bool{}
-	for _, id := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(id)] = true
+	record := &bench.CIRecord{Scale: *scale, Nodes: sc.Nodes, Transport: *transport}
+	if err := run(sc, record, *transport, *peers, *exp, *jsonPath); err != nil {
+		fatalf("%v", err)
 	}
-	record := &bench.CIRecord{Scale: *scale, Nodes: sc.Nodes}
-	ran := 0
-	for _, e := range bench.Experiments {
-		if !want["all"] && !want[e.ID] {
-			continue
+}
+
+func run(sc bench.Scale, record *bench.CIRecord, transport, peers, exp, jsonPath string) error {
+	// Pick the transport suite's runner: the in-process engine, or a
+	// driver over rexnode worker processes.
+	var runner bench.Runner
+	switch transport {
+	case "inproc":
+		runner = job.RunInProc
+	case "tcp":
+		var cl *job.Cluster
+		var err error
+		if peers != "" {
+			cl, err = job.Connect(job.ParsePeers(peers))
+		} else {
+			fmt.Printf("spawning %d local rexnode daemons\n", sc.Nodes)
+			cl, err = job.SpawnLocal(sc.Nodes, os.Args[0], []string{"-node"})
 		}
-		ran++
-		start := time.Now()
-		if err := e.Run(os.Stdout, sc); err != nil {
-			fmt.Fprintf(os.Stderr, "rexbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		dur := time.Since(start)
-		record.Experiments = append(record.Experiments, bench.CIExperiment{
-			ID: e.ID, Millis: float64(dur) / float64(time.Millisecond),
-		})
-		fmt.Printf("\n[%s completed in %v]\n", e.ID, dur.Round(time.Millisecond))
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "rexbench: no experiment matches %q (use -list)\n", *exp)
-		os.Exit(1)
-	}
-	if *jsonPath != "" {
-		wire, err := bench.WireBench(sc)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rexbench: wire benchmark: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		record.Wire = wire
-		f, err := os.Create(*jsonPath)
+		defer cl.Close()
+		fmt.Printf("tcp cluster: %s\n", strings.Join(cl.Addrs(), " "))
+		// The peer list, not the default scale, decides the cluster
+		// size: keep the suite specs and the JSON record honest.
+		sc.Nodes = len(cl.Addrs())
+		record.Nodes = sc.Nodes
+		runner = cl.Run
+	default:
+		return fmt.Errorf("unknown transport %q (inproc | tcp)", transport)
+	}
+
+	// Figure experiments measure the simulated substrate; they run only
+	// in-process.
+	if transport == "inproc" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(exp, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		ran := 0
+		for _, e := range bench.Experiments {
+			if !want["all"] && !want[e.ID] {
+				continue
+			}
+			ran++
+			start := time.Now()
+			if err := e.Run(os.Stdout, sc); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			dur := time.Since(start)
+			record.Experiments = append(record.Experiments, bench.CIExperiment{
+				ID: e.ID, Millis: float64(dur) / float64(time.Millisecond),
+			})
+			fmt.Printf("\n[%s completed in %v]\n", e.ID, dur.Round(time.Millisecond))
+		}
+		if ran == 0 {
+			return fmt.Errorf("no experiment matches %q (use -list)", exp)
+		}
+	}
+
+	// The transport suite runs on every backend: identical plans and
+	// seeds, so its result hashes are comparable across transports.
+	suite, err := bench.TransportSuite(os.Stdout, sc, transport, runner)
+	if err != nil {
+		return err
+	}
+	record.Suite = suite
+
+	if jsonPath != "" {
+		if transport == "inproc" {
+			wire, err := bench.WireBench(sc)
+			if err != nil {
+				return fmt.Errorf("wire benchmark: %w", err)
+			}
+			record.Wire = wire
+		}
+		f, err := os.Create(jsonPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rexbench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		werr := record.WriteJSON(f)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
-			fmt.Fprintf(os.Stderr, "rexbench: write %s: %v\n", *jsonPath, werr)
-			os.Exit(1)
+			return fmt.Errorf("write %s: %w", jsonPath, werr)
 		}
-		fmt.Printf("\n[summary written to %s]\n", *jsonPath)
+		fmt.Printf("\n[summary written to %s]\n", jsonPath)
 	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rexbench: "+format+"\n", args...)
+	os.Exit(1)
 }

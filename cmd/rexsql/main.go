@@ -1,12 +1,17 @@
-// Command rexsql loads a generated dataset into a simulated REX cluster
-// and executes an RQL query against it, printing the result rows and the
-// per-stratum Δ statistics for recursive queries.
+// Command rexsql loads a generated dataset into a REX cluster and
+// executes an RQL query against it, printing the result rows and the
+// per-stratum Δ statistics for recursive queries. With -transport tcp the
+// cluster is real OS processes (rexnode daemons) instead of goroutines:
+// each daemon rebuilds the catalog, compiles the same query, and loads
+// its partition of the same deterministic dataset.
 //
 // Usage:
 //
 //	rexsql -nodes 4 -dataset dbpedia -q 'SELECT srcId, count(*) FROM graph GROUP BY srcId'
 //	rexsql -dataset lineitem -q 'SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1'
 //	rexsql -dataset dbpedia -pagerank            # runs the Listing 1 PageRank query
+//	rexsql -transport tcp -dataset dbpedia -pagerank             # spawn daemons, run over sockets
+//	rexsql -transport tcp -peers h1:7101,h2:7102 -q '...'        # drive running daemons
 package main
 
 import (
@@ -17,53 +22,53 @@ import (
 
 	"github.com/rex-data/rex"
 	"github.com/rex-data/rex/internal/algos"
+	"github.com/rex-data/rex/internal/catalog"
 	"github.com/rex-data/rex/internal/datagen"
+	"github.com/rex-data/rex/internal/job"
+	"github.com/rex-data/rex/internal/noded"
 	"github.com/rex-data/rex/internal/types"
 )
 
+// datasetSeeds keeps TCP runs byte-identical to the historical in-process
+// datasets.
+var datasetSeeds = map[string]int64{"dbpedia": 1, "twitter": 2, "lineitem": 4, "points": 3}
+
 func main() {
-	nodes := flag.Int("nodes", 4, "simulated worker count")
+	nodes := flag.Int("nodes", 4, "worker count")
 	dataset := flag.String("dataset", "dbpedia", "dbpedia | twitter | lineitem | points")
 	size := flag.Int("size", 2000, "dataset size (vertices / rows / points)")
 	query := flag.String("q", "", "RQL query to run")
 	pagerank := flag.Bool("pagerank", false, "run the built-in Listing 1 PageRank query")
 	limit := flag.Int("limit", 20, "max result rows to print")
+	transport := flag.String("transport", "inproc", "transport backend: inproc | tcp")
+	peers := flag.String("peers", "", "comma-separated rexnode addresses for -transport tcp; spawns local daemons when empty")
+	nodeMode := flag.Bool("node", false, "run as a rexnode worker daemon (internal)")
+	listen := flag.String("listen", "127.0.0.1:0", "daemon listen address (with -node)")
 	flag.Parse()
 
-	c := rex.NewCluster(rex.ClusterConfig{Nodes: *nodes})
-	switch *dataset {
-	case "dbpedia", "twitter":
-		c.MustCreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0)
-		var g *datagen.Graph
-		if *dataset == "dbpedia" {
-			g = datagen.DBPediaGraph(*size, 1)
-		} else {
-			g = datagen.TwitterGraph(*size, 2)
+	if *nodeMode {
+		n, err := noded.Listen(*listen, os.Stderr)
+		if err != nil {
+			fatal(err)
 		}
-		c.MustLoad("graph", g.Edges)
-		fmt.Printf("loaded graph: %d vertices, %d edges\n", g.NumVertices, len(g.Edges))
-	case "lineitem":
-		c.MustCreateTable("lineitem", rex.Schema(datagen.LineItemSchema...), 0)
-		rows := datagen.LineItems(*size, 4)
-		c.MustLoad("lineitem", rows)
-		fmt.Printf("loaded lineitem: %d rows\n", len(rows))
-	case "points":
-		c.MustCreateTable("points", rex.Schema("id:Integer", "x:Double", "y:Double"), 0)
-		pts := datagen.GeoPoints(*size, 8, 1, 3)
-		c.MustLoad("points", pts)
-		fmt.Printf("loaded points: %d\n", len(pts))
-	default:
-		fmt.Fprintf(os.Stderr, "rexsql: unknown dataset %q\n", *dataset)
-		os.Exit(1)
+		fmt.Printf("%s%s\n", job.SpawnPrefix, n.Addr())
+		if err := n.Serve(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	q := *query
+	handlers := ""
+	var prCfg algos.PageRankConfig
 	if *pagerank {
-		cfg := algos.PageRankConfig{Epsilon: 0.001, Delta: true}
-		jn, wn, err := algos.RegisterPageRank(c.Catalog(), cfg)
+		prCfg = algos.PageRankConfig{Epsilon: 0.001, Delta: true}
+		handlers = "pagerank"
+		// Handler names are deterministic per config; a throwaway catalog
+		// yields them without touching the execution catalog.
+		jn, wn, err := algos.RegisterPageRank(catalog.New(), prCfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rexsql:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		q = `
 WITH PR (srcId, pr) AS (
@@ -80,11 +85,44 @@ WITH PR (srcId, pr) AS (
 		os.Exit(1)
 	}
 
-	res, err := c.QueryWithOptions(q, rex.Options{MaxStrata: 500})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rexsql:", err)
-		os.Exit(1)
+	var res *rex.Result
+	switch *transport {
+	case "inproc":
+		res = runInProc(*nodes, *dataset, *size, q, handlers, prCfg)
+	case "tcp":
+		seed, ok := datasetSeeds[*dataset]
+		if !ok {
+			fatal(fmt.Errorf("unknown dataset %q", *dataset))
+		}
+		spec := &job.Spec{
+			Workload: "rql", Dataset: *dataset, Size: *size, Seed: seed,
+			Query: q, Handlers: handlers, Nodes: *nodes, MaxStrata: 500,
+			Epsilon: prCfg.Epsilon, Delta: prCfg.Delta,
+			// Match rex.NewCluster's ring defaults so -transport tcp
+			// partitions (and therefore accumulates) exactly like the
+			// inproc path of the same command.
+			VNodes: 64, Replication: 3,
+		}
+		var cl *job.Cluster
+		var err error
+		if *peers != "" {
+			cl, err = job.Connect(job.ParsePeers(*peers))
+		} else {
+			fmt.Printf("spawning %d local rexnode daemons\n", *nodes)
+			cl, err = job.SpawnLocal(*nodes, os.Args[0], []string{"-node"})
+		}
+		if err != nil {
+			fatal(err)
+		}
+		res, err = cl.Run(spec, nil)
+		cl.Close()
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown transport %q (inproc | tcp)", *transport))
 	}
+
 	fmt.Printf("\n%d result rows in %v (%d bytes shipped)\n", len(res.Tuples), res.Duration, res.BytesSent)
 	sort.Slice(res.Tuples, func(i, j int) bool {
 		return types.ValueCompare(res.Tuples[i][0], res.Tuples[j][0]) < 0
@@ -102,4 +140,49 @@ WITH PR (srcId, pr) AS (
 			fmt.Printf("  stratum %2d: %6d new tuples in %v\n", s.Stratum, s.NewTuples, s.Duration.Round(10e3))
 		}
 	}
+}
+
+// runInProc keeps the historical single-process path through the public
+// API (it registers handlers and loads data through rex.Cluster).
+func runInProc(nodes int, dataset string, size int, q, handlers string, prCfg algos.PageRankConfig) *rex.Result {
+	c := rex.NewCluster(rex.ClusterConfig{Nodes: nodes})
+	switch dataset {
+	case "dbpedia", "twitter":
+		c.MustCreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0)
+		var g *datagen.Graph
+		if dataset == "dbpedia" {
+			g = datagen.DBPediaGraph(size, datasetSeeds["dbpedia"])
+		} else {
+			g = datagen.TwitterGraph(size, datasetSeeds["twitter"])
+		}
+		c.MustLoad("graph", g.Edges)
+		fmt.Printf("loaded graph: %d vertices, %d edges\n", g.NumVertices, len(g.Edges))
+	case "lineitem":
+		c.MustCreateTable("lineitem", rex.Schema(datagen.LineItemSchema...), 0)
+		rows := datagen.LineItems(size, datasetSeeds["lineitem"])
+		c.MustLoad("lineitem", rows)
+		fmt.Printf("loaded lineitem: %d rows\n", len(rows))
+	case "points":
+		c.MustCreateTable("points", rex.Schema("id:Integer", "x:Double", "y:Double"), 0)
+		pts := datagen.GeoPoints(size, 8, 1, datasetSeeds["points"])
+		c.MustLoad("points", pts)
+		fmt.Printf("loaded points: %d\n", len(pts))
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", dataset))
+	}
+	if handlers == "pagerank" {
+		if _, _, err := algos.RegisterPageRank(c.Catalog(), prCfg); err != nil {
+			fatal(err)
+		}
+	}
+	res, err := c.QueryWithOptions(q, rex.Options{MaxStrata: 500})
+	if err != nil {
+		fatal(err)
+	}
+	return res
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rexsql:", err)
+	os.Exit(1)
 }

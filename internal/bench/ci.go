@@ -15,10 +15,15 @@ import (
 
 // CIRecord is the top-level JSON document.
 type CIRecord struct {
-	Scale       float64        `json:"scale"`
-	Nodes       int            `json:"nodes"`
+	Scale float64 `json:"scale"`
+	Nodes int     `json:"nodes"`
+	// Transport names the backend the suite ran on (inproc | tcp).
+	Transport   string         `json:"transport,omitempty"`
 	Experiments []CIExperiment `json:"experiments"`
-	Wire        []CIWire       `json:"wire"`
+	Wire        []CIWire       `json:"wire,omitempty"`
+	// Suite holds the transport-comparison workloads; records from an
+	// inproc run and a tcp run should agree on result_hash exactly.
+	Suite []CIWire `json:"suite,omitempty"`
 }
 
 // CIExperiment records one figure run.
@@ -31,11 +36,14 @@ type CIExperiment struct {
 // the shuffle compactor's delta counts for a workload at this scale.
 type CIWire struct {
 	Workload   string  `json:"workload"`
+	Transport  string  `json:"transport,omitempty"`
 	Compaction bool    `json:"compaction"`
 	WireBytes  int64   `json:"wire_bytes"`
 	DeltasIn   int64   `json:"deltas_in"`
 	DeltasOut  int64   `json:"deltas_out"`
 	ResultRows int     `json:"result_rows"`
+	Strata     int     `json:"strata,omitempty"`
+	ResultHash string  `json:"result_hash,omitempty"`
 	Millis     float64 `json:"ms"`
 }
 

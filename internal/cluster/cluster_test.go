@@ -190,7 +190,7 @@ func TestMailboxConcurrent(t *testing.T) {
 }
 
 func TestTransportAccountingAndFailure(t *testing.T) {
-	tr := NewTransport(3)
+	tr := NewInProcTransport(3)
 	batch := types.Inserts(types.NewTuple(int64(1), 2.5))
 	n := tr.SendData(0, 1, 7, 0, 0, batch)
 	if n <= 0 {
@@ -243,7 +243,7 @@ func TestTransportAccountingAndFailure(t *testing.T) {
 }
 
 func TestTransportBroadcastAndDecision(t *testing.T) {
-	tr := NewTransport(3)
+	tr := NewInProcTransport(3)
 	tr.Broadcast(Message{From: -1, Kind: MsgDecision, Stratum: 2, Terminate: true})
 	for i := 0; i < 3; i++ {
 		msg, ok := tr.Inbox(NodeID(i)).Get()
@@ -267,7 +267,7 @@ func TestTransportBroadcastAndDecision(t *testing.T) {
 }
 
 func TestSendOutOfRange(t *testing.T) {
-	tr := NewTransport(1)
+	tr := NewInProcTransport(1)
 	tr.Send(Message{From: 0, To: 99}) // must not panic
 	tr.Send(Message{From: 0, To: -1})
 }

@@ -133,7 +133,7 @@ func TestCompactorKeepsPerKeyOrder(t *testing.T) {
 // must neither panic nor leak previously buffered frames into the revived
 // node's fresh mailbox.
 func TestKillReviveWithInFlightBatches(t *testing.T) {
-	tr := NewTransport(3)
+	tr := NewInProcTransport(3)
 	batch := types.Inserts(
 		types.NewTuple(int64(1), "payload", 2.5),
 		types.NewTuple(int64(2), "payload", 3.5),

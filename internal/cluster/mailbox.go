@@ -1,0 +1,84 @@
+package cluster
+
+import "sync"
+
+// Mailbox is an unbounded FIFO queue. Unboundedness matters: worker loops
+// both send and receive, and bounded channels could deadlock on cyclic
+// recursive flows (fixpoint feeds data back upstream).
+type Mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	head   int // index of the next message to dequeue
+	closed bool
+}
+
+// mailboxCompactAt bounds the drained prefix a mailbox retains: once the
+// head index passes it (and at least half the slice is drained) the live
+// tail is copied to the front so the backing array — and the payloads of
+// every drained message — can be reclaimed.
+const mailboxCompactAt = 64
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox() *Mailbox {
+	m := &Mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Put enqueues a message; no-op after Close.
+func (m *Mailbox) Put(msg Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+}
+
+// Get blocks until a message is available or the mailbox is closed.
+func (m *Mailbox) Get() (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.head == len(m.queue) && !m.closed {
+		m.cond.Wait()
+	}
+	if m.head == len(m.queue) {
+		return Message{}, false
+	}
+	msg := m.queue[m.head]
+	// Zero the slot so the drained message's payload is collectible even
+	// while the backing array lives on.
+	m.queue[m.head] = Message{}
+	m.head++
+	switch {
+	case m.head == len(m.queue):
+		// Drained: reuse the array from the start.
+		m.queue = m.queue[:0]
+		m.head = 0
+	case m.head >= mailboxCompactAt && m.head*2 >= len(m.queue):
+		n := copy(m.queue, m.queue[m.head:])
+		for i := n; i < len(m.queue); i++ {
+			m.queue[i] = Message{}
+		}
+		m.queue = m.queue[:n]
+		m.head = 0
+	}
+	return msg, true
+}
+
+// Close wakes all waiters; subsequent Gets drain then report closed.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// Len reports the queued message count.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue) - m.head
+}

@@ -1,12 +1,15 @@
-// Package cluster simulates REX's shared-nothing cluster substrate (§4.1):
-// worker nodes, a TCP-like message transport with batching and per-node
+// Package cluster is REX's shared-nothing cluster substrate (§4.1):
+// worker nodes, a pluggable message transport with batching and per-node
 // bandwidth accounting, a consistent-hashing ring with data replication,
 // partition snapshots distributed with each query, and failure injection
 // with detection by the query requestor.
 //
-// The cluster runs in-process — every worker is an event loop on its own
-// goroutine — but all cross-node data still passes through the binary codec
-// so that the bandwidth experiments measure real serialized bytes.
+// The Transport interface has two backends. InProcTransport runs every
+// worker as an event loop on its own goroutine, with all cross-node data
+// still passing through the binary codec so the bandwidth experiments
+// measure real serialized bytes. TCPTransport runs each worker in its own
+// OS process (see cmd/rexnode) and carries the same wire frames over real
+// sockets with length-prefixed framing.
 package cluster
 
 import (

@@ -1,10 +1,6 @@
 package cluster
 
 import (
-	"fmt"
-	"sync"
-	"sync/atomic"
-
 	"github.com/rex-data/rex/internal/types"
 )
 
@@ -33,6 +29,30 @@ const (
 	// MsgError reports a fatal operator error to the requestor; the error
 	// text travels in the Table field.
 	MsgError
+	// MsgJob ships a serialized job description to a worker daemon: the
+	// recipe from which the remote process rebuilds the catalog, plan,
+	// and its data partition before the query starts (multi-process
+	// execution only; in-process transports never see it).
+	MsgJob
+	// MsgJobReady acknowledges a MsgJob: the worker built its plan and
+	// loaded its partition, and is ready for MsgStart.
+	MsgJobReady
+	// MsgKill tells a remote worker daemon the driver declared it dead
+	// (failure injection over a real network).
+	MsgKill
+	// MsgRevive re-arms a remote worker after a MsgKill.
+	MsgRevive
+	// MsgStatsReq asks a worker daemon for its cumulative transport
+	// counters.
+	MsgStatsReq
+	// MsgStats answers a MsgStatsReq; the counters travel in Payload.
+	MsgStats
+	// MsgQuit terminates a worker daemon process.
+	MsgQuit
+	// MsgCancel is a local-only sentinel: it never crosses the wire.
+	// Timed waits on the requestor mailbox inject it so their collector
+	// goroutine unblocks and exits instead of consuming frames forever.
+	MsgCancel
 )
 
 // Message is one transport frame. Data frames carry the encoded batch in
@@ -55,311 +75,70 @@ type Message struct {
 	// requestor re-runs the query under a new epoch and workers drop
 	// frames from stale epochs.
 	Epoch int
+	// Job identifies the job generation on multi-process transports:
+	// every query run bumps it, and receivers drop frames from stale
+	// generations (a socket can still carry a prior run's stragglers
+	// when the next one starts). Always zero in-process.
+	Job int
 	// Table names the checkpoint target for MsgCheckpoint frames.
 	Table string
 }
 
-// Mailbox is an unbounded FIFO queue. Unboundedness matters: worker loops
-// both send and receive, and bounded channels could deadlock on cyclic
-// recursive flows (fixpoint feeds data back upstream).
-type Mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Message
-	closed bool
+// Transport connects worker nodes and the query requestor. The executor is
+// written against this interface only, so the same engine, operators, and
+// recovery protocol run over the in-process mailbox fabric
+// (InProcTransport) or real sockets (TCPTransport).
+//
+// Node -1 is the requestor everywhere: control frames from the requestor
+// carry From=-1, and requestor-bound traffic travels via SendToRequestor.
+type Transport interface {
+	// N reports the worker count.
+	N() int
+	// LocalNodes lists the workers whose event loops run in this
+	// process: all of them in-process, exactly one inside a worker
+	// daemon, none on a TCP driver (its workers live in other
+	// processes).
+	LocalNodes() []NodeID
+	// Metrics exposes the per-node transport counters. On multi-process
+	// transports the driver's view of remote counters is refreshed by
+	// SyncMetrics (see MetricsSyncer).
+	Metrics() *Metrics
+	// Inbox returns the mailbox of worker n. Only valid for local nodes.
+	Inbox(n NodeID) *Mailbox
+	// Requestor returns the requestor's mailbox (driver side only).
+	Requestor() *Mailbox
+	// Alive reports whether node n is currently alive.
+	Alive(n NodeID) bool
+	// AliveNodes lists currently alive nodes.
+	AliveNodes() []NodeID
+	// Kill marks node n dead, drops its traffic, and notifies the
+	// requestor — the failure-injection path of §4.1/§4.3.
+	Kill(n NodeID)
+	// Revive restores a node so successive runs can reuse one cluster.
+	Revive(n NodeID)
+	// Send routes msg to its destination worker. Inter-node frames are
+	// wire-encoded and their measured size accounted; loopback
+	// self-sends skip the wire and the counters.
+	Send(msg Message)
+	// SendData encodes and ships a delta batch along a plan edge,
+	// returning the encoded payload size.
+	SendData(from, to NodeID, edge, stratum, epoch int, batch []types.Delta) int
+	// SendToRequestor delivers a control frame to the requestor.
+	SendToRequestor(msg Message)
+	// Broadcast sends msg to every alive worker (used for decisions).
+	Broadcast(msg Message)
+	// InboxLen reports the queue depth of worker n's mailbox where the
+	// transport can observe it (0 for dead, remote, or out-of-range
+	// nodes). Compacting senders use it as a soft backpressure signal.
+	InboxLen(n NodeID) int
+	// Close releases transport resources (sockets, listeners, mailboxes).
+	Close() error
 }
 
-// NewMailbox creates an empty mailbox.
-func NewMailbox() *Mailbox {
-	m := &Mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-// Put enqueues a message; no-op after Close.
-func (m *Mailbox) Put(msg Message) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return
-	}
-	m.queue = append(m.queue, msg)
-	m.cond.Signal()
-}
-
-// Get blocks until a message is available or the mailbox is closed.
-func (m *Mailbox) Get() (Message, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
-		m.cond.Wait()
-	}
-	if len(m.queue) == 0 {
-		return Message{}, false
-	}
-	msg := m.queue[0]
-	m.queue = m.queue[1:]
-	return msg, true
-}
-
-// Close wakes all waiters; subsequent Gets drain then report closed.
-func (m *Mailbox) Close() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.closed = true
-	m.cond.Broadcast()
-}
-
-// Len reports the queued message count.
-func (m *Mailbox) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.queue)
-}
-
-// Metrics aggregates transport statistics. The bandwidth figures of §6.5
-// read BytesSent: "we measured the total amount of data sent by each node".
-// BytesSent counts encoded frame bytes — the measured wire volume, not an
-// estimate. CompactIn/CompactOut count deltas entering and leaving the
-// shuffle compactors, so callers can report the compaction ratio.
-type Metrics struct {
-	BytesSent     []atomic.Int64
-	BytesReceived []atomic.Int64
-	MessagesSent  []atomic.Int64
-	TuplesSent    []atomic.Int64
-	CompactIn     []atomic.Int64
-	CompactOut    []atomic.Int64
-}
-
-// NewMetrics sizes counters for n nodes.
-func NewMetrics(n int) *Metrics {
-	return &Metrics{
-		BytesSent:     make([]atomic.Int64, n),
-		BytesReceived: make([]atomic.Int64, n),
-		MessagesSent:  make([]atomic.Int64, n),
-		TuplesSent:    make([]atomic.Int64, n),
-		CompactIn:     make([]atomic.Int64, n),
-		CompactOut:    make([]atomic.Int64, n),
-	}
-}
-
-// TotalBytesSent sums sent bytes over all nodes.
-func (m *Metrics) TotalBytesSent() int64 {
-	var t int64
-	for i := range m.BytesSent {
-		t += m.BytesSent[i].Load()
-	}
-	return t
-}
-
-// TotalCompaction sums the shuffle compactor in/out delta counts.
-func (m *Metrics) TotalCompaction() (in, out int64) {
-	for i := range m.CompactIn {
-		in += m.CompactIn[i].Load()
-		out += m.CompactOut[i].Load()
-	}
-	return in, out
-}
-
-// Reset zeroes all counters.
-func (m *Metrics) Reset() {
-	for i := range m.BytesSent {
-		m.BytesSent[i].Store(0)
-		m.BytesReceived[i].Store(0)
-		m.MessagesSent[i].Store(0)
-		m.TuplesSent[i].Store(0)
-		m.CompactIn[i].Store(0)
-		m.CompactOut[i].Store(0)
-	}
-}
-
-// Transport connects the worker nodes and the requestor. It models the
-// paper's batched TCP links: data is encoded once at send time, byte counts
-// accumulate per node, and frames to dead nodes vanish (the network drops
-// them; the requestor learns of the death separately).
-type Transport struct {
-	n         int
-	inboxes   []*Mailbox
-	requestor *Mailbox
-	metrics   *Metrics
-
-	mu    sync.Mutex
-	alive []bool
-}
-
-// NewTransport creates a transport for n worker nodes plus one requestor.
-func NewTransport(n int) *Transport {
-	t := &Transport{
-		n:         n,
-		inboxes:   make([]*Mailbox, n),
-		requestor: NewMailbox(),
-		metrics:   NewMetrics(n),
-		alive:     make([]bool, n),
-	}
-	for i := range t.inboxes {
-		t.inboxes[i] = NewMailbox()
-		t.alive[i] = true
-	}
-	return t
-}
-
-// N reports the worker count.
-func (t *Transport) N() int { return t.n }
-
-// Metrics exposes the transport counters.
-func (t *Transport) Metrics() *Metrics { return t.metrics }
-
-// Inbox returns the mailbox of worker n.
-func (t *Transport) Inbox(n NodeID) *Mailbox { return t.inboxes[n] }
-
-// Requestor returns the requestor's mailbox.
-func (t *Transport) Requestor() *Mailbox { return t.requestor }
-
-// Alive reports whether node n is currently alive.
-func (t *Transport) Alive(n NodeID) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.alive[n]
-}
-
-// AliveNodes lists currently alive nodes.
-func (t *Transport) AliveNodes() []NodeID {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]NodeID, 0, t.n)
-	for i, a := range t.alive {
-		if a {
-			out = append(out, NodeID(i))
-		}
-	}
-	return out
-}
-
-// Kill marks node n dead, drops its queued traffic, and notifies the
-// requestor — the failure-detection path of §4.1/§4.3.
-func (t *Transport) Kill(n NodeID) {
-	t.mu.Lock()
-	wasAlive := t.alive[n]
-	t.alive[n] = false
-	t.mu.Unlock()
-	if !wasAlive {
-		return
-	}
-	t.inboxes[n].Close()
-	t.requestor.Put(Message{From: n, Kind: MsgFailure})
-}
-
-// Revive restores a node (fresh mailbox) so successive experiment runs can
-// reuse one cluster.
-func (t *Transport) Revive(n NodeID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.alive[n] {
-		return
-	}
-	t.alive[n] = true
-	t.inboxes[n] = NewMailbox()
-}
-
-// Send routes msg to its destination worker over the simulated link:
-// inter-node frames are wire-encoded, their frame size accounted, then
-// decoded on the receiving side — what arrives is what survived
-// serialization, and BytesSent is the measured wire volume. Frames to dead
-// nodes are dropped. Self-sends are delivered (loopback, never encoded)
-// and not counted as network traffic; requestor traffic (From=-1) is
-// control-plane and also skips the wire.
-func (t *Transport) Send(msg Message) {
-	if msg.To < 0 || int(msg.To) >= t.n {
-		return
-	}
-	t.mu.Lock()
-	aliveTo := t.alive[msg.To]
-	aliveFrom := msg.From < 0 || t.alive[msg.From] // requestor is From=-1
-	inbox := t.inboxes[msg.To]
-	t.mu.Unlock()
-	if !aliveFrom {
-		return // a dead node sends nothing
-	}
-	if msg.From != msg.To && msg.From >= 0 {
-		frame := EncodeFrame(msg)
-		sz := int64(len(frame))
-		t.metrics.BytesSent[msg.From].Add(sz)
-		t.metrics.MessagesSent[msg.From].Add(1)
-		t.metrics.TuplesSent[msg.From].Add(int64(msg.Count))
-		if !aliveTo {
-			return // dropped on the floor: the sender still paid the bytes
-		}
-		t.metrics.BytesReceived[msg.To].Add(sz)
-		decoded, err := DecodeFrame(frame)
-		if err != nil {
-			// A frame that fails to round-trip is a codec bug, not a
-			// runtime condition; fail loudly rather than deliver garbage.
-			panic(fmt.Sprintf("cluster: wire frame round-trip: %v", err))
-		}
-		msg = decoded
-	}
-	if !aliveTo {
-		return
-	}
-	inbox.Put(msg)
-}
-
-// SendData encodes and ships a delta batch along a plan edge using the
-// dictionary wire format; it is the shuffle path's send primitive. It
-// returns the encoded payload size — note Metrics.BytesSent records the
-// full frame (payload plus header), so do not add the return value to
-// those counters.
-func (t *Transport) SendData(from, to NodeID, edge, stratum, epoch int, batch []types.Delta) int {
-	payload := EncodeDeltas(batch)
-	t.Send(Message{
-		From: from, To: to, Edge: edge, Stratum: stratum,
-		Kind: MsgData, Payload: payload, Count: len(batch), Epoch: epoch,
-	})
-	return len(payload)
-}
-
-// InboxLen reports the queue depth of worker n's mailbox (0 for dead or
-// out-of-range nodes). Compacting senders use it as the backpressure
-// high-water signal: rather than flooding a backlogged peer they hold
-// deltas back for further coalescing.
-func (t *Transport) InboxLen(n NodeID) int {
-	if n < 0 || int(n) >= t.n {
-		return 0
-	}
-	t.mu.Lock()
-	alive := t.alive[n]
-	inbox := t.inboxes[n]
-	t.mu.Unlock()
-	if !alive {
-		return 0
-	}
-	return inbox.Len()
-}
-
-// SendToRequestor delivers a control frame to the requestor.
-func (t *Transport) SendToRequestor(msg Message) {
-	t.mu.Lock()
-	aliveFrom := msg.From < 0 || t.alive[msg.From]
-	t.mu.Unlock()
-	if !aliveFrom {
-		return
-	}
-	t.requestor.Put(msg)
-}
-
-// Broadcast sends msg to every alive worker (used for decisions).
-func (t *Transport) Broadcast(msg Message) {
-	for _, n := range t.AliveNodes() {
-		m := msg
-		m.To = n
-		t.Send(m)
-	}
-}
-
-// CloseAll closes every mailbox; used at query teardown.
-func (t *Transport) CloseAll() {
-	for _, in := range t.inboxes {
-		in.Close()
-	}
-	t.requestor.Close()
+// MetricsSyncer is implemented by transports whose per-node counters live
+// in other processes: SyncMetrics pulls the remote counters into the local
+// Metrics so totals reflect measured wire traffic. The engine calls it
+// after a successful run, before reading byte counts.
+type MetricsSyncer interface {
+	SyncMetrics() error
 }

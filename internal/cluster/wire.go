@@ -50,6 +50,7 @@ func EncodeFrame(msg Message) []byte {
 	buf = binary.AppendVarint(buf, int64(msg.Stratum))
 	buf = binary.AppendVarint(buf, int64(msg.Count))
 	buf = binary.AppendVarint(buf, int64(msg.Epoch))
+	buf = binary.AppendVarint(buf, int64(msg.Job))
 	buf = binary.AppendUvarint(buf, uint64(len(msg.Table)))
 	buf = append(buf, msg.Table...)
 	buf = binary.AppendUvarint(buf, uint64(len(msg.Payload)))
@@ -104,6 +105,10 @@ func DecodeFrame(buf []byte) (Message, error) {
 		return msg, err
 	}
 	msg.Epoch = int(v)
+	if v, err = readInt("job"); err != nil {
+		return msg, err
+	}
+	msg.Job = int(v)
 	// Length fields compare as uint64 against the remaining bytes so a
 	// forged huge length cannot overflow int and slip past the check.
 	tl, n := binary.Uvarint(buf[off:])

@@ -26,6 +26,14 @@ const (
 	RecoveryIncremental
 )
 
+// Option defaults shared by Engine.Run and NewWorker (a remote worker
+// must normalize the same way the engine does, or the two sides of a
+// query would batch differently).
+const (
+	defaultBatchSize = 1024
+	defaultHighWater = 64
+)
+
 // Options tune one query execution.
 type Options struct {
 	// BatchSize is the transport batching granularity (default 1024).
@@ -72,7 +80,8 @@ type Result struct {
 	Strata   []StratumStats
 	Duration time.Duration
 	// BytesSent is the measured wire volume of the run: encoded frame
-	// bytes shipped between workers (loopback excluded).
+	// bytes shipped between workers (loopback excluded). Over TCP this
+	// is measured socket bytes, length prefixes included.
 	BytesSent int64
 	// CompactIn/CompactOut count deltas entering and leaving the shuffle
 	// compactors (both zero when Options.Compaction is off); their ratio
@@ -82,33 +91,51 @@ type Result struct {
 	Recoveries int
 }
 
-// Engine executes physical plans on the simulated cluster. One Engine can
-// run many queries sequentially; it owns no per-query state.
+// Engine executes physical plans on a REX cluster. It talks to the
+// workers only through the cluster.Transport interface, so the same
+// engine drives the in-process fabric (every node a goroutine in this
+// process) and real multi-process deployments (a TCP driver transport
+// with zero local nodes, the workers living in rexnode daemons). One
+// Engine can run many queries sequentially; it owns no per-query state.
 type Engine struct {
-	Transport *cluster.Transport
+	Transport cluster.Transport
 	Ring      *cluster.Ring
-	Stores    []*storage.Store
-	Ckpts     []*storage.CheckpointStore
-	Catalog   *catalog.Catalog
+	// Stores/Ckpts are indexed by node; entries are nil for nodes whose
+	// event loops run in other processes.
+	Stores  []*storage.Store
+	Ckpts   []*storage.CheckpointStore
+	Catalog *catalog.Catalog
 
 	queryCounter atomic.Int64
 }
 
-// NewEngine assembles an engine over n simulated worker nodes.
+// NewEngine assembles an engine over n in-process worker nodes.
 func NewEngine(n, vnodes, replication int, cat *catalog.Catalog) *Engine {
+	return NewEngineOn(cluster.NewInProcTransport(n), vnodes, replication, cat)
+}
+
+// NewEngineOn assembles an engine over an existing transport. Storage is
+// allocated only for the transport's local nodes; remote nodes own their
+// storage in their own processes.
+func NewEngineOn(tr cluster.Transport, vnodes, replication int, cat *catalog.Catalog) *Engine {
+	n := tr.N()
 	e := &Engine{
-		Transport: cluster.NewTransport(n),
+		Transport: tr,
 		Ring:      cluster.NewRing(n, vnodes, replication),
+		Stores:    make([]*storage.Store, n),
+		Ckpts:     make([]*storage.CheckpointStore, n),
 		Catalog:   cat,
 	}
-	for i := 0; i < n; i++ {
-		e.Stores = append(e.Stores, storage.NewStore(cluster.NodeID(i)))
-		e.Ckpts = append(e.Ckpts, storage.NewCheckpointStore())
+	for _, i := range tr.LocalNodes() {
+		e.Stores[i] = storage.NewStore(i)
+		e.Ckpts[i] = storage.NewCheckpointStore()
 	}
 	return e
 }
 
-// Load distributes a dataset to the workers' replicated local storage.
+// Load distributes a dataset to the local workers' replicated storage.
+// Partitions owned by remote nodes are skipped — their daemons load the
+// same deterministic dataset themselves from the job description.
 func (e *Engine) Load(table string, keyCol int, tuples []types.Tuple) error {
 	l := &storage.Loader{Ring: e.Ring, Stores: e.Stores}
 	return l.Load(table, keyCol, tuples)
@@ -120,10 +147,10 @@ func (e *Engine) Run(spec *PlanSpec, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if opts.BatchSize <= 0 {
-		opts.BatchSize = 1024
+		opts.BatchSize = defaultBatchSize
 	}
 	if opts.CompactionHighWater <= 0 {
-		opts.CompactionHighWater = 64
+		opts.CompactionHighWater = defaultHighWater
 	}
 	maxStrata := spec.MaxStrata
 	if opts.MaxStrata > 0 {
@@ -139,20 +166,22 @@ func (e *Engine) Run(spec *PlanSpec, opts Options) (*Result, error) {
 	compactInBefore, compactOutBefore := e.Transport.Metrics().TotalCompaction()
 	start := time.Now()
 
-	// Spawn one worker loop per currently alive node.
+	// Spawn one worker loop per alive node hosted in this process;
+	// remote nodes run their loops in their own daemons.
 	var wg sync.WaitGroup
 	for _, n := range alive {
-		w := &worker{
-			node: n, transport: e.Transport, store: e.Stores[n],
-			ckpt: e.Ckpts[n], cat: e.Catalog, ring: e.Ring,
-			spec: spec, queryID: queryID, batchSize: opts.BatchSize,
-			checkpoints: opts.Checkpoint,
-			compaction:  opts.Compaction, highWater: opts.CompactionHighWater,
+		if e.Stores[n] == nil {
+			continue
 		}
+		w := NewWorker(WorkerConfig{
+			Node: n, Transport: e.Transport, Store: e.Stores[n],
+			Checkpoints: e.Ckpts[n], Catalog: e.Catalog, Ring: e.Ring,
+			Plan: spec, QueryID: queryID, Options: opts,
+		})
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w.loop()
+			w.Loop()
 		}()
 	}
 
@@ -162,10 +191,19 @@ func (e *Engine) Run(spec *PlanSpec, opts Options) (*Result, error) {
 	e.Transport.Broadcast(cluster.Message{From: -1, Kind: cluster.MsgShutdown})
 	wg.Wait()
 	for _, c := range e.Ckpts {
-		c.Drop(queryID)
+		if c != nil {
+			c.Drop(queryID)
+		}
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Multi-process transports count wire bytes where they are sent;
+	// pull the remote counters over before reading totals.
+	if ms, ok := e.Transport.(cluster.MetricsSyncer); ok {
+		if serr := ms.SyncMetrics(); serr != nil {
+			return nil, serr
+		}
 	}
 	res.Duration = time.Since(start)
 	res.BytesSent = e.Transport.Metrics().TotalBytesSent() - bytesBefore
@@ -180,6 +218,7 @@ func (e *Engine) Run(spec *PlanSpec, opts Options) (*Result, error) {
 // orchestrates recovery (§4.3).
 func (e *Engine) coordinate(spec *PlanSpec, opts Options, queryID string, maxStrata int) (*Result, error) {
 	res := &Result{}
+	acc := newResultSet()
 	epoch := 0
 	resume := 0
 	incremental := false
@@ -229,7 +268,7 @@ func (e *Engine) coordinate(spec *PlanSpec, opts Options, queryID string, maxStr
 			}
 			votes = map[int]map[cluster.NodeID]int{}
 			done = map[cluster.NodeID]bool{}
-			res.Tuples = nil
+			acc = newResultSet()
 			if opts.Recovery == RecoveryIncremental && spec.Recursive() && opts.Checkpoint && completed >= 0 {
 				incremental = true
 				resume = completed
@@ -281,13 +320,14 @@ func (e *Engine) coordinate(spec *PlanSpec, opts Options, queryID string, maxStr
 			if err != nil {
 				return nil, err
 			}
-			res.Tuples = applyResultDeltas(res.Tuples, batch)
+			acc.apply(batch)
 		case cluster.MsgPunct:
 			if msg.Epoch != epoch || msg.Edge != resultEdge {
 				continue
 			}
 			done[msg.From] = true
 			if len(done) == len(alive) {
+				res.Tuples = acc.materialize()
 				return res, nil
 			}
 		}
@@ -303,34 +343,103 @@ func (e *Engine) broadcastDecision(alive []cluster.NodeID, epoch, next int, term
 	}
 }
 
-// applyResultDeltas folds a result batch into the accumulated result set.
-// Final flushes are insert-only; replacement and deletion are handled for
-// completeness of non-recursive pipelines.
-func applyResultDeltas(acc []types.Tuple, batch []types.Delta) []types.Tuple {
+// resultSet accumulates result deltas. Final flushes are insert-only, so
+// the insert path is a bare append; deletions and replacements (possible
+// in non-recursive pipelines) are resolved through a lazily built
+// hash-of-tuple index, keeping large result folds O(n) instead of the
+// O(n²) rescan a per-delta linear search would cost.
+type resultSet struct {
+	tuples []types.Tuple // append-ordered; nil entries are tombstones
+	index  map[uint64][]int
+	dead   int
+	cols   []int // cached 0..n-1 column index for whole-tuple hashing
+}
+
+func newResultSet() *resultSet {
+	return &resultSet{}
+}
+
+func (rs *resultSet) hash(t types.Tuple) uint64 {
+	for len(rs.cols) < len(t) {
+		rs.cols = append(rs.cols, len(rs.cols))
+	}
+	return t.HashKey(rs.cols[:len(t)])
+}
+
+// ensureIndex builds the tuple-hash index on first delete/replace.
+func (rs *resultSet) ensureIndex() {
+	if rs.index != nil {
+		return
+	}
+	rs.index = make(map[uint64][]int, len(rs.tuples))
+	for i, t := range rs.tuples {
+		if t != nil {
+			h := rs.hash(t)
+			rs.index[h] = append(rs.index[h], i)
+		}
+	}
+}
+
+func (rs *resultSet) insert(t types.Tuple) {
+	rs.tuples = append(rs.tuples, t)
+	if rs.index != nil {
+		h := rs.hash(t)
+		rs.index[h] = append(rs.index[h], len(rs.tuples)-1)
+	}
+}
+
+// find locates a live entry equal to t, returning its position in the
+// hash bucket and the tuple index.
+func (rs *resultSet) find(t types.Tuple) (bucketPos, idx int, ok bool) {
+	h := rs.hash(t)
+	for bi, ti := range rs.index[h] {
+		if rs.tuples[ti] != nil && rs.tuples[ti].Equal(t) {
+			return bi, ti, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (rs *resultSet) apply(batch []types.Delta) {
 	for _, d := range batch {
 		switch d.Op {
 		case types.OpInsert, types.OpUpdate:
-			acc = append(acc, d.Tup)
+			rs.insert(d.Tup)
 		case types.OpDelete:
-			for i, t := range acc {
-				if t.Equal(d.Tup) {
-					acc = append(acc[:i], acc[i+1:]...)
-					break
-				}
+			rs.ensureIndex()
+			if bi, ti, ok := rs.find(d.Tup); ok {
+				h := rs.hash(d.Tup)
+				rs.tuples[ti] = nil
+				rs.dead++
+				bucket := rs.index[h]
+				rs.index[h] = append(bucket[:bi], bucket[bi+1:]...)
 			}
 		case types.OpReplace:
-			replaced := false
-			for i, t := range acc {
-				if t.Equal(d.Old) {
-					acc[i] = d.Tup
-					replaced = true
-					break
-				}
-			}
-			if !replaced {
-				acc = append(acc, d.Tup)
+			rs.ensureIndex()
+			if bi, ti, ok := rs.find(d.Old); ok {
+				oldH := rs.hash(d.Old)
+				bucket := rs.index[oldH]
+				rs.index[oldH] = append(bucket[:bi], bucket[bi+1:]...)
+				rs.tuples[ti] = d.Tup
+				newH := rs.hash(d.Tup)
+				rs.index[newH] = append(rs.index[newH], ti)
+			} else {
+				rs.insert(d.Tup)
 			}
 		}
 	}
-	return acc
+}
+
+// materialize returns the live tuples in insertion order.
+func (rs *resultSet) materialize() []types.Tuple {
+	if rs.dead == 0 {
+		return rs.tuples
+	}
+	out := make([]types.Tuple, 0, len(rs.tuples)-rs.dead)
+	for _, t := range rs.tuples {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
 }

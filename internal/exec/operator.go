@@ -50,7 +50,7 @@ type checkpointer interface {
 type Context struct {
 	Node      cluster.NodeID
 	Snap      *cluster.Snapshot
-	Transport *cluster.Transport
+	Transport cluster.Transport
 	Store     *storage.Store
 	Catalog   *catalog.Catalog
 	QueryID   string

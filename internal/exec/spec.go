@@ -7,7 +7,9 @@
 //
 // Worker nodes are single-threaded event loops: within a node operators are
 // push-based synchronous calls, so operator state needs no locks; across
-// nodes, data travels through cluster.Transport as encoded batches.
+// nodes, data travels through the cluster.Transport interface as encoded
+// batches — over in-process mailboxes or real TCP sockets, transparently
+// to every operator.
 package exec
 
 import (

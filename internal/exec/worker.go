@@ -10,11 +10,13 @@ import (
 	"github.com/rex-data/rex/internal/uda"
 )
 
-// worker is one node's query-execution event loop. All operator calls run
-// on this goroutine, so operator state is single-threaded by construction.
-type worker struct {
+// Worker is one node's query-execution event loop. All operator calls run
+// on the Loop goroutine, so operator state is single-threaded by
+// construction. The engine spawns one per local node; a worker daemon
+// (cmd/rexnode) builds one per job over its TCP transport.
+type Worker struct {
 	node        cluster.NodeID
-	transport   *cluster.Transport
+	transport   cluster.Transport
 	store       *storage.Store
 	ckpt        *storage.CheckpointStore
 	cat         *catalog.Catalog
@@ -36,13 +38,52 @@ type worker struct {
 	epoch    int
 }
 
-// loop processes the worker's mailbox until shutdown or mailbox close.
-func (w *worker) loop() {
+// WorkerConfig assembles a Worker. Plan, transport, and storage must
+// already agree on the cluster shape (node count, ring parameters).
+type WorkerConfig struct {
+	Node        cluster.NodeID
+	Transport   cluster.Transport
+	Store       *storage.Store
+	Checkpoints *storage.CheckpointStore
+	Catalog     *catalog.Catalog
+	Ring        *cluster.Ring
+	Plan        *PlanSpec
+	QueryID     string
+	Options     Options
+}
+
+// NewWorker builds a worker over the given runtime, normalizing option
+// defaults the same way Engine.Run does.
+func NewWorker(cfg WorkerConfig) *Worker {
+	opts := cfg.Options
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = defaultBatchSize
+	}
+	if opts.CompactionHighWater <= 0 {
+		opts.CompactionHighWater = defaultHighWater
+	}
+	return &Worker{
+		node: cfg.Node, transport: cfg.Transport, store: cfg.Store,
+		ckpt: cfg.Checkpoints, cat: cfg.Catalog, ring: cfg.Ring,
+		spec: cfg.Plan, queryID: cfg.QueryID, batchSize: opts.BatchSize,
+		checkpoints: opts.Checkpoint,
+		compaction:  opts.Compaction, highWater: opts.CompactionHighWater,
+	}
+}
+
+// Loop processes the worker's inbox until shutdown or mailbox close. It
+// returns true on an orderly shutdown and false when the node was killed
+// (its mailbox closed under it) — a daemon uses the distinction to decide
+// whether to respawn the loop on revival.
+func (w *Worker) Loop() bool {
 	inbox := w.transport.Inbox(w.node)
+	if inbox == nil {
+		return false
+	}
 	for {
 		msg, ok := inbox.Get()
 		if !ok {
-			return // killed: mailbox closed
+			return false // killed: mailbox closed
 		}
 		if err := w.handle(msg); err != nil {
 			w.transport.SendToRequestor(cluster.Message{
@@ -51,12 +92,21 @@ func (w *worker) loop() {
 			})
 		}
 		if msg.Kind == cluster.MsgShutdown {
-			return
+			return true
 		}
 	}
 }
 
-func (w *worker) handle(msg cluster.Message) error {
+// DropQuery discards this worker's checkpoints for its query; daemons
+// call it at job teardown (the engine does the equivalent for local
+// workers).
+func (w *Worker) DropQuery() {
+	if w.ckpt != nil {
+		w.ckpt.Drop(w.queryID)
+	}
+}
+
+func (w *Worker) handle(msg cluster.Message) error {
 	switch msg.Kind {
 	case cluster.MsgShutdown:
 		return nil
@@ -107,7 +157,7 @@ const (
 	startIncremental = 1
 )
 
-func (w *worker) handleStart(msg cluster.Message) error {
+func (w *Worker) handleStart(msg cluster.Message) error {
 	w.epoch = msg.Epoch
 	alive, err := decodeNodeList(msg.Payload)
 	if err != nil {
@@ -144,7 +194,7 @@ func (w *worker) handleStart(msg cluster.Message) error {
 	return nil
 }
 
-func (w *worker) handleCheckpoint(msg cluster.Message) error {
+func (w *Worker) handleCheckpoint(msg cluster.Message) error {
 	batch, err := cluster.DecodeDeltas(msg.Payload)
 	if err != nil {
 		return err
@@ -152,7 +202,18 @@ func (w *worker) handleCheckpoint(msg cluster.Message) error {
 	hashes := make([]uint64, len(batch))
 	tuples := make([]types.Tuple, len(batch))
 	for i, d := range batch {
-		h, _ := types.AsInt(d.Tup[0])
+		// The first field is the replica-placement key hash; a frame
+		// without it would checkpoint under hash 0 and silently corrupt
+		// recovery for whatever keys it carried. Reject it instead.
+		if len(d.Tup) == 0 {
+			return fmt.Errorf("exec: node %d: empty checkpoint tuple (op %d, stratum %d)",
+				w.node, msg.Edge, msg.Stratum)
+		}
+		h, ok := types.AsInt(d.Tup[0])
+		if !ok {
+			return fmt.Errorf("exec: node %d: checkpoint tuple with non-integer key hash %v (op %d, stratum %d)",
+				w.node, d.Tup[0], msg.Edge, msg.Stratum)
+		}
 		hashes[i] = uint64(h)
 		tuples[i] = d.Tup
 	}
@@ -162,7 +223,7 @@ func (w *worker) handleCheckpoint(msg cluster.Message) error {
 
 // stratumEnd is the fixpoint's end-of-stratum callback: replicate this
 // stratum's dirty state (§4.3), then vote.
-func (w *worker) stratumEnd(stratum, count int, checkpoint bool) {
+func (w *Worker) stratumEnd(stratum, count int, checkpoint bool) {
 	if checkpoint && w.checkpoints {
 		for opID, ck := range w.ckptOps {
 			entries := ck.DirtyState()
@@ -180,7 +241,7 @@ func (w *worker) stratumEnd(stratum, count int, checkpoint bool) {
 
 // replicate stores checkpoint entries locally and ships them to the other
 // ring owners of each entry's key.
-func (w *worker) replicate(opID, stratum int, entries []types.Tuple) {
+func (w *Worker) replicate(opID, stratum int, entries []types.Tuple) {
 	byDest := map[cluster.NodeID][]types.Delta{}
 	var selfHashes []uint64
 	var selfTuples []types.Tuple
@@ -210,7 +271,7 @@ func (w *worker) replicate(opID, stratum int, entries []types.Tuple) {
 }
 
 // build instantiates the plan for the given snapshot.
-func (w *worker) build(snap *cluster.Snapshot) error {
+func (w *Worker) build(snap *cluster.Snapshot) error {
 	ctx := &Context{
 		Node: w.node, Snap: snap, Transport: w.transport,
 		Store: w.store, Catalog: w.cat, QueryID: w.queryID,
@@ -276,7 +337,7 @@ func (w *worker) build(snap *cluster.Snapshot) error {
 	return nil
 }
 
-func (w *worker) reachesFixpointBase(from int, cons map[int][]portRef) bool {
+func (w *Worker) reachesFixpointBase(from int, cons map[int][]portRef) bool {
 	seen := map[int]bool{}
 	var walk func(id int) bool
 	walk = func(id int) bool {
@@ -300,7 +361,7 @@ func (w *worker) reachesFixpointBase(from int, cons map[int][]portRef) bool {
 	return walk(from)
 }
 
-func (w *worker) setOuts(inst Operator, outs outputs) {
+func (w *Worker) setOuts(inst Operator, outs outputs) {
 	switch o := inst.(type) {
 	case *scanOp:
 		o.outs = outs
@@ -323,7 +384,7 @@ func (w *worker) setOuts(inst Operator, outs outputs) {
 	}
 }
 
-func (w *worker) instantiate(spec *OpSpec, ctx *Context) (Operator, error) {
+func (w *Worker) instantiate(spec *OpSpec, ctx *Context) (Operator, error) {
 	switch spec.Kind {
 	case OpScan:
 		return &scanOp{ctx: ctx, table: spec.Table, batch: ctx.BatchSize}, nil

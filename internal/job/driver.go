@@ -1,0 +1,199 @@
+package job
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	osexec "os/exec"
+	"strings"
+	"time"
+
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/exec"
+)
+
+// readyTimeout bounds the wait for every daemon to build a job: dataset
+// generation is the slow part and scales with Spec.Size.
+const readyTimeout = 120 * time.Second
+
+// SpawnPrefix is the line a worker daemon prints once its listener is
+// bound; the spawner scans child stdout for it to learn the port.
+const SpawnPrefix = "REXNODE_LISTEN="
+
+// Cluster is the driver-side handle on a set of rexnode worker daemons:
+// it ships job descriptions, runs queries over the TCP transport, and
+// (for daemons it spawned itself) manages the child processes.
+type Cluster struct {
+	tr    *cluster.TCPTransport
+	addrs []string
+	procs []*osexec.Cmd
+}
+
+// Connect attaches to already-running worker daemons. The address order
+// fixes NodeIDs: addrs[i] becomes node i.
+func Connect(addrs []string) (*Cluster, error) {
+	tr, err := cluster.NewTCPDriver(addrs)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{tr: tr, addrs: append([]string(nil), addrs...)}, nil
+}
+
+// SpawnLocal launches n worker daemons as child processes of the given
+// binary (extraArgs must put it in daemon mode, e.g. "-node") on loopback
+// ports, then connects to them. Use Close to tear the children down.
+func SpawnLocal(n int, bin string, extraArgs []string) (*Cluster, error) {
+	var procs []*osexec.Cmd
+	var addrs []string
+	fail := func(err error) (*Cluster, error) {
+		for _, p := range procs {
+			_ = p.Process.Kill()
+			_ = p.Wait()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		args := append(append([]string(nil), extraArgs...), "-listen", "127.0.0.1:0")
+		cmd := osexec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("job: spawn %s: %w", bin, err))
+		}
+		procs = append(procs, cmd)
+		sc := bufio.NewScanner(stdout)
+		addr := ""
+		for sc.Scan() {
+			if line := strings.TrimSpace(sc.Text()); strings.HasPrefix(line, SpawnPrefix) {
+				addr = strings.TrimPrefix(line, SpawnPrefix)
+				break
+			}
+		}
+		if addr == "" {
+			return fail(fmt.Errorf("job: node %d never announced %q", i, SpawnPrefix))
+		}
+		addrs = append(addrs, addr)
+		// Keep draining the child's stdout so it never blocks on a full
+		// pipe.
+		go func() {
+			for sc.Scan() {
+			}
+		}()
+	}
+	c, err := Connect(addrs)
+	if err != nil {
+		return fail(err)
+	}
+	c.procs = procs
+	return c, nil
+}
+
+// Transport exposes the underlying TCP driver transport (failure
+// injection, metrics).
+func (c *Cluster) Transport() *cluster.TCPTransport { return c.tr }
+
+// Addrs lists the worker daemon addresses (index = NodeID).
+func (c *Cluster) Addrs() []string { return c.addrs }
+
+// Run ships spec to every daemon, waits until each has built its plan and
+// loaded its partition, then executes the query from this process as the
+// requestor. tune, when non-nil, adjusts the driver-side options
+// (recovery strategy, stratum hooks) before the run; the wire-shared
+// options always come from the spec so both sides agree.
+func (c *Cluster) Run(spec *Spec, tune func(*exec.Options)) (*exec.Result, error) {
+	s := *spec
+	s.Peers = c.addrs
+	s.Nodes = len(c.addrs)
+	s.Normalize()
+	// The driver builds the same catalog and plan the daemons do; the
+	// generated data is discarded here (daemons load their own).
+	cat, plan, _, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := s.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.tr.StartJob(payload); err != nil {
+		return nil, err
+	}
+	if err := c.awaitReady(len(c.addrs)); err != nil {
+		return nil, err
+	}
+	eng := exec.NewEngineOn(c.tr, s.VNodes, s.Replication, cat)
+	opts := s.Options()
+	if tune != nil {
+		tune(&opts)
+	}
+	return eng.Run(plan, opts)
+}
+
+// awaitReady drains the requestor mailbox until every daemon acknowledged
+// the job (or one reported a build error).
+func (c *Cluster) awaitReady(n int) error {
+	done := make(chan error, 1)
+	go func() {
+		ready := map[cluster.NodeID]bool{}
+		for len(ready) < n {
+			msg, ok := c.tr.Requestor().Get()
+			if !ok {
+				done <- fmt.Errorf("job: transport closed while waiting for workers")
+				return
+			}
+			switch msg.Kind {
+			case cluster.MsgJobReady:
+				ready[msg.From] = true
+			case cluster.MsgError:
+				done <- fmt.Errorf("job: node %d: %s", msg.From, msg.Table)
+				return
+			case cluster.MsgCancel:
+				done <- fmt.Errorf("job: workers not ready after %v", readyTimeout)
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(readyTimeout):
+		// Unblock the collector so it cannot keep consuming requestor
+		// frames that a retry on this cluster would need.
+		c.tr.Requestor().Put(cluster.Message{Kind: cluster.MsgCancel})
+		return <-done
+	}
+}
+
+// Close shuts down the daemons (sending MsgQuit) and, for spawned
+// children, reaps the processes.
+func (c *Cluster) Close() {
+	c.tr.Quit()
+	for _, p := range c.procs {
+		donech := make(chan struct{})
+		go func(p *osexec.Cmd) {
+			_ = p.Wait()
+			close(donech)
+		}(p)
+		select {
+		case <-donech:
+		case <-time.After(5 * time.Second):
+			_ = p.Process.Kill()
+			<-donech
+		}
+	}
+}
+
+// ParsePeers splits a comma-separated peer list.
+func ParsePeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

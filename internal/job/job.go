@@ -1,0 +1,298 @@
+// Package job defines the serializable job descriptions that make
+// multi-process execution possible without shipping compiled plans: a
+// Spec names a workload, its deterministic dataset parameters, and the
+// execution options, and every process — the driver and each rexnode
+// worker daemon — rebuilds the identical catalog, physical plan, and
+// dataset from it. Only the spec crosses the wire (as a MsgJob payload);
+// plans, delta handlers (Go closures), and data never do.
+package job
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/rex-data/rex/internal/algos"
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/datagen"
+	"github.com/rex-data/rex/internal/exec"
+	"github.com/rex-data/rex/internal/rql"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// Table is one generated base table of a job.
+type Table struct {
+	Name   string
+	KeyCol int
+	Tuples []types.Tuple
+}
+
+// Spec describes one query run. Everything in it is deterministic: two
+// processes decoding the same spec build byte-identical plans and
+// datasets, so a worker daemon can load exactly the partitions it owns.
+type Spec struct {
+	// Workload selects the plan builder: pagerank | sssp | kmeans | rql.
+	Workload string `json:"workload"`
+
+	// Cluster shape. Peers is filled by the driver before shipping; its
+	// length is the node count and the MsgJob frame's To field tells
+	// each daemon which entry is its own.
+	Nodes       int      `json:"nodes"`
+	VNodes      int      `json:"vnodes"`
+	Replication int      `json:"replication"`
+	Peers       []string `json:"peers,omitempty"`
+
+	// Dataset parameters.
+	Seed int64 `json:"seed"`
+	Size int   `json:"size"`
+
+	// Workload parameters.
+	K             int     `json:"k,omitempty"`      // kmeans: cluster count
+	Source        int64   `json:"source,omitempty"` // sssp: start vertex
+	Epsilon       float64 `json:"epsilon,omitempty"`
+	Delta         bool    `json:"delta"`
+	MaxIterations int     `json:"max_iterations,omitempty"`
+
+	// RQL mode: the query text, the dataset to stage for it, and an
+	// optional named handler bundle to register before compiling.
+	Query    string `json:"query,omitempty"`
+	Dataset  string `json:"dataset,omitempty"`
+	Handlers string `json:"handlers,omitempty"`
+
+	// Execution options that must agree on both sides of the wire.
+	BatchSize           int  `json:"batch_size,omitempty"`
+	Compaction          bool `json:"compaction"`
+	Checkpoint          bool `json:"checkpoint"`
+	CompactionHighWater int  `json:"compaction_high_water,omitempty"`
+	MaxStrata           int  `json:"max_strata,omitempty"`
+}
+
+// Normalize fills defaults so both sides derive the same shape.
+func (s *Spec) Normalize() {
+	if s.Nodes <= 0 {
+		s.Nodes = 4
+	}
+	if s.VNodes <= 0 {
+		s.VNodes = 32
+	}
+	if s.Replication <= 0 {
+		s.Replication = 3
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Size <= 0 {
+		s.Size = 2000
+	}
+	if s.Workload == "kmeans" && s.K <= 0 {
+		s.K = 8
+	}
+}
+
+// Options derives the exec options every process must share. Driver-side
+// concerns (recovery strategy, termination hooks) are layered on top by
+// the caller — they never cross the wire.
+func (s *Spec) Options() exec.Options {
+	return exec.Options{
+		BatchSize:           s.BatchSize,
+		Compaction:          s.Compaction,
+		Checkpoint:          s.Checkpoint,
+		CompactionHighWater: s.CompactionHighWater,
+		MaxStrata:           s.MaxStrata,
+	}
+}
+
+// Encode serializes the spec for a MsgJob payload.
+func (s *Spec) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// Decode parses a MsgJob payload.
+func Decode(payload []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, fmt.Errorf("job: decode spec: %w", err)
+	}
+	s.Normalize()
+	return &s, nil
+}
+
+// Build constructs the catalog (with registered delta handlers), the
+// physical plan, and the generated base tables for this spec. Table row
+// counts are installed as catalog stats before any RQL compilation so
+// cost-based decisions are identical in every process.
+func (s *Spec) Build() (*catalog.Catalog, *exec.PlanSpec, []Table, error) {
+	s.Normalize()
+	cat := catalog.New()
+	var plan *exec.PlanSpec
+	var tables []Table
+	var err error
+	switch s.Workload {
+	case "pagerank":
+		g := datagen.DBPediaGraph(s.Size, s.Seed)
+		cfg := algos.PageRankConfig{Epsilon: s.Epsilon, Delta: s.Delta, MaxIterations: s.MaxIterations}
+		if err = addTable(cat, "graph", 0, "srcId:Integer", "destId:Integer"); err != nil {
+			return nil, nil, nil, err
+		}
+		jn, wn, rerr := algos.RegisterPageRank(cat, cfg)
+		if rerr != nil {
+			return nil, nil, nil, rerr
+		}
+		plan = algos.PageRankPlan(cfg, jn, wn)
+		tables = []Table{{Name: "graph", KeyCol: 0, Tuples: g.Edges}}
+	case "sssp":
+		g := datagen.DBPediaGraph(s.Size, s.Seed)
+		cfg := algos.SSSPConfig{Source: s.Source, Delta: s.Delta, MaxIterations: s.MaxIterations}
+		if err = addTable(cat, "graph", 0, "srcId:Integer", "destId:Integer"); err != nil {
+			return nil, nil, nil, err
+		}
+		if err = addTable(cat, "spseed", 0, "srcId:Integer", "dist:Double"); err != nil {
+			return nil, nil, nil, err
+		}
+		jn, wn, rerr := algos.RegisterSSSP(cat, cfg)
+		if rerr != nil {
+			return nil, nil, nil, rerr
+		}
+		plan = algos.SSSPPlan(cfg, jn, wn)
+		tables = []Table{
+			{Name: "graph", KeyCol: 0, Tuples: g.Edges},
+			{Name: "spseed", KeyCol: 0, Tuples: algos.SSSPSeed(cfg)},
+		}
+	case "kmeans":
+		points := datagen.GeoPoints(s.Size, s.K, 1, s.Seed)
+		cfg := algos.KMeansConfig{K: s.K, MaxIterations: s.MaxIterations}
+		if err = addTable(cat, "points", 0, "id:Integer", "x:Double", "y:Double"); err != nil {
+			return nil, nil, nil, err
+		}
+		if err = addTable(cat, "kmseed", 0, "cid:Integer", "x:Double", "y:Double"); err != nil {
+			return nil, nil, nil, err
+		}
+		jn, wn, rerr := algos.RegisterKMeans(cat, cfg)
+		if rerr != nil {
+			return nil, nil, nil, rerr
+		}
+		plan = algos.KMeansPlan(cfg, jn, wn)
+		tables = []Table{
+			{Name: "points", KeyCol: 0, Tuples: points},
+			{Name: "kmseed", KeyCol: 0, Tuples: algos.KMeansSeed(points, s.K)},
+		}
+	case "rql":
+		tables, err = s.rqlTables(cat)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err = s.registerHandlers(cat); err != nil {
+			return nil, nil, nil, err
+		}
+		// Stats must precede compilation: the optimizer reads them.
+		if err = setStats(cat, tables); err != nil {
+			return nil, nil, nil, err
+		}
+		plan, err = rql.Compile(s.Query, cat, s.Nodes)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("job: compile %q: %w", s.Query, err)
+		}
+		return cat, plan, tables, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("job: unknown workload %q", s.Workload)
+	}
+	if err := setStats(cat, tables); err != nil {
+		return nil, nil, nil, err
+	}
+	return cat, plan, tables, nil
+}
+
+// rqlTables stages the named dataset for an RQL job.
+func (s *Spec) rqlTables(cat *catalog.Catalog) ([]Table, error) {
+	switch s.Dataset {
+	case "dbpedia", "twitter":
+		var g *datagen.Graph
+		if s.Dataset == "dbpedia" {
+			g = datagen.DBPediaGraph(s.Size, s.Seed)
+		} else {
+			g = datagen.TwitterGraph(s.Size, s.Seed)
+		}
+		if err := addTable(cat, "graph", 0, "srcId:Integer", "destId:Integer"); err != nil {
+			return nil, err
+		}
+		return []Table{{Name: "graph", KeyCol: 0, Tuples: g.Edges}}, nil
+	case "lineitem":
+		if err := addTable(cat, "lineitem", 0, datagen.LineItemSchema...); err != nil {
+			return nil, err
+		}
+		return []Table{{Name: "lineitem", KeyCol: 0, Tuples: datagen.LineItems(s.Size, s.Seed)}}, nil
+	case "points":
+		if err := addTable(cat, "points", 0, "id:Integer", "x:Double", "y:Double"); err != nil {
+			return nil, err
+		}
+		return []Table{{Name: "points", KeyCol: 0, Tuples: datagen.GeoPoints(s.Size, 8, 1, s.Seed)}}, nil
+	default:
+		return nil, fmt.Errorf("job: unknown dataset %q", s.Dataset)
+	}
+}
+
+// registerHandlers installs a named delta-handler bundle. Handler names
+// are deterministic per bundle, so query text referencing them compiles
+// identically everywhere.
+func (s *Spec) registerHandlers(cat *catalog.Catalog) error {
+	switch s.Handlers {
+	case "":
+		return nil
+	case "pagerank":
+		cfg := algos.PageRankConfig{Epsilon: s.Epsilon, Delta: s.Delta, MaxIterations: s.MaxIterations}
+		_, _, err := algos.RegisterPageRank(cat, cfg)
+		return err
+	default:
+		return fmt.Errorf("job: unknown handler bundle %q", s.Handlers)
+	}
+}
+
+func addTable(cat *catalog.Catalog, name string, keyCol int, fields ...string) error {
+	return cat.AddTable(&catalog.Table{
+		Name: name, Schema: types.MustSchema(fields...), PartitionKey: keyCol,
+	})
+}
+
+func setStats(cat *catalog.Catalog, tables []Table) error {
+	for _, tb := range tables {
+		tab, err := cat.Table(tb.Name)
+		if err != nil {
+			return err
+		}
+		stats := tab.Stats
+		stats.RowCount = int64(len(tb.Tuples))
+		if err := cat.SetStats(tb.Name, stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunInProc executes the spec on a fresh in-process engine — the
+// single-process reference every multi-process run can be compared
+// against. tune, when non-nil, adjusts the derived options (recovery
+// strategy, stratum hooks) before the run.
+func RunInProc(s *Spec, tune func(*exec.Options)) (*exec.Result, error) {
+	eng, plan, opts, err := InProcEngine(s)
+	if err != nil {
+		return nil, err
+	}
+	if tune != nil {
+		tune(&opts)
+	}
+	return eng.Run(plan, opts)
+}
+
+// InProcEngine builds a loaded in-process engine plus the spec's plan and
+// options, for callers that need the engine handle (failure injection).
+func InProcEngine(s *Spec) (*exec.Engine, *exec.PlanSpec, exec.Options, error) {
+	s.Normalize()
+	cat, plan, tables, err := s.Build()
+	if err != nil {
+		return nil, nil, exec.Options{}, err
+	}
+	eng := exec.NewEngine(s.Nodes, s.VNodes, s.Replication, cat)
+	for _, tb := range tables {
+		if err := eng.Load(tb.Name, tb.KeyCol, tb.Tuples); err != nil {
+			return nil, nil, exec.Options{}, err
+		}
+	}
+	return eng, plan, s.Options(), nil
+}

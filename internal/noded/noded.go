@@ -1,0 +1,167 @@
+// Package noded implements the rexnode worker daemon: one OS process
+// hosting one REX worker node over the TCP transport. The daemon serves a
+// sequence of jobs — for each MsgJob it rebuilds the catalog, plan, and
+// its data partition from the job spec, runs the worker event loop until
+// the driver tears the query down, and then waits for the next job. It
+// also answers daemon-level control traffic (stats requests, kill/revive
+// failure injection, quit).
+package noded
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/exec"
+	"github.com/rex-data/rex/internal/job"
+	"github.com/rex-data/rex/internal/storage"
+)
+
+// Node is one worker daemon instance.
+type Node struct {
+	tr   *cluster.TCPTransport
+	logw io.Writer
+	jobs int
+
+	// current job state, kept across kill/revive so a revived node can
+	// rejoin the next run of the same job.
+	worker   *exec.Worker
+	loopDone chan struct{}
+}
+
+// Listen binds the daemon's listener (":0" picks a free port).
+func Listen(addr string, logw io.Writer) (*Node, error) {
+	tr, err := cluster.ListenTCPNode(addr)
+	if err != nil {
+		return nil, err
+	}
+	if logw == nil {
+		logw = io.Discard
+	}
+	return &Node{tr: tr, logw: logw}, nil
+}
+
+// Addr reports the bound listen address.
+func (n *Node) Addr() string { return n.tr.Addr() }
+
+// Close tears the daemon down without waiting for a MsgQuit.
+func (n *Node) Close() { _ = n.tr.Close() }
+
+// Serve processes daemon control traffic until MsgQuit (or Close). Engine
+// traffic flows to the worker loop goroutine, so Serve stays responsive
+// during query execution.
+func (n *Node) Serve() error {
+	for {
+		msg, ok := n.tr.Control().Get()
+		if !ok {
+			return nil // transport closed
+		}
+		switch msg.Kind {
+		case cluster.MsgQuit:
+			// Close first: it shuts the inbox, so a worker loop blocked
+			// mid-query wakes up and waitLoop cannot deadlock.
+			_ = n.tr.Close()
+			n.waitLoop()
+			return nil
+		case cluster.MsgStatsReq:
+			n.tr.SendControl(cluster.Message{
+				From: n.tr.Self(), Kind: cluster.MsgStats, Payload: n.tr.StatsPayload(),
+			})
+		case cluster.MsgJob:
+			if err := n.startJob(msg); err != nil {
+				fmt.Fprintf(n.logw, "rexnode: job: %v\n", err)
+				// SendControl with the job's own generation: the node may
+				// be unconfigured (decode/Configure failure), where the
+				// worker-path SendToRequestor would drop the reply and
+				// leave the driver waiting out its ready timeout.
+				n.tr.SendControl(cluster.Message{
+					From: msg.To, Kind: cluster.MsgError, Table: err.Error(), Job: msg.Job,
+				})
+			}
+		case cluster.MsgKill:
+			// The transport already marked this node dead and closed its
+			// inbox; wait for the worker loop to notice so a revive
+			// cannot race two loops over one inbox.
+			n.waitLoop()
+			fmt.Fprintf(n.logw, "rexnode: node %d killed\n", n.tr.Self())
+		case cluster.MsgRevive:
+			// Rejoin the current job with a fresh worker: a revived node
+			// lost its volatile state, and per-epoch state is rebuilt on
+			// the next MsgStart anyway.
+			n.waitLoop()
+			if n.worker != nil {
+				n.spawnLoop()
+			}
+			fmt.Fprintf(n.logw, "rexnode: node %d revived\n", n.tr.Self())
+		}
+	}
+}
+
+// startJob configures the transport for the new generation, rebuilds the
+// job's runtime from its spec, and starts the worker loop.
+func (n *Node) startJob(msg cluster.Message) error {
+	spec, err := job.Decode(msg.Payload)
+	if err != nil {
+		return err
+	}
+	self := msg.To
+	if err := n.tr.Configure(self, spec.Peers, msg.Job); err != nil {
+		return err
+	}
+	// Configure closed the previous inbox; reap the stale loop before its
+	// replacement starts.
+	n.waitLoop()
+	if n.worker != nil {
+		n.worker.DropQuery()
+		n.worker = nil
+	}
+
+	cat, plan, tables, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	ring := cluster.NewRing(len(spec.Peers), spec.VNodes, spec.Replication)
+	store := storage.NewStore(self)
+	stores := make([]*storage.Store, len(spec.Peers))
+	stores[self] = store
+	loader := &storage.Loader{Ring: ring, Stores: stores}
+	for _, tb := range tables {
+		if err := loader.Load(tb.Name, tb.KeyCol, tb.Tuples); err != nil {
+			return err
+		}
+	}
+	n.jobs++
+	n.worker = exec.NewWorker(exec.WorkerConfig{
+		Node: self, Transport: n.tr, Store: store,
+		Checkpoints: storage.NewCheckpointStore(), Catalog: cat, Ring: ring,
+		Plan: plan, QueryID: fmt.Sprintf("node%d-job%d", self, n.jobs),
+		Options: spec.Options(),
+	})
+	n.spawnLoop()
+	n.tr.SendControl(cluster.Message{From: self, Kind: cluster.MsgJobReady})
+	fmt.Fprintf(n.logw, "rexnode: node %d ready for %s job (gen %d, %d peers)\n",
+		self, spec.Workload, msg.Job, len(spec.Peers))
+	return nil
+}
+
+// spawnLoop runs the current worker's event loop on its own goroutine.
+func (n *Node) spawnLoop() {
+	done := make(chan struct{})
+	w := n.worker
+	go func() {
+		defer close(done)
+		w.Loop()
+	}()
+	n.loopDone = done
+}
+
+// waitLoop joins the worker loop goroutine if one was ever started. The
+// loop exits on shutdown (job end) or on a closed inbox (kill or
+// reconfigure), so this only blocks while the worker drains its current
+// message.
+func (n *Node) waitLoop() {
+	if n.loopDone != nil {
+		<-n.loopDone
+		n.loopDone = nil
+	}
+}

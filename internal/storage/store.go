@@ -125,22 +125,30 @@ func (s *Store) Tables() []string {
 
 // Loader distributes a dataset across a set of stores following a ring:
 // each tuple is stored at every ring owner of its partition key (primary
-// plus replication−1 replicas), the scheme of §4.1.
+// plus replication−1 replicas), the scheme of §4.1. Nil entries in Stores
+// mark nodes hosted by other processes: their share of the data is
+// skipped here and loaded by their own daemons from the same
+// deterministic dataset.
 type Loader struct {
 	Ring   *cluster.Ring
 	Stores []*Store
 }
 
-// Load creates the table on every store and distributes the tuples.
+// Load creates the table on every local store and distributes the tuples.
 func (l *Loader) Load(table string, keyCol int, tuples []types.Tuple) error {
 	for _, st := range l.Stores {
-		st.CreateTable(table, keyCol)
+		if st != nil {
+			st.CreateTable(table, keyCol)
+		}
 	}
 	for _, t := range tuples {
 		h := types.HashValue(t[keyCol])
 		for _, owner := range l.Ring.Owners(h) {
 			if int(owner) >= len(l.Stores) {
 				return fmt.Errorf("storage: owner %d beyond store set", owner)
+			}
+			if l.Stores[owner] == nil {
+				continue // remote node: loaded in its own process
 			}
 			if err := l.Stores[owner].Insert(table, t); err != nil {
 				return err
