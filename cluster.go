@@ -1,0 +1,131 @@
+package rex
+
+import (
+	"context"
+
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/exec"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// ClusterConfig shapes a simulated REX cluster.
+//
+// Deprecated: use Open with functional options instead.
+type ClusterConfig struct {
+	// Nodes is the worker count (default 4).
+	Nodes int
+	// Replication is the storage/checkpoint replication factor (default 3).
+	Replication int
+	// VirtualNodes per worker on the consistent-hash ring (default 64).
+	VirtualNodes int
+}
+
+// Cluster is the pre-session handle on an in-process REX deployment. It is
+// a thin shim over Session that preserves the original panicking/blocking
+// call shapes.
+//
+// Deprecated: use Open, which returns a context-aware Session with error
+// returns, streaming results, prepared statements, and TCP transports.
+type Cluster struct {
+	s *Session
+}
+
+// NewCluster boots a simulated shared-nothing cluster.
+//
+// Deprecated: use Open(ctx, WithInProc(n), ...).
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
+	if cfg.VirtualNodes <= 0 {
+		cfg.VirtualNodes = 64
+	}
+	s, err := Open(context.Background(),
+		WithInProc(cfg.Nodes), WithReplication(cfg.Replication), WithVirtualNodes(cfg.VirtualNodes))
+	if err != nil {
+		panic(err) // unreachable for in-process configs
+	}
+	return &Cluster{s: s}
+}
+
+// Session returns the underlying session, the migration path to the
+// modern API.
+func (c *Cluster) Session() *Session { return c.s }
+
+// Catalog exposes the cluster's catalog for registering user-defined
+// functions, aggregators, and delta handlers.
+func (c *Cluster) Catalog() *catalog.Catalog { return c.s.Catalog() }
+
+// Engine exposes the underlying executor (plan-level API and metrics).
+func (c *Cluster) Engine() *exec.Engine { return c.s.Engine() }
+
+// CreateTable declares a table hash-partitioned by the given column.
+func (c *Cluster) CreateTable(name string, schema *types.Schema, partitionKey int) error {
+	return c.s.CreateTable(name, schema, partitionKey)
+}
+
+// MustCreateTable is CreateTable, panicking on error.
+func (c *Cluster) MustCreateTable(name string, schema *types.Schema, partitionKey int) {
+	if err := c.CreateTable(name, schema, partitionKey); err != nil {
+		panic(err)
+	}
+}
+
+// Load distributes tuples into the table's replicated partitions.
+func (c *Cluster) Load(table string, tuples []Tuple) error {
+	return c.s.Load(table, tuples)
+}
+
+// MustLoad is Load, panicking on error.
+func (c *Cluster) MustLoad(table string, tuples []Tuple) {
+	if err := c.Load(table, tuples); err != nil {
+		panic(err)
+	}
+}
+
+// Query compiles and executes an RQL query with default options.
+func (c *Cluster) Query(src string) (*Result, error) {
+	return c.s.Query(src)
+}
+
+// QueryWithOptions compiles and executes an RQL query.
+func (c *Cluster) QueryWithOptions(src string, opts Options) (*Result, error) {
+	return c.s.QueryWithOptions(src, opts)
+}
+
+// RunPlan executes a hand-built physical plan.
+func (c *Cluster) RunPlan(spec *exec.PlanSpec, opts Options) (*Result, error) {
+	return c.s.RunPlan(context.Background(), spec, opts)
+}
+
+// RegisterFunc registers a scalar UDF callable from RQL.
+func (c *Cluster) RegisterFunc(name string, argKinds []types.Kind, ret types.Kind,
+	deterministic bool, fn func(args []Value) (Value, error)) error {
+	return c.s.RegisterFunc(name, argKinds, ret, deterministic, fn)
+}
+
+// JoinHandler registers a join-state delta handler (§3.3).
+func (c *Cluster) JoinHandler(name string, out *types.Schema,
+	fn func(left, right *TupleSet, d Delta, fromLeft bool) ([]Delta, error)) error {
+	return c.s.JoinHandler(name, out, fn)
+}
+
+// WhileHandler registers a while-state delta handler (§3.3).
+func (c *Cluster) WhileHandler(name string,
+	fn func(rel *TupleSet, d Delta) ([]Delta, error)) error {
+	return c.s.WhileHandler(name, fn)
+}
+
+// Kill injects a node failure, panicking on an unknown node (the original
+// call shape; Session.Kill returns an error instead).
+func (c *Cluster) Kill(node int) {
+	if err := c.s.Kill(node); err != nil {
+		panic(err)
+	}
+}
+
+// BytesShipped reports the total bytes sent over the simulated network.
+func (c *Cluster) BytesShipped() int64 { return c.s.BytesShipped() }

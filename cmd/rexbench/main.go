@@ -20,15 +20,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"github.com/rex-data/rex"
 	"github.com/rex-data/rex/internal/bench"
+	"github.com/rex-data/rex/internal/exec"
 	"github.com/rex-data/rex/internal/job"
-	"github.com/rex-data/rex/internal/noded"
 )
 
 func main() {
@@ -44,12 +46,7 @@ func main() {
 	flag.Parse()
 
 	if *nodeMode {
-		n, err := noded.Listen(*listen, os.Stderr)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Printf("%s%s\n", job.SpawnPrefix, n.Addr())
-		if err := n.Serve(); err != nil {
+		if err := rex.ServeNode(*listen, os.Stderr); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -79,30 +76,31 @@ func main() {
 
 func run(sc bench.Scale, record *bench.CIRecord, transport, peers, exp, jsonPath string) error {
 	// Pick the transport suite's runner: the in-process engine, or a
-	// driver over rexnode worker processes.
+	// session over rexnode worker processes (the public rex.Open path).
 	var runner bench.Runner
 	switch transport {
 	case "inproc":
 		runner = job.RunInProc
 	case "tcp":
-		var cl *job.Cluster
+		var sess *rex.Session
 		var err error
 		if peers != "" {
-			cl, err = job.Connect(job.ParsePeers(peers))
+			sess, err = rex.Open(context.Background(), rex.WithTCPPeers(job.ParsePeers(peers)...))
 		} else {
 			fmt.Printf("spawning %d local rexnode daemons\n", sc.Nodes)
-			cl, err = job.SpawnLocal(sc.Nodes, os.Args[0], []string{"-node"})
+			sess, err = rex.Open(context.Background(), rex.WithAutoSpawn(sc.Nodes))
 		}
 		if err != nil {
 			return err
 		}
-		defer cl.Close()
-		fmt.Printf("tcp cluster: %s\n", strings.Join(cl.Addrs(), " "))
+		defer sess.Close()
 		// The peer list, not the default scale, decides the cluster
 		// size: keep the suite specs and the JSON record honest.
-		sc.Nodes = len(cl.Addrs())
+		sc.Nodes = sess.Nodes()
 		record.Nodes = sc.Nodes
-		runner = cl.Run
+		runner = func(spec *job.Spec, tune func(*exec.Options)) (*exec.Result, error) {
+			return sess.RunWorkload(context.Background(), spec, tune)
+		}
 	default:
 		return fmt.Errorf("unknown transport %q (inproc | tcp)", transport)
 	}

@@ -1,4 +1,4 @@
-// Command rexsql loads a generated dataset into a REX cluster and
+// Command rexsql loads a generated dataset into a REX session and
 // executes an RQL query against it, printing the result rows and the
 // per-stratum Δ statistics for recursive queries. With -transport tcp the
 // cluster is real OS processes (rexnode daemons) instead of goroutines:
@@ -10,22 +10,23 @@
 //	rexsql -nodes 4 -dataset dbpedia -q 'SELECT srcId, count(*) FROM graph GROUP BY srcId'
 //	rexsql -dataset lineitem -q 'SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1'
 //	rexsql -dataset dbpedia -pagerank            # runs the Listing 1 PageRank query
+//	rexsql -stream -dataset dbpedia -pagerank    # print each stratum's Δ batch as it closes
 //	rexsql -transport tcp -dataset dbpedia -pagerank             # spawn daemons, run over sockets
 //	rexsql -transport tcp -peers h1:7101,h2:7102 -q '...'        # drive running daemons
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"github.com/rex-data/rex"
 	"github.com/rex-data/rex/internal/algos"
 	"github.com/rex-data/rex/internal/catalog"
-	"github.com/rex-data/rex/internal/datagen"
 	"github.com/rex-data/rex/internal/job"
-	"github.com/rex-data/rex/internal/noded"
 	"github.com/rex-data/rex/internal/types"
 )
 
@@ -40,6 +41,8 @@ func main() {
 	query := flag.String("q", "", "RQL query to run")
 	pagerank := flag.Bool("pagerank", false, "run the built-in Listing 1 PageRank query")
 	limit := flag.Int("limit", 20, "max result rows to print")
+	stream := flag.Bool("stream", false, "stream per-stratum delta batches instead of buffering the result")
+	timeout := flag.Duration("timeout", 0, "cancel the query after this long (0 = no deadline)")
 	transport := flag.String("transport", "inproc", "transport backend: inproc | tcp")
 	peers := flag.String("peers", "", "comma-separated rexnode addresses for -transport tcp; spawns local daemons when empty")
 	nodeMode := flag.Bool("node", false, "run as a rexnode worker daemon (internal)")
@@ -47,15 +50,17 @@ func main() {
 	flag.Parse()
 
 	if *nodeMode {
-		n, err := noded.Listen(*listen, os.Stderr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%s%s\n", job.SpawnPrefix, n.Addr())
-		if err := n.Serve(); err != nil {
+		if err := rex.ServeNode(*listen, os.Stderr); err != nil {
 			fatal(err)
 		}
 		return
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	q := *query
@@ -84,43 +89,67 @@ WITH PR (srcId, pr) AS (
 		fmt.Fprintln(os.Stderr, "rexsql: provide -q or -pagerank")
 		os.Exit(1)
 	}
+	seed, ok := datasetSeeds[*dataset]
+	if !ok {
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
 
-	var res *rex.Result
+	// Open the session on the selected transport; the query path is the
+	// same from here on.
+	var opts []rex.Option
 	switch *transport {
 	case "inproc":
-		res = runInProc(*nodes, *dataset, *size, q, handlers, prCfg)
+		opts = []rex.Option{rex.WithInProc(*nodes)}
 	case "tcp":
-		seed, ok := datasetSeeds[*dataset]
-		if !ok {
-			fatal(fmt.Errorf("unknown dataset %q", *dataset))
-		}
-		spec := &job.Spec{
-			Workload: "rql", Dataset: *dataset, Size: *size, Seed: seed,
-			Query: q, Handlers: handlers, Nodes: *nodes, MaxStrata: 500,
-			Epsilon: prCfg.Epsilon, Delta: prCfg.Delta,
-			// Match rex.NewCluster's ring defaults so -transport tcp
-			// partitions (and therefore accumulates) exactly like the
-			// inproc path of the same command.
-			VNodes: 64, Replication: 3,
-		}
-		var cl *job.Cluster
-		var err error
 		if *peers != "" {
-			cl, err = job.Connect(job.ParsePeers(*peers))
+			opts = []rex.Option{rex.WithTCPPeers(job.ParsePeers(*peers)...)}
 		} else {
 			fmt.Printf("spawning %d local rexnode daemons\n", *nodes)
-			cl, err = job.SpawnLocal(*nodes, os.Args[0], []string{"-node"})
-		}
-		if err != nil {
-			fatal(err)
-		}
-		res, err = cl.Run(spec, nil)
-		cl.Close()
-		if err != nil {
-			fatal(err)
+			opts = []rex.Option{rex.WithAutoSpawn(*nodes)}
 		}
 	default:
 		fatal(fmt.Errorf("unknown transport %q (inproc | tcp)", *transport))
+	}
+	sess, err := rex.Open(ctx, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+
+	// Queries referencing delta-handler bundles (PageRank) must ship as a
+	// workload so every process registers the same handlers; plain RQL
+	// goes through Query/Stream directly.
+	w := &rex.Workload{
+		Workload: "rql", Dataset: *dataset, Size: *size, Seed: seed,
+		Query: q, Handlers: handlers, Nodes: *nodes, MaxStrata: 500,
+		Epsilon: prCfg.Epsilon, Delta: prCfg.Delta,
+		// Match the session ring defaults so both transports partition
+		// (and therefore accumulate) identically.
+		VNodes: 64, Replication: 3,
+	}
+
+	if *stream {
+		st, err := sess.StreamWorkload(ctx, w, nil)
+		if err != nil {
+			fatal(err)
+		}
+		rows := 0
+		for stratum, deltas := range st.Seq() {
+			rows += len(deltas)
+			fmt.Printf("  stratum %2d: %6d deltas (first: %v)\n", stratum, len(deltas), deltas[0].Tup)
+		}
+		if err := st.Err(); err != nil {
+			fatal(err)
+		}
+		res := st.Result()
+		fmt.Printf("\n%d deltas streamed over %d strata in %v (%d bytes shipped)\n",
+			rows, len(res.Strata), res.Duration, res.BytesSent)
+		return
+	}
+
+	res, err := sess.RunWorkload(ctx, w, nil)
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("\n%d result rows in %v (%d bytes shipped)\n", len(res.Tuples), res.Duration, res.BytesSent)
@@ -137,49 +166,9 @@ WITH PR (srcId, pr) AS (
 	if len(res.Strata) > 0 {
 		fmt.Println("\nstrata (Δi sizes):")
 		for _, s := range res.Strata {
-			fmt.Printf("  stratum %2d: %6d new tuples in %v\n", s.Stratum, s.NewTuples, s.Duration.Round(10e3))
+			fmt.Printf("  stratum %2d: %6d new tuples in %v\n", s.Stratum, s.NewTuples, s.Duration.Round(10*time.Microsecond))
 		}
 	}
-}
-
-// runInProc keeps the historical single-process path through the public
-// API (it registers handlers and loads data through rex.Cluster).
-func runInProc(nodes int, dataset string, size int, q, handlers string, prCfg algos.PageRankConfig) *rex.Result {
-	c := rex.NewCluster(rex.ClusterConfig{Nodes: nodes})
-	switch dataset {
-	case "dbpedia", "twitter":
-		c.MustCreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0)
-		var g *datagen.Graph
-		if dataset == "dbpedia" {
-			g = datagen.DBPediaGraph(size, datasetSeeds["dbpedia"])
-		} else {
-			g = datagen.TwitterGraph(size, datasetSeeds["twitter"])
-		}
-		c.MustLoad("graph", g.Edges)
-		fmt.Printf("loaded graph: %d vertices, %d edges\n", g.NumVertices, len(g.Edges))
-	case "lineitem":
-		c.MustCreateTable("lineitem", rex.Schema(datagen.LineItemSchema...), 0)
-		rows := datagen.LineItems(size, datasetSeeds["lineitem"])
-		c.MustLoad("lineitem", rows)
-		fmt.Printf("loaded lineitem: %d rows\n", len(rows))
-	case "points":
-		c.MustCreateTable("points", rex.Schema("id:Integer", "x:Double", "y:Double"), 0)
-		pts := datagen.GeoPoints(size, 8, 1, datasetSeeds["points"])
-		c.MustLoad("points", pts)
-		fmt.Printf("loaded points: %d\n", len(pts))
-	default:
-		fatal(fmt.Errorf("unknown dataset %q", dataset))
-	}
-	if handlers == "pagerank" {
-		if _, _, err := algos.RegisterPageRank(c.Catalog(), prCfg); err != nil {
-			fatal(err)
-		}
-	}
-	res, err := c.QueryWithOptions(q, rex.Options{MaxStrata: 500})
-	if err != nil {
-		fatal(err)
-	}
-	return res
 }
 
 func fatal(err error) {

@@ -1,0 +1,107 @@
+package rex_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/rex-data/rex"
+)
+
+// openSeeded boots a small in-process session with a toy key/value table.
+func openSeeded(ctx context.Context) (*rex.Session, error) {
+	s, err := rex.Open(ctx, rex.WithInProc(2))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.CreateTable("items", rex.Schema("k:Integer", "v:Double"), 0); err != nil {
+		return nil, err
+	}
+	var rows []rex.Tuple
+	for i := 0; i < 100; i++ {
+		rows = append(rows, rex.NewTuple(int64(i), float64(i)))
+	}
+	if err := s.Load("items", rows); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ExampleOpen boots an in-process session, loads a table, and runs an
+// aggregation under a context.
+func ExampleOpen() {
+	ctx := context.Background()
+	s, err := openSeeded(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	res, err := s.QueryCtx(ctx, `SELECT sum(v), count(*) FROM items WHERE k >= 50`, rex.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sum=%v count=%v\n", res.Tuples[0][0], res.Tuples[0][1])
+	// Output: sum=3725 count=50
+}
+
+// ExampleSession_Prepare compiles a parameterized statement once and
+// executes it repeatedly with different $1 bindings.
+func ExampleSession_Prepare() {
+	ctx := context.Background()
+	s, err := openSeeded(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	stmt, err := s.Prepare(`SELECT count(*) FROM items WHERE k >= $1`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, min := range []int64{0, 50, 90} {
+		res, err := stmt.Query(min)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k>=%d: %v rows\n", min, res.Tuples[0][0])
+	}
+	// Output:
+	// k>=0: 100 rows
+	// k>=50: 50 rows
+	// k>=90: 10 rows
+}
+
+// ExampleSession_Stream consumes a query's delta batches through the
+// Go 1.23 iterator adapter instead of buffering the result set.
+func ExampleSession_Stream() {
+	ctx := context.Background()
+	s, err := openSeeded(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	st, err := s.Stream(ctx, `SELECT k, sum(v) FROM items WHERE k < 3 GROUP BY k`, rex.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var groups []string
+	for _, deltas := range st.Seq() {
+		for _, d := range deltas {
+			groups = append(groups, fmt.Sprintf("k=%v sum=%v", d.Tup[0], d.Tup[1]))
+		}
+	}
+	if err := st.Err(); err != nil {
+		log.Fatal(err)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		fmt.Println(g)
+	}
+	// Output:
+	// k=0 sum=0
+	// k=1 sum=1
+	// k=2 sum=2
+}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,15 +15,24 @@ import (
 )
 
 func main() {
-	c := rex.NewCluster(rex.ClusterConfig{Nodes: 3})
-	c.MustCreateTable("docs", rex.Schema("k:Integer", "v:String"), 0)
+	ctx := context.Background()
+	c, err := rex.Open(ctx, rex.WithInProc(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable("docs", rex.Schema("k:Integer", "v:String"), 0); err != nil {
+		log.Fatal(err)
+	}
 
 	words := []string{"delta", "rex", "delta", "fixpoint", "rex", "delta"}
 	var rows []rex.Tuple
 	for i, w := range words {
 		rows = append(rows, rex.NewTuple(int64(i), w))
 	}
-	c.MustLoad("docs", rows)
+	if err := c.Load("docs", rows); err != nil {
+		log.Fatal(err)
+	}
 
 	// A Hadoop word-count job, written against the mapred API exactly as
 	// it would be for the Hadoop runtime.
@@ -55,7 +65,7 @@ func main() {
 	rw := p.Add(&exec.OpSpec{Kind: exec.OpGroupBy, Inputs: []int{rh.ID}, GroupKey: []int{0}, UDAName: "wc_red"})
 	p.RootID = rw.ID
 
-	res, err := c.RunPlan(p, rex.Options{})
+	res, err := c.RunPlan(ctx, p, rex.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,26 +14,39 @@ import (
 )
 
 func main() {
-	c := rex.NewCluster(rex.ClusterConfig{Nodes: 4})
-	c.MustCreateTable("points", rex.Schema("id:Integer", "x:Double", "y:Double"), 0)
-	c.MustCreateTable("kmseed", rex.Schema("cid:Integer", "x:Double", "y:Double"), 0)
-
-	points := datagen.GeoPoints(5000, 6, 1, 21)
-	c.MustLoad("points", points)
-	c.MustLoad("kmseed", algos.KMeansSeed(points, 6))
-
-	cfg := algos.KMeansConfig{K: 6, MaxIterations: 100}
-	joinH, whileH, err := algos.RegisterKMeans(c.Catalog(), cfg)
+	ctx := context.Background()
+	s, err := rex.Open(ctx, rex.WithInProc(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := c.RunPlan(algos.KMeansPlan(cfg, joinH, whileH), rex.Options{})
+	defer s.Close()
+	if err := s.CreateTable("points", rex.Schema("id:Integer", "x:Double", "y:Double"), 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.CreateTable("kmseed", rex.Schema("cid:Integer", "x:Double", "y:Double"), 0); err != nil {
+		log.Fatal(err)
+	}
+
+	points := datagen.GeoPoints(5000, 6, 1, 21)
+	if err := s.Load("points", points); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Load("kmseed", algos.KMeansSeed(points, 6)); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := algos.KMeansConfig{K: 6, MaxIterations: 100}
+	joinH, whileH, err := algos.RegisterKMeans(s.Catalog(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.RunPlan(ctx, algos.KMeansPlan(cfg, joinH, whileH), rex.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("converged in %d iterations (%v)\n", len(res.Strata), res.Duration)
-	for _, s := range res.Strata {
-		fmt.Printf("  stratum %2d: centroid deltas = %d\n", s.Stratum, s.NewTuples)
+	for _, st := range res.Strata {
+		fmt.Printf("  stratum %2d: centroid deltas = %d\n", st.Stratum, st.NewTuples)
 	}
 	fmt.Println("final centroids:")
 	for _, t := range res.Tuples {

@@ -1,9 +1,11 @@
 // PageRank: the paper's flagship delta-based recursive computation
 // (Listing 1). Each iteration propagates only the PageRank *diffs* above
-// the convergence threshold; watch the Δi sets shrink per stratum.
+// the convergence threshold; the streaming API lets you watch the Δi
+// batches shrink stratum by stratum while the fixpoint converges.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -15,17 +17,26 @@ import (
 )
 
 func main() {
-	c := rex.NewCluster(rex.ClusterConfig{Nodes: 4})
-	c.MustCreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0)
+	ctx := context.Background()
+	s, err := rex.Open(ctx, rex.WithInProc(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.CreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0); err != nil {
+		log.Fatal(err)
+	}
 
 	g := datagen.DBPediaGraph(3000, 1)
-	c.MustLoad("graph", g.Edges)
+	if err := s.Load("graph", g.Edges); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices, len(g.Edges))
 
 	// Register the PRAgg join handler and the refinement while-handler,
 	// then run Listing 1 through the RQL front end.
 	cfg := algos.PageRankConfig{Epsilon: 0.001, Delta: true}
-	joinH, whileH, err := algos.RegisterPageRank(c.Catalog(), cfg)
+	joinH, whileH, err := algos.RegisterPageRank(s.Catalog(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,23 +49,39 @@ WITH PR (srcId, pr) AS (
         FROM graph, PR WHERE graph.srcId = PR.srcId GROUP BY srcId)
   GROUP BY nbr)`
 
-	res, err := c.QueryWithOptions(query, rex.Options{MaxStrata: 100})
+	// Stream the fixpoint: every stratum's state-change batch arrives as
+	// its punctuation closes, and folding the batches yields the final
+	// ranks — no full-result buffering in the requestor.
+	st, err := s.Stream(ctx, query, rex.Options{MaxStrata: 100})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("\nconverged in %d strata, %v total\n", len(res.Strata), res.Duration)
-	for _, s := range res.Strata {
-		fmt.Printf("  stratum %2d: Δ set = %6d tuples\n", s.Stratum, s.NewTuples)
+	ranks := map[int64]float64{}
+	for stratum, deltas := range st.Seq() {
+		for _, d := range deltas {
+			v, _ := types.AsInt(d.Tup[0])
+			pr, _ := types.AsFloat(d.Tup[1])
+			ranks[v] = pr
+		}
+		fmt.Printf("  stratum %2d: Δ set = %6d tuples\n", stratum, len(deltas))
 	}
+	if err := st.Err(); err != nil {
+		log.Fatal(err)
+	}
+	res := st.Result()
+	fmt.Printf("\nconverged in %d strata, %v total\n", len(res.Strata), res.Duration)
 
-	sort.Slice(res.Tuples, func(i, j int) bool {
-		a, _ := types.AsFloat(res.Tuples[i][1])
-		b, _ := types.AsFloat(res.Tuples[j][1])
-		return a > b
-	})
-	fmt.Println("\ntop-ranked vertices:")
-	for i := 0; i < 5 && i < len(res.Tuples); i++ {
-		fmt.Printf("  #%d: vertex %v  pr=%.4f\n", i+1, res.Tuples[i][0], res.Tuples[i][1])
+	type ranked struct {
+		v  int64
+		pr float64
+	}
+	var top []ranked
+	for v, pr := range ranks {
+		top = append(top, ranked{v, pr})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].pr > top[j].pr })
+	fmt.Println("top-ranked vertices:")
+	for i := 0; i < 5 && i < len(top); i++ {
+		fmt.Printf("  #%d: vertex %d  pr=%.4f\n", i+1, top[i].v, top[i].pr)
 	}
 }

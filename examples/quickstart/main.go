@@ -1,37 +1,94 @@
-// Quickstart: boot a simulated REX cluster, load a table, and run ad hoc
-// RQL aggregations — the DBMS-style usage of §1 (small, quickly executed
-// ad hoc queries on the same platform that runs iterative jobs).
+// Quickstart: open a REX session, run ad hoc RQL aggregations — the
+// DBMS-style usage of §1 — then demo the three pillars of the session
+// API: context-aware queries, prepared statements, and streaming results.
+//
+//	go run ./examples/quickstart                    # in-process workers
+//	go run ./examples/quickstart -transport tcp     # spawns rexnode child processes
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"github.com/rex-data/rex"
-	"github.com/rex-data/rex/internal/datagen"
 )
 
 func main() {
-	c := rex.NewCluster(rex.ClusterConfig{Nodes: 4})
+	transport := flag.String("transport", "inproc", "inproc | tcp")
+	nodes := flag.Int("nodes", 4, "worker count")
+	nodeMode := flag.Bool("node", false, "run as a worker daemon (internal, used by -transport tcp)")
+	listen := flag.String("listen", "127.0.0.1:0", "daemon listen address (with -node)")
+	flag.Parse()
 
-	// A TPC-H-style lineitem table, hash-partitioned by order key.
-	c.MustCreateTable("lineitem", rex.Schema(datagen.LineItemSchema...), 0)
-	c.MustLoad("lineitem", datagen.LineItems(50_000, 1))
+	// With -transport tcp the session spawns this binary once per worker
+	// with -node; ServeNode turns those children into rexnode daemons.
+	if *nodeMode {
+		if err := rex.ServeNode(*listen, os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
-	// The Fig. 4 query: filter + global aggregation.
-	res, err := c.Query(`SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1`)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// One Open call selects the deployment; everything after is
+	// transport-agnostic. The staged dataset is a TPC-H-style lineitem
+	// table generated deterministically from (size, seed) — on TCP each
+	// worker process regenerates its own partition, so no tuples ship.
+	opts := []rex.Option{rex.WithDataset("lineitem", 50_000, 1)}
+	switch *transport {
+	case "inproc":
+		opts = append(opts, rex.WithInProc(*nodes))
+	case "tcp":
+		fmt.Printf("spawning %d rexnode worker processes\n", *nodes)
+		opts = append(opts, rex.WithAutoSpawn(*nodes))
+	default:
+		log.Fatalf("unknown transport %q", *transport)
+	}
+	s, err := rex.Open(ctx, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	// The Fig. 4 query: filter + global aggregation, under a context.
+	res, err := s.QueryCtx(ctx, `SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1`, rex.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("sum(tax)=%v count=%v in %v\n", res.Tuples[0][0], res.Tuples[0][1], res.Duration)
 
-	// Grouped aggregation with an average.
-	res, err = c.Query(`SELECT returnflag, avg(quantity), count(*) FROM lineitem GROUP BY returnflag`)
+	// Prepared statement: parse/bind/plan once, execute per request with
+	// $1 bound at run time.
+	stmt, err := s.Prepare(`SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > $1`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, t := range res.Tuples {
-		fmt.Printf("flag=%v avg(quantity)=%.2f count=%v\n", t[0], t[1], t[2])
+	for _, min := range []int64{2, 4, 6} {
+		res, err := stmt.Query(min)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("linenumber>%d: sum(tax)=%v count=%v\n", min, res.Tuples[0][0], res.Tuples[0][1])
 	}
-	fmt.Printf("shipped %d bytes across the simulated cluster\n", c.BytesShipped())
+
+	// Streaming: result batches arrive as punctuation closes them instead
+	// of buffering the full result set in the requestor.
+	st, err := s.Stream(ctx, `SELECT returnflag, count(*) FROM lineitem GROUP BY returnflag`, rex.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups := 0
+	for _, deltas := range st.Seq() {
+		groups += len(deltas)
+	}
+	if err := st.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d groups; shipped %d bytes across the cluster\n", groups, s.BytesShipped())
 }

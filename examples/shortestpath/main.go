@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,16 +14,29 @@ import (
 )
 
 func main() {
-	c := rex.NewCluster(rex.ClusterConfig{Nodes: 4, Replication: 3})
-	c.MustCreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0)
-	c.MustCreateTable("spseed", rex.Schema("srcId:Integer", "dist:Double"), 0)
+	ctx := context.Background()
+	s, err := rex.Open(ctx, rex.WithInProc(4), rex.WithReplication(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.CreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.CreateTable("spseed", rex.Schema("srcId:Integer", "dist:Double"), 0); err != nil {
+		log.Fatal(err)
+	}
 
 	g := datagen.DBPediaGraph(3000, 7)
-	c.MustLoad("graph", g.Edges)
+	if err := s.Load("graph", g.Edges); err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := algos.SSSPConfig{Source: 0, Delta: true, MaxIterations: 500}
-	c.MustLoad("spseed", algos.SSSPSeed(cfg))
-	joinH, whileH, err := algos.RegisterSSSP(c.Catalog(), cfg)
+	if err := s.Load("spseed", algos.SSSPSeed(cfg)); err != nil {
+		log.Fatal(err)
+	}
+	joinH, whileH, err := algos.RegisterSSSP(s.Catalog(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,16 +52,18 @@ func main() {
 			if stratum == 3 && !killed {
 				killed = true
 				fmt.Println(">>> killing worker 1 at stratum 3")
-				c.Kill(1)
+				if err := s.Kill(1); err != nil {
+					log.Fatal(err)
+				}
 			}
 		},
 	}
-	res, err := c.RunPlan(plan, opts)
+	res, err := s.RunPlan(ctx, plan, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("reached %d vertices in %v (%d recovery)\n", len(res.Tuples), res.Duration, res.Recoveries)
-	for _, s := range res.Strata {
-		fmt.Printf("  stratum %2d: frontier = %6d\n", s.Stratum, s.NewTuples)
+	for _, st := range res.Strata {
+		fmt.Printf("  stratum %2d: frontier = %6d\n", st.Stratum, st.NewTuples)
 	}
 }

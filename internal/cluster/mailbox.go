@@ -76,6 +76,22 @@ func (m *Mailbox) Close() {
 	m.cond.Broadcast()
 }
 
+// Drain discards every queued message. Callers use it at query teardown to
+// clear debris of an abandoned run (stale votes, result frames) so the next
+// query on the same mailbox starts from an empty queue. It is only sound
+// when no producer for the old run remains — the engine drains after its
+// worker loops have exited, and the TCP driver drains inside StartJob after
+// bumping the job generation (late arrivals are then dropped on receipt).
+func (m *Mailbox) Drain() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.queue {
+		m.queue[i] = Message{}
+	}
+	m.queue = m.queue[:0]
+	m.head = 0
+}
+
 // Len reports the queued message count.
 func (m *Mailbox) Len() int {
 	m.mu.Lock()

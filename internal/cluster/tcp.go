@@ -196,6 +196,11 @@ func (t *TCPTransport) StartJob(payload []byte) (gen int, err error) {
 	}
 	addrs := append([]string(nil), t.addrs...)
 	t.mu.Unlock()
+	// Clear debris of the previous generation (a cancelled run leaves
+	// votes and result frames behind). The generation bump above makes
+	// this race-free: stragglers arriving after the drain carry the old
+	// generation and are dropped on receipt.
+	t.requestor.Drain()
 	for i, addr := range addrs {
 		frame := EncodeFrame(Message{
 			From: -1, To: NodeID(i), Kind: MsgJob, Payload: payload, Job: gen,
@@ -481,6 +486,10 @@ func (t *TCPTransport) SyncMetrics() error {
 	for _, n := range alive {
 		t.Send(Message{From: -1, To: n, Kind: MsgStatsReq})
 	}
+	wanted := map[NodeID]bool{}
+	for _, n := range alive {
+		wanted[n] = true
+	}
 	done := make(chan error, 1)
 	go func() {
 		got := map[NodeID]bool{}
@@ -501,7 +510,12 @@ func (t *TCPTransport) SyncMetrics() error {
 				done <- err
 				return
 			}
-			got[msg.From] = true
+			if wanted[msg.From] {
+				// Count only the nodes polled this round: a dead node's
+				// final pushed stats frame must not satisfy the quorum in
+				// place of a live node's reply.
+				got[msg.From] = true
+			}
 		}
 		done <- nil
 	}()
@@ -598,6 +612,13 @@ func (t *TCPTransport) deliver(msg Message, frameLen int, via *tcpConn) {
 		t.mu.Unlock()
 		if stale {
 			return
+		}
+		if msg.Kind == MsgStats {
+			// Install counters on arrival, not only inside SyncMetrics: a
+			// daemon killed mid-run pushes a final stats frame with no
+			// collector waiting, and applying it here is what folds the
+			// dead node's traffic into the driver totals.
+			_ = t.applyStats(msg.From, msg.Payload)
 		}
 		t.requestor.Put(msg)
 		return

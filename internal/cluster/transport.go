@@ -49,6 +49,12 @@ const (
 	MsgStats
 	// MsgQuit terminates a worker daemon process.
 	MsgQuit
+	// MsgAbort tells workers the requestor abandoned the current query
+	// (cancellation or deadline): drop the per-query operator state so the
+	// remaining in-flight frames of the epoch drain without processing.
+	// Stores and checkpoints are untouched — the next query on the same
+	// session starts clean.
+	MsgAbort
 	// MsgCancel is a local-only sentinel: it never crosses the wire.
 	// Timed waits on the requestor mailbox inject it so their collector
 	// goroutine unblocks and exits instead of consuming frames forever.

@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +59,15 @@ type Options struct {
 	// further coalescing instead of flooding a backlogged peer
 	// (default 64; soft backpressure, punctuation always flushes).
 	CompactionHighWater int
+	// Stream switches the run to streaming-result mode: instead of the
+	// fixpoint flushing its entire final relation at termination, every
+	// stratum's state changes are shipped to the requestor as a delta
+	// batch when that stratum closes, and the final flush is suppressed
+	// (the concatenated per-stratum batches fold to the same relation).
+	// Both sides of a multi-process run must agree on this field — it
+	// changes worker behavior — so it travels in the job spec.
+	// Streaming runs do not support failure recovery.
+	Stream bool
 	// TermFn, when set, is an explicit termination condition evaluated by
 	// the requestor after each stratum over the global new-tuple count
 	// (§3.4). Returning true terminates the query.
@@ -143,8 +154,27 @@ func (e *Engine) Load(table string, keyCol int, tuples []types.Tuple) error {
 
 // Run executes the plan to completion, handling failures per opts.
 func (e *Engine) Run(spec *PlanSpec, opts Options) (*Result, error) {
+	return e.RunCtx(context.Background(), spec, opts)
+}
+
+// RunCtx is Run honoring a context: cancellation or deadline expiry aborts
+// the query between strata. The requestor stops issuing stratum decisions,
+// broadcasts an abort punctuation so workers drop per-query state and
+// drain their mailboxes, and tears the run down with stores and
+// checkpoints consistent — the next query on the same engine works. The
+// returned error is ctx.Err().
+func (e *Engine) RunCtx(ctx context.Context, spec *PlanSpec, opts Options) (*Result, error) {
+	return e.run(ctx, spec, opts, nil)
+}
+
+// run is the shared body of RunCtx and Stream; sink, when non-nil, receives
+// each completed stratum's result-delta batch (streaming mode).
+func (e *Engine) run(ctx context.Context, spec *PlanSpec, opts Options, sink func(stratum int, batch []types.Delta)) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Stream && opts.Recovery != RecoveryNone {
+		return nil, fmt.Errorf("exec: streaming runs do not support failure recovery")
 	}
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = defaultBatchSize
@@ -185,11 +215,42 @@ func (e *Engine) Run(spec *PlanSpec, opts Options) (*Result, error) {
 		}()
 	}
 
-	res, err := e.coordinate(spec, opts, queryID, maxStrata)
+	// Cancellation watcher: a context expiry unblocks the coordinate loop
+	// by injecting the local MsgCancel sentinel into the requestor
+	// mailbox. The sentinel never crosses the wire; coordinate verifies
+	// ctx.Err() before acting on it, so a stale sentinel (context
+	// cancelled just as the query finished) is ignored by the next run.
+	stopWatch := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-ctx.Done():
+			e.Transport.Requestor().Put(cluster.Message{Kind: cluster.MsgCancel})
+		case <-stopWatch:
+		}
+	}()
 
-	// Teardown: stop workers and drop the query's checkpoints.
+	res, err := e.coordinate(ctx, spec, opts, queryID, maxStrata, sink)
+	// Join the watcher before the teardown drain below: its sentinel (if
+	// any) must be in the mailbox by then, or it would leak into the next
+	// run's requestor traffic.
+	close(stopWatch)
+	<-watchDone
+
+	// Teardown: on an abort, punctuate it so workers discard per-query
+	// operator state and drain cheaply; then stop workers and drop the
+	// query's checkpoints.
+	if err != nil && ctx.Err() != nil {
+		e.Transport.Broadcast(cluster.Message{From: -1, Kind: cluster.MsgAbort})
+	}
 	e.Transport.Broadcast(cluster.Message{From: -1, Kind: cluster.MsgShutdown})
 	wg.Wait()
+	// Every local producer has exited; clear requestor debris (stale
+	// votes and result frames of an aborted run) so the next query on
+	// this engine starts from an empty queue. Multi-process stragglers
+	// are handled by the transport's job-generation stamping instead.
+	e.Transport.Requestor().Drain()
 	for _, c := range e.Ckpts {
 		if c != nil {
 			c.Drop(queryID)
@@ -215,10 +276,15 @@ func (e *Engine) Run(spec *PlanSpec, opts Options) (*Result, error) {
 
 // coordinate is the query-requestor loop of §4.2: it aggregates fixpoint
 // votes, decides stratum advancement or termination, collects results, and
-// orchestrates recovery (§4.3).
-func (e *Engine) coordinate(spec *PlanSpec, opts Options, queryID string, maxStrata int) (*Result, error) {
+// orchestrates recovery (§4.3). In streaming mode (sink non-nil) result
+// deltas are not accumulated; each stratum's batch is handed to the sink
+// when the stratum's votes complete, and non-recursive result batches are
+// forwarded as they arrive.
+func (e *Engine) coordinate(ctx context.Context, spec *PlanSpec, opts Options, queryID string, maxStrata int, sink func(stratum int, batch []types.Delta)) (*Result, error) {
 	res := &Result{}
 	acc := newResultSet()
+	// sbuf holds streaming batches per not-yet-closed stratum.
+	sbuf := map[int][]types.Delta{}
 	epoch := 0
 	resume := 0
 	incremental := false
@@ -246,11 +312,21 @@ func (e *Engine) coordinate(spec *PlanSpec, opts Options, queryID string, maxStr
 	req := e.Transport.Requestor()
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		msg, ok := req.Get()
 		if !ok {
 			return nil, fmt.Errorf("exec: requestor mailbox closed")
 		}
 		switch msg.Kind {
+		case cluster.MsgCancel:
+			// Injected by the cancellation watcher (or a stale sentinel
+			// from a prior timed wait — ignore unless our context really
+			// expired).
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		case cluster.MsgError:
 			if msg.Epoch != epoch {
 				continue // stale epoch: the failed attempt's debris
@@ -307,6 +383,15 @@ func (e *Engine) coordinate(spec *PlanSpec, opts Options, queryID string, maxStr
 			if opts.OnStratum != nil {
 				opts.OnStratum(s, total)
 			}
+			if sink != nil {
+				// Every node ships its stream batch before its vote on the
+				// same ordered channel, so vote completion means stratum
+				// s's deltas are all buffered: the stratum is closed, emit.
+				if batch := sbuf[s]; len(batch) > 0 {
+					sink(s, batch)
+				}
+				delete(sbuf, s)
+			}
 			terminate := total == 0 || s+1 >= maxStrata
 			if opts.TermFn != nil && opts.TermFn(s, total) {
 				terminate = true
@@ -320,16 +405,46 @@ func (e *Engine) coordinate(spec *PlanSpec, opts Options, queryID string, maxStr
 			if err != nil {
 				return nil, err
 			}
-			acc.apply(batch)
+			switch {
+			case sink == nil:
+				acc.apply(batch)
+			case spec.Recursive():
+				sbuf[msg.Stratum] = append(sbuf[msg.Stratum], batch...)
+			default:
+				// Non-recursive plans have no strata to align on: forward
+				// result batches as they arrive, all under stratum 0.
+				sink(0, batch)
+			}
 		case cluster.MsgPunct:
 			if msg.Epoch != epoch || msg.Edge != resultEdge {
 				continue
 			}
 			done[msg.From] = true
 			if len(done) == len(alive) {
+				if sink != nil {
+					// Flush any strata still buffered (a terminal stratum
+					// whose decision carried Terminate votes no follow-up),
+					// in stratum order.
+					flushStreamBuf(sbuf, sink)
+					return res, nil
+				}
 				res.Tuples = acc.materialize()
 				return res, nil
 			}
+		}
+	}
+}
+
+// flushStreamBuf emits leftover buffered stream batches in stratum order.
+func flushStreamBuf(sbuf map[int][]types.Delta, sink func(int, []types.Delta)) {
+	strata := make([]int, 0, len(sbuf))
+	for s := range sbuf {
+		strata = append(strata, s)
+	}
+	sort.Ints(strata)
+	for _, s := range strata {
+		if batch := sbuf[s]; len(batch) > 0 {
+			sink(s, batch)
 		}
 	}
 }

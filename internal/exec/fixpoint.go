@@ -36,6 +36,14 @@ type fixpointOp struct {
 
 	dirty map[types.Value]bool
 
+	// stream enables per-stratum state-change emission: StreamDelta
+	// produces each stratum's changelog against emitted (the per-key
+	// tuples the stream has asserted so far), and Finish suppresses the
+	// final full-state flush — the concatenated stratum batches already
+	// fold to it.
+	stream  bool
+	emitted map[types.Value][]types.Tuple
+
 	// onStratumEnd is the worker callback: checkpoint then vote.
 	onStratumEnd func(stratum, newCount int)
 }
@@ -163,8 +171,13 @@ func (f *fixpointOp) Advance(next int) error {
 	return f.recursiveOuts.punct(next, false)
 }
 
-// Finish emits the final mutable relation and closes the output.
+// Finish emits the final mutable relation and closes the output. In
+// streaming mode the relation already reached the requestor as per-stratum
+// changelogs, so only the closing punctuation is sent.
 func (f *fixpointOp) Finish() error {
+	if f.stream {
+		return f.finalOuts.punct(f.ctx.Stratum, true)
+	}
 	var out []types.Delta
 	if f.handler != nil {
 		for _, b := range f.buckets {
@@ -192,12 +205,81 @@ func (f *fixpointOp) Finish() error {
 // after incremental recovery).
 func (f *fixpointOp) PendingCount() int { return len(f.pending) }
 
+// StreamDelta computes the stratum's state-change batch: for every key
+// dirtied this stratum, the deltas that revise what the stream has emitted
+// so far into the key's current state. It reads (never clears) the dirty
+// set — checkpointing still needs it; the worker clears it afterwards via
+// ClearDirty. Tuples are cloned into the emitted ledger because handler
+// buckets may revise them in place in later strata.
+func (f *fixpointOp) StreamDelta() []types.Delta {
+	if f.emitted == nil {
+		f.emitted = map[types.Value][]types.Tuple{}
+	}
+	var out []types.Delta
+	for key := range f.dirty {
+		var cur []types.Tuple
+		if f.handler != nil {
+			if b := f.buckets[key]; b != nil {
+				cur = b.Tuples
+			}
+		} else if t, ok := f.state[key]; ok {
+			cur = []types.Tuple{t}
+		}
+		prev := f.emitted[key]
+		if tuplesEqual(prev, cur) {
+			continue // dirtied but settled back to what was emitted
+		}
+		switch {
+		case len(prev) == 1 && len(cur) == 1:
+			out = append(out, types.Replace(prev[0], cur[0].Clone()))
+		default:
+			for _, t := range prev {
+				out = append(out, types.Delete(t))
+			}
+			for _, t := range cur {
+				out = append(out, types.Insert(t.Clone()))
+			}
+		}
+		if len(cur) == 0 {
+			delete(f.emitted, key)
+		} else {
+			next := make([]types.Tuple, len(cur))
+			for i, t := range cur {
+				next[i] = t.Clone()
+			}
+			f.emitted[key] = next
+		}
+	}
+	return out
+}
+
+// ClearDirty resets the per-stratum dirty-key set (streaming path; the
+// checkpoint path clears it through DirtyState).
+func (f *fixpointOp) ClearDirty() {
+	if len(f.dirty) > 0 {
+		f.dirty = map[types.Value]bool{}
+	}
+}
+
+func tuplesEqual(a, b []types.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 func (f *fixpointOp) Reset() {
 	f.buckets = map[types.Value]*uda.TupleSet{}
 	f.state = map[types.Value]types.Tuple{}
 	f.pending = nil
 	f.newCount = 0
 	f.dirty = map[types.Value]bool{}
+	f.emitted = nil
 }
 
 // DirtyState checkpoints (a) the state entries revised this stratum and

@@ -27,6 +27,7 @@ type Worker struct {
 	checkpoints bool
 	compaction  bool
 	highWater   int
+	stream      bool
 
 	// per-epoch state, rebuilt on MsgStart
 	ctx      *Context
@@ -68,6 +69,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		spec: cfg.Plan, queryID: cfg.QueryID, batchSize: opts.BatchSize,
 		checkpoints: opts.Checkpoint,
 		compaction:  opts.Compaction, highWater: opts.CompactionHighWater,
+		stream: opts.Stream,
 	}
 }
 
@@ -110,9 +112,25 @@ func (w *Worker) handle(msg cluster.Message) error {
 	switch msg.Kind {
 	case cluster.MsgShutdown:
 		return nil
+	case cluster.MsgAbort:
+		// The requestor abandoned the query (cancellation/deadline): drop
+		// the per-query operator state so the epoch's remaining in-flight
+		// frames drain without processing. Base-table stores and the
+		// checkpoint store are untouched; the next MsgStart rebuilds.
+		w.ops = nil
+		w.scans = nil
+		w.baseScan = nil
+		w.fixpoint = nil
+		w.ckptOps = nil
+		return nil
 	case cluster.MsgStart:
 		return w.handleStart(msg)
 	case cluster.MsgCheckpoint:
+		if msg.Epoch != w.epoch || w.ops == nil {
+			// Stale epoch or aborted query: checkpoint debris from a
+			// cancelled run must not be stored under the next query's ID.
+			return nil
+		}
 		return w.handleCheckpoint(msg)
 	case cluster.MsgData:
 		if msg.Epoch != w.epoch || w.ops == nil {
@@ -221,9 +239,21 @@ func (w *Worker) handleCheckpoint(msg cluster.Message) error {
 	return nil
 }
 
-// stratumEnd is the fixpoint's end-of-stratum callback: replicate this
-// stratum's dirty state (§4.3), then vote.
+// stratumEnd is the fixpoint's end-of-stratum callback: ship the stratum's
+// state-change batch when streaming, replicate this stratum's dirty state
+// (§4.3), then vote. The stream batch MUST precede the vote on the ordered
+// requestor channel — the requestor treats vote completion as "all of
+// stratum s's deltas have arrived".
 func (w *Worker) stratumEnd(stratum, count int, checkpoint bool) {
+	if w.stream && w.fixpoint != nil {
+		if batch := w.fixpoint.StreamDelta(); len(batch) > 0 {
+			w.transport.SendToRequestor(cluster.Message{
+				From: w.node, Kind: cluster.MsgData, Edge: resultEdge,
+				Stratum: stratum, Payload: cluster.EncodeDeltas(batch),
+				Count: len(batch), Epoch: w.epoch,
+			})
+		}
+	}
 	if checkpoint && w.checkpoints {
 		for opID, ck := range w.ckptOps {
 			entries := ck.DirtyState()
@@ -232,6 +262,12 @@ func (w *Worker) stratumEnd(stratum, count int, checkpoint bool) {
 			}
 			w.replicate(opID, stratum, entries)
 		}
+	}
+	if w.stream && w.fixpoint != nil {
+		// StreamDelta needs the dirty-key set to mean "changed this
+		// stratum"; with checkpointing off nothing else clears it, so the
+		// streaming path does (a no-op when DirtyState just drained it).
+		w.fixpoint.ClearDirty()
 	}
 	w.transport.SendToRequestor(cluster.Message{
 		From: w.node, Kind: cluster.MsgVote,
@@ -298,6 +334,7 @@ func (w *Worker) build(snap *cluster.Snapshot) error {
 			w.scans = append(w.scans, o)
 		case *fixpointOp:
 			w.fixpoint = o
+			o.stream = w.stream
 			o.onStratumEnd = func(stratum, count int) {
 				w.stratumEnd(stratum, count, true)
 			}

@@ -1,0 +1,47 @@
+package expr
+
+import (
+	"fmt"
+
+	"github.com/rex-data/rex/internal/types"
+)
+
+// ParamSet holds the runtime values of a prepared statement's $N
+// parameters. The plan's Param expressions share one ParamSet, so binding
+// new values re-targets every occurrence without recompiling; executions of
+// the same prepared plan must therefore be serialized by the caller (the
+// session lock already does).
+type ParamSet struct {
+	Values []types.Value
+}
+
+// Bind installs the values for the next execution.
+func (s *ParamSet) Bind(vals []types.Value) { s.Values = vals }
+
+// Param is a $N placeholder bound at prepare time and valued at run time.
+// Its kind is inferred from context during binding (comparison or
+// arithmetic partner, UDF signature) so downstream typechecking works
+// before any value exists.
+type Param struct {
+	Set *ParamSet
+	Idx int // 0-based; $1 is Idx 0
+	K   types.Kind
+}
+
+// NewParam builds a placeholder over the statement's ParamSet.
+func NewParam(set *ParamSet, idx int, k types.Kind) *Param {
+	return &Param{Set: set, Idx: idx, K: k}
+}
+
+// Eval returns the currently bound value.
+func (p *Param) Eval(types.Tuple) (types.Value, error) {
+	if p.Idx >= len(p.Set.Values) {
+		return nil, fmt.Errorf("expr: parameter $%d not bound", p.Idx+1)
+	}
+	return p.Set.Values[p.Idx], nil
+}
+
+// Kind reports the inferred parameter type.
+func (p *Param) Kind() types.Kind { return p.K }
+
+func (p *Param) String() string { return fmt.Sprintf("$%d", p.Idx+1) }

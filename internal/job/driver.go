@@ -2,6 +2,7 @@ package job
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	osexec "os/exec"
@@ -104,37 +105,67 @@ func (c *Cluster) Addrs() []string { return c.addrs }
 // (recovery strategy, stratum hooks) before the run; the wire-shared
 // options always come from the spec so both sides agree.
 func (c *Cluster) Run(spec *Spec, tune func(*exec.Options)) (*exec.Result, error) {
+	return c.RunCtx(context.Background(), spec, tune)
+}
+
+// RunCtx is Run honoring a context: cancellation aborts the query between
+// strata (see exec.Engine.RunCtx) and the cluster stays usable for the
+// next run.
+func (c *Cluster) RunCtx(ctx context.Context, spec *Spec, tune func(*exec.Options)) (*exec.Result, error) {
+	eng, plan, opts, err := c.prepare(ctx, spec, tune, false)
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunCtx(ctx, plan, opts)
+}
+
+// StreamCtx runs spec in streaming-result mode: the returned stream yields
+// each stratum's delta batch as punctuation closes it on every daemon.
+func (c *Cluster) StreamCtx(ctx context.Context, spec *Spec, tune func(*exec.Options)) (*exec.ResultStream, error) {
+	eng, plan, opts, err := c.prepare(ctx, spec, tune, true)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Stream(ctx, plan, opts)
+}
+
+// prepare ships the job, waits for every daemon to build it, and returns
+// the driver-side engine, plan, and options for the run.
+func (c *Cluster) prepare(ctx context.Context, spec *Spec, tune func(*exec.Options), stream bool) (*exec.Engine, *exec.PlanSpec, exec.Options, error) {
+	var none exec.Options
 	s := *spec
 	s.Peers = c.addrs
 	s.Nodes = len(c.addrs)
+	s.Stream = s.Stream || stream
 	s.Normalize()
 	// The driver builds the same catalog and plan the daemons do; the
 	// generated data is discarded here (daemons load their own).
 	cat, plan, _, err := s.Build()
 	if err != nil {
-		return nil, err
+		return nil, nil, none, err
 	}
 	payload, err := s.Encode()
 	if err != nil {
-		return nil, err
+		return nil, nil, none, err
 	}
-	if _, err := c.tr.StartJob(payload); err != nil {
-		return nil, err
+	gen, err := c.tr.StartJob(payload)
+	if err != nil {
+		return nil, nil, none, err
 	}
-	if err := c.awaitReady(len(c.addrs)); err != nil {
-		return nil, err
+	if err := c.awaitReady(ctx, len(c.addrs), gen); err != nil {
+		return nil, nil, none, err
 	}
 	eng := exec.NewEngineOn(c.tr, s.VNodes, s.Replication, cat)
 	opts := s.Options()
 	if tune != nil {
 		tune(&opts)
 	}
-	return eng.Run(plan, opts)
+	return eng, plan, opts, nil
 }
 
 // awaitReady drains the requestor mailbox until every daemon acknowledged
-// the job (or one reported a build error).
-func (c *Cluster) awaitReady(n int) error {
+// the job generation (or one reported a build error, or ctx expired).
+func (c *Cluster) awaitReady(ctx context.Context, n, gen int) error {
 	done := make(chan error, 1)
 	go func() {
 		ready := map[cluster.NodeID]bool{}
@@ -144,6 +175,9 @@ func (c *Cluster) awaitReady(n int) error {
 				done <- fmt.Errorf("job: transport closed while waiting for workers")
 				return
 			}
+			if msg.Kind != cluster.MsgCancel && msg.Job != gen {
+				continue // debris from an earlier, abandoned job
+			}
 			switch msg.Kind {
 			case cluster.MsgJobReady:
 				ready[msg.From] = true
@@ -151,20 +185,26 @@ func (c *Cluster) awaitReady(n int) error {
 				done <- fmt.Errorf("job: node %d: %s", msg.From, msg.Table)
 				return
 			case cluster.MsgCancel:
-				done <- fmt.Errorf("job: workers not ready after %v", readyTimeout)
+				done <- fmt.Errorf("job: wait for workers abandoned")
 				return
 			}
 		}
 		done <- nil
 	}()
-	select {
-	case err := <-done:
-		return err
-	case <-time.After(readyTimeout):
+	abandon := func(reason error) error {
 		// Unblock the collector so it cannot keep consuming requestor
 		// frames that a retry on this cluster would need.
 		c.tr.Requestor().Put(cluster.Message{Kind: cluster.MsgCancel})
-		return <-done
+		<-done
+		return reason
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return abandon(ctx.Err())
+	case <-time.After(readyTimeout):
+		return abandon(fmt.Errorf("job: workers not ready after %v", readyTimeout))
 	}
 }
 

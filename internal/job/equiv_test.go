@@ -1,6 +1,7 @@
 package job_test
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/rex-data/rex/internal/exec"
 	"github.com/rex-data/rex/internal/job"
 	"github.com/rex-data/rex/internal/noded"
+	"github.com/rex-data/rex/internal/types"
 )
 
 // startCluster boots n worker daemons on loopback sockets (real TCP, one
@@ -132,6 +134,94 @@ func TestTransportEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamDrainEquivalence is the streaming property check: the
+// concatenation of a streaming run's per-stratum delta batches, folded in
+// order, must equal the buffered Query result — per workload, per seed,
+// on both transports. It also asserts streams really are incremental
+// (recursive workloads yield one batch per revising stratum, not one
+// final flush).
+func TestStreamDrainEquivalence(t *testing.T) {
+	const nodes = 3
+	ctx := context.Background()
+	cl := startCluster(t, nodes)
+	for _, seed := range []int64{1, 7} {
+		for _, spec := range equivSpecs(nodes, seed) {
+			want, err := job.RunInProc(clone(spec), nil)
+			if err != nil {
+				t.Fatalf("inproc %s seed %d: %v", spec.Workload, seed, err)
+			}
+			wantHash := bench.ResultHash(want.Tuples)
+
+			inStream, err := job.StreamInProc(ctx, clone(spec), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inBatches := 0
+			inFold := newFold()
+			for b, ok := inStream.Next(); ok; b, ok = inStream.Next() {
+				inBatches++
+				inFold.apply(b.Deltas)
+			}
+			if err := inStream.Err(); err != nil {
+				t.Fatalf("inproc stream %s seed %d: %v", spec.Workload, seed, err)
+			}
+			if got := bench.ResultHash(inFold.tuples()); got != wantHash {
+				t.Errorf("%s seed %d: inproc stream fold %s, want %s", spec.Workload, seed, got, wantHash)
+			}
+			if inBatches < 2 {
+				t.Errorf("%s seed %d: stream yielded %d batches; expected per-stratum increments", spec.Workload, seed, inBatches)
+			}
+
+			tcpStream, err := cl.StreamCtx(ctx, clone(spec), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcpFold := newFold()
+			for b, ok := tcpStream.Next(); ok; b, ok = tcpStream.Next() {
+				tcpFold.apply(b.Deltas)
+			}
+			if err := tcpStream.Err(); err != nil {
+				t.Fatalf("tcp stream %s seed %d: %v", spec.Workload, seed, err)
+			}
+			if got := bench.ResultHash(tcpFold.tuples()); got != wantHash {
+				t.Errorf("%s seed %d: tcp stream fold %s, want %s", spec.Workload, seed, got, wantHash)
+			}
+		}
+	}
+}
+
+// fold replays a delta stream into a tuple multiset the way the
+// engine's result accumulator would.
+type fold struct{ live []types.Tuple }
+
+func newFold() *fold { return &fold{} }
+
+func (f *fold) apply(batch []types.Delta) {
+	for _, d := range batch {
+		switch d.Op {
+		case types.OpInsert, types.OpUpdate:
+			f.live = append(f.live, d.Tup)
+		case types.OpDelete:
+			f.remove(d.Tup)
+		case types.OpReplace:
+			f.remove(d.Old)
+			f.live = append(f.live, d.Tup)
+		}
+	}
+}
+
+func (f *fold) remove(t types.Tuple) {
+	for i, x := range f.live {
+		if x != nil && x.Equal(t) {
+			f.live[i] = f.live[len(f.live)-1]
+			f.live = f.live[:len(f.live)-1]
+			return
+		}
+	}
+}
+
+func (f *fold) tuples() []types.Tuple { return f.live }
 
 // TestTCPKillRecovery injects a node failure over real sockets: the
 // driver declares a node dead mid-query, the survivors re-run (restart

@@ -8,6 +8,7 @@
 package job
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -64,6 +65,10 @@ type Spec struct {
 	Checkpoint          bool `json:"checkpoint"`
 	CompactionHighWater int  `json:"compaction_high_water,omitempty"`
 	MaxStrata           int  `json:"max_strata,omitempty"`
+	// Stream selects streaming-result mode: workers emit each stratum's
+	// state changes as it closes instead of flushing the final relation
+	// (both sides must agree — it changes fixpoint behavior).
+	Stream bool `json:"stream,omitempty"`
 }
 
 // Normalize fills defaults so both sides derive the same shape.
@@ -98,6 +103,7 @@ func (s *Spec) Options() exec.Options {
 		Checkpoint:          s.Checkpoint,
 		CompactionHighWater: s.CompactionHighWater,
 		MaxStrata:           s.MaxStrata,
+		Stream:              s.Stream,
 	}
 }
 
@@ -201,13 +207,21 @@ func (s *Spec) Build() (*catalog.Catalog, *exec.PlanSpec, []Table, error) {
 
 // rqlTables stages the named dataset for an RQL job.
 func (s *Spec) rqlTables(cat *catalog.Catalog) ([]Table, error) {
-	switch s.Dataset {
+	return StageDataset(cat, s.Dataset, s.Size, s.Seed)
+}
+
+// StageDataset declares and generates one of the named deterministic
+// datasets into cat: the tables any process can rebuild identically from
+// (name, size, seed). The rex session layer uses it to stage the same data
+// in-process that TCP daemons generate remotely.
+func StageDataset(cat *catalog.Catalog, dataset string, size int, seed int64) ([]Table, error) {
+	switch dataset {
 	case "dbpedia", "twitter":
 		var g *datagen.Graph
-		if s.Dataset == "dbpedia" {
-			g = datagen.DBPediaGraph(s.Size, s.Seed)
+		if dataset == "dbpedia" {
+			g = datagen.DBPediaGraph(size, seed)
 		} else {
-			g = datagen.TwitterGraph(s.Size, s.Seed)
+			g = datagen.TwitterGraph(size, seed)
 		}
 		if err := addTable(cat, "graph", 0, "srcId:Integer", "destId:Integer"); err != nil {
 			return nil, err
@@ -217,15 +231,50 @@ func (s *Spec) rqlTables(cat *catalog.Catalog) ([]Table, error) {
 		if err := addTable(cat, "lineitem", 0, datagen.LineItemSchema...); err != nil {
 			return nil, err
 		}
-		return []Table{{Name: "lineitem", KeyCol: 0, Tuples: datagen.LineItems(s.Size, s.Seed)}}, nil
+		return []Table{{Name: "lineitem", KeyCol: 0, Tuples: datagen.LineItems(size, seed)}}, nil
 	case "points":
 		if err := addTable(cat, "points", 0, "id:Integer", "x:Double", "y:Double"); err != nil {
 			return nil, err
 		}
-		return []Table{{Name: "points", KeyCol: 0, Tuples: datagen.GeoPoints(s.Size, 8, 1, s.Seed)}}, nil
+		return []Table{{Name: "points", KeyCol: 0, Tuples: datagen.GeoPoints(size, 8, 1, seed)}}, nil
 	default:
-		return nil, fmt.Errorf("job: unknown dataset %q", s.Dataset)
+		return nil, fmt.Errorf("job: unknown dataset %q", dataset)
 	}
+}
+
+// StageSchemas declares the named dataset's tables into cat — schemas and
+// an estimated row count only, no tuple generation. Prepare-time
+// validation needs the catalog shape, not the data; the row estimate only
+// steers costing, never correctness, so it need not match the generated
+// count exactly.
+func StageSchemas(cat *catalog.Catalog, dataset string, size int) error {
+	var name string
+	switch dataset {
+	case "dbpedia", "twitter":
+		name = "graph"
+		if err := addTable(cat, name, 0, "srcId:Integer", "destId:Integer"); err != nil {
+			return err
+		}
+	case "lineitem":
+		name = "lineitem"
+		if err := addTable(cat, name, 0, datagen.LineItemSchema...); err != nil {
+			return err
+		}
+	case "points":
+		name = "points"
+		if err := addTable(cat, name, 0, "id:Integer", "x:Double", "y:Double"); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("job: unknown dataset %q", dataset)
+	}
+	tab, err := cat.Table(name)
+	if err != nil {
+		return err
+	}
+	stats := tab.Stats
+	stats.RowCount = int64(size)
+	return cat.SetStats(name, stats)
 }
 
 // registerHandlers installs a named delta-handler bundle. Handler names
@@ -270,6 +319,11 @@ func setStats(cat *catalog.Catalog, tables []Table) error {
 // against. tune, when non-nil, adjusts the derived options (recovery
 // strategy, stratum hooks) before the run.
 func RunInProc(s *Spec, tune func(*exec.Options)) (*exec.Result, error) {
+	return RunInProcCtx(context.Background(), s, tune)
+}
+
+// RunInProcCtx is RunInProc honoring a context.
+func RunInProcCtx(ctx context.Context, s *Spec, tune func(*exec.Options)) (*exec.Result, error) {
 	eng, plan, opts, err := InProcEngine(s)
 	if err != nil {
 		return nil, err
@@ -277,7 +331,23 @@ func RunInProc(s *Spec, tune func(*exec.Options)) (*exec.Result, error) {
 	if tune != nil {
 		tune(&opts)
 	}
-	return eng.Run(plan, opts)
+	return eng.RunCtx(ctx, plan, opts)
+}
+
+// StreamInProc executes the spec on a fresh in-process engine in
+// streaming-result mode.
+func StreamInProc(ctx context.Context, s *Spec, tune func(*exec.Options)) (*exec.ResultStream, error) {
+	clone := *s // Stream + Normalize mutate; keep the caller's spec pristine
+	clone.Stream = true
+	s = &clone
+	eng, plan, opts, err := InProcEngine(s)
+	if err != nil {
+		return nil, err
+	}
+	if tune != nil {
+		tune(&opts)
+	}
+	return eng.Stream(ctx, plan, opts)
 }
 
 // InProcEngine builds a loaded in-process engine plus the spec's plan and

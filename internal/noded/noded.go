@@ -83,6 +83,13 @@ func (n *Node) Serve() error {
 			// inbox; wait for the worker loop to notice so a revive
 			// cannot race two loops over one inbox.
 			n.waitLoop()
+			// Push a final stats frame: the driver skips dead nodes in its
+			// end-of-run metrics sync, so without this the victim's bytes
+			// would vanish from the run's accounting (SendControl works
+			// while the simulated node is "dead" — the process is alive).
+			n.tr.SendControl(cluster.Message{
+				From: n.tr.Self(), Kind: cluster.MsgStats, Payload: n.tr.StatsPayload(),
+			})
 			fmt.Fprintf(n.logw, "rexnode: node %d killed\n", n.tr.Self())
 		case cluster.MsgRevive:
 			// Rejoin the current job with a fresh worker: a revived node

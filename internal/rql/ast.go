@@ -79,6 +79,9 @@ type BinExpr struct {
 // NotExpr is NOT e.
 type NotExpr struct{ E Expr }
 
+// ParamRef is a $N prepared-statement placeholder (N is 1-based).
+type ParamRef struct{ N int }
+
 // CallExpr is fn(args); Star marks count(*).
 type CallExpr struct {
 	Fn   string
@@ -93,3 +96,4 @@ func (*BoolLit) exprNode()   {}
 func (*BinExpr) exprNode()   {}
 func (*NotExpr) exprNode()   {}
 func (*CallExpr) exprNode()  {}
+func (*ParamRef) exprNode()  {}

@@ -19,23 +19,125 @@ var aggNames = map[string]bool{
 }
 
 // Compile parses, binds, typechecks, and optimizes an RQL query into an
-// executable physical plan.
+// executable physical plan. Queries with $N parameters must go through
+// CompileStmt (the prepared-statement path) instead.
 func Compile(src string, cat *catalog.Catalog, nodes int) (*exec.PlanSpec, error) {
-	q, err := Parse(src)
+	p, prep, err := CompileStmt(src, cat, nodes)
 	if err != nil {
 		return nil, err
 	}
-	b := &binder{cat: cat, model: plan.NewModel(cat.Calibration(), nodes)}
-	return b.bindQuery(q)
+	if prep.NumParams() > 0 {
+		return nil, fmt.Errorf("rql: query has %d parameter(s); prepare it and bind values", prep.NumParams())
+	}
+	return p, nil
+}
+
+// Prepared carries the parameter machinery of a compiled statement: the
+// shared ParamSet the plan's Param expressions read from, and the kind
+// inferred for each $N placeholder.
+type Prepared struct {
+	Set   *expr.ParamSet
+	Kinds []types.Kind // 0-based; Kinds[0] is $1
+	prs   []*expr.Param
+}
+
+// NumParams reports how many distinct $N placeholders the statement uses.
+func (p *Prepared) NumParams() int { return len(p.prs) }
+
+// Check typechecks args against the inferred parameter kinds and returns
+// the coerced values (integers promoted to floats where a float was
+// inferred) without installing them — the read-only half of Bind, used by
+// the text-binding path of multi-process sessions so type errors surface
+// driver-side before a job ships.
+func (p *Prepared) Check(args []types.Value) ([]types.Value, error) {
+	if len(args) != len(p.prs) {
+		return nil, fmt.Errorf("rql: statement wants %d parameter(s), got %d", len(p.prs), len(args))
+	}
+	vals := make([]types.Value, len(args))
+	for i, a := range args {
+		want := p.Kinds[i]
+		got := types.KindOf(a)
+		if got == want {
+			vals[i] = a
+			continue
+		}
+		if want == types.KindFloat && got == types.KindInt {
+			f, _ := types.AsFloat(a)
+			vals[i] = f
+			continue
+		}
+		return nil, fmt.Errorf("rql: parameter $%d: got %v, want %v", i+1, got, want)
+	}
+	return vals, nil
+}
+
+// Bind typechecks args against the inferred parameter kinds (coercing
+// integers to floats where a float was inferred) and installs them for the
+// next execution of the plan.
+func (p *Prepared) Bind(args []types.Value) error {
+	vals, err := p.Check(args)
+	if err != nil {
+		return err
+	}
+	p.Set.Bind(vals)
+	return nil
+}
+
+// CompileStmt is Compile for prepared statements: $N placeholders compile
+// into the plan as bound parameter expressions whose kinds are inferred
+// from context, so the plan is built once and executed many times with
+// fresh values bound through the returned Prepared.
+func CompileStmt(src string, cat *catalog.Catalog, nodes int) (*exec.PlanSpec, *Prepared, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	prep := &Prepared{Set: &expr.ParamSet{}}
+	b := &binder{cat: cat, model: plan.NewModel(cat.Calibration(), nodes), prep: prep}
+	p, err := b.bindQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, pr := range prep.prs {
+		if pr == nil {
+			return nil, nil, fmt.Errorf("rql: parameter $%d is never used (parameters must be numbered contiguously from $1)", i+1)
+		}
+		if pr.K == types.KindNull {
+			return nil, nil, fmt.Errorf("rql: cannot infer the type of parameter $%d; use it in a comparison, arithmetic, or function call", i+1)
+		}
+		prep.Kinds = append(prep.Kinds, pr.K)
+	}
+	return p, prep, nil
 }
 
 type binder struct {
 	cat   *catalog.Catalog
 	model *plan.Model
+	prep  *Prepared
 	// inRecursive disables pre-aggregation: recursive streams carry
 	// non-insert deltas, which combiners cannot fold (§5.2 applies to
 	// insert-only inputs).
 	inRecursive bool
+}
+
+// paramExpr returns (creating on first use) the shared placeholder
+// expression for $n.
+func (b *binder) paramExpr(n int) *expr.Param {
+	for len(b.prep.prs) < n {
+		b.prep.prs = append(b.prep.prs, nil)
+	}
+	if b.prep.prs[n-1] == nil {
+		b.prep.prs[n-1] = expr.NewParam(b.prep.Set, n-1, types.KindNull)
+	}
+	return b.prep.prs[n-1]
+}
+
+// adoptParamKind assigns k to e when e is a parameter whose kind is still
+// unknown, reporting whether e now has kind k.
+func adoptParamKind(e expr.Expr, k types.Kind) {
+	if pr, ok := e.(*expr.Param); ok && pr.K == types.KindNull && k != types.KindNull {
+		pr.K = k
+	}
 }
 
 func (b *binder) bindQuery(q *Query) (*exec.PlanSpec, error) {
@@ -360,6 +462,8 @@ func (b *binder) bindExpr(e Expr, schema *types.Schema) (expr.Expr, error) {
 		return expr.NewConst(v.Val), nil
 	case *BoolLit:
 		return expr.NewConst(v.Val), nil
+	case *ParamRef:
+		return b.paramExpr(v.N), nil
 	case *NotExpr:
 		inner, err := b.bindExpr(v.E, schema)
 		if err != nil {
@@ -380,6 +484,13 @@ func (b *binder) bindExpr(e Expr, schema *types.Schema) (expr.Expr, error) {
 		}
 		switch v.Op {
 		case "+", "-", "*", "/", "%":
+			// A parameter's kind is inferred from its partner operand;
+			// two parameters (or a parameter alone, via unary minus
+			// rewriting) default to float.
+			adoptParamKind(l, r.Kind())
+			adoptParamKind(r, l.Kind())
+			adoptParamKind(l, types.KindFloat)
+			adoptParamKind(r, types.KindFloat)
 			for _, side := range []expr.Expr{l, r} {
 				if k := side.Kind(); k != types.KindInt && k != types.KindFloat {
 					return nil, fmt.Errorf("rql: arithmetic over non-numeric %v", k)
@@ -388,6 +499,10 @@ func (b *binder) bindExpr(e Expr, schema *types.Schema) (expr.Expr, error) {
 			ops := map[string]expr.ArithOp{"+": expr.OpAdd, "-": expr.OpSub, "*": expr.OpMul, "/": expr.OpDiv, "%": expr.OpMod}
 			return expr.NewArith(ops[v.Op], l, r), nil
 		case "=", "<>", "<", "<=", ">", ">=":
+			adoptParamKind(l, r.Kind())
+			adoptParamKind(r, l.Kind())
+			adoptParamKind(l, types.KindFloat)
+			adoptParamKind(r, types.KindFloat)
 			lk, rk := l.Kind(), r.Kind()
 			numeric := func(k types.Kind) bool { return k == types.KindInt || k == types.KindFloat }
 			if lk != rk && !(numeric(lk) && numeric(rk)) {
@@ -396,6 +511,8 @@ func (b *binder) bindExpr(e Expr, schema *types.Schema) (expr.Expr, error) {
 			ops := map[string]expr.CmpOp{"=": expr.OpEq, "<>": expr.OpNe, "<": expr.OpLt, "<=": expr.OpLe, ">": expr.OpGt, ">=": expr.OpGe}
 			return expr.NewCmp(ops[v.Op], l, r), nil
 		case "AND", "OR":
+			adoptParamKind(l, types.KindBool)
+			adoptParamKind(r, types.KindBool)
 			if l.Kind() != types.KindBool || r.Kind() != types.KindBool {
 				return nil, fmt.Errorf("rql: %s requires booleans", v.Op)
 			}
@@ -419,6 +536,9 @@ func (b *binder) bindExpr(e Expr, schema *types.Schema) (expr.Expr, error) {
 			ba, err := b.bindExpr(a, schema)
 			if err != nil {
 				return nil, err
+			}
+			if len(def.ArgKinds) > i {
+				adoptParamKind(ba, def.ArgKinds[i])
 			}
 			if len(def.ArgKinds) > i && ba.Kind() != def.ArgKinds[i] && def.ArgKinds[i] != types.KindNull {
 				return nil, fmt.Errorf("rql: %s arg %d: got %v, want %v", v.Fn, i, ba.Kind(), def.ArgKinds[i])
@@ -500,6 +620,8 @@ func exprString(e Expr) string {
 		return "(" + exprString(v.L) + v.Op + exprString(v.R) + ")"
 	case *NotExpr:
 		return "NOT " + exprString(v.E)
+	case *ParamRef:
+		return fmt.Sprintf("$%d", v.N)
 	case *CallExpr:
 		parts := make([]string, len(v.Args))
 		for i, a := range v.Args {

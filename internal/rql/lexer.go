@@ -22,6 +22,7 @@ const (
 	tokString
 	tokSymbol  // punctuation and operators
 	tokKeyword // reserved words, upper-cased
+	tokParam   // $N placeholder; text is the digits
 )
 
 type token struct {
@@ -75,16 +76,44 @@ func lex(src string) ([]token, error) {
 				i++
 			}
 			toks = append(toks, token{tokNumber, src[start:i], start})
+		case c == '$':
+			start := i
+			i++
+			ds := i
+			for i < len(src) && unicode.IsDigit(rune(src[i])) {
+				i++
+			}
+			if i == ds {
+				return nil, fmt.Errorf("rql: expected digits after $ at %d", start)
+			}
+			toks = append(toks, token{tokParam, src[ds:i], start})
 		case c == '\'':
 			i++
 			start := i
-			for i < len(src) && src[i] != '\'' {
-				i++
+			var esc []byte // set only when the string contains '' escapes
+			seg := start
+			for {
+				for i < len(src) && src[i] != '\'' {
+					i++
+				}
+				if i >= len(src) {
+					return nil, fmt.Errorf("rql: unterminated string at %d", start)
+				}
+				if i+1 < len(src) && src[i+1] == '\'' {
+					// '' is an escaped quote inside the string.
+					esc = append(esc, src[seg:i]...)
+					esc = append(esc, '\'')
+					i += 2
+					seg = i
+					continue
+				}
+				break
 			}
-			if i >= len(src) {
-				return nil, fmt.Errorf("rql: unterminated string at %d", start)
+			text := src[start:i]
+			if esc != nil {
+				text = string(append(esc, src[seg:i]...))
 			}
-			toks = append(toks, token{tokString, src[start:i], start})
+			toks = append(toks, token{tokString, text, start})
 			i++
 		default:
 			// multi-char operators

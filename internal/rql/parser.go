@@ -2,6 +2,7 @@ package rql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -341,6 +342,13 @@ func (p *parser) parseUnary() (Expr, error) {
 	case p.at(tokNumber, ""):
 		t := p.next()
 		return &NumberLit{Text: t.text, IsInt: !strings.Contains(t.text, ".")}, nil
+	case p.at(tokParam, ""):
+		t := p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, p.errf("bad parameter $%s", t.text)
+		}
+		return &ParamRef{N: n}, nil
 	case p.at(tokString, ""):
 		return &StringLit{Val: p.next().text}, nil
 	case p.accept(tokKeyword, "TRUE"):

@@ -6,12 +6,34 @@
 // user-defined aggregators and delta handlers, cost-based optimization,
 // and incremental failure recovery.
 //
-// Quick start:
+// A deployment is opened as a context-aware Session. In-process (every
+// worker a goroutine):
 //
-//	cluster := rex.NewCluster(rex.ClusterConfig{Nodes: 4})
-//	cluster.MustCreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0)
-//	cluster.MustLoad("graph", edges)
-//	res, err := cluster.Query(`SELECT srcId, count(*) FROM graph GROUP BY srcId`)
+//	s, err := rex.Open(ctx, rex.WithInProc(4))
+//	defer s.Close()
+//	s.CreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0)
+//	s.Load("graph", edges)
+//	res, err := s.QueryCtx(ctx, `SELECT srcId, count(*) FROM graph GROUP BY srcId`, rex.Options{})
+//
+// or across OS processes over TCP, through the same API — WithTCPPeers
+// attaches to running rexnode daemons, WithAutoSpawn launches local child
+// processes (see ServeNode):
+//
+//	s, err := rex.Open(ctx, rex.WithAutoSpawn(4),
+//		rex.WithDataset("dbpedia", 2000, 1))
+//
+// Queries honor their context end to end: cancellation or a deadline
+// aborts a recursive query between strata and leaves the session usable.
+// Streaming consumers observe the fixpoint converge stratum by stratum
+// instead of waiting for the final relation:
+//
+//	st, err := s.Stream(ctx, query, rex.Options{})
+//	for stratum, deltas := range st.Seq() { ... }
+//
+// and serving workloads prepare once, execute many times:
+//
+//	stmt, err := s.Prepare(`SELECT sum(tax) FROM lineitem WHERE linenumber > $1`)
+//	res, err := stmt.Query(int64(3))
 //
 // Recursive queries use the RQL extension syntax of §3.1:
 //
@@ -22,12 +44,11 @@ package rex
 
 import (
 	"fmt"
+	"io"
 
-	"github.com/rex-data/rex/internal/catalog"
-	"github.com/rex-data/rex/internal/cluster"
 	"github.com/rex-data/rex/internal/exec"
-	"github.com/rex-data/rex/internal/expr"
-	"github.com/rex-data/rex/internal/rql"
+	"github.com/rex-data/rex/internal/job"
+	"github.com/rex-data/rex/internal/noded"
 	"github.com/rex-data/rex/internal/types"
 	"github.com/rex-data/rex/internal/uda"
 )
@@ -51,6 +72,19 @@ type (
 	Options = exec.Options
 	// RecoveryStrategy selects restart vs incremental failure recovery.
 	RecoveryStrategy = exec.RecoveryStrategy
+	// DeltaStream iterates the per-stratum delta batches of a running
+	// query (see Session.Stream): Next/Err/Close, a Go 1.23 Seq adapter,
+	// and Drain to fold the remainder into a final Result.
+	DeltaStream = exec.ResultStream
+	// DeltaBatch is one element of a DeltaStream: the state changes one
+	// stratum made to the recursive relation.
+	DeltaBatch = exec.StreamBatch
+	// Workload is a self-contained, serializable job description: the
+	// workload name, deterministic dataset parameters, and execution
+	// options from which every process — this one and each rexnode
+	// daemon — rebuilds an identical catalog, plan, and data partition.
+	// It is the unit of multi-process execution (Session.RunWorkload).
+	Workload = job.Spec
 )
 
 // Recovery strategies.
@@ -78,139 +112,23 @@ var (
 // (types: Integer, Double, String, Boolean).
 func Schema(fields ...string) *types.Schema { return types.MustSchema(fields...) }
 
-// ClusterConfig shapes a simulated REX cluster.
-type ClusterConfig struct {
-	// Nodes is the worker count (default 4).
-	Nodes int
-	// Replication is the storage/checkpoint replication factor (default 3).
-	Replication int
-	// VirtualNodes per worker on the consistent-hash ring (default 64).
-	VirtualNodes int
-}
-
-// Cluster is a running REX deployment: a catalog plus worker nodes with
-// partitioned replicated storage.
-type Cluster struct {
-	cfg ClusterConfig
-	cat *catalog.Catalog
-	eng *exec.Engine
-}
-
-// NewCluster boots a simulated shared-nothing cluster.
-func NewCluster(cfg ClusterConfig) *Cluster {
-	if cfg.Nodes <= 0 {
-		cfg.Nodes = 4
-	}
-	if cfg.Replication <= 0 {
-		cfg.Replication = 3
-	}
-	if cfg.VirtualNodes <= 0 {
-		cfg.VirtualNodes = 64
-	}
-	cat := catalog.New()
-	return &Cluster{
-		cfg: cfg,
-		cat: cat,
-		eng: exec.NewEngine(cfg.Nodes, cfg.VirtualNodes, cfg.Replication, cat),
-	}
-}
-
-// Catalog exposes the cluster's catalog for registering user-defined
-// functions, aggregators, and delta handlers.
-func (c *Cluster) Catalog() *catalog.Catalog { return c.cat }
-
-// Engine exposes the underlying executor (plan-level API and metrics).
-func (c *Cluster) Engine() *exec.Engine { return c.eng }
-
-// CreateTable declares a table hash-partitioned by the given column.
-func (c *Cluster) CreateTable(name string, schema *types.Schema, partitionKey int) error {
-	return c.cat.AddTable(&catalog.Table{Name: name, Schema: schema, PartitionKey: partitionKey})
-}
-
-// MustCreateTable is CreateTable, panicking on error.
-func (c *Cluster) MustCreateTable(name string, schema *types.Schema, partitionKey int) {
-	if err := c.CreateTable(name, schema, partitionKey); err != nil {
-		panic(err)
-	}
-}
-
-// Load distributes tuples into the table's replicated partitions.
-func (c *Cluster) Load(table string, tuples []Tuple) error {
-	tab, err := c.cat.Table(table)
+// ServeNode runs this process as a rexnode worker daemon on the given
+// listen address (":0" picks a free port), announcing the bound address on
+// stdout in the form WithAutoSpawn scans for, and serving jobs until the
+// driver quits it. Programs that open sessions with WithAutoSpawn call
+// this when invoked with their "-node" flag:
+//
+//	if *nodeMode {
+//		if err := rex.ServeNode(*listen, os.Stderr); err != nil {
+//			log.Fatal(err)
+//		}
+//		return
+//	}
+func ServeNode(listen string, logw io.Writer) error {
+	n, err := noded.Listen(listen, logw)
 	if err != nil {
 		return err
 	}
-	stats := tab.Stats
-	stats.RowCount += int64(len(tuples))
-	if err := c.eng.Load(table, tab.PartitionKey, tuples); err != nil {
-		return err
-	}
-	return c.cat.SetStats(table, stats)
+	fmt.Printf("%s%s\n", job.SpawnPrefix, n.Addr())
+	return n.Serve()
 }
-
-// MustLoad is Load, panicking on error.
-func (c *Cluster) MustLoad(table string, tuples []Tuple) {
-	if err := c.Load(table, tuples); err != nil {
-		panic(err)
-	}
-}
-
-// Query compiles and executes an RQL query with default options.
-func (c *Cluster) Query(src string) (*Result, error) {
-	return c.QueryWithOptions(src, Options{})
-}
-
-// QueryWithOptions compiles and executes an RQL query.
-func (c *Cluster) QueryWithOptions(src string, opts Options) (*Result, error) {
-	spec, err := rql.Compile(src, c.cat, c.cfg.Nodes)
-	if err != nil {
-		return nil, err
-	}
-	return c.eng.Run(spec, opts)
-}
-
-// RunPlan executes a hand-built physical plan (the plan-level API used by
-// the algorithm library and benchmarks).
-func (c *Cluster) RunPlan(spec *exec.PlanSpec, opts Options) (*Result, error) {
-	return c.eng.Run(spec, opts)
-}
-
-// RegisterFunc registers a scalar UDF callable from RQL.
-func (c *Cluster) RegisterFunc(name string, argKinds []types.Kind, ret types.Kind,
-	deterministic bool, fn func(args []Value) (Value, error)) error {
-	return c.cat.RegisterFunc(&catalog.FuncDef{
-		Name: name, ArgKinds: argKinds, RetKind: ret,
-		Fn: expr.ScalarFn(fn), Deterministic: deterministic,
-	})
-}
-
-// JoinHandler registers a join-state delta handler (§3.3): called with the
-// join buckets for a delta's key; revises them and returns output deltas.
-func (c *Cluster) JoinHandler(name string, out *types.Schema,
-	fn func(left, right *TupleSet, d Delta, fromLeft bool) ([]Delta, error)) error {
-	return c.cat.RegisterJoinHandler(&uda.FuncJoinHandler{HName: name, Out: out, Fn: fn})
-}
-
-// WhileHandler registers a while-state delta handler (§3.3): called by the
-// fixpoint with the state bucket for a delta's key; returns the Δ set to
-// feed the next stratum.
-func (c *Cluster) WhileHandler(name string,
-	fn func(rel *TupleSet, d Delta) ([]Delta, error)) error {
-	return c.cat.RegisterWhileHandler(&uda.FuncWhileHandler{HName: name, Fn: fn})
-}
-
-// Kill injects a node failure (for testing recovery).
-func (c *Cluster) Kill(node int) {
-	if node < 0 || node >= c.cfg.Nodes {
-		panic(fmt.Sprintf("rex: no node %d", node))
-	}
-	c.eng.Transport.Kill(clusterNode(node))
-}
-
-// BytesShipped reports the total bytes sent over the simulated network.
-func (c *Cluster) BytesShipped() int64 {
-	return c.eng.Transport.Metrics().TotalBytesSent()
-}
-
-// clusterNode converts an int to the internal node id type.
-func clusterNode(n int) cluster.NodeID { return cluster.NodeID(n) }

@@ -1,0 +1,563 @@
+package rex
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/exec"
+	"github.com/rex-data/rex/internal/expr"
+	"github.com/rex-data/rex/internal/job"
+	"github.com/rex-data/rex/internal/rql"
+	"github.com/rex-data/rex/internal/types"
+	"github.com/rex-data/rex/internal/uda"
+)
+
+// config collects the functional-option state of Open.
+type config struct {
+	nodes       int
+	inproc      bool // WithInProc called explicitly
+	replication int
+	vnodes      int
+
+	// transport selection; exactly one of these shapes the session.
+	peers     []string // WithTCPPeers
+	autospawn int      // WithAutoSpawn
+	spawnBin  string
+	spawnArgs []string
+
+	// staged dataset (required for RQL over TCP, optional in-process).
+	dataset     string
+	datasetSize int
+	datasetSeed int64
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithInProc selects the in-process transport with n worker nodes (the
+// default, with n=4): every node is an event loop on a goroutine and links
+// are mailboxes carrying encoded frames.
+func WithInProc(n int) Option {
+	return func(c *config) { c.nodes = n; c.inproc = true }
+}
+
+// WithTCPPeers selects the TCP transport over already-running rexnode
+// worker daemons. The address order fixes node ids: addrs[0] is node 0.
+func WithTCPPeers(addrs ...string) Option {
+	return func(c *config) { c.peers = append([]string(nil), addrs...) }
+}
+
+// WithAutoSpawn selects the TCP transport and spawns n local worker-daemon
+// child processes. By default the session re-executes the current binary
+// with a "-node" flag — programs using it must run ServeNode when invoked
+// that way (see examples/quickstart) — or name any binary that does via
+// WithSpawnCommand. Close tears the children down.
+func WithAutoSpawn(n int) Option {
+	return func(c *config) { c.autospawn = n }
+}
+
+// WithSpawnCommand overrides the binary and arguments WithAutoSpawn
+// launches for each worker daemon.
+func WithSpawnCommand(bin string, args ...string) Option {
+	return func(c *config) { c.spawnBin = bin; c.spawnArgs = append([]string(nil), args...) }
+}
+
+// WithReplication sets the storage/checkpoint replication factor
+// (default 3).
+func WithReplication(r int) Option {
+	return func(c *config) { c.replication = r }
+}
+
+// WithVirtualNodes sets the virtual nodes per worker on the consistent-hash
+// ring (default 64).
+func WithVirtualNodes(v int) Option {
+	return func(c *config) { c.vnodes = v }
+}
+
+// WithDataset stages one of the named deterministic datasets (dbpedia,
+// twitter, lineitem, points) generated from (size, seed). On a TCP session
+// this is how queries get data at all — every worker daemon regenerates
+// its own partition from the same parameters, so no tuples cross the wire.
+// On an in-process session it stages the identical tables, making results
+// comparable across transports.
+func WithDataset(name string, size int, seed int64) Option {
+	return func(c *config) { c.dataset = name; c.datasetSize = size; c.datasetSeed = seed }
+}
+
+// Session is a running REX deployment: a catalog plus worker nodes with
+// partitioned, replicated storage — in this process (WithInProc) or as
+// rexnode daemons over TCP (WithTCPPeers, WithAutoSpawn). One session runs
+// queries sequentially; concurrent calls serialize on an internal lock.
+type Session struct {
+	mu  sync.Mutex
+	cfg config
+
+	// in-process deployments
+	cat *catalog.Catalog
+	eng *exec.Engine
+
+	// TCP deployments
+	jc *job.Cluster
+
+	// streamMu guards stream, the stream currently holding mu (see
+	// unlockWhenDone). Close cancels it so an abandoned, half-consumed
+	// stream cannot park the session lock forever.
+	streamMu sync.Mutex
+	stream   *exec.ResultStream
+
+	closed bool
+}
+
+// Open boots a session. With no options it is an in-process 4-node
+// cluster, the modern equivalent of NewCluster:
+//
+//	s, err := rex.Open(ctx, rex.WithInProc(4))
+//	defer s.Close()
+//
+// With a TCP option the same session API drives worker processes over
+// real sockets:
+//
+//	s, err := rex.Open(ctx, rex.WithTCPPeers("h1:7101", "h2:7101"),
+//		rex.WithDataset("dbpedia", 2000, 1))
+func Open(ctx context.Context, opts ...Option) (*Session, error) {
+	cfg := config{nodes: 4, replication: 3, vnodes: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(cfg.peers) > 0 && cfg.autospawn > 0 {
+		return nil, fmt.Errorf("rex: WithTCPPeers and WithAutoSpawn are mutually exclusive")
+	}
+	if cfg.inproc && (len(cfg.peers) > 0 || cfg.autospawn > 0) {
+		return nil, fmt.Errorf("rex: WithInProc cannot be combined with WithTCPPeers/WithAutoSpawn")
+	}
+	if cfg.spawnBin != "" && cfg.autospawn == 0 {
+		return nil, fmt.Errorf("rex: WithSpawnCommand requires WithAutoSpawn")
+	}
+	s := &Session{cfg: cfg}
+	switch {
+	case len(cfg.peers) > 0:
+		jc, err := job.Connect(cfg.peers)
+		if err != nil {
+			return nil, err
+		}
+		s.jc = jc
+	case cfg.autospawn > 0:
+		bin, args := cfg.spawnBin, cfg.spawnArgs
+		if bin == "" {
+			bin, args = os.Args[0], []string{"-node"}
+		}
+		jc, err := job.SpawnLocal(cfg.autospawn, bin, args)
+		if err != nil {
+			return nil, err
+		}
+		s.jc = jc
+	default:
+		if cfg.nodes <= 0 {
+			cfg.nodes = 4
+		}
+		s.cfg = cfg
+		s.cat = catalog.New()
+		s.eng = exec.NewEngine(cfg.nodes, cfg.vnodes, cfg.replication, s.cat)
+		if cfg.dataset != "" {
+			tables, err := job.StageDataset(s.cat, cfg.dataset, cfg.datasetSize, cfg.datasetSeed)
+			if err != nil {
+				return nil, err
+			}
+			for _, tb := range tables {
+				if err := s.loadLocked(tb.Name, tb.Tuples); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// Close tears the session down: in-process mailboxes are closed; TCP
+// connections are shut and daemons the session spawned are terminated and
+// reaped. Close waits for an in-flight query to finish; a live DeltaStream
+// (consumed or abandoned) is cancelled first, so Close never deadlocks
+// behind a stream nobody is draining.
+func (s *Session) Close() error {
+	// Win s.mu without ever parking on it: the lock is held for a
+	// stream's whole life, and a Stream call racing us registers its
+	// stream only after acquiring the lock, so blocking on Lock() could
+	// wait forever behind a stream we looked for too early. Re-check and
+	// cancel until TryLock succeeds — once it does, no stream is live.
+	for {
+		s.streamMu.Lock()
+		st := s.stream
+		s.streamMu.Unlock()
+		if st != nil {
+			st.Close() // cancel + drain + wait; releases s.mu via unlockWhenDone
+			continue
+		}
+		if s.mu.TryLock() {
+			break
+		}
+		time.Sleep(time.Millisecond) // a buffered query run; wait it out
+	}
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.jc != nil {
+		s.jc.Close()
+		return nil
+	}
+	return s.eng.Transport.Close()
+}
+
+// lock acquires the session for one query, rejecting closed sessions.
+func (s *Session) lock() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("rex: session is closed")
+	}
+	return nil
+}
+
+// Nodes reports the worker count.
+func (s *Session) Nodes() int {
+	if s.jc != nil {
+		return len(s.jc.Addrs())
+	}
+	return s.cfg.nodes
+}
+
+// transport returns the session's cluster transport.
+func (s *Session) transport() cluster.Transport {
+	if s.jc != nil {
+		return s.jc.Transport()
+	}
+	return s.eng.Transport
+}
+
+// Catalog exposes the catalog for registering user-defined functions,
+// aggregators, and delta handlers. Nil on TCP sessions — remote daemons
+// rebuild their catalogs from job specs, so Go closures registered here
+// could never reach them.
+func (s *Session) Catalog() *catalog.Catalog { return s.cat }
+
+// Engine exposes the underlying executor of an in-process session (nil on
+// TCP sessions).
+func (s *Session) Engine() *exec.Engine { return s.eng }
+
+// inprocOnly guards the APIs that need local storage and a local catalog.
+func (s *Session) inprocOnly(what string) error {
+	if s.jc != nil {
+		return fmt.Errorf("rex: %s is not available on a TCP session (workers rebuild state from job specs; stage data with WithDataset or run a Workload)", what)
+	}
+	return nil
+}
+
+// CreateTable declares a table hash-partitioned by the given column.
+func (s *Session) CreateTable(name string, schema *types.Schema, partitionKey int) error {
+	if err := s.inprocOnly("CreateTable"); err != nil {
+		return err
+	}
+	return s.cat.AddTable(&catalog.Table{Name: name, Schema: schema, PartitionKey: partitionKey})
+}
+
+// Load distributes tuples into the table's replicated partitions.
+func (s *Session) Load(table string, tuples []Tuple) error {
+	if err := s.inprocOnly("Load"); err != nil {
+		return err
+	}
+	if err := s.lock(); err != nil {
+		return err
+	}
+	defer s.mu.Unlock()
+	return s.loadLocked(table, tuples)
+}
+
+func (s *Session) loadLocked(table string, tuples []Tuple) error {
+	tab, err := s.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	stats := tab.Stats
+	stats.RowCount += int64(len(tuples))
+	if err := s.eng.Load(table, tab.PartitionKey, tuples); err != nil {
+		return err
+	}
+	return s.cat.SetStats(table, stats)
+}
+
+// RegisterFunc registers a scalar UDF callable from RQL.
+func (s *Session) RegisterFunc(name string, argKinds []types.Kind, ret types.Kind,
+	deterministic bool, fn func(args []Value) (Value, error)) error {
+	if err := s.inprocOnly("RegisterFunc"); err != nil {
+		return err
+	}
+	return s.cat.RegisterFunc(&catalog.FuncDef{
+		Name: name, ArgKinds: argKinds, RetKind: ret,
+		Fn: expr.ScalarFn(fn), Deterministic: deterministic,
+	})
+}
+
+// JoinHandler registers a join-state delta handler (§3.3): called with the
+// join buckets for a delta's key; revises them and returns output deltas.
+func (s *Session) JoinHandler(name string, out *types.Schema,
+	fn func(left, right *TupleSet, d Delta, fromLeft bool) ([]Delta, error)) error {
+	if err := s.inprocOnly("JoinHandler"); err != nil {
+		return err
+	}
+	return s.cat.RegisterJoinHandler(&uda.FuncJoinHandler{HName: name, Out: out, Fn: fn})
+}
+
+// WhileHandler registers a while-state delta handler (§3.3): called by the
+// fixpoint with the state bucket for a delta's key; returns the Δ set to
+// feed the next stratum.
+func (s *Session) WhileHandler(name string,
+	fn func(rel *TupleSet, d Delta) ([]Delta, error)) error {
+	if err := s.inprocOnly("WhileHandler"); err != nil {
+		return err
+	}
+	return s.cat.RegisterWhileHandler(&uda.FuncWhileHandler{HName: name, Fn: fn})
+}
+
+// Query compiles and executes an RQL query with default options.
+func (s *Session) Query(src string) (*Result, error) {
+	return s.QueryCtx(context.Background(), src, Options{})
+}
+
+// QueryCtx compiles and executes an RQL query under a context: cancelling
+// it (or hitting its deadline) aborts the query between strata with
+// context.Canceled / DeadlineExceeded, and the session stays usable for
+// the next query. When no failure recovery is requested the execution
+// streams internally — per-stratum delta batches are folded as they
+// arrive instead of the full result set buffering in the requestor.
+func (s *Session) QueryCtx(ctx context.Context, src string, opts Options) (*Result, error) {
+	if s.jc != nil {
+		spec, err := s.rqlSpec(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		return s.runTCP(ctx, spec, driverTune(opts))
+	}
+	plan, err := rql.Compile(src, s.cat, s.cfg.nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	defer s.mu.Unlock()
+	return s.runInProcLocked(ctx, plan, opts)
+}
+
+// QueryWithOptions is QueryCtx with a background context.
+func (s *Session) QueryWithOptions(src string, opts Options) (*Result, error) {
+	return s.QueryCtx(context.Background(), src, opts)
+}
+
+// RunPlan executes a hand-built physical plan (the plan-level API used by
+// the algorithm library and benchmarks) on an in-process session.
+func (s *Session) RunPlan(ctx context.Context, plan *exec.PlanSpec, opts Options) (*Result, error) {
+	if err := s.inprocOnly("RunPlan"); err != nil {
+		return nil, err
+	}
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	defer s.mu.Unlock()
+	return s.eng.RunCtx(ctx, plan, opts)
+}
+
+// Stream compiles src and executes it in streaming-result mode: the
+// returned DeltaStream yields each stratum's state-change batch as
+// punctuation closes the stratum on every node, instead of buffering the
+// full result set. Works on both transports. The stream must be consumed
+// or Closed; Query is the convenience wrapper that drains it.
+func (s *Session) Stream(ctx context.Context, src string, opts Options) (*DeltaStream, error) {
+	if s.jc != nil {
+		spec, err := s.rqlSpec(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.lock(); err != nil {
+			return nil, err
+		}
+		st, err := s.jc.StreamCtx(ctx, spec, driverTune(opts))
+		return s.unlockWhenDone(st, err)
+	}
+	plan, err := rql.Compile(src, s.cat, s.cfg.nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	st, err := s.eng.Stream(ctx, plan, opts)
+	return s.unlockWhenDone(st, err)
+}
+
+// StreamPlan is Stream for a hand-built physical plan (in-process only).
+func (s *Session) StreamPlan(ctx context.Context, plan *exec.PlanSpec, opts Options) (*DeltaStream, error) {
+	if err := s.inprocOnly("StreamPlan"); err != nil {
+		return nil, err
+	}
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	st, err := s.eng.Stream(ctx, plan, opts)
+	return s.unlockWhenDone(st, err)
+}
+
+// RunWorkload executes a self-contained workload description. On a TCP
+// session this is the full multi-process path: the spec ships to every
+// daemon, each rebuilds the identical catalog, plan, and data partition,
+// and the session process coordinates the query. On an in-process session
+// the same spec runs on a fresh single-process engine, so results are
+// directly comparable across transports. tune, when non-nil, adjusts the
+// driver-side options (recovery strategy, stratum hooks) before the run.
+func (s *Session) RunWorkload(ctx context.Context, w *Workload, tune func(*Options)) (*Result, error) {
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	defer s.mu.Unlock()
+	if s.jc != nil {
+		return s.jc.RunCtx(ctx, w, tune)
+	}
+	clone := *w // the runner normalizes its copy; keep the caller's spec pristine
+	return job.RunInProcCtx(ctx, &clone, tune)
+}
+
+// StreamWorkload is RunWorkload in streaming-result mode.
+func (s *Session) StreamWorkload(ctx context.Context, w *Workload, tune func(*Options)) (*DeltaStream, error) {
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	if s.jc != nil {
+		st, err := s.jc.StreamCtx(ctx, w, tune)
+		return s.unlockWhenDone(st, err)
+	}
+	st, err := job.StreamInProc(ctx, w, tune)
+	return s.unlockWhenDone(st, err)
+}
+
+// Kill injects a node failure (for testing recovery). On TCP sessions the
+// remote daemon is told to drop traffic and pushes a final stats frame so
+// the dead node's traffic stays in the byte accounting.
+func (s *Session) Kill(node int) error {
+	if node < 0 || node >= s.Nodes() {
+		return fmt.Errorf("rex: no node %d (cluster has %d)", node, s.Nodes())
+	}
+	s.transport().Kill(cluster.NodeID(node))
+	return nil
+}
+
+// Revive restores a killed node so successive runs can reuse the session.
+func (s *Session) Revive(node int) error {
+	if node < 0 || node >= s.Nodes() {
+		return fmt.Errorf("rex: no node %d (cluster has %d)", node, s.Nodes())
+	}
+	s.transport().Revive(cluster.NodeID(node))
+	return nil
+}
+
+// BytesShipped reports the total bytes sent between workers — measured
+// wire bytes on both transports (socket bytes over TCP, after the
+// end-of-run metrics sync).
+func (s *Session) BytesShipped() int64 {
+	return s.transport().Metrics().TotalBytesSent()
+}
+
+// runInProcLocked executes a compiled plan, streaming internally when the
+// options allow it (recovery needs the buffered requestor path).
+func (s *Session) runInProcLocked(ctx context.Context, plan *exec.PlanSpec, opts Options) (*Result, error) {
+	if opts.Recovery != RecoveryNone {
+		return s.eng.RunCtx(ctx, plan, opts)
+	}
+	st, err := s.eng.Stream(ctx, plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	return st.Drain()
+}
+
+// runTCP executes a job spec over the session's daemon cluster, streaming
+// internally when the options allow it.
+func (s *Session) runTCP(ctx context.Context, spec *job.Spec, tune func(*Options)) (*Result, error) {
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	defer s.mu.Unlock()
+	if hasRecovery(tune) {
+		return s.jc.RunCtx(ctx, spec, tune)
+	}
+	st, err := s.jc.StreamCtx(ctx, spec, tune)
+	if err != nil {
+		return nil, err
+	}
+	return st.Drain()
+}
+
+// hasRecovery reports whether tune installs a recovery strategy.
+func hasRecovery(tune func(*Options)) bool {
+	if tune == nil {
+		return false
+	}
+	var o Options
+	tune(&o)
+	return o.Recovery != RecoveryNone
+}
+
+// rqlSpec shapes an RQL query as a job spec for the daemon cluster.
+func (s *Session) rqlSpec(src string, opts Options) (*job.Spec, error) {
+	if s.cfg.dataset == "" {
+		return nil, fmt.Errorf("rex: TCP sessions need WithDataset to stage data for RQL queries (or run a self-contained Workload)")
+	}
+	return &job.Spec{
+		Workload: "rql",
+		Dataset:  s.cfg.dataset, Size: s.cfg.datasetSize, Seed: s.cfg.datasetSeed,
+		Query:  src,
+		VNodes: s.cfg.vnodes, Replication: s.cfg.replication,
+		BatchSize: opts.BatchSize, Compaction: opts.Compaction,
+		Checkpoint: opts.Checkpoint, CompactionHighWater: opts.CompactionHighWater,
+		MaxStrata: opts.MaxStrata,
+	}, nil
+}
+
+// driverTune carries the driver-side (non-wire) options into a TCP run.
+func driverTune(opts Options) func(*Options) {
+	return func(o *Options) {
+		o.Recovery = opts.Recovery
+		o.TermFn = opts.TermFn
+		o.OnStratum = opts.OnStratum
+	}
+}
+
+// unlockWhenDone hands the session lock to a running stream: it is
+// released when the stream's query fully tears down. The stream is
+// recorded so Close can cancel it if the caller abandons it.
+func (s *Session) unlockWhenDone(st *exec.ResultStream, err error) (*DeltaStream, error) {
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.streamMu.Lock()
+	s.stream = st
+	s.streamMu.Unlock()
+	go func() {
+		<-st.Done()
+		s.streamMu.Lock()
+		if s.stream == st {
+			s.stream = nil
+		}
+		s.streamMu.Unlock()
+		s.mu.Unlock()
+	}()
+	return st, nil
+}

@@ -1,0 +1,135 @@
+package rex
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/exec"
+	"github.com/rex-data/rex/internal/job"
+	"github.com/rex-data/rex/internal/rql"
+)
+
+// Stmt is a prepared RQL statement: the query is parsed, bound, and
+// planned once at Prepare time, and executed many times with $1-style
+// parameter values bound per run — serving workloads skip the
+// reparse/replan entirely. Parameter types are inferred from context
+// during binding (comparison partner, arithmetic partner, UDF signature);
+// integer values coerce to float where a float was inferred.
+//
+// On a TCP session plans cannot ship across the wire (every daemon
+// recompiles from the job spec), so Prepare validates and plans once
+// driver-side and each execution binds the values into the query text as
+// literals instead.
+type Stmt struct {
+	sess *Session
+	src  string
+
+	// plan is the compiled plan (in-process sessions only; a TCP
+	// session's daemons recompile from the job spec). prep carries the
+	// inferred parameter kinds on both paths, so argument type errors
+	// surface driver-side before anything executes.
+	plan *exec.PlanSpec
+	prep *rql.Prepared
+}
+
+// Prepare compiles an RQL statement with $N placeholders for repeated
+// execution.
+func (s *Session) Prepare(src string) (*Stmt, error) {
+	if s.jc != nil {
+		// Validate against a scratch catalog staged like the daemons'.
+		if s.cfg.dataset == "" {
+			return nil, fmt.Errorf("rex: TCP sessions need WithDataset to stage data for RQL queries")
+		}
+		cat := catalog.New()
+		if err := job.StageSchemas(cat, s.cfg.dataset, s.cfg.datasetSize); err != nil {
+			return nil, err
+		}
+		_, prep, err := rql.CompileStmt(src, cat, s.Nodes())
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{sess: s, src: src, prep: prep}, nil
+	}
+	plan, prep, err := rql.CompileStmt(src, s.cat, s.cfg.nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{sess: s, src: src, plan: plan, prep: prep}, nil
+}
+
+// NumParams reports the statement's placeholder count.
+func (st *Stmt) NumParams() int { return st.prep.NumParams() }
+
+// Query executes the statement with the given parameter values and
+// default options.
+func (st *Stmt) Query(args ...Value) (*Result, error) {
+	return st.QueryCtx(context.Background(), Options{}, args...)
+}
+
+// QueryCtx executes the statement under a context with the given options
+// and parameter values.
+func (st *Stmt) QueryCtx(ctx context.Context, opts Options, args ...Value) (*Result, error) {
+	s := st.sess
+	if s.jc != nil {
+		src, err := st.bindText(args)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := s.rqlSpec(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		return s.runTCP(ctx, spec, driverTune(opts))
+	}
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	defer s.mu.Unlock()
+	if err := st.prep.Bind(args); err != nil {
+		return nil, err
+	}
+	return s.runInProcLocked(ctx, st.plan, opts)
+}
+
+// StreamCtx executes the statement in streaming-result mode (see
+// Session.Stream).
+func (st *Stmt) StreamCtx(ctx context.Context, opts Options, args ...Value) (*DeltaStream, error) {
+	s := st.sess
+	if s.jc != nil {
+		src, err := st.bindText(args)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := s.rqlSpec(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.lock(); err != nil {
+			return nil, err
+		}
+		stream, err := s.jc.StreamCtx(ctx, spec, driverTune(opts))
+		return s.unlockWhenDone(stream, err)
+	}
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	if err := st.prep.Bind(args); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	stream, err := s.eng.Stream(ctx, st.plan, opts)
+	return s.unlockWhenDone(stream, err)
+}
+
+// bindText typechecks args against the inferred parameter kinds and
+// renders the coerced values into the statement text for the wire (TCP
+// path) — an int bound where a float was inferred ships as a float
+// literal, matching what the in-process path would execute.
+func (st *Stmt) bindText(args []Value) (string, error) {
+	vals, err := st.prep.Check(args)
+	if err != nil {
+		return "", err
+	}
+	return rql.BindText(st.src, vals)
+}
