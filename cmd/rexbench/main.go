@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -68,10 +70,32 @@ func main() {
 		sc.Nodes = *nodes
 	}
 
-	record := &bench.CIRecord{Scale: *scale, Nodes: sc.Nodes, Transport: *transport}
+	record := &bench.CIRecord{
+		SchemaVersion: bench.CISchemaVersion,
+		GoVersion:     runtime.Version(),
+		Commit:        commitID(),
+		Scale:         *scale, Nodes: sc.Nodes, Transport: *transport,
+	}
 	if err := run(sc, record, *transport, *peers, *exp, *jsonPath); err != nil {
 		fatalf("%v", err)
 	}
+}
+
+// commitID identifies the built revision so JSON artifacts are comparable
+// across runs: the VCS stamp when the binary was built inside a checkout,
+// else the CI-provided SHA, else "unknown".
+func commitID() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	return "unknown"
 }
 
 func run(sc bench.Scale, record *bench.CIRecord, transport, peers, exp, jsonPath string) error {
@@ -106,8 +130,9 @@ func run(sc bench.Scale, record *bench.CIRecord, transport, peers, exp, jsonPath
 	}
 
 	// Figure experiments measure the simulated substrate; they run only
-	// in-process.
-	if transport == "inproc" {
+	// in-process. "-exp none" skips them entirely (the bench-trend CI job
+	// wants just the transport + standing suites).
+	if transport == "inproc" && exp != "none" {
 		want := map[string]bool{}
 		for _, id := range strings.Split(exp, ",") {
 			want[strings.TrimSpace(id)] = true
@@ -140,6 +165,16 @@ func run(sc bench.Scale, record *bench.CIRecord, transport, peers, exp, jsonPath
 		return err
 	}
 	record.Suite = suite
+
+	// Standing-query suite: resident dataflow + incremental ingestion vs
+	// from-scratch recompute, on the same backend. It opens its own
+	// session (auto-spawning fresh daemons when no peers were given — this
+	// binary serves -node).
+	standing, err := standingSuite(os.Stdout, sc, transport, peers)
+	if err != nil {
+		return err
+	}
+	record.Standing = standing
 
 	if jsonPath != "" {
 		if transport == "inproc" {

@@ -73,6 +73,58 @@ func ExampleSession_Prepare() {
 	// k>=90: 10 rows
 }
 
+// ExampleSession_Subscribe registers a standing aggregation: the dataflow
+// stays resident after the initial result, and every Insert/Delete runs an
+// incremental round whose output deltas revise the subscribed view.
+func ExampleSession_Subscribe() {
+	ctx := context.Background()
+	s, err := openSeeded(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	sub, err := s.Subscribe(ctx, `SELECT count(*), sum(v) FROM items WHERE k < 10`, rex.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sub.Stream()
+
+	// view folds the stream: after each round it IS the query result.
+	var view rex.Tuple
+	consume := func(batches int) {
+		for i := 0; i < batches; i++ {
+			if b, ok := st.Next(); ok && len(b.Deltas) > 0 {
+				view = b.Deltas[len(b.Deltas)-1].Tup
+			}
+		}
+	}
+	consume(sub.Rounds()[0].Batches)
+	fmt.Printf("initial: count=%v sum=%v\n", view[0], view[1])
+
+	// Base-table changes run incremental rounds through the resident
+	// dataflow — no recompute, work proportional to the change.
+	if err := s.Insert("items", rex.NewTuple(int64(5), 100.0)); err != nil {
+		log.Fatal(err)
+	}
+	consume(sub.Rounds()[1].Batches)
+	fmt.Printf("after insert: count=%v sum=%v\n", view[0], view[1])
+
+	if err := s.Delete("items", rex.NewTuple(int64(9), 9.0)); err != nil {
+		log.Fatal(err)
+	}
+	consume(sub.Rounds()[2].Batches)
+	fmt.Printf("after delete: count=%v sum=%v\n", view[0], view[1])
+
+	if err := sub.Close(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// initial: count=10 sum=45
+	// after insert: count=11 sum=145
+	// after delete: count=10 sum=136
+}
+
 // ExampleSession_Stream consumes a query's delta batches through the
 // Go 1.23 iterator adapter instead of buffering the result set.
 func ExampleSession_Stream() {

@@ -84,6 +84,96 @@ func RegisterSSSP(cat *catalog.Catalog, cfg SSSPConfig) (joinName, whileName str
 	return joinName, whileName, nil
 }
 
+// RegisterIncSSSP installs the standing-query variant of the SSSP handlers
+// under the fixed names "spinc" (join) and "spmin" (while). Unlike SPAgg,
+// the join handler is ingestion-aware: it remembers each source's best
+// known distance in the right bucket, so an edge INSERTED after the
+// initial fixpoint immediately re-derives a distance for its endpoint from
+// resident state — the incremental view-maintenance behavior standing
+// queries need. Distances are monotone (keep-min), so incremental rounds
+// and a from-scratch recompute converge to the identical relation for
+// insert-only edge churn.
+func RegisterIncSSSP(cat *catalog.Catalog) error {
+	join := &uda.FuncJoinHandler{
+		HName: "spinc",
+		Out:   types.MustSchema("nbr:Integer", "distOut:Double"),
+		Fn: func(left, right *uda.TupleSet, d types.Delta, fromLeft bool) ([]types.Delta, error) {
+			if fromLeft {
+				// Edge delta. Inserts join against the source's current
+				// best distance; deletes only retire the edge (min
+				// distances are not invertible — deletions need recompute).
+				switch d.Op {
+				case types.OpDelete:
+					left.Remove(d.Tup)
+					return nil, nil
+				default:
+					left.Add(d.Tup)
+					if right.Len() == 0 {
+						return nil, nil // source unreached so far
+					}
+					dist, ok := types.AsFloat(right.Tuples[0][1])
+					if !ok {
+						return nil, nil
+					}
+					return []types.Delta{types.Update(types.NewTuple(d.Tup[1], dist+1))}, nil
+				}
+			}
+			// Distance delta δ(srcId, d): remember the best distance for
+			// future edge inserts, emit d+1 to every out-neighbor.
+			dist, ok := types.AsFloat(d.Tup[1])
+			if !ok {
+				return nil, nil
+			}
+			if right.Len() > 0 {
+				cur, _ := types.AsFloat(right.Tuples[0][1])
+				if dist < cur {
+					right.ReplaceFirst(right.Tuples[0], d.Tup.Clone())
+				}
+			} else {
+				right.Add(d.Tup.Clone())
+			}
+			out := make([]types.Delta, 0, left.Len())
+			for _, e := range left.Tuples {
+				out = append(out, types.Update(types.NewTuple(e[1], dist+1)))
+			}
+			return out, nil
+		},
+	}
+	if err := cat.RegisterJoinHandler(join); err != nil {
+		return err
+	}
+	return cat.RegisterWhileHandler(&uda.FuncWhileHandler{
+		HName: "spmin",
+		Fn: func(rel *uda.TupleSet, d types.Delta) ([]types.Delta, error) {
+			nd, ok := types.AsFloat(d.Tup[1])
+			if !ok || math.IsInf(nd, 0) {
+				return nil, nil
+			}
+			if rel.Len() > 0 {
+				cur, _ := types.AsFloat(rel.Tuples[0][1])
+				if nd >= cur {
+					return nil, nil
+				}
+				rel.ReplaceFirst(rel.Tuples[0], types.NewTuple(d.Tup[0], nd))
+			} else {
+				rel.Add(types.NewTuple(d.Tup[0], nd))
+			}
+			return []types.Delta{types.Update(types.NewTuple(d.Tup[0], nd))}, nil
+		},
+	})
+}
+
+// IncSSSPQuery is the standing shortest-path RQL text over the "sssp"
+// dataset (graph + spseed), using the ingestion-aware handler bundle.
+const IncSSSPQuery = `
+WITH SP (srcId, dist) AS (
+  SELECT srcId, dist FROM spseed
+) UNION ALL UNTIL FIXPOINT BY srcId USING spmin (
+  SELECT nbr, min(d)
+  FROM (SELECT spinc(srcId, dist).{nbr, d}
+        FROM graph, SP WHERE graph.srcId = SP.srcId GROUP BY srcId)
+  GROUP BY nbr)`
+
 // SSSPPlan builds the recursive shortest-path plan over graph(srcId,
 // destId) and a single-row seed table spseed(srcId, dist).
 func SSSPPlan(cfg SSSPConfig, joinName, whileName string) *exec.PlanSpec {

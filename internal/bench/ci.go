@@ -13,8 +13,22 @@ import (
 	"github.com/rex-data/rex/internal/exec"
 )
 
+// CISchemaVersion stamps every rexbench JSON record. Bump it whenever a
+// field changes meaning, so trend tooling comparing artifacts across
+// commits can tell records apart instead of silently misreading them.
+// History: 1 = unversioned PR 1 records; 2 = adds schema_version, go,
+// commit, and the standing-query section.
+const CISchemaVersion = 2
+
 // CIRecord is the top-level JSON document.
 type CIRecord struct {
+	// SchemaVersion, Transport, GoVersion, and Commit identify the record:
+	// artifacts from different commits/toolchains/backends are comparable
+	// only when these say so.
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go,omitempty"`
+	Commit        string `json:"commit,omitempty"`
+
 	Scale float64 `json:"scale"`
 	Nodes int     `json:"nodes"`
 	// Transport names the backend the suite ran on (inproc | tcp).
@@ -24,6 +38,33 @@ type CIRecord struct {
 	// Suite holds the transport-comparison workloads; records from an
 	// inproc run and a tcp run should agree on result_hash exactly.
 	Suite []CIWire `json:"suite,omitempty"`
+	// Standing holds the standing-query (incremental view maintenance)
+	// measurements; result hashes must also agree across transports.
+	Standing []CIStanding `json:"standing,omitempty"`
+}
+
+// CIStanding records one standing-query measurement (produced by the
+// rexbench standing suite, which drives the public session API).
+type CIStanding struct {
+	Query     string `json:"query"`
+	Transport string `json:"transport"`
+	// Rounds is the number of incremental ingestion rounds (the initial
+	// fixpoint is not counted) and Strata the strata they executed.
+	Rounds int `json:"rounds"`
+	Strata int `json:"strata"`
+	// InitialBytes is the initial fixpoint's wire volume,
+	// IncrementalBytes the ingestion rounds' total, IngestBytes the
+	// driver→worker staging payloads, and RecomputeBytes what one
+	// from-scratch query over the revised tables shipped. The serving
+	// claim is IncrementalBytes < RecomputeBytes.
+	InitialBytes     int64 `json:"initial_bytes"`
+	IncrementalBytes int64 `json:"incremental_bytes"`
+	IngestBytes      int64 `json:"ingest_bytes"`
+	RecomputeBytes   int64 `json:"recompute_bytes"`
+	// ResultHash canonicalizes the folded subscription stream; it must
+	// equal the recompute's hash on every transport.
+	ResultHash string  `json:"result_hash"`
+	Millis     float64 `json:"ms"`
 }
 
 // CIExperiment records one figure run.

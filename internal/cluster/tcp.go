@@ -581,27 +581,61 @@ func (t *TCPTransport) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
-		go t.readLoop(nc, &tcpConn{c: nc})
+		go t.readLoop(nc, &tcpConn{c: nc}, "")
 	}
 }
 
 // readLoop decodes frames off one connection and routes them. A frame
 // that fails length or decode validation poisons the connection: framing
 // is byte-exact, so garbage means the stream can never resynchronize.
-func (t *TCPTransport) readLoop(nc net.Conn, tc *tcpConn) {
+// addr, when non-empty, names the worker daemon this (outbound) connection
+// reaches: a driver treats its loss as the node's death.
+func (t *TCPTransport) readLoop(nc net.Conn, tc *tcpConn, addr string) {
 	defer nc.Close()
 	br := bufio.NewReaderSize(nc, 64<<10)
 	for {
 		frame, err := readFrame(br)
 		if err != nil {
-			return
+			break
 		}
 		msg, err := DecodeFrame(frame)
 		if err != nil {
-			return
+			break
 		}
 		t.deliver(msg, len(frame), tc)
 	}
+	if addr != "" {
+		t.nodeDown(addr)
+	}
+}
+
+// nodeDown is the driver's broken-connection failure signal: when the
+// socket to a worker daemon drops (read EOF or write error) the process
+// behind it is gone, which is a real node death — not the driver-declared
+// MsgKill kind. The node is marked dead and the requestor notified, so a
+// query in flight errors out (RecoveryNone) or recovers on the survivors
+// instead of waiting forever for votes that will never come.
+func (t *TCPTransport) nodeDown(addr string) {
+	t.mu.Lock()
+	if !t.driver || t.closed {
+		t.mu.Unlock()
+		return
+	}
+	n := NodeID(-1)
+	for i, a := range t.addrs {
+		if a == addr {
+			n = NodeID(i)
+			break
+		}
+	}
+	if n < 0 || !t.alive[n] {
+		t.mu.Unlock()
+		return
+	}
+	t.alive[n] = false
+	gen := t.gen
+	t.mu.Unlock()
+	t.requestor.Put(Message{From: n, Kind: MsgFailure, Job: gen})
 }
 
 // deliver routes one received frame by role and kind.
@@ -696,8 +730,13 @@ func (t *TCPTransport) conn(addr string) (*tcpConn, error) {
 	t.conns[addr] = tc
 	t.mu.Unlock()
 	// Responses can flow back on the same connection (the driver never
-	// listens; workers answer on whatever link the frame arrived on).
-	go t.readLoop(nc, tc)
+	// listens; workers answer on whatever link the frame arrived on). On
+	// the driver the connection's loss doubles as the node-death signal.
+	downAddr := ""
+	if t.driver {
+		downAddr = addr
+	}
+	go t.readLoop(nc, tc, downAddr)
 	return tc, nil
 }
 
@@ -706,6 +745,10 @@ func (t *TCPTransport) conn(addr string) (*tcpConn, error) {
 func (t *TCPTransport) write(addr string, frame []byte) error {
 	tc, err := t.conn(addr)
 	if err != nil {
+		// No connection was ever established, so no read loop exists to
+		// observe the death: a driver must report it here or a daemon that
+		// died before the first dial would hang the requestor forever.
+		t.nodeDown(addr)
 		return err
 	}
 	if err := writeConn(tc, frame); err != nil {
@@ -715,6 +758,9 @@ func (t *TCPTransport) write(addr string, frame []byte) error {
 			delete(t.conns, addr)
 		}
 		t.mu.Unlock()
+		// The read loop on the dropped connection reports the death; the
+		// write error only triggers the cleanup above so the next send
+		// redials (a revived daemon is a fresh process on the same addr).
 		return err
 	}
 	return nil

@@ -59,6 +59,22 @@ const (
 	// Timed waits on the requestor mailbox inject it so their collector
 	// goroutine unblocks and exits instead of consuming frames forever.
 	MsgCancel
+	// MsgIngest ships a base-table delta batch to a worker of a standing
+	// query: Table names the base table, Payload is the encoded batch
+	// (every delta routed to each ring owner of its partition key). The
+	// worker applies the deltas to its store and buffers them; the next
+	// MsgRound injects the buffered deltas into the resident dataflow.
+	MsgIngest
+	// MsgRound begins one incremental ingestion round on a resident
+	// (standing-query) dataflow: the worker reopens its per-round
+	// punctuation state, feeds the buffered ingest deltas through the base
+	// scans' edges, and re-runs the fixpoint from current operator state.
+	MsgRound
+	// MsgRoundReq is a local-only sentinel (it never crosses the wire): a
+	// subscriber's Ingest call injects it into the requestor mailbox to
+	// hand the pending round request to the standing query's pump loop,
+	// which is the mailbox's only reader.
+	MsgRoundReq
 )
 
 // Message is one transport frame. Data frames carry the encoded batch in

@@ -47,6 +47,31 @@ func (s *scanOp) Start() error {
 	return s.outs.punct(0, true)
 }
 
+// Inject feeds a base-table delta batch through this scan's edge during a
+// standing query's ingestion round: the deltas enter the dataflow exactly
+// where a fresh scan of the revised table would have emitted them, so every
+// downstream operator revises resident state instead of recomputing. The
+// round's punctuation is sent separately (punctRound) once every scan on
+// the node has injected, preserving the data-before-punctuation discipline
+// across tables.
+func (s *scanOp) Inject(batch []types.Delta) error {
+	for len(batch) > 0 {
+		n := min(s.batch, len(batch))
+		if err := s.outs.send(batch[:n]); err != nil {
+			return err
+		}
+		batch = batch[n:]
+	}
+	return nil
+}
+
+// punctRound closes this scan's contribution to an ingestion round's base
+// stratum. Closed is per-round: standing consumers reopen their trackers at
+// every round start.
+func (s *scanOp) punctRound(stratum int) error {
+	return s.outs.punct(stratum, true)
+}
+
 func (s *scanOp) Push(int, []types.Delta) error { return fmt.Errorf("exec: scan has no inputs") }
 func (s *scanOp) Punct(int, int, bool) error    { return fmt.Errorf("exec: scan has no inputs") }
 

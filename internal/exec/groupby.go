@@ -197,6 +197,11 @@ func (g *groupByOp) flushUDA() error {
 	return g.outs.send(out)
 }
 
+// ReopenRound re-arms punctuation for a standing query's next ingestion
+// round; group state stays resident so revisions emit replacements against
+// the last flushed results.
+func (g *groupByOp) ReopenRound() { g.tracker.reopen() }
+
 func (g *groupByOp) Reset() {
 	g.groups = map[types.Value]*groupState{}
 	g.dirty = map[types.Value]bool{}
@@ -293,23 +298,30 @@ func keyIndex(keyTuple types.Tuple) types.Value {
 // preAggOp is the combiner-style partial aggregation of §5.2: it
 // accumulates per-key partial state within one stratum and, at punctuation,
 // emits δ() partial-value deltas downstream (which the final aggregate
-// folds in arithmetically), then resets. Only insert-only streams are
-// eligible — the optimizer enforces that.
+// folds in arithmetically), then resets. Insert streams are always
+// eligible; deletions and replacements fold too when every aggregate is
+// invertible (sum/count — the partial nets out and the final aggregate
+// adds a possibly-negative adjustment), which is what lets standing
+// queries push deletion churn through a combiner plan.
 type preAggOp struct {
 	spec *OpSpec
 	outs outputs
 
-	tracker  *portTracker
-	aggs     []uda.ScalarAgg
-	argExprs [][]expr.Expr
-	groups   map[types.Value]*groupState
+	tracker    *portTracker
+	aggs       []uda.ScalarAgg
+	argExprs   [][]expr.Expr
+	groups     map[types.Value]*groupState
+	invertible bool
 }
 
 func newPreAggOp(spec *OpSpec, nin int) (*preAggOp, error) {
-	p := &preAggOp{spec: spec, tracker: newPortTracker(nin), groups: map[types.Value]*groupState{}}
+	p := &preAggOp{spec: spec, tracker: newPortTracker(nin), groups: map[types.Value]*groupState{}, invertible: true}
 	for _, as := range spec.Aggs {
 		if as.Fn == "avg" || as.Fn == "argmin" {
 			return nil, fmt.Errorf("exec: pre-aggregation of %s must be decomposed by the optimizer", as.Fn)
+		}
+		if as.Fn != "sum" && as.Fn != "count" {
+			p.invertible = false
 		}
 		a, err := uda.NewScalarAgg(as.Fn)
 		if err != nil {
@@ -323,27 +335,54 @@ func newPreAggOp(spec *OpSpec, nin int) (*preAggOp, error) {
 
 func (p *preAggOp) Push(port int, batch []types.Delta) error {
 	for _, d := range batch {
-		if d.Op != types.OpInsert && d.Op != types.OpUpdate {
-			return fmt.Errorf("exec: pre-aggregation over non-insert delta %v", d.Op)
-		}
-		key := d.Tup.Key(p.spec.GroupKey)
-		gs, ok := p.groups[key]
-		if !ok {
-			gs = &groupState{keyTuple: d.Tup.Project(p.spec.GroupKey)}
-			gs.states = make([]uda.State, len(p.aggs))
-			for i, a := range p.aggs {
-				gs.states[i] = a.NewState()
+		switch d.Op {
+		case types.OpInsert, types.OpUpdate:
+			if err := p.fold(d.Op, d.Tup); err != nil {
+				return err
 			}
-			p.groups[key] = gs
+		case types.OpDelete:
+			if !p.invertible {
+				return fmt.Errorf("exec: pre-aggregation over non-insert delta %v (aggregate is not invertible)", d.Op)
+			}
+			if err := p.fold(d.Op, d.Tup); err != nil {
+				return err
+			}
+		case types.OpReplace:
+			if !p.invertible {
+				return fmt.Errorf("exec: pre-aggregation over non-insert delta %v (aggregate is not invertible)", d.Op)
+			}
+			// Old and new may land in different groups: net them apart.
+			if err := p.fold(types.OpDelete, d.Old); err != nil {
+				return err
+			}
+			if err := p.fold(types.OpInsert, d.Tup); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("exec: pre-aggregation over delta %v", d.Op)
 		}
+	}
+	return nil
+}
+
+func (p *preAggOp) fold(op types.Op, t types.Tuple) error {
+	key := t.Key(p.spec.GroupKey)
+	gs, ok := p.groups[key]
+	if !ok {
+		gs = &groupState{keyTuple: t.Project(p.spec.GroupKey)}
+		gs.states = make([]uda.State, len(p.aggs))
 		for i, a := range p.aggs {
-			args, err := evalArgs(p.argExprs[i], d.Tup)
-			if err != nil {
-				return err
-			}
-			if err := a.Update(gs.states[i], d.Op, args, nil); err != nil {
-				return err
-			}
+			gs.states[i] = a.NewState()
+		}
+		p.groups[key] = gs
+	}
+	for i, a := range p.aggs {
+		args, err := evalArgs(p.argExprs[i], t)
+		if err != nil {
+			return err
+		}
+		if err := a.Update(gs.states[i], op, args, nil); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -372,6 +411,10 @@ func (p *preAggOp) Punct(port, stratum int, closed bool) error {
 	}
 	return p.outs.punct(stratum, p.tracker.allClosed())
 }
+
+// ReopenRound re-arms punctuation for a standing query's next ingestion
+// round (partial-aggregation state already resets per stratum).
+func (p *preAggOp) ReopenRound() { p.tracker.reopen() }
 
 func (p *preAggOp) Reset() {
 	p.groups = map[types.Value]*groupState{}

@@ -171,6 +171,10 @@ func (j *hashJoinOp) Punct(port, stratum int, closed bool) error {
 	return j.outs.punct(stratum, j.tracker.allClosed())
 }
 
+// ReopenRound re-arms punctuation for a standing query's next ingestion
+// round; buckets stay resident so base deltas probe accumulated state.
+func (j *hashJoinOp) ReopenRound() { j.tracker.reopen() }
+
 func (j *hashJoinOp) Reset() {
 	j.left = map[types.Value]*uda.TupleSet{}
 	j.right = map[types.Value]*uda.TupleSet{}

@@ -32,6 +32,15 @@ type resetter interface {
 	Reset()
 }
 
+// roundReopener is implemented by operators whose punctuation trackers
+// treat "closed" as final. A standing query reopens them at the start of
+// every ingestion round: base edges close again each round, while all
+// accumulated operator state (join buckets, aggregate groups, the fixpoint
+// relation) stays resident — that is what makes the re-run incremental.
+type roundReopener interface {
+	ReopenRound()
+}
+
 // checkpointer is implemented by stateful operators participating in
 // incremental recovery (§4.3): after every stratum the worker collects the
 // state entries dirtied during that stratum and replicates them; on
@@ -158,6 +167,16 @@ func (t *portTracker) allClosed() bool {
 func (t *portTracker) reset() {
 	for i := range t.punctAt {
 		t.punctAt[i] = -1
+		t.closed[i] = false
+	}
+}
+
+// reopen clears the closed flags while keeping the per-port stratum
+// watermarks: a standing query's ingestion round re-punctuates base edges
+// (closing them again for the round) at strata past every previous one, so
+// watermarks must survive the reopen for alignment to stay monotonic.
+func (t *portTracker) reopen() {
+	for i := range t.closed {
 		t.closed[i] = false
 	}
 }

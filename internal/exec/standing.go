@@ -1,0 +1,709 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// This file implements standing queries: a query whose compiled plan,
+// worker state stores, and delta network stay resident after the initial
+// fixpoint closes. Base-table changes are ingested as delta batches
+// (MsgIngest frames routed to the ring owners of each delta's key) and each
+// ingestion round re-runs the fixpoint incrementally from current operator
+// state: join buckets, aggregate groups, and the fixpoint relation are all
+// kept, so a round's work — and its wire traffic — is proportional to the
+// change, not to the data. This is the fixpoint-derivative view-maintenance
+// setting of Alvarez-Picallo et al. and Koch et al., built from the paper's
+// own delta machinery (§3.3/§4.2): the same programmable deltas that drive
+// strata within one fixpoint drive maintenance across fixpoints.
+//
+// Protocol: rounds reuse the stratum/punctuation machinery with strata
+// numbered monotonically across rounds. A round starts with MsgIngest
+// frames (buffered worker-side) followed by a MsgRound broadcast; every
+// worker reopens its per-round punctuation trackers, injects the buffered
+// deltas through the base scans' edges, and punctuates the round's base
+// stratum. From there the ordinary vote/advance/terminate loop runs — with
+// one twist: an ingestion round never terminates at its base stratum,
+// because deltas entering through join paths are only flushed by the next
+// advance's punctuation.
+
+// RoundStats reports one round of a standing query: the initial fixpoint is
+// round 0, each Ingest call runs one incremental round after it.
+type RoundStats struct {
+	// Round is the round index (0 = initial fixpoint).
+	Round int
+	// Strata is the number of strata the round executed.
+	Strata int
+	// NewTuples sums the fixpoint votes of the round (0 for non-recursive
+	// plans, which have no votes).
+	NewTuples int
+	// Batches and Deltas count the output delta batches pushed to the
+	// subscription stream by this round.
+	Batches int
+	Deltas  int
+	// IngestedDeltas counts the base-table deltas the round ingested, and
+	// IngestBytes their encoded payload volume (driver→worker staging
+	// traffic, accounted separately from the shuffle bytes below).
+	IngestedDeltas int
+	IngestBytes    int64
+	// BytesSent is the measured inter-worker wire volume of the round —
+	// the number to compare against a from-scratch recompute.
+	BytesSent int64
+	Duration  time.Duration
+}
+
+// errStandingClosed is the cancellation cause Close installs so a
+// deliberate teardown is distinguishable from the caller's ctx expiring.
+var errStandingClosed = errors.New("exec: standing query closed")
+
+// ingestReq hands one ingestion round from the caller to the pump loop.
+type ingestReq struct {
+	tables map[string][]types.Delta
+	done   chan ingestResult
+}
+
+type ingestResult struct {
+	stats *RoundStats
+	err   error
+}
+
+// StandingQuery is a resident dataflow on an engine: the initial fixpoint
+// has completed, worker loops and operator state remain live, and Ingest
+// runs incremental rounds whose output deltas are pushed to Stream. One
+// StandingQuery owns its engine's workers until Close — the session layer
+// serializes it against other queries.
+type StandingQuery struct {
+	eng  *Engine
+	spec *PlanSpec
+	opts Options
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	stream *ResultStream
+	spool  *spool
+
+	maxStrata int
+
+	// ingestMu serializes Ingest callers; mu guards the pending handoff
+	// slot, accumulated round stats, and terminal state.
+	ingestMu sync.Mutex
+	mu       sync.Mutex
+	pending  *ingestReq
+	rounds   []RoundStats
+	closed   bool
+	err      error
+
+	done chan struct{}
+}
+
+// Standing compiles nothing and tears nothing down: it starts spec on the
+// engine in streaming mode, waits for the initial fixpoint to complete
+// (its per-stratum batches are already buffered on the stream when Standing
+// returns), and keeps the whole dataflow resident for incremental rounds.
+// Standing queries reject failure recovery and checkpointing — a resident
+// dataflow has no epochs to replay.
+func (e *Engine) Standing(ctx context.Context, spec *PlanSpec, opts Options) (*StandingQuery, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Recovery != RecoveryNone {
+		return nil, fmt.Errorf("exec: standing queries do not support failure recovery")
+	}
+	if opts.Checkpoint {
+		return nil, fmt.Errorf("exec: standing queries do not support checkpointing")
+	}
+	opts.Stream = true
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = defaultBatchSize
+	}
+	if opts.CompactionHighWater <= 0 {
+		opts.CompactionHighWater = defaultHighWater
+	}
+	maxStrata := spec.MaxStrata
+	if opts.MaxStrata > 0 {
+		maxStrata = opts.MaxStrata
+	}
+	alive := e.Transport.AliveNodes()
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("exec: no alive nodes")
+	}
+	if len(alive) != e.Transport.N() {
+		return nil, fmt.Errorf("exec: standing queries need every node alive (%d of %d)", len(alive), e.Transport.N())
+	}
+	queryID := fmt.Sprintf("q%d", e.queryCounter.Add(1))
+
+	sctx, cancel := context.WithCancelCause(ctx)
+	sq := &StandingQuery{
+		eng: e, spec: spec, opts: opts,
+		ctx: sctx, cancel: cancel,
+		spool:     newSpool(),
+		maxStrata: maxStrata,
+		done:      make(chan struct{}),
+	}
+	sq.stream = &ResultStream{src: sq.spool, done: sq.done, ctx: sctx, cancel: cancel}
+
+	// Spawn one worker loop per node hosted in this process; remote nodes
+	// run theirs inside their daemons. The loops stay alive across rounds
+	// until teardown broadcasts MsgShutdown.
+	var wg sync.WaitGroup
+	for _, n := range alive {
+		if e.Stores[n] == nil {
+			continue
+		}
+		w := NewWorker(WorkerConfig{
+			Node: n, Transport: e.Transport, Store: e.Stores[n],
+			Checkpoints: e.Ckpts[n], Catalog: e.Catalog, Ring: e.Ring,
+			Plan: spec, QueryID: queryID, Options: opts,
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Loop()
+		}()
+	}
+
+	// Cancellation watcher, same contract as Engine.run: a ctx expiry (or
+	// Close) unblocks the pump by injecting the local MsgCancel sentinel.
+	stopWatch := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-sctx.Done():
+			e.Transport.Requestor().Put(cluster.Message{Kind: cluster.MsgCancel})
+		case <-stopWatch:
+		}
+	}()
+
+	initErr := make(chan error, 1)
+	go sq.pump(queryID, alive, &wg, stopWatch, watchDone, initErr)
+
+	if err := <-initErr; err != nil {
+		<-sq.done
+		return nil, err
+	}
+	return sq, nil
+}
+
+// Stream returns the subscription's delta stream. Batches arrive tagged
+// with their round and round-relative stratum; the stream ends (Next
+// returns false) when the standing query closes. The stream's buffer is
+// unbounded, so a caller that interleaves Ingest and consumption on one
+// goroutine cannot deadlock.
+func (sq *StandingQuery) Stream() *ResultStream { return sq.stream }
+
+// Rounds returns the stats of every completed round, initial fixpoint
+// included.
+func (sq *StandingQuery) Rounds() []RoundStats {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	return append([]RoundStats(nil), sq.rounds...)
+}
+
+// Done is closed when the standing query has fully torn down.
+func (sq *StandingQuery) Done() <-chan struct{} { return sq.done }
+
+// Err reports the terminal error once Done is closed; nil after a clean
+// Close.
+func (sq *StandingQuery) Err() error {
+	select {
+	case <-sq.done:
+		return sq.err
+	default:
+		return nil
+	}
+}
+
+// Ingest applies base-table deltas and runs one incremental round,
+// blocking until the round's fixpoint closes (every output batch is
+// buffered on the stream by then). Validation errors — unknown table,
+// arity mismatch — fail the call without disturbing the resident dataflow;
+// execution errors terminate the standing query. If ctx expires the call
+// returns early: a round the pump already claimed keeps running (its
+// batches still stream), while an unclaimed request is withdrawn — the
+// deltas were not applied.
+func (sq *StandingQuery) Ingest(ctx context.Context, tables map[string][]types.Delta) (*RoundStats, error) {
+	sq.ingestMu.Lock()
+	defer sq.ingestMu.Unlock()
+	req := &ingestReq{tables: tables, done: make(chan ingestResult, 1)}
+	sq.mu.Lock()
+	if sq.closed {
+		err := sq.err
+		sq.mu.Unlock()
+		if err == nil {
+			err = errStandingClosed
+		}
+		return nil, err
+	}
+	sq.pending = req
+	sq.mu.Unlock()
+	sq.eng.Transport.Requestor().Put(cluster.Message{Kind: cluster.MsgRoundReq})
+	select {
+	case res := <-req.done:
+		return res.stats, res.err
+	case <-ctx.Done():
+		// Withdraw the request if the pump has not claimed it yet, so a
+		// later Ingest cannot overwrite (and silently drop) this batch.
+		sq.mu.Lock()
+		if sq.pending == req {
+			sq.pending = nil
+		}
+		sq.mu.Unlock()
+		return nil, ctx.Err()
+	case <-sq.done:
+		// The pump resolves the pending request before closing done, but an
+		// Ingest that raced the teardown's final sweep lands here.
+		select {
+		case res := <-req.done:
+			return res.stats, res.err
+		default:
+			if sq.err != nil {
+				return nil, sq.err
+			}
+			return nil, errStandingClosed
+		}
+	}
+}
+
+// Close tears the standing query down: workers drop their per-query state
+// (MsgAbort), loops exit (MsgShutdown), and the stream ends after its
+// buffered batches are consumed. Returns the terminal error; a teardown
+// initiated by Close itself reports nil.
+func (sq *StandingQuery) Close() error {
+	sq.cancel(errStandingClosed)
+	<-sq.done
+	return sq.err
+}
+
+// takePending claims the pending ingest request, if any.
+func (sq *StandingQuery) takePending() *ingestReq {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	req := sq.pending
+	sq.pending = nil
+	return req
+}
+
+func (sq *StandingQuery) recordRound(st RoundStats) {
+	sq.mu.Lock()
+	sq.rounds = append(sq.rounds, st)
+	sq.mu.Unlock()
+}
+
+// pump is the standing query's requestor loop: it runs the initial round,
+// then serves ingestion rounds until cancellation or an execution error,
+// then tears the dataflow down.
+func (sq *StandingQuery) pump(queryID string, alive []cluster.NodeID, wg *sync.WaitGroup, stopWatch chan struct{}, watchDone <-chan struct{}, initErr chan<- error) {
+	e := sq.eng
+	start := time.Now()
+	last := 0 // highest stratum started, shared with workers via decisions
+
+	payload := encodeNodeList(alive)
+	for _, n := range alive {
+		e.Transport.Send(cluster.Message{
+			From: -1, To: n, Kind: cluster.MsgStart,
+			Epoch: 0, Stratum: 0, Count: startFresh, Payload: payload,
+		})
+	}
+
+	runErr := func() error {
+		stats, err := sq.collectRound(0, 0, alive, &last, e.Transport.Metrics().TotalBytesSent())
+		if err != nil {
+			initErr <- err
+			return err
+		}
+		sq.recordRound(*stats)
+		initErr <- nil
+
+		round := 0
+		serve := func(ingest *ingestReq) error {
+			frames, nDeltas, nBytes, err := sq.routeAll(ingest.tables)
+			if err != nil {
+				// Bad input, not a broken dataflow: fail the call only.
+				ingest.done <- ingestResult{err: err}
+				return nil
+			}
+			round++
+			// Snapshot the wire counter before any round traffic: workers
+			// start shipping the moment MsgRound lands, possibly before
+			// collectRound would read it. (MsgIngest staging frames are
+			// driver control-plane and never counted.)
+			bytesBefore := e.Transport.Metrics().TotalBytesSent()
+			for _, f := range frames {
+				e.Transport.Send(f)
+			}
+			for _, n := range alive {
+				e.Transport.Send(cluster.Message{From: -1, To: n, Kind: cluster.MsgRound, Epoch: 0})
+			}
+			// Mirror the workers' startRound exactly: the round's base
+			// stratum is counted as started on both sides (decisions
+			// advance both further), so non-recursive rounds — which
+			// have no decisions — stay in sync too.
+			base := last + 1
+			last = base
+			stats, err := sq.collectRound(round, base, alive, &last, bytesBefore)
+			if err != nil {
+				ingest.done <- ingestResult{err: err}
+				return err
+			}
+			stats.IngestedDeltas = nDeltas
+			stats.IngestBytes = nBytes
+			sq.recordRound(*stats)
+			ingest.done <- ingestResult{stats: stats}
+			return nil
+		}
+		req := e.Transport.Requestor()
+		for {
+			if err := sq.ctx.Err(); err != nil {
+				return err
+			}
+			// Serve a request that arrived while a round was running: its
+			// sentinel was consumed (and dropped) by that round's
+			// collectRound, so waiting for another would lose the wakeup.
+			if ingest := sq.takePending(); ingest != nil {
+				if err := serve(ingest); err != nil {
+					return err
+				}
+				continue
+			}
+			msg, ok := req.Get()
+			if !ok {
+				return fmt.Errorf("exec: requestor mailbox closed")
+			}
+			switch msg.Kind {
+			case cluster.MsgCancel:
+				if err := sq.ctx.Err(); err != nil {
+					return err
+				}
+			case cluster.MsgRoundReq:
+				// The request itself is claimed at the top of the loop.
+			case cluster.MsgError:
+				return fmt.Errorf("exec: node %d: %s", msg.From, msg.Table)
+			case cluster.MsgFailure:
+				return fmt.Errorf("exec: node %d failed (standing queries do not support recovery)", msg.From)
+			}
+		}
+	}()
+
+	close(stopWatch)
+	<-watchDone
+	e.Transport.Broadcast(cluster.Message{From: -1, Kind: cluster.MsgAbort})
+	e.Transport.Broadcast(cluster.Message{From: -1, Kind: cluster.MsgShutdown})
+	wg.Wait()
+	e.Transport.Requestor().Drain()
+	for _, c := range e.Ckpts {
+		if c != nil {
+			c.Drop(queryID)
+		}
+	}
+
+	err := runErr
+	if errors.Is(err, context.Canceled) {
+		if cause := context.Cause(sq.ctx); errors.Is(cause, errStandingClosed) || errors.Is(cause, errStreamClosed) {
+			err = nil // deliberate Close, not a caller cancellation
+		}
+	}
+
+	sq.mu.Lock()
+	sq.closed = true
+	sq.err = err
+	pend := sq.pending
+	sq.pending = nil
+	var total Result
+	for _, r := range sq.rounds {
+		total.BytesSent += r.BytesSent
+		for s := 0; s < r.Strata; s++ {
+			// Round boundaries are recoverable from Rounds(); the Result
+			// keeps only the aggregate view.
+			total.Strata = append(total.Strata, StratumStats{Stratum: len(total.Strata)})
+		}
+	}
+	total.Duration = time.Since(start)
+	sq.mu.Unlock()
+	if pend != nil {
+		perr := err
+		if perr == nil {
+			perr = errStandingClosed
+		}
+		pend.done <- ingestResult{err: perr}
+	}
+	if err == nil {
+		sq.stream.res = &total
+	}
+	sq.stream.err = err
+	close(sq.done)
+	sq.spool.close()
+	sq.cancel(nil)
+}
+
+// collectRound drives one round's vote/advance/terminate loop and streams
+// its output batches, returning when every node's final punctuation has
+// arrived. base is the round's base stratum; last tracks the highest
+// stratum started so the next round's base continues the monotonic
+// numbering exactly as the workers compute it.
+func (sq *StandingQuery) collectRound(round, base int, alive []cluster.NodeID, last *int, bytesBefore int64) (*RoundStats, error) {
+	e := sq.eng
+	req := e.Transport.Requestor()
+	stats := &RoundStats{Round: round}
+	start := time.Now()
+	votes := map[int]map[cluster.NodeID]int{}
+	done := map[cluster.NodeID]bool{}
+	sbuf := map[int][]types.Delta{}
+	emit := func(stratum int, batch []types.Delta) {
+		stats.Batches++
+		stats.Deltas += len(batch)
+		sq.spool.push(StreamBatch{Round: round, Stratum: stratum - base, Deltas: batch})
+	}
+	for {
+		if err := sq.ctx.Err(); err != nil {
+			return nil, err
+		}
+		msg, ok := req.Get()
+		if !ok {
+			return nil, fmt.Errorf("exec: requestor mailbox closed")
+		}
+		switch msg.Kind {
+		case cluster.MsgCancel:
+			if err := sq.ctx.Err(); err != nil {
+				return nil, err
+			}
+		case cluster.MsgError:
+			return nil, fmt.Errorf("exec: node %d: %s", msg.From, msg.Table)
+		case cluster.MsgFailure:
+			return nil, fmt.Errorf("exec: node %d failed (standing queries do not support recovery)", msg.From)
+		case cluster.MsgVote:
+			if msg.Epoch != 0 {
+				continue
+			}
+			s := msg.Stratum
+			if votes[s] == nil {
+				votes[s] = map[cluster.NodeID]int{}
+			}
+			votes[s][msg.From] = msg.Count
+			if len(votes[s]) < len(alive) {
+				continue
+			}
+			total := 0
+			for _, c := range votes[s] {
+				total += c
+			}
+			stats.Strata++
+			stats.NewTuples += total
+			rel := s - base
+			if sq.opts.OnStratum != nil {
+				sq.opts.OnStratum(rel, total)
+			}
+			if batch := sbuf[s]; len(batch) > 0 {
+				emit(s, batch)
+			}
+			delete(sbuf, s)
+			// An ingestion round must advance past its base stratum — on a
+			// zero vote, a MaxStrata of 1, or a TermFn verdict alike:
+			// deltas that entered through join paths are still buffered in
+			// shuffle senders and only flush behind the next advance's
+			// punctuation, so terminating at the base discards them. If
+			// they amount to nothing, the next stratum votes zero and
+			// terminates the round.
+			atIngestBase := round > 0 && s == base
+			terminate := total == 0 && !atIngestBase
+			if !atIngestBase {
+				if rel+1 >= sq.maxStrata {
+					terminate = true
+				}
+				if sq.opts.TermFn != nil && sq.opts.TermFn(rel, total) {
+					terminate = true
+				}
+			}
+			for _, n := range alive {
+				e.Transport.Send(cluster.Message{
+					From: -1, To: n, Kind: cluster.MsgDecision,
+					Epoch: 0, Stratum: s + 1, Terminate: terminate,
+				})
+			}
+			if !terminate {
+				*last = s + 1
+			}
+		case cluster.MsgData:
+			if msg.Epoch != 0 || msg.Edge != resultEdge {
+				continue
+			}
+			batch, err := cluster.DecodeDeltas(msg.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if sq.spec.Recursive() {
+				sbuf[msg.Stratum] = append(sbuf[msg.Stratum], batch...)
+			} else {
+				emit(base, batch)
+			}
+		case cluster.MsgPunct:
+			if msg.Epoch != 0 || msg.Edge != resultEdge {
+				continue
+			}
+			done[msg.From] = true
+			if len(done) < len(alive) {
+				continue
+			}
+			strata := make([]int, 0, len(sbuf))
+			for s := range sbuf {
+				strata = append(strata, s)
+			}
+			sort.Ints(strata)
+			for _, s := range strata {
+				if batch := sbuf[s]; len(batch) > 0 {
+					emit(s, batch)
+				}
+			}
+			// Per-round byte accounting: multi-process transports count
+			// wire bytes where they are sent, so pull the remote counters
+			// over before reading the delta. The pump is the requestor
+			// mailbox's only reader, so the sync's collector cannot race it.
+			if ms, ok := e.Transport.(cluster.MetricsSyncer); ok {
+				if err := ms.SyncMetrics(); err != nil {
+					return nil, err
+				}
+			}
+			stats.BytesSent = e.Transport.Metrics().TotalBytesSent() - bytesBefore
+			stats.Duration = time.Since(start)
+			return stats, nil
+		}
+	}
+}
+
+// routeAll turns an ingestion's per-table delta sets into MsgIngest frames
+// addressed to the ring owners of each delta's key, validating tables and
+// tuple arities driver-side first so bad input cannot poison the resident
+// dataflow. Replacements whose key moved are split into delete+insert so
+// every frame's deltas key-hash to its destination.
+func (sq *StandingQuery) routeAll(tables map[string][]types.Delta) (frames []cluster.Message, nDeltas int, nBytes int64, err error) {
+	names := make([]string, 0, len(tables))
+	for t := range tables {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, table := range names {
+		deltas := tables[table]
+		byNode, err := sq.route(table, deltas)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		nDeltas += len(deltas)
+		nodes := make([]int, 0, len(byNode))
+		for n := range byNode {
+			nodes = append(nodes, int(n))
+		}
+		sort.Ints(nodes)
+		for _, n := range nodes {
+			batch := byNode[cluster.NodeID(n)]
+			payload := cluster.EncodeDeltas(batch)
+			nBytes += int64(len(payload))
+			frames = append(frames, cluster.Message{
+				From: -1, To: cluster.NodeID(n), Kind: cluster.MsgIngest,
+				Table: table, Payload: payload, Count: len(batch), Epoch: 0,
+			})
+		}
+	}
+	return frames, nDeltas, nBytes, nil
+}
+
+// route partitions one table's deltas by ring owner (primary plus
+// replicas — workers store every copy and inject only primarily-owned
+// keys).
+func (sq *StandingQuery) route(table string, deltas []types.Delta) (map[cluster.NodeID][]types.Delta, error) {
+	tab, err := sq.eng.Catalog.Table(table)
+	if err != nil {
+		return nil, fmt.Errorf("exec: ingest: %w", err)
+	}
+	arity := tab.Schema.Len()
+	for _, d := range deltas {
+		if len(d.Tup) != arity || (d.Op == types.OpReplace && len(d.Old) != arity) {
+			return nil, fmt.Errorf("exec: ingest into %s: tuple %v does not match the %d-column schema", table, d.Tup, arity)
+		}
+	}
+	out := map[cluster.NodeID][]types.Delta{}
+	err = types.RouteByKey(deltas, tab.PartitionKey, func(h uint64, d types.Delta) error {
+		for _, owner := range sq.eng.Ring.Owners(h) {
+			out[owner] = append(out[owner], d)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// spool is the unbounded batch buffer between the pump and the stream
+// consumer. Unboundedness is deliberate: Ingest returns only after a
+// round's batches are all spooled, so a single goroutine can alternate
+// Ingest and stream reads without deadlocking on a bounded channel.
+type spool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []StreamBatch
+	head   int
+	closed bool
+}
+
+func newSpool() *spool {
+	s := &spool{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *spool) push(b StreamBatch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.buf = append(s.buf, b)
+	s.cond.Signal()
+}
+
+// pop blocks until a batch is available or the spool is closed and
+// drained.
+func (s *spool) pop() (StreamBatch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.head == len(s.buf) && !s.closed {
+		s.cond.Wait()
+	}
+	return s.take()
+}
+
+// tryPop is pop without blocking.
+func (s *spool) tryPop() (StreamBatch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.take()
+}
+
+func (s *spool) take() (StreamBatch, bool) {
+	if s.head == len(s.buf) {
+		return StreamBatch{}, false
+	}
+	b := s.buf[s.head]
+	s.buf[s.head] = StreamBatch{}
+	s.head++
+	if s.head == len(s.buf) {
+		s.buf = s.buf[:0]
+		s.head = 0
+	}
+	return b, true
+}
+
+func (s *spool) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}

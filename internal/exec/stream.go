@@ -16,6 +16,11 @@ import (
 type StreamBatch struct {
 	Stratum int
 	Deltas  []types.Delta
+	// Round is the ingestion round that produced this batch on a standing
+	// query: 0 for the initial fixpoint (and for every batch of a plain
+	// streaming query), r for the r-th incremental ingestion. Stratum is
+	// round-relative on standing queries.
+	Round int
 }
 
 // ResultStream is an iterator over the per-stratum delta batches of a
@@ -31,6 +36,12 @@ type ResultStream struct {
 	done    chan struct{}
 	ctx     context.Context
 	cancel  context.CancelCauseFunc
+
+	// src, when non-nil, replaces the channel with an unbounded spool — the
+	// standing-query delivery path, where a consumer may interleave Ingest
+	// calls and reads on one goroutine and must never deadlock on a full
+	// buffer. Exactly one of batches/src is set.
+	src *spool
 
 	res *Result
 	err error
@@ -83,8 +94,27 @@ func (e *Engine) Stream(ctx context.Context, spec *PlanSpec, opts Options) (*Res
 // stream ends. ok is false when the stream is exhausted (or failed — check
 // Err).
 func (s *ResultStream) Next() (batch StreamBatch, ok bool) {
+	if s.src != nil {
+		return s.src.pop()
+	}
 	batch, ok = <-s.batches
 	return batch, ok
+}
+
+// TryNext returns the next buffered batch without blocking; ok is false
+// when nothing is currently buffered (the stream may still be live). On a
+// standing query's stream this drains exactly the batches already emitted —
+// after an Ingest call returns, the whole round is buffered.
+func (s *ResultStream) TryNext() (batch StreamBatch, ok bool) {
+	if s.src != nil {
+		return s.src.tryPop()
+	}
+	select {
+	case batch, ok = <-s.batches:
+		return batch, ok
+	default:
+		return StreamBatch{}, false
+	}
 }
 
 // Seq adapts the stream to a Go range-over-func iterator yielding
@@ -144,7 +174,15 @@ func (s *ResultStream) Done() <-chan struct{} { return s.done }
 // through the caller's ctx reports context.Canceled.
 func (s *ResultStream) Close() error {
 	s.cancel(errStreamClosed)
-	for range s.batches {
+	if s.src != nil {
+		for {
+			if _, ok := s.src.pop(); !ok {
+				break
+			}
+		}
+	} else {
+		for range s.batches {
+		}
 	}
 	<-s.done
 	if errors.Is(s.err, context.Canceled) && errors.Is(context.Cause(s.ctx), errStreamClosed) {

@@ -37,6 +37,14 @@ type Worker struct {
 	fixpoint *fixpointOp
 	ckptOps  map[int]checkpointer
 	epoch    int
+
+	// standing-query round state: lastStratum is the highest stratum this
+	// worker has started (strata grow monotonically across ingestion
+	// rounds so punctuation alignment stays ordered), and ingest buffers
+	// base-table deltas received via MsgIngest until the next MsgRound
+	// injects them into the resident dataflow.
+	lastStratum int
+	ingest      map[string][]types.Delta
 }
 
 // WorkerConfig assembles a Worker. Plan, transport, and storage must
@@ -163,7 +171,18 @@ func (w *Worker) handle(msg cluster.Message) error {
 		if msg.Terminate {
 			return w.fixpoint.Finish()
 		}
+		w.lastStratum = msg.Stratum
 		return w.fixpoint.Advance(msg.Stratum)
+	case cluster.MsgIngest:
+		if msg.Epoch != w.epoch || w.ops == nil {
+			return nil // no resident dataflow (stale epoch or aborted query)
+		}
+		return w.handleIngest(msg)
+	case cluster.MsgRound:
+		if msg.Epoch != w.epoch || w.ops == nil {
+			return nil
+		}
+		return w.startRound()
 	default:
 		return nil
 	}
@@ -177,6 +196,8 @@ const (
 
 func (w *Worker) handleStart(msg cluster.Message) error {
 	w.epoch = msg.Epoch
+	w.lastStratum = msg.Stratum
+	w.ingest = nil
 	alive, err := decodeNodeList(msg.Payload)
 	if err != nil {
 		return err
@@ -237,6 +258,98 @@ func (w *Worker) handleCheckpoint(msg cluster.Message) error {
 	}
 	w.ckpt.Put(w.queryID, msg.Edge, msg.Stratum, hashes, tuples)
 	return nil
+}
+
+// handleIngest applies a base-table delta batch to local storage and
+// buffers it for the next ingestion round. The frame's deltas were routed
+// to every ring owner of each delta's key, so local replicas stay as
+// consistent as a bulk Load would leave them; injection into the dataflow
+// happens once per round (startRound) and only for primarily-owned keys.
+func (w *Worker) handleIngest(msg cluster.Message) error {
+	batch, err := cluster.DecodeDeltas(msg.Payload)
+	if err != nil {
+		return err
+	}
+	tab, err := w.cat.Table(msg.Table)
+	if err != nil {
+		return fmt.Errorf("exec: node %d: ingest: %w", w.node, err)
+	}
+	if w.store != nil {
+		w.store.CreateTable(msg.Table, tab.PartitionKey)
+		for _, d := range batch {
+			if err := w.store.ApplyDelta(msg.Table, d); err != nil {
+				return err
+			}
+		}
+	}
+	if w.ingest == nil {
+		w.ingest = map[string][]types.Delta{}
+	}
+	w.ingest[msg.Table] = append(w.ingest[msg.Table], batch...)
+	return nil
+}
+
+// startRound begins one incremental round on the resident dataflow: it
+// reopens per-round punctuation state, injects the buffered base deltas
+// through every scan's edge (data first on every table, then punctuation,
+// preserving the data-before-punctuation discipline across tables), and
+// lets the ordinary fixpoint protocol re-run from current operator state.
+// The round's base stratum continues the monotonic stratum numbering so
+// punctuation watermarks never move backwards.
+func (w *Worker) startRound() error {
+	s := w.lastStratum + 1
+	w.lastStratum = s
+	w.ctx.Stratum = s
+	for _, inst := range w.ops {
+		if r, ok := inst.(roundReopener); ok {
+			r.ReopenRound()
+		}
+	}
+	ingest := w.ingest
+	w.ingest = nil
+	owned := map[string][]types.Delta{}
+	for table, batch := range ingest {
+		o, err := w.primaryOwned(table, batch)
+		if err != nil {
+			return err
+		}
+		owned[table] = o
+	}
+	for _, sc := range w.scans {
+		if batch := owned[sc.table]; len(batch) > 0 {
+			if err := sc.Inject(batch); err != nil {
+				return err
+			}
+		}
+	}
+	for _, sc := range w.scans {
+		if err := sc.punctRound(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// primaryOwned filters an ingest batch down to the deltas this node
+// primarily owns under the query snapshot — replicas store the data but
+// must not inject it, or the dataflow would see every change R times.
+func (w *Worker) primaryOwned(table string, batch []types.Delta) ([]types.Delta, error) {
+	tab, err := w.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	key := tab.PartitionKey
+	var out []types.Delta
+	for _, d := range batch {
+		primary, err := w.ctx.Snap.Primary(types.HashValue(d.Tup[key]))
+		if err != nil {
+			return nil, err
+		}
+		if primary == w.node {
+			out = append(out, d)
+		}
+	}
+	return out, nil
 }
 
 // stratumEnd is the fixpoint's end-of-stratum callback: ship the stratum's

@@ -129,6 +129,18 @@ func (c *Cluster) StreamCtx(ctx context.Context, spec *Spec, tune func(*exec.Opt
 	return eng.Stream(ctx, plan, opts)
 }
 
+// StandingCtx runs spec as a standing query: every daemon keeps its worker
+// loop, operator state, and data resident after the initial fixpoint, and
+// the returned handle ingests base-table deltas as incremental rounds over
+// the sockets (see exec.StandingQuery).
+func (c *Cluster) StandingCtx(ctx context.Context, spec *Spec, tune func(*exec.Options)) (*exec.StandingQuery, error) {
+	eng, plan, opts, err := c.prepare(ctx, spec, tune, true)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Standing(ctx, plan, opts)
+}
+
 // prepare ships the job, waits for every daemon to build it, and returns
 // the driver-side engine, plan, and options for the run.
 func (c *Cluster) prepare(ctx context.Context, spec *Spec, tune func(*exec.Options), stream bool) (*exec.Engine, *exec.PlanSpec, exec.Options, error) {
@@ -184,6 +196,11 @@ func (c *Cluster) awaitReady(ctx context.Context, n, gen int) error {
 			case cluster.MsgError:
 				done <- fmt.Errorf("job: node %d: %s", msg.From, msg.Table)
 				return
+			case cluster.MsgFailure:
+				// The transport saw the daemon's connection drop: the
+				// process died while building the job.
+				done <- fmt.Errorf("job: node %d died while preparing the job", msg.From)
+				return
 			case cluster.MsgCancel:
 				done <- fmt.Errorf("job: wait for workers abandoned")
 				return
@@ -206,6 +223,17 @@ func (c *Cluster) awaitReady(ctx context.Context, n, gen int) error {
 	case <-time.After(readyTimeout):
 		return abandon(fmt.Errorf("job: workers not ready after %v", readyTimeout))
 	}
+}
+
+// KillProcess SIGKILLs the i-th spawned daemon's OS process — real failure
+// injection, unlike Transport().Kill which only tells a healthy daemon to
+// play dead. The driver discovers the death through the broken connection
+// and surfaces it as a node failure. Only valid on SpawnLocal clusters.
+func (c *Cluster) KillProcess(i int) error {
+	if i < 0 || i >= len(c.procs) {
+		return fmt.Errorf("job: no spawned process %d (cluster spawned %d)", i, len(c.procs))
+	}
+	return c.procs[i].Process.Kill()
 }
 
 // Close shuts down the daemons (sending MsgQuit) and, for spawned

@@ -14,6 +14,7 @@ import (
 
 	"github.com/rex-data/rex/internal/algos"
 	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/cluster"
 	"github.com/rex-data/rex/internal/datagen"
 	"github.com/rex-data/rex/internal/exec"
 	"github.com/rex-data/rex/internal/rql"
@@ -59,6 +60,14 @@ type Spec struct {
 	Dataset  string `json:"dataset,omitempty"`
 	Handlers string `json:"handlers,omitempty"`
 
+	// Ingest is the session's base-table change log: deltas accepted by
+	// Session.Insert/Delete/LoadDeltas since the dataset was staged, in
+	// arrival order. Every process folds the log into its generated tables
+	// before loading, so a job sees the same revised base data everywhere —
+	// this is what lets TCP sessions accept loads at all (their daemons
+	// regenerate data per job from the spec).
+	Ingest []IngestedTable `json:"ingest,omitempty"`
+
 	// Execution options that must agree on both sides of the wire.
 	BatchSize           int  `json:"batch_size,omitempty"`
 	Compaction          bool `json:"compaction"`
@@ -69,6 +78,14 @@ type Spec struct {
 	// state changes as it closes instead of flushing the final relation
 	// (both sides must agree — it changes fixpoint behavior).
 	Stream bool `json:"stream,omitempty"`
+}
+
+// IngestedTable is one base-table delta batch of a session's change log.
+// Deltas carries the batch in the cluster wire encoding (base64 inside the
+// JSON spec), so the log costs what the wire would.
+type IngestedTable struct {
+	Table  string `json:"table"`
+	Deltas []byte `json:"deltas"`
 }
 
 // Normalize fills defaults so both sides derive the same shape.
@@ -187,6 +204,9 @@ func (s *Spec) Build() (*catalog.Catalog, *exec.PlanSpec, []Table, error) {
 		if err = s.registerHandlers(cat); err != nil {
 			return nil, nil, nil, err
 		}
+		if tables, err = s.applyIngest(tables); err != nil {
+			return nil, nil, nil, err
+		}
 		// Stats must precede compilation: the optimizer reads them.
 		if err = setStats(cat, tables); err != nil {
 			return nil, nil, nil, err
@@ -199,10 +219,55 @@ func (s *Spec) Build() (*catalog.Catalog, *exec.PlanSpec, []Table, error) {
 	default:
 		return nil, nil, nil, fmt.Errorf("job: unknown workload %q", s.Workload)
 	}
+	if tables, err = s.applyIngest(tables); err != nil {
+		return nil, nil, nil, err
+	}
 	if err := setStats(cat, tables); err != nil {
 		return nil, nil, nil, err
 	}
 	return cat, plan, tables, nil
+}
+
+// applyIngest folds the spec's base-table change log into the generated
+// tables, in log order, so every process loads identically revised data.
+func (s *Spec) applyIngest(tables []Table) ([]Table, error) {
+	if len(s.Ingest) == 0 {
+		return tables, nil
+	}
+	idx := map[string]int{}
+	for i, tb := range tables {
+		idx[tb.Name] = i
+	}
+	remove := func(ts []types.Tuple, t types.Tuple) []types.Tuple {
+		for i, x := range ts {
+			if x.Equal(t) {
+				return append(ts[:i], ts[i+1:]...)
+			}
+		}
+		return ts
+	}
+	for _, entry := range s.Ingest {
+		i, ok := idx[entry.Table]
+		if !ok {
+			return nil, fmt.Errorf("job: ingest log references table %q not in dataset", entry.Table)
+		}
+		deltas, err := cluster.DecodeDeltas(entry.Deltas)
+		if err != nil {
+			return nil, fmt.Errorf("job: ingest log for %s: %w", entry.Table, err)
+		}
+		tb := &tables[i]
+		for _, d := range deltas {
+			switch d.Op {
+			case types.OpInsert, types.OpUpdate:
+				tb.Tuples = append(tb.Tuples, d.Tup)
+			case types.OpDelete:
+				tb.Tuples = remove(tb.Tuples, d.Tup)
+			case types.OpReplace:
+				tb.Tuples = append(remove(tb.Tuples, d.Old), d.Tup)
+			}
+		}
+	}
+	return tables, nil
 }
 
 // rqlTables stages the named dataset for an RQL job.
@@ -237,6 +302,20 @@ func StageDataset(cat *catalog.Catalog, dataset string, size int, seed int64) ([
 			return nil, err
 		}
 		return []Table{{Name: "points", KeyCol: 0, Tuples: datagen.GeoPoints(size, 8, 1, seed)}}, nil
+	case "sssp":
+		// Graph plus a one-row seed at vertex 0: the shape the recursive
+		// shortest-path queries (and the standing-query suite) expect.
+		g := datagen.DBPediaGraph(size, seed)
+		if err := addTable(cat, "graph", 0, "srcId:Integer", "destId:Integer"); err != nil {
+			return nil, err
+		}
+		if err := addTable(cat, "spseed", 0, "srcId:Integer", "dist:Double"); err != nil {
+			return nil, err
+		}
+		return []Table{
+			{Name: "graph", KeyCol: 0, Tuples: g.Edges},
+			{Name: "spseed", KeyCol: 0, Tuples: []types.Tuple{types.NewTuple(int64(0), 0.0)}},
+		}, nil
 	default:
 		return nil, fmt.Errorf("job: unknown dataset %q", dataset)
 	}
@@ -248,33 +327,46 @@ func StageDataset(cat *catalog.Catalog, dataset string, size int, seed int64) ([
 // steers costing, never correctness, so it need not match the generated
 // count exactly.
 func StageSchemas(cat *catalog.Catalog, dataset string, size int) error {
-	var name string
+	var names []string
 	switch dataset {
 	case "dbpedia", "twitter":
-		name = "graph"
-		if err := addTable(cat, name, 0, "srcId:Integer", "destId:Integer"); err != nil {
+		names = []string{"graph"}
+		if err := addTable(cat, "graph", 0, "srcId:Integer", "destId:Integer"); err != nil {
 			return err
 		}
 	case "lineitem":
-		name = "lineitem"
-		if err := addTable(cat, name, 0, datagen.LineItemSchema...); err != nil {
+		names = []string{"lineitem"}
+		if err := addTable(cat, "lineitem", 0, datagen.LineItemSchema...); err != nil {
 			return err
 		}
 	case "points":
-		name = "points"
-		if err := addTable(cat, name, 0, "id:Integer", "x:Double", "y:Double"); err != nil {
+		names = []string{"points"}
+		if err := addTable(cat, "points", 0, "id:Integer", "x:Double", "y:Double"); err != nil {
+			return err
+		}
+	case "sssp":
+		names = []string{"graph"}
+		if err := addTable(cat, "graph", 0, "srcId:Integer", "destId:Integer"); err != nil {
+			return err
+		}
+		if err := addTable(cat, "spseed", 0, "srcId:Integer", "dist:Double"); err != nil {
 			return err
 		}
 	default:
 		return fmt.Errorf("job: unknown dataset %q", dataset)
 	}
-	tab, err := cat.Table(name)
-	if err != nil {
-		return err
+	for _, name := range names {
+		tab, err := cat.Table(name)
+		if err != nil {
+			return err
+		}
+		stats := tab.Stats
+		stats.RowCount = int64(size)
+		if err := cat.SetStats(name, stats); err != nil {
+			return err
+		}
 	}
-	stats := tab.Stats
-	stats.RowCount = int64(size)
-	return cat.SetStats(name, stats)
+	return nil
 }
 
 // registerHandlers installs a named delta-handler bundle. Handler names
@@ -288,9 +380,20 @@ func (s *Spec) registerHandlers(cat *catalog.Catalog) error {
 		cfg := algos.PageRankConfig{Epsilon: s.Epsilon, Delta: s.Delta, MaxIterations: s.MaxIterations}
 		_, _, err := algos.RegisterPageRank(cat, cfg)
 		return err
+	case "sssp-inc":
+		return algos.RegisterIncSSSP(cat)
 	default:
 		return fmt.Errorf("job: unknown handler bundle %q", s.Handlers)
 	}
+}
+
+// RegisterBundle installs a named handler bundle into a catalog with
+// default parameters — how in-process sessions honor WithHandlers, so the
+// same RQL text compiles against the same handler names on every
+// transport.
+func RegisterBundle(cat *catalog.Catalog, name string) error {
+	s := Spec{Handlers: name}
+	return s.registerHandlers(cat)
 }
 
 func addTable(cat *catalog.Catalog, name string, keyCol int, fields ...string) error {

@@ -1,0 +1,90 @@
+package job_test
+
+import (
+	"context"
+	"os"
+	"slices"
+	"testing"
+	"time"
+
+	"github.com/rex-data/rex"
+	"github.com/rex-data/rex/internal/exec"
+	"github.com/rex-data/rex/internal/job"
+)
+
+// nodeChildFlag re-executes this test binary as a rexnode worker daemon:
+// TestMain spots it before any test runs, so SpawnLocal can treat the test
+// binary itself as the daemon executable (no separate build step in CI).
+const nodeChildFlag = "-rexnode-child"
+
+func TestMain(m *testing.M) {
+	if slices.Contains(os.Args, nodeChildFlag) {
+		if err := rex.ServeNode("127.0.0.1:0", os.Stderr); err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// TestProcessKillSurfacesError is the real failure-injection smoke: a
+// spawned rexnode OS process is SIGKILLed mid-query (not the MsgKill
+// soft-kill — the process is gone), and the driver must surface the broken
+// connection as a node failure instead of hanging on votes that will never
+// arrive.
+func TestProcessKillSurfacesError(t *testing.T) {
+	cl, err := job.SpawnLocal(2, os.Args[0], []string{nodeChildFlag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	spec := &job.Spec{Workload: "sssp", Nodes: 2, Seed: 3, Size: 300, Source: 0,
+		Delta: true, MaxIterations: 300}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err = cl.RunCtx(ctx, spec, func(o *exec.Options) {
+		o.OnStratum = func(s, newTuples int) {
+			if s == 2 {
+				if kerr := cl.KillProcess(1); kerr != nil {
+					t.Errorf("kill: %v", kerr)
+				}
+			}
+		}
+	})
+	if err == nil {
+		t.Fatal("query against a killed worker process must error")
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("driver hit the watchdog timeout instead of detecting the death: %v", err)
+	}
+	t.Logf("driver surfaced the death in %v: %v", time.Since(start).Round(time.Millisecond), err)
+}
+
+// TestProcessKillDuringPrepare kills the daemon process before the job
+// ships: the ready-wait must fail fast on the broken connection, not sit
+// out its two-minute timeout.
+func TestProcessKillDuringPrepare(t *testing.T) {
+	cl, err := job.SpawnLocal(2, os.Args[0], []string{nodeChildFlag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Large dataset: the daemons spend real time generating it, so the
+	// kill lands while the driver waits for readiness.
+	spec := &job.Spec{Workload: "sssp", Nodes: 2, Seed: 3, Size: 60_000, Source: 0, Delta: true}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		_ = cl.KillProcess(0)
+	}()
+	_, err = cl.RunCtx(ctx, spec, nil)
+	if err == nil {
+		t.Fatal("prepare against a killed worker process must error")
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("driver hit the watchdog timeout instead of detecting the death: %v", err)
+	}
+}

@@ -67,6 +67,50 @@ func (s *Store) Insert(table string, t types.Tuple) error {
 	return nil
 }
 
+// Delete removes one stored copy equal to t (the first match), reporting
+// whether a copy was found. Ingestion deletes call it on every ring owner
+// of the tuple's key, mirroring how Insert placed the replicas.
+func (s *Store) Delete(table string, t types.Tuple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.tables[table]
+	if !ok {
+		return false
+	}
+	for i, st := range p.tuples {
+		if st.tup.Equal(t) {
+			p.tuples[i] = p.tuples[len(p.tuples)-1]
+			p.tuples = p.tuples[:len(p.tuples)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyDelta applies one base-table change to this node's local copies:
+// insertions (and δ-updates) store a copy, deletions remove one, and
+// replacements do both. Unknown tables error — ingestion never creates
+// tables implicitly.
+func (s *Store) ApplyDelta(table string, d types.Delta) error {
+	switch d.Op {
+	case types.OpInsert, types.OpUpdate:
+		return s.Insert(table, d.Tup)
+	case types.OpDelete:
+		s.mu.RLock()
+		_, ok := s.tables[table]
+		s.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("storage: node %d: unknown table %q", s.node, table)
+		}
+		s.Delete(table, d.Tup)
+		return nil
+	case types.OpReplace:
+		s.Delete(table, d.Old)
+		return s.Insert(table, d.Tup)
+	}
+	return nil
+}
+
 // ScanOwned streams the tuples of table for which this node is the primary
 // owner under snap. This is the base-case scan and also how takeover nodes
 // rebuild immutable state from replicas during recovery.
@@ -156,4 +200,30 @@ func (l *Loader) Load(table string, keyCol int, tuples []types.Tuple) error {
 		}
 	}
 	return nil
+}
+
+// Apply distributes a base-table delta batch to the ring owners of each
+// delta's key — the incremental counterpart of Load. Replacements whose old
+// and new keys hash to different owners are split into a deletion at the
+// old home and an insertion at the new one.
+func (l *Loader) Apply(table string, keyCol int, deltas []types.Delta) error {
+	for _, st := range l.Stores {
+		if st != nil {
+			st.CreateTable(table, keyCol)
+		}
+	}
+	return types.RouteByKey(deltas, keyCol, func(h uint64, d types.Delta) error {
+		for _, owner := range l.Ring.Owners(h) {
+			if int(owner) >= len(l.Stores) {
+				return fmt.Errorf("storage: owner %d beyond store set", owner)
+			}
+			if l.Stores[owner] == nil {
+				continue // remote node: applied in its own process
+			}
+			if err := l.Stores[owner].ApplyDelta(table, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }

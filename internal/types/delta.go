@@ -80,3 +80,31 @@ func Inserts(ts ...Tuple) []Delta {
 	}
 	return out
 }
+
+// RouteByKey calls fn(hash, d) for every delta with the hash of its
+// partition-key column, splitting a replacement whose old and new keys
+// hash apart into a deletion at the old home and an insertion at the new
+// one. It is the single routing rule shared by bulk loading, base-table
+// ingestion, and standing-query delta staging — one definition, so store
+// placement and wire routing can never diverge.
+func RouteByKey(deltas []Delta, keyCol int, fn func(h uint64, d Delta) error) error {
+	for _, d := range deltas {
+		if d.Op == OpReplace {
+			oldH := HashValue(d.Old[keyCol])
+			newH := HashValue(d.Tup[keyCol])
+			if oldH != newH {
+				if err := fn(oldH, Delete(d.Old)); err != nil {
+					return err
+				}
+				if err := fn(newH, Insert(d.Tup)); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		if err := fn(HashValue(d.Tup[keyCol]), d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -35,6 +35,15 @@
 //	stmt, err := s.Prepare(`SELECT sum(tax) FROM lineitem WHERE linenumber > $1`)
 //	res, err := stmt.Query(int64(3))
 //
+// Standing queries keep the dataflow resident after the fixpoint closes:
+// base-table changes ingested through Insert/Delete/LoadDeltas run
+// incremental rounds whose output deltas stream to the subscriber, with
+// work proportional to the change rather than the data:
+//
+//	sub, err := s.Subscribe(ctx, query, rex.Options{})
+//	s.Insert("graph", rex.NewTuple(int64(2), int64(977)))
+//	for _, deltas := range sub.Stream().Seq() { ... }
+//
 // Recursive queries use the RQL extension syntax of §3.1:
 //
 //	WITH R (cols) AS (base) UNION UNTIL FIXPOINT BY key [USING handler] (recursive)

@@ -13,6 +13,7 @@ import (
 	"github.com/rex-data/rex/internal/expr"
 	"github.com/rex-data/rex/internal/job"
 	"github.com/rex-data/rex/internal/rql"
+	"github.com/rex-data/rex/internal/storage"
 	"github.com/rex-data/rex/internal/types"
 	"github.com/rex-data/rex/internal/uda"
 )
@@ -34,6 +35,9 @@ type config struct {
 	dataset     string
 	datasetSize int
 	datasetSeed int64
+
+	// handlers names a delta-handler bundle registered on every process.
+	handlers string
 }
 
 // Option configures Open.
@@ -89,6 +93,17 @@ func WithDataset(name string, size int, seed int64) Option {
 	return func(c *config) { c.dataset = name; c.datasetSize = size; c.datasetSeed = seed }
 }
 
+// WithHandlers registers a named delta-handler bundle ("pagerank",
+// "sssp-inc") at Open. Go closures cannot cross process boundaries, so TCP
+// sessions can only use handlers both sides know by name: the bundle name
+// travels in each job spec and every rexnode daemon registers the same
+// handlers before compiling the query. On an in-process session the same
+// bundle is registered into the local catalog, keeping RQL text portable
+// across transports.
+func WithHandlers(bundle string) Option {
+	return func(c *config) { c.handlers = bundle }
+}
+
 // Session is a running REX deployment: a catalog plus worker nodes with
 // partitioned, replicated storage — in this process (WithInProc) or as
 // rexnode daemons over TCP (WithTCPPeers, WithAutoSpawn). One session runs
@@ -103,12 +118,24 @@ type Session struct {
 
 	// TCP deployments
 	jc *job.Cluster
+	// schemaCat mirrors the staged dataset's schemas (plus the handler
+	// bundle) for driver-side validation — built once at Open; the daemons
+	// rebuild their real catalogs per job.
+	schemaCat *catalog.Catalog
 
-	// streamMu guards stream, the stream currently holding mu (see
-	// unlockWhenDone). Close cancels it so an abandoned, half-consumed
-	// stream cannot park the session lock forever.
+	// streamMu guards stream and sub — whichever currently holds mu (see
+	// unlockWhenDone / adoptStanding). Close cancels them so an abandoned
+	// stream or subscription cannot park the session lock forever.
 	streamMu sync.Mutex
 	stream   *exec.ResultStream
+	sub      *Subscription
+
+	// logMu guards ingestLog, the TCP session's base-table change log:
+	// every accepted Insert/Delete/LoadDeltas is appended and replayed into
+	// each subsequent job spec, so daemons — which regenerate data per
+	// job — rebuild the revised tables.
+	logMu     sync.Mutex
+	ingestLog []job.IngestedTable
 
 	closed bool
 }
@@ -141,6 +168,13 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 	if cfg.spawnBin != "" && cfg.autospawn == 0 {
 		return nil, fmt.Errorf("rex: WithSpawnCommand requires WithAutoSpawn")
 	}
+	if cfg.handlers != "" {
+		// Validate the bundle name eagerly on every transport; TCP daemons
+		// register it per job from the spec.
+		if err := job.RegisterBundle(catalog.New(), cfg.handlers); err != nil {
+			return nil, err
+		}
+	}
 	s := &Session{cfg: cfg}
 	switch {
 	case len(cfg.peers) > 0:
@@ -149,6 +183,10 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 			return nil, err
 		}
 		s.jc = jc
+		if err := s.buildSchemaCat(); err != nil {
+			jc.Close()
+			return nil, err
+		}
 	case cfg.autospawn > 0:
 		bin, args := cfg.spawnBin, cfg.spawnArgs
 		if bin == "" {
@@ -159,6 +197,10 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 			return nil, err
 		}
 		s.jc = jc
+		if err := s.buildSchemaCat(); err != nil {
+			jc.Close()
+			return nil, err
+		}
 	default:
 		if cfg.nodes <= 0 {
 			cfg.nodes = 4
@@ -166,6 +208,11 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 		s.cfg = cfg
 		s.cat = catalog.New()
 		s.eng = exec.NewEngine(cfg.nodes, cfg.vnodes, cfg.replication, s.cat)
+		if cfg.handlers != "" {
+			if err := job.RegisterBundle(s.cat, cfg.handlers); err != nil {
+				return nil, err
+			}
+		}
 		if cfg.dataset != "" {
 			tables, err := job.StageDataset(s.cat, cfg.dataset, cfg.datasetSize, cfg.datasetSeed)
 			if err != nil {
@@ -194,10 +241,14 @@ func (s *Session) Close() error {
 	// cancel until TryLock succeeds — once it does, no stream is live.
 	for {
 		s.streamMu.Lock()
-		st := s.stream
+		st, sub := s.stream, s.sub
 		s.streamMu.Unlock()
 		if st != nil {
 			st.Close() // cancel + drain + wait; releases s.mu via unlockWhenDone
+			continue
+		}
+		if sub != nil {
+			sub.Close() // tear the standing dataflow down; releases s.mu
 			continue
 		}
 		if s.mu.TryLock() {
@@ -269,16 +320,168 @@ func (s *Session) CreateTable(name string, schema *types.Schema, partitionKey in
 	return s.cat.AddTable(&catalog.Table{Name: name, Schema: schema, PartitionKey: partitionKey})
 }
 
-// Load distributes tuples into the table's replicated partitions.
+// Load distributes tuples into the table's replicated partitions. It works
+// on every transport: in-process the tuples go straight to the replicated
+// stores; on a TCP session the load joins the session's change log, which
+// every subsequent job replays into the daemons' regenerated tables; with
+// a live subscription the load runs as an incremental ingestion round.
 func (s *Session) Load(table string, tuples []Tuple) error {
-	if err := s.inprocOnly("Load"); err != nil {
+	if s.jc == nil && s.liveSub() == nil {
+		if err := s.lock(); err != nil {
+			return err
+		}
+		defer s.mu.Unlock()
+		return s.loadLocked(table, tuples)
+	}
+	return s.LoadDeltas(table, types.Inserts(tuples...))
+}
+
+// Insert ingests tuples as base-table insertions — delta-mode Load. With a
+// live subscription the change runs an incremental round immediately and
+// its output deltas arrive on the subscription's stream; round statistics
+// are on Subscription.Rounds.
+func (s *Session) Insert(table string, tuples ...Tuple) error {
+	return s.LoadDeltas(table, types.Inserts(tuples...))
+}
+
+// Delete ingests base-table deletions (see Insert). Deletions are exact
+// for invertible operators (count/sum aggregates, set-semantics joins);
+// min/max-style monotone recursions need insert-only churn — the same
+// contract every incremental view-maintenance system carries.
+func (s *Session) Delete(table string, tuples ...Tuple) error {
+	deltas := make([]Delta, len(tuples))
+	for i, t := range tuples {
+		deltas[i] = Delete(t)
+	}
+	return s.LoadDeltas(table, deltas)
+}
+
+// LoadDeltas ingests an arbitrary base-table delta batch (insertions,
+// deletions, replacements) — the general form of Insert/Delete. Routing
+// depends on session state: a live subscription runs one incremental round
+// through the resident dataflow; a TCP session without one appends to the
+// replayed change log; an in-process session revises the stores directly.
+func (s *Session) LoadDeltas(table string, deltas []Delta) error {
+	if len(deltas) == 0 {
+		return nil
+	}
+	if sub := s.liveSub(); sub != nil {
+		_, err := sub.ingest(context.Background(), table, deltas)
 		return err
+	}
+	if s.jc != nil {
+		if err := s.validateIngest(table, deltas); err != nil {
+			return err
+		}
+		// Serialize on the session lock like the in-process path: a closed
+		// session must reject the change, not silently log it.
+		if err := s.lock(); err != nil {
+			return err
+		}
+		defer s.mu.Unlock()
+		s.appendIngestLog(table, deltas)
+		return nil
 	}
 	if err := s.lock(); err != nil {
 		return err
 	}
 	defer s.mu.Unlock()
-	return s.loadLocked(table, tuples)
+	tab, err := s.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := checkDeltaArity(table, tab.Schema.Len(), deltas); err != nil {
+		return err
+	}
+	loader := &storage.Loader{Ring: s.eng.Ring, Stores: s.eng.Stores}
+	if err := loader.Apply(table, tab.PartitionKey, deltas); err != nil {
+		return err
+	}
+	s.bumpStats(table, deltas)
+	return nil
+}
+
+func checkDeltaArity(table string, arity int, deltas []Delta) error {
+	for _, d := range deltas {
+		if len(d.Tup) != arity || (d.Op == types.OpReplace && len(d.Old) != arity) {
+			return fmt.Errorf("rex: ingest into %s: tuple %v does not match the %d-column schema", table, d.Tup, arity)
+		}
+	}
+	return nil
+}
+
+// buildSchemaCat stages the dataset's schemas (and the handler bundle)
+// into a driver-side validation catalog, once per session.
+func (s *Session) buildSchemaCat() error {
+	if s.cfg.dataset == "" {
+		return nil
+	}
+	cat := catalog.New()
+	if err := job.StageSchemas(cat, s.cfg.dataset, s.cfg.datasetSize); err != nil {
+		return err
+	}
+	if s.cfg.handlers != "" {
+		if err := job.RegisterBundle(cat, s.cfg.handlers); err != nil {
+			return err
+		}
+	}
+	s.schemaCat = cat
+	return nil
+}
+
+// validateIngest checks a TCP-session ingest against the staged dataset's
+// schemas before it enters the replayed change log.
+func (s *Session) validateIngest(table string, deltas []Delta) error {
+	if s.schemaCat == nil {
+		return fmt.Errorf("rex: TCP sessions need WithDataset before ingesting (tables are staged from it)")
+	}
+	tab, err := s.schemaCat.Table(table)
+	if err != nil {
+		return err
+	}
+	return checkDeltaArity(table, tab.Schema.Len(), deltas)
+}
+
+// appendIngestLog records an accepted change for replay into future jobs.
+func (s *Session) appendIngestLog(table string, deltas []Delta) {
+	payload := cluster.EncodeDeltas(deltas)
+	s.logMu.Lock()
+	s.ingestLog = append(s.ingestLog, job.IngestedTable{Table: table, Deltas: payload})
+	s.logMu.Unlock()
+}
+
+// ingestSnapshot copies the change log for a job spec.
+func (s *Session) ingestSnapshot() []job.IngestedTable {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	return append([]job.IngestedTable(nil), s.ingestLog...)
+}
+
+// bumpStats revises the catalog's row-count estimate after an ingest (the
+// estimate steers costing, never correctness).
+func (s *Session) bumpStats(table string, deltas []Delta) {
+	if s.cat == nil {
+		return
+	}
+	tab, err := s.cat.Table(table)
+	if err != nil {
+		return
+	}
+	var net int64
+	for _, d := range deltas {
+		switch d.Op {
+		case types.OpInsert, types.OpUpdate:
+			net++
+		case types.OpDelete:
+			net--
+		}
+	}
+	stats := tab.Stats
+	stats.RowCount += net
+	if stats.RowCount < 0 {
+		stats.RowCount = 0
+	}
+	_ = s.cat.SetStats(table, stats)
 }
 
 func (s *Session) loadLocked(table string, tuples []Tuple) error {
@@ -527,6 +730,8 @@ func (s *Session) rqlSpec(src string, opts Options) (*job.Spec, error) {
 		BatchSize: opts.BatchSize, Compaction: opts.Compaction,
 		Checkpoint: opts.Checkpoint, CompactionHighWater: opts.CompactionHighWater,
 		MaxStrata: opts.MaxStrata,
+		Handlers:  s.cfg.handlers,
+		Ingest:    s.ingestSnapshot(),
 	}, nil
 }
 

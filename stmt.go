@@ -4,9 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"github.com/rex-data/rex/internal/catalog"
 	"github.com/rex-data/rex/internal/exec"
-	"github.com/rex-data/rex/internal/job"
 	"github.com/rex-data/rex/internal/rql"
 )
 
@@ -37,15 +35,12 @@ type Stmt struct {
 // execution.
 func (s *Session) Prepare(src string) (*Stmt, error) {
 	if s.jc != nil {
-		// Validate against a scratch catalog staged like the daemons'.
-		if s.cfg.dataset == "" {
+		// Validate against the session's schema catalog, staged at Open
+		// like the daemons' (dataset schemas plus the handler bundle).
+		if s.schemaCat == nil {
 			return nil, fmt.Errorf("rex: TCP sessions need WithDataset to stage data for RQL queries")
 		}
-		cat := catalog.New()
-		if err := job.StageSchemas(cat, s.cfg.dataset, s.cfg.datasetSize); err != nil {
-			return nil, err
-		}
-		_, prep, err := rql.CompileStmt(src, cat, s.Nodes())
+		_, prep, err := rql.CompileStmt(src, s.schemaCat, s.Nodes())
 		if err != nil {
 			return nil, err
 		}

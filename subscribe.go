@@ -1,0 +1,140 @@
+package rex
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/rex-data/rex/internal/exec"
+	"github.com/rex-data/rex/internal/rql"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// RoundStats reports one round of a standing query (round 0 is the initial
+// fixpoint; every ingestion after it runs one incremental round).
+type RoundStats = exec.RoundStats
+
+// Subscription is a standing query: Subscribe compiled the plan, ran the
+// initial fixpoint, and kept the whole dataflow — worker loops, operator
+// state, delta network — resident. Base-table changes fed through
+// Session.Insert/Delete/LoadDeltas (or Ingest directly) run incremental
+// rounds whose per-stratum output deltas are pushed to Stream; folding the
+// stream in order always reproduces what a from-scratch Query over the
+// revised base tables would return.
+//
+// A subscription owns the session while live: other queries on the session
+// wait (or fail at Close) until the subscription is closed.
+type Subscription struct {
+	sess *Session
+	sq   *exec.StandingQuery
+}
+
+// Subscribe compiles src, executes its initial fixpoint, and returns the
+// live subscription. Works on both transports: in-process the session
+// engine's workers stay resident; over TCP every rexnode daemon keeps its
+// job alive and ingestion rounds travel as MsgIngest wire frames. Standing
+// queries reject failure-recovery and checkpoint options.
+func (s *Session) Subscribe(ctx context.Context, src string, opts Options) (*Subscription, error) {
+	if s.jc != nil {
+		spec, err := s.rqlSpec(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.lock(); err != nil {
+			return nil, err
+		}
+		sq, err := s.jc.StandingCtx(ctx, spec, driverTune(opts))
+		return s.adoptStanding(sq, err)
+	}
+	plan, err := rql.Compile(src, s.cat, s.cfg.nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	sq, err := s.eng.Standing(ctx, plan, opts)
+	return s.adoptStanding(sq, err)
+}
+
+// adoptStanding hands the session lock to a live subscription (released at
+// its teardown) and registers it so Session.Close can cancel it and
+// Insert/Delete/LoadDeltas route through it.
+func (s *Session) adoptStanding(sq *exec.StandingQuery, err error) (*Subscription, error) {
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	sub := &Subscription{sess: s, sq: sq}
+	s.streamMu.Lock()
+	s.sub = sub
+	s.streamMu.Unlock()
+	go func() {
+		<-sq.Done()
+		s.streamMu.Lock()
+		if s.sub == sub {
+			s.sub = nil
+		}
+		s.streamMu.Unlock()
+		s.mu.Unlock()
+	}()
+	return sub, nil
+}
+
+// liveSub returns the session's active subscription, if any.
+func (s *Session) liveSub() *Subscription {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	return s.sub
+}
+
+// Stream returns the subscription's delta stream: the initial fixpoint's
+// per-stratum batches followed by every ingestion round's, each tagged
+// with its round and round-relative stratum. The stream's buffer is
+// unbounded, so one goroutine may alternate ingestion and consumption
+// (TryNext drains exactly what a completed round buffered). The stream
+// ends when the subscription closes.
+func (sub *Subscription) Stream() *DeltaStream { return sub.sq.Stream() }
+
+// Rounds returns per-round statistics, the initial fixpoint included:
+// strata run, deltas emitted, and — the serving metric — the round's
+// measured wire bytes, to hold against a from-scratch recompute's.
+func (sub *Subscription) Rounds() []RoundStats { return sub.sq.Rounds() }
+
+// Ingest applies base-table deltas and runs one incremental round,
+// returning its stats once the fixpoint closes (all of the round's output
+// batches are buffered on Stream by then). Session.Insert/Delete/LoadDeltas
+// are the per-table conveniences over it.
+func (sub *Subscription) Ingest(ctx context.Context, table string, deltas []Delta) (*RoundStats, error) {
+	return sub.ingest(ctx, table, deltas)
+}
+
+func (sub *Subscription) ingest(ctx context.Context, table string, deltas []Delta) (*RoundStats, error) {
+	if len(deltas) == 0 {
+		return nil, fmt.Errorf("rex: ingest into %s: empty delta batch", table)
+	}
+	rs, err := sub.sq.Ingest(ctx, map[string][]types.Delta{table: deltas})
+	if err != nil {
+		return nil, err
+	}
+	// Keep the session's own view of the base data consistent for queries
+	// after the subscription: TCP sessions log the change for job replay
+	// (daemon stores die with the job), in-process stores were already
+	// revised by the workers and only the catalog stats need the bump.
+	if sub.sess.jc != nil {
+		sub.sess.appendIngestLog(table, deltas)
+	} else {
+		sub.sess.bumpStats(table, deltas)
+	}
+	return rs, nil
+}
+
+// Err reports the subscription's terminal error once it is closed; a
+// deliberate Close reports nil.
+func (sub *Subscription) Err() error { return sub.sq.Err() }
+
+// Done is closed when the subscription has fully torn down.
+func (sub *Subscription) Done() <-chan struct{} { return sub.sq.Done() }
+
+// Close tears the standing dataflow down and releases the session for
+// other queries. The stream ends after its buffered batches are consumed.
+func (sub *Subscription) Close() error { return sub.sq.Close() }
