@@ -39,15 +39,8 @@ func standingChurn(size int) [][]types.Tuple {
 	return rounds
 }
 
-// standingSuite runs the standing-query benchmark on one transport and
-// returns its CI row. peers selects already-running rexnode daemons for
-// -transport tcp; empty spawns local ones (the calling binary must serve
-// -node).
-func standingSuite(w io.Writer, sc bench.Scale, transport, peers string) ([]bench.CIStanding, error) {
-	size := sc.DBPediaVertices
-	if size < 100 {
-		size = 100
-	}
+// standingOpts assembles the session options for the standing suites.
+func standingOpts(sc bench.Scale, transport, peers string, size int) ([]rex.Option, error) {
 	opts := []rex.Option{rex.WithDataset("sssp", size, 1), rex.WithHandlers("sssp-inc")}
 	switch transport {
 	case "inproc":
@@ -60,6 +53,23 @@ func standingSuite(w io.Writer, sc bench.Scale, transport, peers string) ([]benc
 		}
 	default:
 		return nil, fmt.Errorf("bench: unknown transport %q", transport)
+	}
+	return opts, nil
+}
+
+// standingSuite runs the standing-query benchmarks on one transport and
+// returns their CI rows: the incremental-vs-recompute scenario plus the
+// write-heavy coalescing churn scenario. peers selects already-running
+// rexnode daemons for -transport tcp; empty spawns local ones (the calling
+// binary must serve -node).
+func standingSuite(w io.Writer, sc bench.Scale, transport, peers string) ([]bench.CIStanding, error) {
+	size := sc.DBPediaVertices
+	if size < 100 {
+		size = 100
+	}
+	opts, err := standingOpts(sc, transport, peers, size)
+	if err != nil {
+		return nil, err
 	}
 	ctx := context.Background()
 	sess, err := rex.Open(ctx, opts...)
@@ -143,6 +153,172 @@ func standingSuite(w io.Writer, sc bench.Scale, transport, peers string) ([]benc
 			row.Query, fmt.Sprint(row.Rounds), fmt.Sprint(row.Strata),
 			fmt.Sprint(row.InitialBytes), fmt.Sprint(row.IncrementalBytes),
 			fmt.Sprint(row.IngestBytes), fmt.Sprint(row.RecomputeBytes),
+			row.ResultHash, fmt.Sprintf("%.1f", row.Millis),
+		}},
+	}
+	rep.Print(w)
+	churn, err := standingChurnSuite(w, sc, transport, peers, size)
+	if err != nil {
+		return nil, err
+	}
+	return append([]bench.CIStanding{row}, churn...), nil
+}
+
+// churnIngestCount is the write-heavy scenario's ingest volume: ≥100
+// queued single-edge writes, enough that coalescing — not round latency —
+// dominates the round count.
+const churnIngestCount = 120
+
+// churnEdge is the i-th deterministic single-edge write of the scenario.
+func churnEdge(i, size int) types.Tuple {
+	return types.NewTuple(int64(i%7), int64((7*i+13)%size))
+}
+
+// standingChurnSuite is the write-heavy coalescing scenario: the same
+// churnIngestCount single-edge writes are ingested twice — once one
+// awaited round at a time (the sequential reference), once fired through
+// IngestAsync without waiting so queued requests coalesce — and the two
+// folded streams must hash-match while the coalesced run completes in
+// measurably fewer rounds and no more wire bytes.
+func standingChurnSuite(w io.Writer, sc bench.Scale, transport, peers string, size int) ([]bench.CIStanding, error) {
+	ctx := context.Background()
+	subscribe := func() (*rex.Session, *rex.Subscription, *fold, error) {
+		opts, err := standingOpts(sc, transport, peers, size)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sess, err := rex.Open(ctx, opts...)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, rex.Options{MaxStrata: 300, Compaction: true})
+		if err != nil {
+			sess.Close()
+			return nil, nil, nil, err
+		}
+		view := &fold{}
+		st := sub.Stream()
+		for i := 0; i < sub.Rounds()[0].Batches; i++ {
+			b, ok := st.Next()
+			if !ok {
+				sess.Close()
+				return nil, nil, nil, fmt.Errorf("bench: churn stream ended early: %v", st.Err())
+			}
+			view.apply(b.Deltas)
+		}
+		return sess, sub, view, nil
+	}
+
+	// Sequential reference: every write is its own awaited round.
+	seqSess, seqSub, seqView, err := subscribe()
+	if err != nil {
+		return nil, err
+	}
+	defer seqSess.Close()
+	start := time.Now()
+	for i := 0; i < churnIngestCount; i++ {
+		if err := seqSess.Insert("graph", churnEdge(i, size)); err != nil {
+			return nil, fmt.Errorf("bench: sequential churn ingest on %s: %w", transport, err)
+		}
+	}
+	seqRounds := seqSub.Rounds()
+	st := seqSub.Stream()
+	for _, r := range seqRounds[1:] {
+		for i := 0; i < r.Batches; i++ {
+			b, ok := st.Next()
+			if !ok {
+				return nil, fmt.Errorf("bench: sequential churn stream ended early: %v", st.Err())
+			}
+			seqView.apply(b.Deltas)
+		}
+	}
+	if err := seqSub.Close(); err != nil {
+		return nil, err
+	}
+	seqMillis := float64(time.Since(start)) / float64(time.Millisecond)
+	var seqBytes int64
+	for _, r := range seqRounds[1:] {
+		seqBytes += r.BytesSent
+	}
+	seqHash := bench.ResultHash(seqView.tuples())
+
+	// Coalesced run: fire everything, wait for the acks afterwards.
+	coSess, coSub, coView, err := subscribe()
+	if err != nil {
+		return nil, err
+	}
+	defer coSess.Close()
+	coStart := time.Now()
+	acks := make([]*rex.IngestAck, 0, churnIngestCount)
+	for i := 0; i < churnIngestCount; i++ {
+		ack, err := coSess.IngestAsync("graph", []rex.Delta{rex.Insert(churnEdge(i, size))})
+		if err != nil {
+			return nil, fmt.Errorf("bench: coalesced churn ingest on %s: %w", transport, err)
+		}
+		acks = append(acks, ack)
+	}
+	for i, ack := range acks {
+		if _, err := ack.Wait(ctx); err != nil {
+			return nil, fmt.Errorf("bench: coalesced churn ack %d on %s: %w", i, transport, err)
+		}
+	}
+	coRounds := coSub.Rounds()
+	st = coSub.Stream()
+	row := bench.CIStanding{
+		Query:        "inc-sssp-churn",
+		Transport:    transport,
+		Rounds:       len(coRounds) - 1,
+		Ingests:      churnIngestCount,
+		InitialBytes: coRounds[0].BytesSent,
+	}
+	for _, r := range coRounds[1:] {
+		for i := 0; i < r.Batches; i++ {
+			b, ok := st.Next()
+			if !ok {
+				return nil, fmt.Errorf("bench: coalesced churn stream ended early: %v", st.Err())
+			}
+			coView.apply(b.Deltas)
+		}
+		row.Strata += r.Strata
+		row.IncrementalBytes += r.BytesSent
+		row.IngestBytes += r.IngestBytes
+		row.StagedDeltas += r.IngestedDeltas
+		row.FoldedDeltas += r.CoalescedDeltas
+	}
+	if err := coSub.Close(); err != nil {
+		return nil, err
+	}
+	row.SequentialBytes = seqBytes
+	row.ResultHash = bench.ResultHash(coView.tuples())
+	row.Millis = float64(time.Since(coStart)) / float64(time.Millisecond)
+	if row.FoldedDeltas > 0 {
+		row.CoalesceRatio = float64(row.StagedDeltas) / float64(row.FoldedDeltas)
+	}
+
+	// The scenario's gates: identical folded streams, measurably fewer
+	// rounds than ingests, and coalesced rounds shipping no more bytes
+	// than the sequential reference.
+	if row.ResultHash != seqHash {
+		return nil, fmt.Errorf("bench: churn coalesced fold %s != sequential %s on %s", row.ResultHash, seqHash, transport)
+	}
+	if row.Rounds >= churnIngestCount {
+		return nil, fmt.Errorf("bench: %d queued ingests still ran %d rounds on %s — coalescing failed", churnIngestCount, row.Rounds, transport)
+	}
+	if row.IncrementalBytes > seqBytes {
+		return nil, fmt.Errorf("bench: coalesced rounds shipped %d bytes vs %d sequential on %s", row.IncrementalBytes, seqBytes, transport)
+	}
+
+	rep := &bench.Report{
+		Title: fmt.Sprintf("Standing churn / coalescing (%s)", transport),
+		Notes: fmt.Sprintf("%d queued single-edge ingests, sequential reference took %.1f ms",
+			churnIngestCount, seqMillis),
+		Headers: []string{"query", "ingests", "rounds", "staged", "folded", "coalesce_ratio",
+			"coalesced_bytes", "sequential_bytes", "result_hash", "ms"},
+		Rows: [][]string{{
+			row.Query, fmt.Sprint(row.Ingests), fmt.Sprint(row.Rounds),
+			fmt.Sprint(row.StagedDeltas), fmt.Sprint(row.FoldedDeltas),
+			fmt.Sprintf("%.2f", row.CoalesceRatio),
+			fmt.Sprint(row.IncrementalBytes), fmt.Sprint(row.SequentialBytes),
 			row.ResultHash, fmt.Sprintf("%.1f", row.Millis),
 		}},
 	}

@@ -125,6 +125,65 @@ func ExampleSession_Subscribe() {
 	// after delete: count=10 sum=136
 }
 
+// ExampleSession_IngestAsync fires a write burst through the asynchronous
+// ingestion pipeline: each call enqueues without blocking, requests queued
+// while a round is running coalesce — same-key deltas folded through the
+// shuffle compactor — into a single follow-up round, and every ack
+// resolves when its covering round's fixpoint completes.
+func ExampleSession_IngestAsync() {
+	ctx := context.Background()
+	s, err := openSeeded(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	sub, err := s.Subscribe(ctx, `SELECT count(*), sum(v) FROM items WHERE k < 10`, rex.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sub.Stream()
+	var view rex.Tuple
+	drain := func() { // fold everything buffered: after each round it IS the result
+		for {
+			b, ok := st.TryNext()
+			if !ok {
+				break
+			}
+			if len(b.Deltas) > 0 {
+				view = b.Deltas[len(b.Deltas)-1].Tup
+			}
+		}
+	}
+	drain()
+	fmt.Printf("initial: count=%v sum=%v\n", view[0], view[1])
+
+	// Three writes fired back to back: no waiting between them, so they
+	// typically fold into one incremental round instead of three.
+	var acks []*rex.IngestAck
+	for i := 0; i < 3; i++ {
+		ack, err := s.IngestAsync("items", []rex.Delta{rex.Insert(rex.NewTuple(int64(5), 10.0))})
+		if err != nil {
+			log.Fatal(err)
+		}
+		acks = append(acks, ack)
+	}
+	for _, ack := range acks {
+		if _, err := ack.Wait(ctx); err != nil { // resolves at the covering round's fixpoint
+			log.Fatal(err)
+		}
+	}
+	drain()
+	fmt.Printf("after burst: count=%v sum=%v\n", view[0], view[1])
+
+	if err := sub.Close(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// initial: count=10 sum=45
+	// after burst: count=13 sum=75
+}
+
 // ExampleSession_Stream consumes a query's delta batches through the
 // Go 1.23 iterator adapter instead of buffering the result set.
 func ExampleSession_Stream() {

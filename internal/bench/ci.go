@@ -17,8 +17,10 @@ import (
 // field changes meaning, so trend tooling comparing artifacts across
 // commits can tell records apart instead of silently misreading them.
 // History: 1 = unversioned PR 1 records; 2 = adds schema_version, go,
-// commit, and the standing-query section.
-const CISchemaVersion = 2
+// commit, and the standing-query section; 3 = adds the write-heavy churn
+// scenario's coalescing fields (ingests, staged/folded deltas,
+// coalesce_ratio, sequential_bytes).
+const CISchemaVersion = 3
 
 // CIRecord is the top-level JSON document.
 type CIRecord struct {
@@ -65,6 +67,20 @@ type CIStanding struct {
 	// equal the recompute's hash on every transport.
 	ResultHash string  `json:"result_hash"`
 	Millis     float64 `json:"ms"`
+
+	// Write-heavy churn scenario fields (zero on the plain standing row).
+	// Ingests counts the IngestAsync requests fired; Rounds (above) is how
+	// many coalesced rounds covered them — the serving claim is
+	// Rounds < Ingests. StagedDeltas/FoldedDeltas report the pre-/post-
+	// coalescing delta counts and CoalesceRatio their ratio.
+	// SequentialBytes is the wire volume of the same churn ingested one
+	// awaited round at a time on a reference session: the gate is
+	// IncrementalBytes (coalesced) <= SequentialBytes.
+	Ingests         int     `json:"ingests,omitempty"`
+	StagedDeltas    int     `json:"staged_deltas,omitempty"`
+	FoldedDeltas    int     `json:"folded_deltas,omitempty"`
+	CoalesceRatio   float64 `json:"coalesce_ratio,omitempty"`
+	SequentialBytes int64   `json:"sequential_bytes,omitempty"`
 }
 
 // CIExperiment records one figure run.

@@ -1,0 +1,98 @@
+package cluster
+
+import "sync"
+
+// Credit-based flow control for the shuffle path. The old backpressure
+// signal — a sender probing the destination mailbox's depth — only worked
+// when sender and receiver shared a process; over sockets a peer's queue
+// is unobservable. Credits invert the direction of the signal so it works
+// on every transport: each receiver grants its peers an explicit window of
+// data-frame sends, piggybacked on the punctuation frames the protocol
+// already exchanges at every stratum boundary, and senders spend from the
+// granted window instead of probing. MsgStart and MsgRound reset all
+// windows to the initial default, so each query (and each standing-query
+// ingestion round) begins with full windows and stale grants from a prior
+// round cannot throttle the next one.
+
+// InitialCredits is the send window every (sender, receiver) pair holds
+// before the first grant arrives — and again after each MsgStart/MsgRound
+// reset. A window counts shipped batches, not bytes: with the default
+// batch size it bounds the uncoalesced in-flight volume per link while
+// leaving the first strata free to run before any grant has circulated.
+const InitialCredits = 16
+
+// creditBook tracks per-(sender, receiver) send windows. Both transports
+// embed one: InProcTransport intercepts grants as frames pass its
+// simulated links; a TCP node installs grants as frames arrive off its
+// sockets (the driver never shuffles, so its book stays empty).
+type creditBook struct {
+	mu  sync.Mutex
+	win map[creditPair]int
+}
+
+type creditPair struct{ from, to NodeID }
+
+// credits reports the remaining window, InitialCredits when no grant has
+// been installed for the pair.
+func (b *creditBook) credits(from, to NodeID) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if w, ok := b.win[creditPair{from, to}]; ok {
+		return w
+	}
+	return InitialCredits
+}
+
+// grant installs an absolute window: receiver `to` allows sender `from` w
+// further data-frame sends. Grants replace (never add to) the window, so
+// repeated grants — one per rehash edge per stratum — are idempotent and a
+// lost grant only delays the refresh until the next punctuation.
+func (b *creditBook) grant(from, to NodeID, w int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.win == nil {
+		b.win = map[creditPair]int{}
+	}
+	b.win[creditPair{from, to}] = w
+}
+
+// spend consumes n credits from the pair's window, flooring at zero (an
+// overflow-forced flush may legitimately overdraw).
+func (b *creditBook) spend(from, to NodeID, n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.win == nil {
+		b.win = map[creditPair]int{}
+	}
+	k := creditPair{from, to}
+	w, ok := b.win[k]
+	if !ok {
+		w = InitialCredits
+	}
+	w -= n
+	if w < 0 {
+		w = 0
+	}
+	b.win[k] = w
+}
+
+// reset clears every window back to InitialCredits (the MsgStart/MsgRound
+// barrier semantics).
+func (b *creditBook) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.win = nil
+}
+
+// observe applies one delivered frame's flow-control side effects to the
+// book: punctuation grants install windows, start/round barriers reset
+// them. Called by both transports on the receiving side of a link.
+func (b *creditBook) observe(msg Message) {
+	switch {
+	case msg.Kind == MsgStart || msg.Kind == MsgRound:
+		b.reset()
+	case msg.CreditGrant && msg.From >= 0:
+		// From punctuated; To is being granted a window for sending back.
+		b.grant(msg.To, msg.From, msg.Credits)
+	}
+}

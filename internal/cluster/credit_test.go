@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestCreditBookDefaultsGrantsAndSpend(t *testing.T) {
+	var b creditBook
+	if got := b.credits(0, 1); got != InitialCredits {
+		t.Fatalf("fresh book credits = %d, want %d", got, InitialCredits)
+	}
+	b.spend(0, 1, 3)
+	if got := b.credits(0, 1); got != InitialCredits-3 {
+		t.Fatalf("after spend: %d, want %d", got, InitialCredits-3)
+	}
+	// Grants install absolute windows, not increments.
+	b.grant(0, 1, 5)
+	b.grant(0, 1, 5)
+	if got := b.credits(0, 1); got != 5 {
+		t.Fatalf("after grant: %d, want 5", got)
+	}
+	// Overdraw floors at zero.
+	b.spend(0, 1, 100)
+	if got := b.credits(0, 1); got != 0 {
+		t.Fatalf("after overdraw: %d, want 0", got)
+	}
+	// Other pairs are independent.
+	if got := b.credits(1, 0); got != InitialCredits {
+		t.Fatalf("reverse pair: %d, want %d", got, InitialCredits)
+	}
+	b.reset()
+	if got := b.credits(0, 1); got != InitialCredits {
+		t.Fatalf("after reset: %d, want %d", got, InitialCredits)
+	}
+}
+
+// Grants piggybacked on punctuation frames must survive the wire codec and
+// install on the in-process transport as the frame passes its link: node
+// 1's punct to node 0 grants node 0 a window for sending back to node 1.
+func TestInProcCreditGrantViaPunctuation(t *testing.T) {
+	tr := NewInProcTransport(2)
+	tr.Send(Message{
+		From: 1, To: 0, Kind: MsgPunct, Stratum: 3,
+		CreditGrant: true, Credits: 4,
+	})
+	if _, ok := tr.Inbox(0).Get(); !ok {
+		t.Fatal("punct frame not delivered")
+	}
+	if got := tr.Credits(0, 1); got != 4 {
+		t.Fatalf("granted window = %d, want 4", got)
+	}
+	// An explicit zero grant closes the window (distinguishable from "no
+	// grant", which leaves the default).
+	tr.Send(Message{From: 1, To: 0, Kind: MsgPunct, Stratum: 4, CreditGrant: true})
+	if got := tr.Credits(0, 1); got != 0 {
+		t.Fatalf("zero grant window = %d, want 0", got)
+	}
+	// The ungranted direction still has its initial window.
+	if got := tr.Credits(1, 0); got != InitialCredits {
+		t.Fatalf("ungranted window = %d, want %d", got, InitialCredits)
+	}
+	// A round barrier resets every window to the initial default.
+	tr.Send(Message{From: -1, To: 0, Kind: MsgRound})
+	if got := tr.Credits(0, 1); got != InitialCredits {
+		t.Fatalf("post-round window = %d, want %d", got, InitialCredits)
+	}
+}
+
+// The TCP node side installs grants as frames come off its sockets. The
+// deliver path is exercised directly: a configured node receiving a peer's
+// punct-with-grant must open the window toward that peer, and MsgStart
+// must reset it.
+func TestTCPNodeCreditGrantOnDeliver(t *testing.T) {
+	nd, err := ListenTCPNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if err := nd.Configure(0, []string{nd.Addr(), "127.0.0.1:1"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	nd.deliver(Message{
+		From: 1, To: 0, Kind: MsgPunct, Job: 1,
+		CreditGrant: true, Credits: 2,
+	}, 16, nil)
+	if got := nd.Credits(0, 1); got != 2 {
+		t.Fatalf("granted window = %d, want 2", got)
+	}
+	nd.SpendCredits(0, 1, 1)
+	if got := nd.Credits(0, 1); got != 1 {
+		t.Fatalf("after spend: %d, want 1", got)
+	}
+	nd.deliver(Message{From: -1, To: 0, Kind: MsgStart, Job: 1}, 16, nil)
+	if got := nd.Credits(0, 1); got != InitialCredits {
+		t.Fatalf("post-start window = %d, want %d", got, InitialCredits)
+	}
+}
+
+// Credit grants round-trip the frame codec, including the explicit zero
+// window.
+func TestFrameCreditRoundTrip(t *testing.T) {
+	for _, w := range []int{0, 1, 63, 1 << 20} {
+		msg := Message{From: 2, To: 1, Kind: MsgPunct, Stratum: 7, CreditGrant: true, Credits: w}
+		got, err := DecodeFrame(EncodeFrame(msg))
+		if err != nil {
+			t.Fatalf("credits=%d: %v", w, err)
+		}
+		if !got.CreditGrant || got.Credits != w {
+			t.Fatalf("credits=%d: decoded grant=%v credits=%d", w, got.CreditGrant, got.Credits)
+		}
+	}
+	// Absence of the flag decodes as no grant.
+	got, err := DecodeFrame(EncodeFrame(Message{From: 2, To: 1, Kind: MsgData}))
+	if err != nil || got.CreditGrant || got.Credits != 0 {
+		t.Fatalf("no-grant frame: %+v %v", got, err)
+	}
+}

@@ -19,6 +19,7 @@ type InProcTransport struct {
 	inboxes   []*Mailbox
 	requestor *Mailbox
 	metrics   *Metrics
+	credits   creditBook
 
 	mu    sync.Mutex
 	alive []bool
@@ -151,6 +152,10 @@ func (t *InProcTransport) Send(msg Message) {
 	if !aliveTo {
 		return
 	}
+	// Flow-control side effects apply at delivery, exactly where a TCP
+	// node would observe them coming off its socket: punctuation grants
+	// install send windows, start/round barriers reset them.
+	t.credits.observe(msg)
 	inbox.Put(msg)
 }
 
@@ -184,6 +189,19 @@ func (t *InProcTransport) InboxLen(n NodeID) int {
 		return 0
 	}
 	return inbox.Len()
+}
+
+// Credits reports the send window from worker `from` to worker `to`; see
+// Transport.Credits. Grants are installed as punctuation frames pass the
+// simulated links, so the in-process fabric exercises the same machinery
+// the socket backend relies on.
+func (t *InProcTransport) Credits(from, to NodeID) int {
+	return t.credits.credits(from, to)
+}
+
+// SpendCredits consumes send credits from `from`'s window to `to`.
+func (t *InProcTransport) SpendCredits(from, to NodeID, n int) {
+	t.credits.spend(from, to, n)
 }
 
 // SendToRequestor delivers a control frame to the requestor.

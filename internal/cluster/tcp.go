@@ -44,6 +44,12 @@ type TCPTransport struct {
 	driver bool
 	ln     net.Listener
 
+	// credits is the flow-control book: a node installs the windows its
+	// peers grant it (piggybacked on punctuation frames arriving off the
+	// sockets) and its local worker spends them. The driver never ships
+	// shuffle data, so its book stays at the defaults.
+	credits creditBook
+
 	mu        sync.Mutex
 	self      NodeID // -1 on the driver and on unconfigured nodes
 	addrs     []string
@@ -177,6 +183,7 @@ func (t *TCPTransport) Configure(self NodeID, peers []string, gen int) error {
 		t.inbox.Close()
 	}
 	t.inbox = NewMailbox()
+	t.credits.reset() // a new job starts with full send windows
 	return nil
 }
 
@@ -434,8 +441,9 @@ func (t *TCPTransport) Broadcast(msg Message) {
 }
 
 // InboxLen reports the local inbox depth; remote queue depths are not
-// observable over a socket (the socket's own backpressure stands in), so
-// they report 0.
+// observable over a socket, which is exactly why senders gate on Credits
+// instead — a worker only reads its OWN depth here, to size the windows
+// it grants.
 func (t *TCPTransport) InboxLen(n NodeID) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -443,6 +451,18 @@ func (t *TCPTransport) InboxLen(n NodeID) int {
 		return t.inbox.Len()
 	}
 	return 0
+}
+
+// Credits reports the send window from `from` to `to`. On a node the
+// windows are those its peers granted over the sockets; the driver never
+// ships shuffle data and reports the defaults.
+func (t *TCPTransport) Credits(from, to NodeID) int {
+	return t.credits.credits(from, to)
+}
+
+// SpendCredits consumes send credits from `from`'s window to `to`.
+func (t *TCPTransport) SpendCredits(from, to NodeID, n int) {
+	t.credits.spend(from, to, n)
 }
 
 // Close tears down sockets and mailboxes. Worker daemons keep running —
@@ -695,6 +715,9 @@ func (t *TCPTransport) deliver(msg Message, frameLen int, via *tcpConn) {
 		if msg.From >= 0 && msg.From != self {
 			t.metrics.BytesReceived[self].Add(int64(frameLen + tcpFrameHeader))
 		}
+		// Flow-control side effects: peer punctuation installs the send
+		// window it grants this node; MsgStart/MsgRound reset all windows.
+		t.credits.observe(msg)
 		inbox.Put(msg)
 	}
 }

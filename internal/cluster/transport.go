@@ -104,6 +104,13 @@ type Message struct {
 	Job int
 	// Table names the checkpoint target for MsgCheckpoint frames.
 	Table string
+	// CreditGrant marks the frame as carrying a flow-control window grant:
+	// the punctuating worker (From) grants the addressed peer (To) a fresh
+	// window of Credits data-frame sends back to it. Transports intercept
+	// the grant on delivery and install it in their credit book; see
+	// Transport.Credits.
+	CreditGrant bool
+	Credits     int
 }
 
 // Transport connects worker nodes and the query requestor. The executor is
@@ -151,8 +158,23 @@ type Transport interface {
 	Broadcast(msg Message)
 	// InboxLen reports the queue depth of worker n's mailbox where the
 	// transport can observe it (0 for dead, remote, or out-of-range
-	// nodes). Compacting senders use it as a soft backpressure signal.
+	// nodes). It is a local observability hook only — a worker reads its
+	// OWN depth to compute the credit windows it grants; senders gate on
+	// Credits, never on a peer's InboxLen (which is unobservable over a
+	// real network).
 	InboxLen(n NodeID) int
+	// Credits reports the flow-control window worker `from` currently
+	// holds for shipping data frames to worker `to`: the number of sends
+	// the receiver has granted (InitialCredits before any grant arrives).
+	// Receivers piggyback grants on punctuation frames (Message.
+	// CreditGrant) and every MsgStart/MsgRound resets all windows, so the
+	// signal works identically in-process and across sockets.
+	Credits(from, to NodeID) int
+	// SpendCredits consumes n send credits from `from`'s window to `to`,
+	// flooring at zero. Compacting senders spend one per shipped batch;
+	// an exhausted window defers flushing (coalescing more) until the
+	// next grant or the sender's hard overflow cap.
+	SpendCredits(from, to NodeID, n int)
 	// Close releases transport resources (sockets, listeners, mailboxes).
 	Close() error
 }

@@ -23,12 +23,20 @@ import (
 //     small integer distances, shared string columns) ship compactly.
 
 // wireVersion leads every frame; decoders reject unknown versions.
-const wireVersion = 1
+// History: 1 = PR 1 layout; 2 adds the optional credit-grant field
+// (flow-control windows piggybacked on punctuation frames).
+const wireVersion = 2
 
 // Frame flag bits.
 const (
 	flagTerminate = 1 << iota
 	flagClosed
+	// flagCreditGrant marks a frame carrying a flow-control window grant:
+	// the Credits varint follows the payload. The flag (rather than an
+	// always-present field) keeps the common data frame free of the cost
+	// and lets an explicit zero-window grant stay distinguishable from
+	// "no grant".
+	flagCreditGrant
 )
 
 // EncodeFrame serializes msg to its wire representation. The payload is
@@ -43,6 +51,9 @@ func EncodeFrame(msg Message) []byte {
 	if msg.Closed {
 		flags |= flagClosed
 	}
+	if msg.CreditGrant {
+		flags |= flagCreditGrant
+	}
 	buf = append(buf, flags)
 	buf = binary.AppendVarint(buf, int64(msg.From))
 	buf = binary.AppendVarint(buf, int64(msg.To))
@@ -55,6 +66,9 @@ func EncodeFrame(msg Message) []byte {
 	buf = append(buf, msg.Table...)
 	buf = binary.AppendUvarint(buf, uint64(len(msg.Payload)))
 	buf = append(buf, msg.Payload...)
+	if msg.CreditGrant {
+		buf = binary.AppendUvarint(buf, uint64(msg.Credits))
+	}
 	return buf
 }
 
@@ -70,6 +84,7 @@ func DecodeFrame(buf []byte) (Message, error) {
 	msg.Kind = MsgKind(buf[1])
 	msg.Terminate = buf[2]&flagTerminate != 0
 	msg.Closed = buf[2]&flagClosed != 0
+	msg.CreditGrant = buf[2]&flagCreditGrant != 0
 	off := 3
 	readInt := func(field string) (int64, error) {
 		v, n := binary.Varint(buf[off:])
@@ -128,6 +143,14 @@ func DecodeFrame(buf []byte) (Message, error) {
 	if pl > 0 {
 		msg.Payload = buf[off : off+int(pl) : off+int(pl)]
 		off += int(pl)
+	}
+	if msg.CreditGrant {
+		cr, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return msg, fmt.Errorf("cluster: decode frame: bad credits varint")
+		}
+		off += n
+		msg.Credits = int(cr)
 	}
 	if off != len(buf) {
 		return msg, fmt.Errorf("cluster: decode frame: %d trailing bytes", len(buf)-off)

@@ -16,10 +16,15 @@ import (
 //
 // With Options.Compaction on, the per-destination buffers are
 // cluster.Compactors that coalesce same-key deltas before encoding, and
-// flushes observe a soft backpressure rule: when the destination mailbox
-// is over the high-water mark the flush is deferred, so deltas keep
-// coalescing locally instead of flooding a backlogged peer. Punctuation
-// always flushes, and a hard cap bounds deferral.
+// flushes observe a credit-based flow-control rule: every shipped batch
+// spends one credit from the sender's window to that destination, and a
+// flush with an exhausted window is deferred — deltas keep coalescing
+// locally instead of flooding a backlogged peer. Receivers size the
+// windows from their own inbox depth and piggyback the grants on the
+// punctuation frames they already send every stratum, so the same signal
+// works in-process and across sockets (where a peer's queue depth is
+// unobservable). Punctuation always flushes, and a hard cap bounds
+// deferral.
 //
 // OpBroadcast is the same operator with every batch delivered to every
 // node (used when one side of a computation — e.g. K-means centroids —
@@ -147,8 +152,8 @@ func (r *rehashOp) enqueue(dest cluster.NodeID, d types.Delta) error {
 		c.Add(d)
 		// Probe the flush condition only when the buffer crosses a batch
 		// boundary: under backpressure deferral the buffer sits above
-		// BatchSize for a while, and per-delta InboxLen probes would
-		// serialize every sender on the transport mutex.
+		// BatchSize for a while, and per-delta credit probes would
+		// serialize every sender on the credit-book mutex.
 		if b := c.Buffered(); b >= r.ctx.BatchSize && b%r.ctx.BatchSize == 0 && r.shouldFlush(dest, b) {
 			return r.flush(dest)
 		}
@@ -161,17 +166,18 @@ func (r *rehashOp) enqueue(dest cluster.NodeID, d types.Delta) error {
 	return nil
 }
 
-// shouldFlush is the backpressure rule: a full buffer flushes unless the
-// destination mailbox is over the high-water mark, in which case the
-// sender holds back (coalescing more) until the hard cap.
+// shouldFlush is the flow-control rule: a full buffer flushes while the
+// sender still holds send credits for the destination; with the window
+// exhausted it holds back (coalescing more) until the next grant or the
+// hard cap.
 func (r *rehashOp) shouldFlush(dest cluster.NodeID, buffered int) bool {
 	if dest == r.ctx.Node {
-		return true // loopback: no mailbox pressure
+		return true // loopback: no flow control
 	}
 	if buffered >= r.ctx.BatchSize*compactionOverflow {
 		return true
 	}
-	return r.ctx.Transport.InboxLen(dest) <= r.ctx.CompactionHighWater
+	return r.ctx.Transport.Credits(r.ctx.Node, dest) > 0
 }
 
 func (r *rehashOp) flush(dest cluster.NodeID) error {
@@ -198,6 +204,13 @@ func (r *rehashOp) flush(dest cluster.NodeID) error {
 		// Loopback: deliver synchronously, skipping the wire.
 		return r.Push(1, batch)
 	}
+	if r.compactors != nil {
+		// Every shipped batch spends one credit from this sender's window
+		// to the destination (an overflow-forced flush may overdraw to
+		// zero). Only compacting senders gate on credits, so the plain
+		// path skips the book entirely.
+		r.ctx.Transport.SpendCredits(r.ctx.Node, dest, 1)
+	}
 	r.ctx.Transport.SendData(r.ctx.Node, dest, edgeID(r.spec.ID, 1),
 		r.ctx.Stratum, r.ctx.Epoch, batch)
 	return nil
@@ -221,9 +234,22 @@ func (r *rehashOp) Punct(port, stratum int, closed bool) error {
 	switch port {
 	case 0:
 		// Local upstream finished the stratum: flush everything, then tell
-		// every peer (and ourselves) so receivers can align.
+		// every peer (and ourselves) so receivers can align. When
+		// compaction is on — the only mode whose senders consult credits —
+		// each outgoing punctuation piggybacks a grant sized from this
+		// node's OWN inbox depth: a drained inbox re-arms the peer's full
+		// window, a backlogged one shrinks it toward zero, and the peer's
+		// sender defers flushes (coalescing more) until the window
+		// refreshes.
 		if err := r.flushAll(); err != nil {
 			return err
+		}
+		grant := 0
+		if r.ctx.Compaction {
+			grant = r.ctx.CompactionHighWater - r.ctx.Transport.InboxLen(r.ctx.Node)
+			if grant < 0 {
+				grant = 0
+			}
 		}
 		for _, n := range r.ctx.Snap.AliveNodes() {
 			if n == r.ctx.Node {
@@ -236,6 +262,7 @@ func (r *rehashOp) Punct(port, stratum int, closed bool) error {
 				From: r.ctx.Node, To: n,
 				Edge: edgeID(r.spec.ID, 1), Kind: cluster.MsgPunct,
 				Stratum: stratum, Closed: closed, Epoch: r.ctx.Epoch,
+				CreditGrant: r.ctx.Compaction, Credits: grant,
 			})
 		}
 		return nil

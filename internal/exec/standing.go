@@ -33,9 +33,17 @@ import (
 // one twist: an ingestion round never terminates at its base stratum,
 // because deltas entering through join paths are only flushed by the next
 // advance's punctuation.
+//
+// Ingestion is asynchronous and coalescing (the Naiad/DBSP batched-round
+// discipline): requests enqueue without blocking, the pump claims the
+// whole queue per sweep and folds the staged deltas per table through the
+// shuffle compactor before routing, so a burst of N small writes runs as
+// one round whose work is proportional to the NET change. Each request's
+// ack resolves when its covering round completes.
 
-// RoundStats reports one round of a standing query: the initial fixpoint is
-// round 0, each Ingest call runs one incremental round after it.
+// RoundStats reports one round of a standing query: the initial fixpoint
+// is round 0, and every round after it covers one or more coalesced
+// ingestion requests.
 type RoundStats struct {
 	// Round is the round index (0 = initial fixpoint).
 	Round int
@@ -48,35 +56,115 @@ type RoundStats struct {
 	// subscription stream by this round.
 	Batches int
 	Deltas  int
-	// IngestedDeltas counts the base-table deltas the round ingested, and
-	// IngestBytes their encoded payload volume (driver→worker staging
-	// traffic, accounted separately from the shuffle bytes below).
-	IngestedDeltas int
-	IngestBytes    int64
+	// Ingests counts the Ingest/IngestAsync requests this round covered:
+	// the pump drains every queued request and folds them into a single
+	// round, so a write burst of N requests can resolve in far fewer than
+	// N rounds.
+	Ingests int
+	// IngestedDeltas counts the base-table deltas those requests staged
+	// (pre-fold); CoalescedDeltas counts what survived the same-key fold
+	// through the shuffle compactor and was actually injected. Their
+	// ratio is the coalescing win — insert+delete pairs annihilate,
+	// replace chains collapse — and CoalescedDeltas can reach zero while
+	// IngestedDeltas stays positive.
+	IngestedDeltas  int
+	CoalescedDeltas int
+	// IngestBytes is the encoded payload volume of the round's MsgIngest
+	// staging frames (driver→worker traffic, accounted separately from
+	// the shuffle bytes below). Each staged frame is counted exactly
+	// once, after coalescing: N queued ingests folded into one round
+	// contribute the folded frames' bytes, not N copies of what each
+	// request staged.
+	IngestBytes int64
 	// BytesSent is the measured inter-worker wire volume of the round —
 	// the number to compare against a from-scratch recompute.
 	BytesSent int64
 	Duration  time.Duration
 }
 
+// CoalescingRatio reports staged deltas per injected delta for the round
+// (1 when nothing folded; 0 for the initial fixpoint, which ingests
+// nothing).
+func (r *RoundStats) CoalescingRatio() float64 {
+	if r.IngestedDeltas == 0 {
+		return 0
+	}
+	if r.CoalescedDeltas == 0 {
+		return float64(r.IngestedDeltas)
+	}
+	return float64(r.IngestedDeltas) / float64(r.CoalescedDeltas)
+}
+
 // errStandingClosed is the cancellation cause Close installs so a
 // deliberate teardown is distinguishable from the caller's ctx expiring.
 var errStandingClosed = errors.New("exec: standing query closed")
 
-// ingestReq hands one ingestion round from the caller to the pump loop.
-type ingestReq struct {
-	tables map[string][]types.Delta
-	done   chan ingestResult
-}
-
-type ingestResult struct {
+// IngestAck is the handle an asynchronous ingest returns: it resolves when
+// the round covering the request — possibly coalesced with other queued
+// requests — completes its fixpoint, with that round's stats. Every
+// request folded into one round shares the round's stats.
+type IngestAck struct {
+	done  chan struct{}
 	stats *RoundStats
 	err   error
 }
 
+func newIngestAck() *IngestAck { return &IngestAck{done: make(chan struct{})} }
+
+// ResolvedAck builds an already-resolved ack — the degenerate handle for
+// ingestion paths that apply synchronously (no resident dataflow to round
+// through).
+func ResolvedAck(stats *RoundStats, err error) *IngestAck {
+	a := newIngestAck()
+	a.resolve(stats, err)
+	return a
+}
+
+// Done is closed once the covering round completed (or the standing query
+// terminated).
+func (a *IngestAck) Done() <-chan struct{} { return a.done }
+
+// Wait blocks until the ack resolves or ctx expires, returning the
+// covering round's stats. A ctx expiry does not withdraw the request —
+// the deltas remain queued (or their round keeps running) and the ack
+// still resolves.
+func (a *IngestAck) Wait(ctx context.Context) (*RoundStats, error) {
+	select {
+	case <-a.done:
+		return a.stats, a.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Round reports the resolved stats without blocking; nil until Done.
+func (a *IngestAck) Round() (*RoundStats, error) {
+	select {
+	case <-a.done:
+		return a.stats, a.err
+	default:
+		return nil, nil
+	}
+}
+
+func (a *IngestAck) resolve(stats *RoundStats, err error) {
+	a.stats, a.err = stats, err
+	close(a.done)
+}
+
+// ingestReq is one queued ingestion request awaiting a covering round.
+type ingestReq struct {
+	tables map[string][]types.Delta
+	ack    *IngestAck
+}
+
 // StandingQuery is a resident dataflow on an engine: the initial fixpoint
-// has completed, worker loops and operator state remain live, and Ingest
-// runs incremental rounds whose output deltas are pushed to Stream. One
+// has completed, worker loops and operator state remain live, and
+// Ingest/IngestAsync run incremental rounds whose output deltas are pushed
+// to Stream. Ingestion is a coalescing pipeline: requests enqueue without
+// blocking, and the pump drains everything queued — folding same-key
+// deltas through the shuffle compactor — into a single round per sweep,
+// resolving every covered ack when that round's fixpoint closes. One
 // StandingQuery owns its engine's workers until Close — the session layer
 // serializes it against other queries.
 type StandingQuery struct {
@@ -92,14 +180,14 @@ type StandingQuery struct {
 
 	maxStrata int
 
-	// ingestMu serializes Ingest callers; mu guards the pending handoff
-	// slot, accumulated round stats, and terminal state.
-	ingestMu sync.Mutex
-	mu       sync.Mutex
-	pending  *ingestReq
-	rounds   []RoundStats
-	closed   bool
-	err      error
+	// mu guards the ingest queue, accumulated round stats, the applied
+	// hook, and terminal state.
+	mu        sync.Mutex
+	queue     []*ingestReq
+	rounds    []RoundStats
+	onApplied func(tables map[string][]types.Delta)
+	closed    bool
+	err       error
 
 	done chan struct{}
 }
@@ -222,18 +310,61 @@ func (sq *StandingQuery) Err() error {
 	}
 }
 
-// Ingest applies base-table deltas and runs one incremental round,
-// blocking until the round's fixpoint closes (every output batch is
-// buffered on the stream by then). Validation errors — unknown table,
-// arity mismatch — fail the call without disturbing the resident dataflow;
-// execution errors terminate the standing query. If ctx expires the call
-// returns early: a round the pump already claimed keeps running (its
-// batches still stream), while an unclaimed request is withdrawn — the
-// deltas were not applied.
+// IngestAsync enqueues base-table deltas for the next incremental round
+// and returns immediately with an ack that resolves when the covering
+// round's fixpoint closes (every output batch is buffered on the stream by
+// then). Requests queued while a round is running coalesce: the pump
+// drains the whole queue, folds same-key deltas through the shuffle
+// compactor, and runs a single round covering them all — each ack resolves
+// with that round's shared stats. Validation errors — unknown table, arity
+// mismatch, empty batch — fail the call synchronously without disturbing
+// the resident dataflow; execution errors terminate the standing query and
+// resolve every outstanding ack with the terminal error. Safe for
+// concurrent callers.
+func (sq *StandingQuery) IngestAsync(tables map[string][]types.Delta) (*IngestAck, error) {
+	req, err := sq.enqueue(tables)
+	if err != nil {
+		return nil, err
+	}
+	return req.ack, nil
+}
+
+// Ingest is the synchronous form of IngestAsync: it blocks until the
+// covering round's fixpoint closes and returns that round's stats. If ctx
+// expires the call returns early: a request the pump already claimed keeps
+// running (its batches still stream), while an unclaimed request is
+// withdrawn — the deltas were not applied.
 func (sq *StandingQuery) Ingest(ctx context.Context, tables map[string][]types.Delta) (*RoundStats, error) {
-	sq.ingestMu.Lock()
-	defer sq.ingestMu.Unlock()
-	req := &ingestReq{tables: tables, done: make(chan ingestResult, 1)}
+	req, err := sq.enqueue(tables)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-req.ack.done:
+		return req.ack.stats, req.ack.err
+	case <-ctx.Done():
+		if sq.withdraw(req) {
+			return nil, ctx.Err()
+		}
+		// Claimed: the round runs to completion regardless (its batches
+		// still stream); the caller only abandons the wait.
+		return nil, ctx.Err()
+	}
+}
+
+// enqueue validates the request driver-side and hands it to the pump. The
+// staged batches are copied: an async request outlives its call, and a
+// caller reusing a scratch delta buffer must not race the pump's later
+// fold of the same backing array.
+func (sq *StandingQuery) enqueue(tables map[string][]types.Delta) (*ingestReq, error) {
+	if err := sq.validate(tables); err != nil {
+		return nil, err
+	}
+	staged := make(map[string][]types.Delta, len(tables))
+	for table, deltas := range tables {
+		staged[table] = append([]types.Delta(nil), deltas...)
+	}
+	req := &ingestReq{tables: staged, ack: newIngestAck()}
 	sq.mu.Lock()
 	if sq.closed {
 		err := sq.err
@@ -243,34 +374,65 @@ func (sq *StandingQuery) Ingest(ctx context.Context, tables map[string][]types.D
 		}
 		return nil, err
 	}
-	sq.pending = req
+	sq.queue = append(sq.queue, req)
 	sq.mu.Unlock()
 	sq.eng.Transport.Requestor().Put(cluster.Message{Kind: cluster.MsgRoundReq})
-	select {
-	case res := <-req.done:
-		return res.stats, res.err
-	case <-ctx.Done():
-		// Withdraw the request if the pump has not claimed it yet, so a
-		// later Ingest cannot overwrite (and silently drop) this batch.
-		sq.mu.Lock()
-		if sq.pending == req {
-			sq.pending = nil
-		}
-		sq.mu.Unlock()
-		return nil, ctx.Err()
-	case <-sq.done:
-		// The pump resolves the pending request before closing done, but an
-		// Ingest that raced the teardown's final sweep lands here.
-		select {
-		case res := <-req.done:
-			return res.stats, res.err
-		default:
-			if sq.err != nil {
-				return nil, sq.err
-			}
-			return nil, errStandingClosed
+	return req, nil
+}
+
+// withdraw removes a still-queued request, reporting false when the pump
+// already claimed it. A withdrawn request's ack resolves with
+// errStandingClosed-independent context semantics handled by the caller.
+func (sq *StandingQuery) withdraw(req *ingestReq) bool {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	for i, r := range sq.queue {
+		if r == req {
+			sq.queue = append(sq.queue[:i], sq.queue[i+1:]...)
+			return true
 		}
 	}
+	return false
+}
+
+// validate checks tables and tuple arities driver-side so bad input cannot
+// poison the resident dataflow, and rejects requests staging nothing.
+func (sq *StandingQuery) validate(tables map[string][]types.Delta) error {
+	total := 0
+	for table, deltas := range tables {
+		tab, err := sq.eng.Catalog.Table(table)
+		if err != nil {
+			return fmt.Errorf("exec: ingest: %w", err)
+		}
+		arity := tab.Schema.Len()
+		for _, d := range deltas {
+			if len(d.Tup) != arity || (d.Op == types.OpReplace && len(d.Old) != arity) {
+				return fmt.Errorf("exec: ingest into %s: tuple %v does not match the %d-column schema", table, d.Tup, arity)
+			}
+		}
+		total += len(deltas)
+	}
+	if total == 0 {
+		return fmt.Errorf("exec: ingest: empty delta batch")
+	}
+	return nil
+}
+
+// SetOnRoundApplied installs a hook the pump invokes — on its own
+// goroutine, in round order, before the round's acks resolve — with the
+// folded per-table deltas each completed round applied. The session layer
+// uses it to keep its base-table bookkeeping (TCP change log, catalog
+// stats) consistent with what the workers actually absorbed.
+func (sq *StandingQuery) SetOnRoundApplied(fn func(tables map[string][]types.Delta)) {
+	sq.mu.Lock()
+	sq.onApplied = fn
+	sq.mu.Unlock()
+}
+
+func (sq *StandingQuery) appliedHook() func(tables map[string][]types.Delta) {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	return sq.onApplied
 }
 
 // Close tears the standing query down: workers drop their per-query state
@@ -283,13 +445,62 @@ func (sq *StandingQuery) Close() error {
 	return sq.err
 }
 
-// takePending claims the pending ingest request, if any.
-func (sq *StandingQuery) takePending() *ingestReq {
+// takeQueued claims every queued ingest request — the pump's coalescing
+// sweep.
+func (sq *StandingQuery) takeQueued() []*ingestReq {
 	sq.mu.Lock()
 	defer sq.mu.Unlock()
-	req := sq.pending
-	sq.pending = nil
-	return req
+	q := sq.queue
+	sq.queue = nil
+	return q
+}
+
+// fold coalesces the claimed requests' staged deltas per table through the
+// shuffle compactor (same-key merge: insert+delete annihilation, replace-
+// chain folding), preserving per-key arrival order across requests. It
+// returns the folded per-table batches plus the staged (pre-fold) delta
+// count.
+func (sq *StandingQuery) fold(reqs []*ingestReq) (map[string][]types.Delta, int) {
+	staged := 0
+	comps := map[string]*cluster.Compactor{}
+	var order []string
+	for _, req := range reqs {
+		names := make([]string, 0, len(req.tables))
+		for t := range req.tables {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, table := range names {
+			deltas := req.tables[table]
+			staged += len(deltas)
+			c := comps[table]
+			if c == nil {
+				tab, err := sq.eng.Catalog.Table(table)
+				if err != nil {
+					// Validated at enqueue; an unknown table here means the
+					// catalog changed under a live subscription — fold
+					// nothing rather than guess a key.
+					continue
+				}
+				key := tab.PartitionKey
+				c = cluster.NewCompactor(func(t types.Tuple) types.Value {
+					return t[key]
+				}, nil)
+				comps[table] = c
+				order = append(order, table)
+			}
+			for _, d := range deltas {
+				c.Add(d)
+			}
+		}
+	}
+	out := make(map[string][]types.Delta, len(comps))
+	for _, table := range order {
+		if batch := comps[table].Drain(); len(batch) > 0 {
+			out[table] = batch
+		}
+	}
+	return out, staged
 }
 
 func (sq *StandingQuery) recordRound(st RoundStats) {
@@ -324,12 +535,21 @@ func (sq *StandingQuery) pump(queryID string, alive []cluster.NodeID, wg *sync.W
 		initErr <- nil
 
 		round := 0
-		serve := func(ingest *ingestReq) error {
-			frames, nDeltas, nBytes, err := sq.routeAll(ingest.tables)
+		// serve runs ONE coalesced round covering every claimed request:
+		// their staged deltas fold per table through the shuffle compactor,
+		// the folded batches route as MsgIngest frames, a single MsgRound
+		// barrier starts the fixpoint, and every covered ack resolves with
+		// the round's shared stats when it closes.
+		serve := func(reqs []*ingestReq) error {
+			folded, staged := sq.fold(reqs)
+			frames, nDeltas, nBytes, err := sq.routeAll(folded)
 			if err != nil {
-				// Bad input, not a broken dataflow: fail the call only.
-				ingest.done <- ingestResult{err: err}
-				return nil
+				// Routing can only fail on a catalog/ring inconsistency —
+				// the dataflow is no longer trustworthy.
+				for _, r := range reqs {
+					r.ack.resolve(nil, err)
+				}
+				return err
 			}
 			round++
 			// Snapshot the wire counter before any round traffic: workers
@@ -351,13 +571,25 @@ func (sq *StandingQuery) pump(queryID string, alive []cluster.NodeID, wg *sync.W
 			last = base
 			stats, err := sq.collectRound(round, base, alive, &last, bytesBefore)
 			if err != nil {
-				ingest.done <- ingestResult{err: err}
+				for _, r := range reqs {
+					r.ack.resolve(nil, err)
+				}
 				return err
 			}
-			stats.IngestedDeltas = nDeltas
+			stats.Ingests = len(reqs)
+			stats.IngestedDeltas = staged
+			stats.CoalescedDeltas = nDeltas
 			stats.IngestBytes = nBytes
 			sq.recordRound(*stats)
-			ingest.done <- ingestResult{stats: stats}
+			// The applied hook fires before the acks so a synchronous
+			// caller observes the session-level bookkeeping (change log,
+			// stats) already revised when its Ingest returns.
+			if hook := sq.appliedHook(); hook != nil && len(folded) > 0 {
+				hook(folded)
+			}
+			for _, r := range reqs {
+				r.ack.resolve(stats, nil)
+			}
 			return nil
 		}
 		req := e.Transport.Requestor()
@@ -365,11 +597,13 @@ func (sq *StandingQuery) pump(queryID string, alive []cluster.NodeID, wg *sync.W
 			if err := sq.ctx.Err(); err != nil {
 				return err
 			}
-			// Serve a request that arrived while a round was running: its
-			// sentinel was consumed (and dropped) by that round's
-			// collectRound, so waiting for another would lose the wakeup.
-			if ingest := sq.takePending(); ingest != nil {
-				if err := serve(ingest); err != nil {
+			// Claim everything queued, including requests that arrived while
+			// a round was running: their sentinels were consumed (and
+			// dropped) by that round's collectRound, so waiting for another
+			// would lose the wakeup — and the sweep is what coalesces a
+			// write burst into one round.
+			if reqs := sq.takeQueued(); len(reqs) > 0 {
+				if err := serve(reqs); err != nil {
 					return err
 				}
 				continue
@@ -415,8 +649,8 @@ func (sq *StandingQuery) pump(queryID string, alive []cluster.NodeID, wg *sync.W
 	sq.mu.Lock()
 	sq.closed = true
 	sq.err = err
-	pend := sq.pending
-	sq.pending = nil
+	pend := sq.queue
+	sq.queue = nil
 	var total Result
 	for _, r := range sq.rounds {
 		total.BytesSent += r.BytesSent
@@ -428,12 +662,14 @@ func (sq *StandingQuery) pump(queryID string, alive []cluster.NodeID, wg *sync.W
 	}
 	total.Duration = time.Since(start)
 	sq.mu.Unlock()
-	if pend != nil {
-		perr := err
-		if perr == nil {
-			perr = errStandingClosed
-		}
-		pend.done <- ingestResult{err: perr}
+	// Resolve every unclaimed request before done closes, so a waiter
+	// racing the teardown always observes its ack resolved.
+	perr := err
+	if perr == nil {
+		perr = errStandingClosed
+	}
+	for _, r := range pend {
+		r.ack.resolve(nil, perr)
 	}
 	if err == nil {
 		sq.stream.res = &total
@@ -578,11 +814,12 @@ func (sq *StandingQuery) collectRound(round, base int, alive []cluster.NodeID, l
 	}
 }
 
-// routeAll turns an ingestion's per-table delta sets into MsgIngest frames
-// addressed to the ring owners of each delta's key, validating tables and
-// tuple arities driver-side first so bad input cannot poison the resident
-// dataflow. Replacements whose key moved are split into delete+insert so
-// every frame's deltas key-hash to its destination.
+// routeAll turns a round's folded per-table delta sets into MsgIngest
+// frames addressed to the ring owners of each delta's key (input was
+// validated at enqueue; route re-checks arity as defense in depth).
+// Replacements whose key moved are split into delete+insert so every
+// frame's deltas key-hash to its destination. The returned byte count is
+// the staged payload volume, each frame counted exactly once.
 func (sq *StandingQuery) routeAll(tables map[string][]types.Delta) (frames []cluster.Message, nDeltas int, nBytes int64, err error) {
 	names := make([]string, 0, len(tables))
 	for t := range tables {

@@ -339,6 +339,241 @@ func TestStandingIngestWhileRoundRunning(t *testing.T) {
 	}
 }
 
+// TestStandingAnnihilationIngestBytes is the IngestBytes regression test:
+// staged bytes are accounted once per MsgIngest frame AFTER coalescing. An
+// insert+delete pair of the same tuple folds to nothing, so the covering
+// round must report the staged deltas, zero coalesced deltas, and zero
+// ingest bytes — not the sum of what each staged batch would have encoded.
+func TestStandingAnnihilationIngestBytes(t *testing.T) {
+	cat := aggCatalog(t)
+	eng := NewEngine(2, 32, 2, cat)
+	must(t, eng.Load("items", 0, []types.Tuple{types.NewTuple(int64(1), 2.0)}))
+	sq, err := eng.Standing(context.Background(), aggPlan(), Options{})
+	must(t, err)
+	defer sq.Close()
+	st := sq.Stream()
+	foldBatches(t, st, sq.Rounds()[0].Batches)
+
+	tup := types.NewTuple(int64(7), 4.0)
+	rs, err := sq.Ingest(context.Background(), map[string][]types.Delta{
+		"items": {types.Insert(tup), types.Delete(tup)},
+	})
+	must(t, err)
+	if rs.Ingests != 1 || rs.IngestedDeltas != 2 {
+		t.Fatalf("round stats: %+v", rs)
+	}
+	if rs.CoalescedDeltas != 0 {
+		t.Fatalf("annihilating pair injected %d deltas", rs.CoalescedDeltas)
+	}
+	if rs.IngestBytes != 0 {
+		t.Fatalf("annihilated round staged %d bytes, want 0", rs.IngestBytes)
+	}
+	if rs.CoalescingRatio() != 2 {
+		t.Fatalf("coalescing ratio = %v, want 2", rs.CoalescingRatio())
+	}
+	if rs.Deltas != 0 {
+		t.Fatalf("net-zero round emitted %d output deltas", rs.Deltas)
+	}
+
+	// The dataflow is undisturbed: a real change still rounds through, and
+	// its ingest bytes are the folded frames', counted once.
+	rs, err = sq.Ingest(context.Background(), map[string][]types.Delta{
+		"items": {types.Insert(types.NewTuple(int64(1), 5.0))},
+	})
+	must(t, err)
+	if rs.CoalescedDeltas != 1 || rs.IngestBytes <= 0 {
+		t.Fatalf("live round stats: %+v", rs)
+	}
+}
+
+// TestStandingCoalescedBurst drives the coalescing pipeline
+// deterministically: a bridging edge opens a long (~island-length) round,
+// and a burst of IngestAsync requests enqueued mid-round must all fold
+// into ONE follow-up round — with the burst's insert+delete pair
+// annihilated before injection — and the folded stream must still equal a
+// from-scratch recompute over the net edge set.
+func TestStandingCoalescedBurst(t *testing.T) {
+	const island = 80
+	var base []types.Tuple
+	for is := 0; is < 2; is++ {
+		for i := 0; i < island-1; i++ {
+			v := int64(is*island + i)
+			base = append(base, types.NewTuple(v, v+1))
+		}
+	}
+	cat := reachCatalog(t)
+	eng := NewEngine(3, 32, 2, cat)
+	must(t, eng.Load("edges", 0, base))
+	must(t, eng.Load("seed", 0, []types.Tuple{types.NewTuple(int64(0))}))
+
+	// The burst: 18 chord inserts plus one insert+delete pair that must
+	// annihilate in the fold (a deletion must never reach the monotone
+	// fixpoint).
+	var burst [][]types.Delta
+	for i := 0; i < 18; i++ {
+		burst = append(burst, []types.Delta{
+			types.Insert(types.NewTuple(int64(3*i), int64(5*i+1))),
+		})
+	}
+	phantom := types.NewTuple(int64(2), int64(2*island-1))
+	burst = append(burst,
+		[]types.Delta{types.Insert(phantom)},
+		[]types.Delta{types.Delete(phantom)},
+	)
+
+	var sq *StandingQuery
+	var armed atomic.Bool
+	var once sync.Once
+	acks := make([]*IngestAck, 0, len(burst))
+	opts := Options{MaxStrata: 400, OnStratum: func(rel, total int) {
+		// rel==1 of the bridging round: the round still has ~island strata
+		// to run, so everything enqueued here coalesces into round 2.
+		if armed.Load() && rel == 1 {
+			once.Do(func() {
+				for _, ds := range burst {
+					ack, err := sq.IngestAsync(map[string][]types.Delta{"edges": ds})
+					if err != nil {
+						t.Errorf("burst enqueue: %v", err)
+						return
+					}
+					acks = append(acks, ack)
+				}
+			})
+		}
+	}}
+	var err error
+	sq, err = eng.Standing(context.Background(), reachPlan(), opts)
+	must(t, err)
+	st := sq.Stream()
+	acc := foldBatches(t, st, sq.Rounds()[0].Batches)
+	armed.Store(true)
+
+	bridge, err := sq.Ingest(context.Background(), map[string][]types.Delta{
+		"edges": {types.Insert(types.NewTuple(int64(10), int64(island)))},
+	})
+	must(t, err)
+	if bridge.Round != 1 || bridge.Ingests != 1 {
+		t.Fatalf("bridge round stats: %+v", bridge)
+	}
+	if len(acks) != len(burst) {
+		t.Fatalf("enqueued %d of %d burst requests", len(acks), len(burst))
+	}
+	// Every burst ack resolves with the SAME covering round.
+	var covering *RoundStats
+	for i, ack := range acks {
+		rs, err := ack.Wait(context.Background())
+		must(t, err)
+		if covering == nil {
+			covering = rs
+		} else if rs != covering {
+			t.Fatalf("ack %d resolved with round %d, want shared round %d", i, rs.Round, covering.Round)
+		}
+	}
+	if covering.Round != 2 || covering.Ingests != len(burst) {
+		t.Fatalf("covering round: %+v", covering)
+	}
+	if covering.IngestedDeltas != len(burst) || covering.CoalescedDeltas != len(burst)-2 {
+		t.Fatalf("coalescing: staged %d folded %d, want %d/%d",
+			covering.IngestedDeltas, covering.CoalescedDeltas, len(burst), len(burst)-2)
+	}
+	rounds := sq.Rounds()
+	if len(rounds) != 3 {
+		t.Fatalf("%d rounds for %d ingests — burst did not coalesce", len(rounds), 1+len(burst))
+	}
+	for _, rs := range rounds[1:] {
+		for i := 0; i < rs.Batches; i++ {
+			b, ok := st.Next()
+			if !ok {
+				t.Fatalf("stream ended early: %v", st.Err())
+			}
+			acc.apply(b.Deltas)
+		}
+	}
+	must(t, sq.Close())
+
+	// Recompute over the net edge set (phantom annihilated).
+	cat2 := reachCatalog(t)
+	eng2 := NewEngine(3, 32, 2, cat2)
+	all := append([]types.Tuple(nil), base...)
+	all = append(all, types.NewTuple(int64(10), int64(island)))
+	for i := 0; i < 18; i++ {
+		all = append(all, types.NewTuple(int64(3*i), int64(5*i+1)))
+	}
+	must(t, eng2.Load("edges", 0, all))
+	must(t, eng2.Load("seed", 0, []types.Tuple{types.NewTuple(int64(0))}))
+	want, err := eng2.Run(reachPlan(), Options{MaxStrata: 400})
+	must(t, err)
+	tuplesMatch(t, acc.materialize(), want.Tuples, "coalesced burst vs recompute")
+}
+
+// TestStandingConcurrentIngestAsync hammers the pipeline from concurrent
+// callers (the -race coverage of the coalescing queue): every staged delta
+// must be covered by exactly one round, and the folded stream must equal a
+// from-scratch run on the revised stores.
+func TestStandingConcurrentIngestAsync(t *testing.T) {
+	cat := aggCatalog(t)
+	eng := NewEngine(3, 32, 2, cat)
+	must(t, eng.Load("items", 0, []types.Tuple{types.NewTuple(int64(0), 1.0)}))
+	sq, err := eng.Standing(context.Background(), aggPlan(), Options{})
+	must(t, err)
+	st := sq.Stream()
+	acc := foldBatches(t, st, sq.Rounds()[0].Batches)
+
+	const workers = 8
+	const perWorker = 5
+	var wg sync.WaitGroup
+	ackCh := make(chan *IngestAck, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ack, err := sq.IngestAsync(map[string][]types.Delta{
+					"items": {types.Insert(types.NewTuple(int64(w*perWorker+i), float64(i)))},
+				})
+				if err != nil {
+					t.Errorf("worker %d ingest %d: %v", w, i, err)
+					return
+				}
+				ackCh <- ack
+			}
+		}()
+	}
+	wg.Wait()
+	close(ackCh)
+	n := 0
+	for ack := range ackCh {
+		if _, err := ack.Wait(context.Background()); err != nil {
+			t.Fatalf("ack: %v", err)
+		}
+		n++
+	}
+	if n != workers*perWorker {
+		t.Fatalf("resolved %d acks, want %d", n, workers*perWorker)
+	}
+	rounds := sq.Rounds()
+	staged, covered := 0, 0
+	for _, rs := range rounds[1:] {
+		staged += rs.IngestedDeltas
+		covered += rs.Ingests
+		for i := 0; i < rs.Batches; i++ {
+			b, ok := st.Next()
+			if !ok {
+				t.Fatalf("stream ended early: %v", st.Err())
+			}
+			acc.apply(b.Deltas)
+		}
+	}
+	if staged != workers*perWorker || covered != workers*perWorker {
+		t.Fatalf("rounds covered %d ingests / %d deltas, want %d", covered, staged, workers*perWorker)
+	}
+	must(t, sq.Close())
+
+	want, err := eng.Run(aggPlan(), Options{})
+	must(t, err)
+	tuplesMatch(t, acc.materialize(), want.Tuples, "concurrent async fold vs recompute")
+}
+
 // TestStandingIngestValidation checks bad input fails the call without
 // killing the subscription.
 func TestStandingIngestValidation(t *testing.T) {

@@ -44,6 +44,14 @@
 //	s.Insert("graph", rex.NewTuple(int64(2), int64(977)))
 //	for _, deltas := range sub.Stream().Seq() { ... }
 //
+// Write-heavy workloads use the asynchronous form: IngestAsync enqueues
+// and returns an ack that resolves when the covering round completes, and
+// requests queued while a round runs coalesce — folded to their net
+// effect — into a single follow-up round:
+//
+//	ack, err := s.IngestAsync("graph", deltas)
+//	rs, err := ack.Wait(ctx) // the coalesced round's stats
+//
 // Recursive queries use the RQL extension syntax of §3.1:
 //
 //	WITH R (cols) AS (base) UNION UNTIL FIXPOINT BY key [USING handler] (recursive)

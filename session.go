@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -133,11 +134,46 @@ type Session struct {
 	// logMu guards ingestLog, the TCP session's base-table change log:
 	// every accepted Insert/Delete/LoadDeltas is appended and replayed into
 	// each subsequent job spec, so daemons — which regenerate data per
-	// job — rebuild the revised tables.
+	// job — rebuild the revised tables. The log is kept compacted: each
+	// table's deltas fold to their net effect (insert+delete annihilation,
+	// replace-chain folding) whenever a fold threshold of raw appends
+	// accumulates, and again at snapshot time, so the log — and with it
+	// every job spec — stays bounded by the net change under churn.
 	logMu     sync.Mutex
-	ingestLog []job.IngestedTable
+	ingestLog map[string]*tableLog
+	logOrder  []string
 
 	closed bool
+}
+
+// tableLog is one table's slice of the session change log.
+type tableLog struct {
+	keyCol    int
+	deltas    []types.Delta
+	sinceFold int
+}
+
+// ingestLogFoldEvery is the raw-append count after which a table's log
+// refolds. Folding is O(appends since last fold + live entries), so the
+// amortized cost per append is O(1) while the retained length stays within
+// one threshold of the net change.
+const ingestLogFoldEvery = 64
+
+// fold compacts the table's log to its net effect via the shuffle
+// compactor's same-key rules.
+func (tl *tableLog) fold() {
+	key := tl.keyCol
+	c := cluster.NewCompactor(func(t types.Tuple) types.Value {
+		if key < len(t) {
+			return t[key]
+		}
+		return nil
+	}, nil)
+	for _, d := range tl.deltas {
+		c.Add(d)
+	}
+	tl.deltas = c.Drain()
+	tl.sinceFold = 0
 }
 
 // Open boots a session. With no options it is an in-process 4-node
@@ -336,10 +372,11 @@ func (s *Session) Load(table string, tuples []Tuple) error {
 	return s.LoadDeltas(table, types.Inserts(tuples...))
 }
 
-// Insert ingests tuples as base-table insertions — delta-mode Load. With a
-// live subscription the change runs an incremental round immediately and
-// its output deltas arrive on the subscription's stream; round statistics
-// are on Subscription.Rounds.
+// Insert ingests tuples as base-table insertions — delta-mode Load. A thin
+// synchronous wrapper over IngestAsync: with a live subscription the
+// change joins the next (possibly coalesced) incremental round and the
+// call returns when that round's fixpoint completes; round statistics are
+// on Subscription.Rounds.
 func (s *Session) Insert(table string, tuples ...Tuple) error {
 	return s.LoadDeltas(table, types.Inserts(tuples...))
 }
@@ -357,48 +394,98 @@ func (s *Session) Delete(table string, tuples ...Tuple) error {
 }
 
 // LoadDeltas ingests an arbitrary base-table delta batch (insertions,
-// deletions, replacements) — the general form of Insert/Delete. Routing
-// depends on session state: a live subscription runs one incremental round
-// through the resident dataflow; a TCP session without one appends to the
-// replayed change log; an in-process session revises the stores directly.
+// deletions, replacements) — the general form of Insert/Delete, and the
+// synchronous wrapper over IngestAsync: it blocks until the covering
+// round completes (a no-op wait when no subscription is live).
 func (s *Session) LoadDeltas(table string, deltas []Delta) error {
 	if len(deltas) == 0 {
 		return nil
 	}
-	if sub := s.liveSub(); sub != nil {
-		_, err := sub.ingest(context.Background(), table, deltas)
+	ack, err := s.IngestAsync(table, deltas)
+	if err != nil {
 		return err
 	}
+	_, err = ack.Wait(context.Background())
+	return err
+}
+
+// IngestAsync ingests a base-table delta batch without blocking on the
+// covering round. With a live subscription the batch enqueues on the
+// resident dataflow's ingestion pipeline: requests queued while a round is
+// running coalesce — same-key deltas fold through the shuffle compactor —
+// into a single follow-up round, and the returned ack resolves when that
+// round's fixpoint completes (its output deltas are on the subscription
+// stream by then). Without a subscription the change applies synchronously
+// (store revision in-process, change-log append over TCP) and the ack is
+// already resolved. Safe for concurrent callers.
+func (s *Session) IngestAsync(table string, deltas []Delta) (*IngestAck, error) {
+	return s.Ingests(map[string][]Delta{table: deltas})
+}
+
+// Ingests is the multi-table batched form of IngestAsync: every table's
+// deltas ride the same covering round (or the same synchronous apply).
+func (s *Session) Ingests(batches map[string][]Delta) (*IngestAck, error) {
+	names := make([]string, 0, len(batches))
+	total := 0
+	for table, deltas := range batches {
+		if len(deltas) == 0 {
+			continue
+		}
+		names = append(names, table)
+		total += len(deltas)
+	}
+	if total == 0 {
+		return exec.ResolvedAck(nil, nil), nil
+	}
+	sort.Strings(names)
+	if sub := s.liveSub(); sub != nil {
+		m := make(map[string][]types.Delta, len(names))
+		for _, table := range names {
+			m[table] = batches[table]
+		}
+		return sub.sq.IngestAsync(m)
+	}
 	if s.jc != nil {
-		if err := s.validateIngest(table, deltas); err != nil {
-			return err
+		for _, table := range names {
+			if err := s.validateIngest(table, batches[table]); err != nil {
+				return nil, err
+			}
 		}
 		// Serialize on the session lock like the in-process path: a closed
 		// session must reject the change, not silently log it.
 		if err := s.lock(); err != nil {
-			return err
+			return nil, err
 		}
 		defer s.mu.Unlock()
-		s.appendIngestLog(table, deltas)
-		return nil
+		for _, table := range names {
+			s.appendIngestLog(table, batches[table])
+		}
+		return exec.ResolvedAck(nil, nil), nil
 	}
 	if err := s.lock(); err != nil {
-		return err
+		return nil, err
 	}
 	defer s.mu.Unlock()
-	tab, err := s.cat.Table(table)
-	if err != nil {
-		return err
-	}
-	if err := checkDeltaArity(table, tab.Schema.Len(), deltas); err != nil {
-		return err
+	// Validate every table before touching any store so a bad batch cannot
+	// apply partially.
+	for _, table := range names {
+		tab, err := s.cat.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkDeltaArity(table, tab.Schema.Len(), batches[table]); err != nil {
+			return nil, err
+		}
 	}
 	loader := &storage.Loader{Ring: s.eng.Ring, Stores: s.eng.Stores}
-	if err := loader.Apply(table, tab.PartitionKey, deltas); err != nil {
-		return err
+	for _, table := range names {
+		tab, _ := s.cat.Table(table)
+		if err := loader.Apply(table, tab.PartitionKey, batches[table]); err != nil {
+			return nil, err
+		}
+		s.bumpStats(table, batches[table])
 	}
-	s.bumpStats(table, deltas)
-	return nil
+	return exec.ResolvedAck(nil, nil), nil
 }
 
 func checkDeltaArity(table string, arity int, deltas []Delta) error {
@@ -442,19 +529,64 @@ func (s *Session) validateIngest(table string, deltas []Delta) error {
 	return checkDeltaArity(table, tab.Schema.Len(), deltas)
 }
 
-// appendIngestLog records an accepted change for replay into future jobs.
+// appendIngestLog records an accepted change for replay into future jobs,
+// refolding the table's slice whenever the fold threshold of raw appends
+// accumulates so the retained log tracks the net change, not the churn.
 func (s *Session) appendIngestLog(table string, deltas []Delta) {
-	payload := cluster.EncodeDeltas(deltas)
 	s.logMu.Lock()
-	s.ingestLog = append(s.ingestLog, job.IngestedTable{Table: table, Deltas: payload})
-	s.logMu.Unlock()
+	defer s.logMu.Unlock()
+	if s.ingestLog == nil {
+		s.ingestLog = map[string]*tableLog{}
+	}
+	tl := s.ingestLog[table]
+	if tl == nil {
+		keyCol := 0
+		if s.schemaCat != nil {
+			if tab, err := s.schemaCat.Table(table); err == nil {
+				keyCol = tab.PartitionKey
+			}
+		}
+		tl = &tableLog{keyCol: keyCol}
+		s.ingestLog[table] = tl
+		s.logOrder = append(s.logOrder, table)
+	}
+	tl.deltas = append(tl.deltas, deltas...)
+	tl.sinceFold += len(deltas)
+	if tl.sinceFold >= ingestLogFoldEvery {
+		tl.fold()
+	}
 }
 
-// ingestSnapshot copies the change log for a job spec.
+// ingestSnapshot folds and encodes the change log for a job spec: at most
+// one entry per table (first-touch order), carrying the net effect of
+// every accepted change.
 func (s *Session) ingestSnapshot() []job.IngestedTable {
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
-	return append([]job.IngestedTable(nil), s.ingestLog...)
+	var out []job.IngestedTable
+	for _, table := range s.logOrder {
+		tl := s.ingestLog[table]
+		if tl.sinceFold > 0 {
+			tl.fold()
+		}
+		if len(tl.deltas) == 0 {
+			continue
+		}
+		out = append(out, job.IngestedTable{Table: table, Deltas: cluster.EncodeDeltas(tl.deltas)})
+	}
+	return out
+}
+
+// ingestLogLen reports the change log's retained delta count (tests assert
+// boundedness under churn).
+func (s *Session) ingestLogLen() int {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	n := 0
+	for _, tl := range s.ingestLog {
+		n += len(tl.deltas)
+	}
+	return n
 }
 
 // bumpStats revises the catalog's row-count estimate after an ingest (the

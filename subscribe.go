@@ -3,6 +3,7 @@ package rex
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"github.com/rex-data/rex/internal/exec"
 	"github.com/rex-data/rex/internal/rql"
@@ -10,8 +11,17 @@ import (
 )
 
 // RoundStats reports one round of a standing query (round 0 is the initial
-// fixpoint; every ingestion after it runs one incremental round).
+// fixpoint; every round after it covers one or more coalesced ingestion
+// requests — see RoundStats.Ingests and CoalescingRatio).
 type RoundStats = exec.RoundStats
+
+// IngestAck is the handle an asynchronous ingest returns: it resolves when
+// the round covering the request — possibly coalesced with other queued
+// requests into a single round — completes its fixpoint. Wait blocks for
+// the covering round's stats; Done exposes the completion channel. On
+// sessions without a live subscription the ack is already resolved when
+// returned (the change applied synchronously; there is no round).
+type IngestAck = exec.IngestAck
 
 // Subscription is a standing query: Subscribe compiled the plan, ran the
 // initial fixpoint, and kept the whole dataflow — worker loops, operator
@@ -58,12 +68,31 @@ func (s *Session) Subscribe(ctx context.Context, src string, opts Options) (*Sub
 
 // adoptStanding hands the session lock to a live subscription (released at
 // its teardown) and registers it so Session.Close can cancel it and
-// Insert/Delete/LoadDeltas route through it.
+// Insert/Delete/LoadDeltas route through it. The standing query's applied
+// hook keeps the session's own view of the base data consistent, once per
+// coalesced round, with the FOLDED deltas the workers actually absorbed:
+// TCP sessions log the net change for job replay (daemon stores die with
+// the job), in-process sessions only bump the catalog's row estimates (the
+// workers already revised the stores).
 func (s *Session) adoptStanding(sq *exec.StandingQuery, err error) (*Subscription, error) {
 	if err != nil {
 		s.mu.Unlock()
 		return nil, err
 	}
+	sq.SetOnRoundApplied(func(tables map[string][]types.Delta) {
+		names := make([]string, 0, len(tables))
+		for t := range tables {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, table := range names {
+			if s.jc != nil {
+				s.appendIngestLog(table, tables[table])
+			} else {
+				s.bumpStats(table, tables[table])
+			}
+		}
+	})
 	sub := &Subscription{sess: s, sq: sq}
 	s.streamMu.Lock()
 	s.sub = sub
@@ -100,32 +129,43 @@ func (sub *Subscription) Stream() *DeltaStream { return sub.sq.Stream() }
 // measured wire bytes, to hold against a from-scratch recompute's.
 func (sub *Subscription) Rounds() []RoundStats { return sub.sq.Rounds() }
 
-// Ingest applies base-table deltas and runs one incremental round,
-// returning its stats once the fixpoint closes (all of the round's output
-// batches are buffered on Stream by then). Session.Insert/Delete/LoadDeltas
-// are the per-table conveniences over it.
+// Ingest applies base-table deltas and runs (or joins) one incremental
+// round, returning its stats once the fixpoint closes (all of the round's
+// output batches are buffered on Stream by then).
+// Session.Insert/Delete/LoadDeltas are the per-table conveniences over it;
+// IngestAsync is the non-blocking form.
 func (sub *Subscription) Ingest(ctx context.Context, table string, deltas []Delta) (*RoundStats, error) {
-	return sub.ingest(ctx, table, deltas)
-}
-
-func (sub *Subscription) ingest(ctx context.Context, table string, deltas []Delta) (*RoundStats, error) {
 	if len(deltas) == 0 {
 		return nil, fmt.Errorf("rex: ingest into %s: empty delta batch", table)
 	}
-	rs, err := sub.sq.Ingest(ctx, map[string][]types.Delta{table: deltas})
-	if err != nil {
-		return nil, err
+	return sub.sq.Ingest(ctx, map[string][]types.Delta{table: deltas})
+}
+
+// IngestAsync enqueues base-table deltas and returns immediately; the ack
+// resolves when the covering round completes. Requests enqueued while a
+// round is running coalesce — their deltas fold through the shuffle
+// compactor into a single follow-up round — so a burst of small writes
+// costs one fixpoint, not one per write. Safe for concurrent callers.
+func (sub *Subscription) IngestAsync(table string, deltas []Delta) (*IngestAck, error) {
+	if len(deltas) == 0 {
+		return nil, fmt.Errorf("rex: ingest into %s: empty delta batch", table)
 	}
-	// Keep the session's own view of the base data consistent for queries
-	// after the subscription: TCP sessions log the change for job replay
-	// (daemon stores die with the job), in-process stores were already
-	// revised by the workers and only the catalog stats need the bump.
-	if sub.sess.jc != nil {
-		sub.sess.appendIngestLog(table, deltas)
-	} else {
-		sub.sess.bumpStats(table, deltas)
+	return sub.sq.IngestAsync(map[string][]types.Delta{table: deltas})
+}
+
+// Ingests is the multi-table batched form of IngestAsync: every table's
+// deltas ride the same covering round.
+func (sub *Subscription) Ingests(batches map[string][]Delta) (*IngestAck, error) {
+	m := make(map[string][]types.Delta, len(batches))
+	for table, deltas := range batches {
+		if len(deltas) > 0 {
+			m[table] = deltas
+		}
 	}
-	return rs, nil
+	if len(m) == 0 {
+		return nil, fmt.Errorf("rex: ingest: empty delta batch")
+	}
+	return sub.sq.IngestAsync(m)
 }
 
 // Err reports the subscription's terminal error once it is closed; a
