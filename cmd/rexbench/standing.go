@@ -115,7 +115,7 @@ func standingSuite(w io.Writer, sc bench.Scale, transport, peers string) ([]benc
 	// From-scratch reference on the same session: the base tables already
 	// carry the ingested churn (store revision in-process, change-log
 	// replay over TCP).
-	res, err := sess.Query(algos.IncSSSPQuery)
+	res, err := sess.QueryCtx(ctx, algos.IncSSSPQuery, rex.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("bench: recompute on %s: %w", transport, err)
 	}

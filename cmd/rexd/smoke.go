@@ -1,0 +1,308 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	rex "github.com/rex-data/rex"
+	"github.com/rex-data/rex/internal/bench"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// Smoke workload shape: an immutable graph table the ad-hoc clients
+// hammer (identical query texts across clients, so the plan cache must
+// hit), and a mutable feed table one subscriber watches while ingesting.
+const (
+	smokeEdges    = 240
+	smokeVerts    = 40
+	smokeFeedKeys = 7
+
+	smokeQ1       = `SELECT srcId, count(*) FROM graph GROUP BY srcId`
+	smokeQ2       = `SELECT destId FROM graph WHERE srcId > 25`
+	smokePrepared = `SELECT count(*) FROM graph WHERE srcId > $1`
+	smokeSubQ     = `SELECT k, count(*) FROM feed GROUP BY k`
+)
+
+func smokeGraph() []rex.Tuple {
+	edges := make([]rex.Tuple, smokeEdges)
+	for i := range edges {
+		edges[i] = rex.NewTuple(int64(i%smokeVerts), int64((i*7+3)%smokeVerts))
+	}
+	return edges
+}
+
+// smokeFeed returns the feed rows ingested in round r (r = 0 is the
+// initial load).
+func smokeFeed(r int) []rex.Tuple {
+	rows := make([]rex.Tuple, smokeFeedKeys)
+	for i := range rows {
+		rows[i] = rex.NewTuple(int64((i+r)%smokeFeedKeys), int64(r*100+i))
+	}
+	return rows
+}
+
+type smokeRun struct {
+	addr    string
+	clients int
+	iters   int
+	ctx     context.Context
+
+	admin *rex.Session // server session that stages the tables
+	local *rex.Session // direct in-proc session computing reference hashes
+
+	refQ1, refQ2 string
+	refPrepared  map[int64]string
+	refSubFinal  string
+}
+
+func newSmokeRun(ctx context.Context, addr string, clients, iters int) (*smokeRun, error) {
+	r := &smokeRun{addr: addr, clients: clients, iters: iters, ctx: ctx, refPrepared: map[int64]string{}}
+
+	admin, err := rex.Open(ctx, rex.WithServer(addr))
+	if err != nil {
+		return nil, die("dial %s: %w", addr, err)
+	}
+	r.admin = admin
+	local, err := rex.Open(ctx, rex.WithInProc(2))
+	if err != nil {
+		admin.Close()
+		return nil, err
+	}
+	r.local = local
+
+	// Stage identical data on the server and on the local reference
+	// session; reference hashes come from direct (serverless) execution,
+	// so the gate proves wire results match in-process results.
+	for _, s := range []*rex.Session{admin, local} {
+		if err := s.CreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0); err != nil {
+			return nil, err
+		}
+		if err := s.CreateTable("feed", rex.Schema("k:Integer", "v:Integer"), 0); err != nil {
+			return nil, err
+		}
+		if err := s.Load("graph", smokeGraph()); err != nil {
+			return nil, err
+		}
+		if err := s.Load("feed", smokeFeed(0)); err != nil {
+			return nil, err
+		}
+	}
+	if r.refQ1, err = r.localHash(smokeQ1); err != nil {
+		return nil, err
+	}
+	if r.refQ2, err = r.localHash(smokeQ2); err != nil {
+		return nil, err
+	}
+	stmt, err := local.Prepare(smokePrepared)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 5; i++ {
+		res, err := stmt.QueryCtx(ctx, rex.Options{}, int64(i))
+		if err != nil {
+			return nil, err
+		}
+		r.refPrepared[int64(i)] = bench.ResultHash(res.Tuples)
+	}
+	// The subscriber ingests rounds 1..iters into feed; the reference is
+	// the aggregate over everything.
+	for round := 1; round <= iters; round++ {
+		if err := local.Load("feed", smokeFeed(round)); err != nil {
+			return nil, err
+		}
+	}
+	if r.refSubFinal, err = r.localHash(smokeSubQ); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *smokeRun) localHash(q string) (string, error) {
+	res, err := r.local.QueryCtx(r.ctx, q, rex.Options{})
+	if err != nil {
+		return "", err
+	}
+	return bench.ResultHash(res.Tuples), nil
+}
+
+func (r *smokeRun) close() {
+	if r.admin != nil {
+		r.admin.Close()
+	}
+	if r.local != nil {
+		r.local.Close()
+	}
+}
+
+// run drives the concurrent clients: one subscriber+ingester, one
+// prepared-statement client, the rest ad-hoc.
+func (r *smokeRun) run() error {
+	var wg sync.WaitGroup
+	errc := make(chan error, r.clients)
+	for i := 0; i < r.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			switch {
+			case i == 0:
+				err = r.runSubscriber()
+			case i == 1:
+				err = r.runPrepared(i)
+			default:
+				err = r.runAdhoc(i)
+			}
+			if err != nil {
+				errc <- fmt.Errorf("client %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return err // first failure gates the whole run
+	}
+	return nil
+}
+
+func (r *smokeRun) runAdhoc(i int) error {
+	s, err := rex.Open(r.ctx, rex.WithServer(r.addr))
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	for it := 0; it < r.iters; it++ {
+		for _, q := range []struct{ src, want string }{{smokeQ1, r.refQ1}, {smokeQ2, r.refQ2}} {
+			res, err := s.QueryCtx(r.ctx, q.src, rex.Options{})
+			if err != nil {
+				return err
+			}
+			if h := bench.ResultHash(res.Tuples); h != q.want {
+				return die("iter %d: hash %s, want %s (query %q)", it, h, q.want, q.src)
+			}
+		}
+	}
+	return nil
+}
+
+func (r *smokeRun) runPrepared(i int) error {
+	s, err := rex.Open(r.ctx, rex.WithServer(r.addr))
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	stmt, err := s.Prepare(smokePrepared)
+	if err != nil {
+		return err
+	}
+	for it := 0; it < r.iters; it++ {
+		arg := int64(it % 5)
+		res, err := stmt.QueryCtx(r.ctx, rex.Options{}, arg)
+		if err != nil {
+			return err
+		}
+		if h := bench.ResultHash(res.Tuples); h != r.refPrepared[arg] {
+			return die("prepared($%d): hash %s, want %s", arg, h, r.refPrepared[arg])
+		}
+	}
+	return nil
+}
+
+// runSubscriber installs the standing query, ingests iters rounds, closes
+// the subscription, and checks the folded stream against the reference
+// aggregate over all ingested data.
+func (r *smokeRun) runSubscriber() error {
+	s, err := rex.Open(r.ctx, rex.WithServer(r.addr))
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	sub, err := s.Subscribe(r.ctx, smokeSubQ, rex.Options{})
+	if err != nil {
+		return err
+	}
+	for round := 1; round <= r.iters; round++ {
+		if err := s.Insert("feed", smokeFeed(round)...); err != nil {
+			sub.Close()
+			return die("ingest round %d: %w", round, err)
+		}
+	}
+	if err := sub.Close(); err != nil {
+		return err
+	}
+	<-sub.Done()
+	if err := sub.Err(); err != nil {
+		return die("subscription ended with: %w", err)
+	}
+	folded := foldStream(sub.Stream())
+	if h := bench.ResultHash(folded); h != r.refSubFinal {
+		return die("folded subscription hash %s, want %s", h, r.refSubFinal)
+	}
+	if len(sub.Rounds()) == 0 {
+		return die("subscription reported no rounds")
+	}
+	return nil
+}
+
+// foldStream folds a finished subscription stream's buffered delta
+// batches into the final relation.
+func foldStream(st *rex.DeltaStream) []rex.Tuple {
+	type entry struct {
+		tup   rex.Tuple
+		count int
+	}
+	state := map[string]*entry{}
+	for {
+		b, ok := st.TryNext()
+		if !ok {
+			break
+		}
+		for _, d := range b.Deltas {
+			k := string(types.AppendTuple(nil, d.Tup))
+			e := state[k]
+			if e == nil {
+				e = &entry{tup: d.Tup}
+				state[k] = e
+			}
+			switch d.Op {
+			case types.OpInsert:
+				e.count++
+			case types.OpDelete:
+				e.count--
+			default: // replace: new value wins outright
+				e.count = 1
+			}
+		}
+	}
+	var out []rex.Tuple
+	for _, e := range state {
+		for i := 0; i < e.count; i++ {
+			out = append(out, e.tup)
+		}
+	}
+	return out
+}
+
+// gate asserts the server-side counters: the plan cache must have been
+// hit, and compilations must be rarer than queries.
+func (r *smokeRun) gate() error {
+	st, err := r.admin.ServerStats(r.ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke: sessions=%d queries=%d compiles=%d cache_hits=%d cache_misses=%d subs=%d rounds=%d ingests=%d rejected=%d\n",
+		st.Sessions, st.Queries, st.Compiles, st.PlanCacheHits, st.PlanCacheMisses,
+		st.Subscriptions, st.Rounds, st.Ingests, st.Rejected)
+	if st.PlanCacheHits == 0 {
+		return die("plan cache was never hit (hits=0, misses=%d)", st.PlanCacheMisses)
+	}
+	if st.Compiles >= st.Queries {
+		return die("compiles (%d) not below queries (%d): plan cache is not amortizing", st.Compiles, st.Queries)
+	}
+	if st.Rejected != 0 {
+		return die("server rejected %d requests during an under-capacity smoke", st.Rejected)
+	}
+	fmt.Println("smoke: OK")
+	return nil
+}

@@ -1,0 +1,86 @@
+package rex
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/rex-data/rex/internal/types"
+)
+
+// TestDeprecatedQueryWrappers pins the source-compatibility contract: the
+// deprecated Query/QueryWithOptions/Stmt.Query wrappers keep working and
+// return exactly what their context-first canonical forms return.
+func TestDeprecatedQueryWrappers(t *testing.T) {
+	ctx := context.Background()
+	sess, err := Open(ctx, WithInProc(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.CreateTable("t", Schema("x:Integer"), 0); err != nil {
+		t.Fatal(err)
+	}
+	var rows []Tuple
+	for i := 0; i < 10; i++ {
+		rows = append(rows, NewTuple(int64(i)))
+	}
+	if err := sess.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := sess.QueryCtx(ctx, `SELECT count(*) FROM t`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Query(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatalf("deprecated Query: %v", err)
+	}
+	if n, _ := types.AsInt(got.Tuples[0][0]); n != 10 {
+		t.Fatalf("Query count = %d, want 10", n)
+	}
+	got, err = sess.QueryWithOptions(`SELECT count(*) FROM t`, Options{})
+	if err != nil {
+		t.Fatalf("deprecated QueryWithOptions: %v", err)
+	}
+	if w, g := types.AsString(want.Tuples[0][0]), types.AsString(got.Tuples[0][0]); w != g {
+		t.Fatalf("QueryWithOptions = %s, QueryCtx = %s", g, w)
+	}
+	stmt, err := sess.Prepare(`SELECT count(*) FROM t WHERE x >= $1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stmt.Query(int64(5))
+	if err != nil {
+		t.Fatalf("deprecated Stmt.Query: %v", err)
+	}
+	if n, _ := types.AsInt(res.Tuples[0][0]); n != 5 {
+		t.Fatalf("Stmt.Query count = %d, want 5", n)
+	}
+}
+
+// TestSentinelErrors asserts the typed sentinels with errors.Is on the
+// in-process paths (the server paths are covered in internal/server).
+func TestSentinelErrors(t *testing.T) {
+	ctx := context.Background()
+	sess, err := Open(ctx, WithInProc(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.QueryCtx(ctx, `SELECT x FROM nope`, Options{}); !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("unknown table: err = %v, want ErrUnknownTable", err)
+	}
+	if err := sess.CreateTable("t", Schema("x:Integer"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.QueryCtx(ctx, `SELECT x FROM t`, Options{}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("closed session: err = %v, want ErrSessionClosed", err)
+	}
+	if err := sess.Load("t", []Tuple{NewTuple(int64(1))}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("closed session load: err = %v, want ErrSessionClosed", err)
+	}
+}

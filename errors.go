@@ -1,0 +1,20 @@
+package rex
+
+import (
+	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/srvproto"
+)
+
+// Sentinel errors returned from session and server paths. Assert with
+// errors.Is: wrapped forms carry context ("catalog: unknown table
+// \"edges\"") while still matching the sentinel.
+var (
+	// ErrSessionClosed rejects any operation on a session after Close.
+	ErrSessionClosed = srvproto.ErrSessionClosed
+	// ErrUnknownTable rejects queries and ingests naming a table the
+	// catalog does not know.
+	ErrUnknownTable = catalog.ErrUnknownTable
+	// ErrServerBusy rejects work a rexd server cannot admit: the
+	// admission queue is full, or the server is at its session cap.
+	ErrServerBusy = srvproto.ErrServerBusy
+)

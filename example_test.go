@@ -61,7 +61,7 @@ func ExampleSession_Prepare() {
 		log.Fatal(err)
 	}
 	for _, min := range []int64{0, 50, 90} {
-		res, err := stmt.Query(min)
+		res, err := stmt.QueryCtx(ctx, rex.Options{}, min)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -70,7 +70,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, min := range []int64{2, 4, 6} {
-		res, err := stmt.Query(min)
+		res, err := stmt.QueryCtx(ctx, rex.Options{}, min)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,6 +16,12 @@ import (
 	"github.com/rex-data/rex/internal/types"
 	"github.com/rex-data/rex/internal/uda"
 )
+
+// ErrUnknownTable is the sentinel wrapped by every table lookup that
+// misses, so callers across the stack (sessions, the rexd server, the
+// RQL binder) can classify the failure with errors.Is instead of
+// matching message text.
+var ErrUnknownTable = errors.New("catalog: unknown table")
 
 // Table describes a base relation.
 type Table struct {
@@ -97,6 +104,11 @@ type Catalog struct {
 	whileHandlers map[string]uda.WhileHandler
 	tvfs          map[string]*TVFDef
 	calibration   Calibration
+	// version counts schema-shaping registrations (tables, routines,
+	// handlers). Statistics updates do not bump it: they steer costing,
+	// never plan validity, so a plan cache keyed on the version survives
+	// ingest-driven stats churn.
+	version int64
 }
 
 // New creates an empty catalog with default calibration.
@@ -108,7 +120,18 @@ func New() *Catalog {
 		joinHandlers:  map[string]uda.JoinHandler{},
 		whileHandlers: map[string]uda.WhileHandler{},
 		calibration:   DefaultCalibration(),
+		version:       1,
 	}
+}
+
+// Version reports the catalog's schema version: 1 for a fresh catalog,
+// bumped by every table, function, aggregator, handler, or TVF
+// registration. Compiled-plan caches key on (query text, version) so a
+// schema change invalidates every plan compiled against the old shape.
+func (c *Catalog) Version() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
 }
 
 // AddTable registers a base relation. It is an error to re-register a name.
@@ -122,6 +145,7 @@ func (c *Catalog) AddTable(t *Table) error {
 		return fmt.Errorf("catalog: table %q partition key %d out of range", t.Name, t.PartitionKey)
 	}
 	c.tables[t.Name] = t
+	c.version++
 	return nil
 }
 
@@ -131,7 +155,7 @@ func (c *Catalog) Table(name string) (*Table, error) {
 	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("catalog: unknown table %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownTable, name)
 	}
 	return t, nil
 }
@@ -154,7 +178,7 @@ func (c *Catalog) SetStats(table string, stats TableStats) error {
 	defer c.mu.Unlock()
 	t, ok := c.tables[table]
 	if !ok {
-		return fmt.Errorf("catalog: unknown table %q", table)
+		return fmt.Errorf("%w %q", ErrUnknownTable, table)
 	}
 	t.Stats = stats
 	return nil
@@ -175,6 +199,7 @@ func (c *Catalog) RegisterFunc(f *FuncDef) error {
 		f.CostPerTuple = 1
 	}
 	c.funcs[f.Name] = f
+	c.version++
 	return nil
 }
 
@@ -197,6 +222,7 @@ func (c *Catalog) RegisterAgg(a *AggDef) error {
 		return fmt.Errorf("catalog: aggregator %q already registered", a.Name)
 	}
 	c.aggs[a.Name] = a
+	c.version++
 	return nil
 }
 
@@ -219,6 +245,7 @@ func (c *Catalog) RegisterJoinHandler(h uda.JoinHandler) error {
 		return fmt.Errorf("catalog: join handler %q already registered", h.Name())
 	}
 	c.joinHandlers[h.Name()] = h
+	c.version++
 	return nil
 }
 
@@ -241,6 +268,7 @@ func (c *Catalog) RegisterWhileHandler(h uda.WhileHandler) error {
 		return fmt.Errorf("catalog: while handler %q already registered", h.Name())
 	}
 	c.whileHandlers[h.Name()] = h
+	c.version++
 	return nil
 }
 
@@ -300,6 +328,7 @@ func (c *Catalog) RegisterTVF(f *TVFDef) error {
 		f.CostPerTuple = 1
 	}
 	c.tvfs[f.Name] = f
+	c.version++
 	return nil
 }
 

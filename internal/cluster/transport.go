@@ -75,6 +75,24 @@ const (
 	// hand the pending round request to the standing query's pump loop,
 	// which is the mailbox's only reader.
 	MsgRoundReq
+	// MsgHello opens (and acknowledges) a client session on a rexd query
+	// server connection: Payload carries a small JSON negotiation record
+	// (see internal/srvproto). It is the mandatory first frame in each
+	// direction.
+	MsgHello
+	// MsgQuery is a client request on a rexd server connection: Edge
+	// carries the client-chosen request id and Payload a JSON request
+	// record (op, RQL text, encoded arguments, options).
+	MsgQuery
+	// MsgRows answers a MsgQuery with result data: Edge echoes the
+	// request id, Payload carries an encoded delta batch, Count the
+	// ingestion round, Terminate marks a standing query's round boundary,
+	// and Closed marks the request's final frame — its Table field then
+	// carries a JSON trailer with run statistics.
+	MsgRows
+	// MsgErr fails a MsgQuery: Edge echoes the request id, Table carries
+	// the message, and Count a sentinel error code (see internal/srvproto).
+	MsgErr
 )
 
 // Message is one transport frame. Data frames carry the encoded batch in

@@ -191,6 +191,21 @@ func (s *ResultStream) Close() error {
 	return s.err
 }
 
+// Detach cancels the producing run like Close but does NOT consume the
+// buffer: already-emitted batches stay readable (Next/TryNext) after it
+// returns. It waits for the run's teardown and reports the terminal
+// error, nil when the cancellation was Detach's own. Standing-query
+// subscriptions close through it — "ingest, close, then fold the stream"
+// must see every round that completed before the close.
+func (s *ResultStream) Detach() error {
+	s.cancel(errStreamClosed)
+	<-s.done
+	if errors.Is(s.err, context.Canceled) && errors.Is(context.Cause(s.ctx), errStreamClosed) {
+		return nil
+	}
+	return s.err
+}
+
 // Drain consumes the remainder of the stream, folding every batch into a
 // result set, and returns the completed Result with Tuples materialized —
 // the streaming equivalent of a buffered RunCtx.

@@ -4,11 +4,14 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"hash/fnv"
 	"os"
 	osexec "os/exec"
 	"strings"
+	"sync"
 	"time"
 
+	"github.com/rex-data/rex/internal/catalog"
 	"github.com/rex-data/rex/internal/cluster"
 	"github.com/rex-data/rex/internal/exec"
 )
@@ -28,7 +31,28 @@ type Cluster struct {
 	tr    *cluster.TCPTransport
 	addrs []string
 	procs []*osexec.Cmd
+
+	// buildMu guards builds, the driver-side compiled-job cache: Build is
+	// deterministic from the encoded spec, so identical consecutive jobs
+	// (a prepared statement re-executed, a server replaying cached RQL)
+	// reuse the driver's catalog and plan instead of recompiling per run.
+	// The daemons still rebuild per job — that is inherent to shipping
+	// specs, not text — but the driver-side reparse/replan disappears.
+	buildMu sync.Mutex
+	builds  map[uint64]*builtJob
 }
+
+// builtJob is one cached driver-side Build result; payload is kept to
+// rule out hash collisions by comparison.
+type builtJob struct {
+	payload []byte
+	cat     *catalog.Catalog
+	plan    *exec.PlanSpec
+}
+
+// buildCacheCap bounds the driver cache; on overflow it resets (the
+// cache is a recompile saver, not a correctness structure).
+const buildCacheCap = 64
 
 // Connect attaches to already-running worker daemons. The address order
 // fixes NodeIDs: addrs[i] becomes node i.
@@ -150,13 +174,14 @@ func (c *Cluster) prepare(ctx context.Context, spec *Spec, tune func(*exec.Optio
 	s.Nodes = len(c.addrs)
 	s.Stream = s.Stream || stream
 	s.Normalize()
-	// The driver builds the same catalog and plan the daemons do; the
-	// generated data is discarded here (daemons load their own).
-	cat, plan, _, err := s.Build()
+	payload, err := s.Encode()
 	if err != nil {
 		return nil, nil, none, err
 	}
-	payload, err := s.Encode()
+	// The driver builds the same catalog and plan the daemons do (the
+	// generated data is discarded here; daemons load their own), memoized
+	// by the encoded spec so repeat executions skip the rebuild.
+	cat, plan, err := c.buildCached(payload, &s)
 	if err != nil {
 		return nil, nil, none, err
 	}
@@ -173,6 +198,33 @@ func (c *Cluster) prepare(ctx context.Context, spec *Spec, tune func(*exec.Optio
 		tune(&opts)
 	}
 	return eng, plan, opts, nil
+}
+
+// buildCached returns the driver-side catalog and plan for an encoded
+// spec, compiling on first sight. Keying on the full encoded payload is
+// what makes reuse safe: any field that could change the build — query
+// text, dataset parameters, the replayed ingest log — changes the key.
+func (c *Cluster) buildCached(payload []byte, s *Spec) (*catalog.Catalog, *exec.PlanSpec, error) {
+	h := fnv.New64a()
+	h.Write(payload)
+	key := h.Sum64()
+	c.buildMu.Lock()
+	defer c.buildMu.Unlock()
+	if b, ok := c.builds[key]; ok && string(b.payload) == string(payload) {
+		return b.cat, b.plan, nil
+	}
+	cat, plan, _, err := s.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(c.builds) >= buildCacheCap {
+		c.builds = nil
+	}
+	if c.builds == nil {
+		c.builds = map[uint64]*builtJob{}
+	}
+	c.builds[key] = &builtJob{payload: append([]byte(nil), payload...), cat: cat, plan: plan}
+	return cat, plan, nil
 }
 
 // awaitReady drains the requestor mailbox until every daemon acknowledged

@@ -1,0 +1,42 @@
+package rql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Fingerprint returns a cache key for an RQL statement: the lexed token
+// stream rejoined with single spaces. Two sources that differ only in
+// whitespace, comments, or keyword case fingerprint identically, so a
+// plan cache keyed on it coalesces the trivially-reformatted variants of
+// one query without ever conflating distinct statements — string
+// literals are re-quoted and parameters keep their indices, so the token
+// stream round-trips unambiguously. Sources that do not lex fingerprint
+// to themselves: they still key (and miss) consistently, and the
+// compile that follows reports the real error.
+func Fingerprint(src string) string {
+	toks, err := lex(src)
+	if err != nil {
+		return src
+	}
+	var b strings.Builder
+	b.Grow(len(src))
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokString:
+			b.WriteString(strconv.Quote(t.text))
+		case tokParam:
+			b.WriteByte('$')
+			b.WriteString(t.text)
+		default:
+			b.WriteString(t.text)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"sync"
+
+	rex "github.com/rex-data/rex"
+	"github.com/rex-data/rex/internal/rql"
+)
+
+// planCache is the server's cross-session compiled-plan cache. Entries
+// are prepared statements keyed by (canonical RQL text, catalog version):
+// two clients sending the same query — or one client re-sending it, or a
+// prepared statement executing with fresh arguments — reuse one
+// compilation. Keys are token-canonical (rql.Fingerprint), so whitespace
+// and comment differences still hit. A catalog change (CreateTable,
+// handler registration) bumps the version and strands every older entry;
+// strandings are evicted lazily on lookup and by LRU pressure at cap.
+//
+// The mutex is held across compilation on purpose: concurrent identical
+// queries single-flight into ONE compile, the rest block briefly and hit.
+type planCache struct {
+	sess *rex.Session
+	cap  int
+
+	mu       sync.Mutex
+	entries  map[string]*planEntry
+	clock    int64
+	hits     int64
+	misses   int64
+	compiles int64
+}
+
+type planEntry struct {
+	ver     int64
+	stmt    *rex.Stmt
+	lastUse int64
+}
+
+func newPlanCache(sess *rex.Session, cap int) *planCache {
+	return &planCache{sess: sess, cap: cap, entries: map[string]*planEntry{}}
+}
+
+// get returns the cached statement for src at the catalog's current
+// version, compiling (and caching) on miss. The bool reports a hit.
+func (pc *planCache) get(src string) (*rex.Stmt, bool, error) {
+	key := rql.Fingerprint(src)
+	ver := pc.sess.CatalogVersion()
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.clock++
+	if e := pc.entries[key]; e != nil {
+		if e.ver == ver {
+			e.lastUse = pc.clock
+			pc.hits++
+			return e.stmt, true, nil
+		}
+		delete(pc.entries, key) // stranded by a catalog change
+	}
+	pc.misses++
+	stmt, err := pc.sess.Prepare(src)
+	if err != nil {
+		return nil, false, err
+	}
+	pc.compiles++
+	if len(pc.entries) >= pc.cap {
+		pc.evictLocked()
+	}
+	pc.entries[key] = &planEntry{ver: ver, stmt: stmt, lastUse: pc.clock}
+	return stmt, false, nil
+}
+
+// evictLocked drops the least-recently-used entry.
+func (pc *planCache) evictLocked() {
+	var lruKey string
+	var lru int64
+	for k, e := range pc.entries {
+		if lruKey == "" || e.lastUse < lru {
+			lruKey, lru = k, e.lastUse
+		}
+	}
+	delete(pc.entries, lruKey)
+}
+
+// size reports the current entry count.
+func (pc *planCache) size() int64 {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return int64(len(pc.entries))
+}
+
+// counters snapshots hit/miss/compile totals (compiles counts successful
+// compilations only, so it is the number a cacheless server would repeat).
+func (pc *planCache) counters() (hits, misses, compiles int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses, pc.compiles
+}

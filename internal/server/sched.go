@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rex-data/rex/internal/srvproto"
+)
+
+// sched serializes all engine work onto one runner goroutine — the
+// backend session executes one query at a time, so the runner IS the
+// shared worker pool's admission order. Two queues feed it: interactive
+// work (ad-hoc streams, subscription initial fixpoints) and standing-query
+// refresh rounds. The runner alternates between them, so a burst of
+// ingestion rounds cannot starve interactive queries and a stream of
+// ad-hoc queries cannot starve subscribers' freshness.
+type sched struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	interactive []func()
+	rounds      []func()
+	roundsNext  bool // round-robin pointer: which queue to prefer
+	closed      bool
+	done        chan struct{}
+}
+
+func newSched() *sched {
+	q := &sched{done: make(chan struct{})}
+	q.cond = sync.NewCond(&q.mu)
+	go q.run()
+	return q
+}
+
+// submit enqueues a task. Interactive tasks are admission-gated by the
+// caller; round tasks are bounded by the number of live subscriptions
+// (one queued refresh per sub, coalescing absorbs the rest).
+func (q *sched) submit(interactive bool, task func()) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return srvproto.ErrSessionClosed
+	}
+	if interactive {
+		q.interactive = append(q.interactive, task)
+	} else {
+		q.rounds = append(q.rounds, task)
+	}
+	q.cond.Signal()
+	return nil
+}
+
+// run is the single runner: it drains both queues fairly and exits — after
+// finishing everything already queued — once the scheduler closes.
+func (q *sched) run() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for !q.closed && len(q.interactive) == 0 && len(q.rounds) == 0 {
+			q.cond.Wait()
+		}
+		var task func()
+		switch {
+		case len(q.interactive) == 0 && len(q.rounds) == 0:
+			q.mu.Unlock()
+			return // closed and drained
+		case len(q.rounds) > 0 && (q.roundsNext || len(q.interactive) == 0):
+			task, q.rounds = q.rounds[0], q.rounds[1:]
+			q.roundsNext = false
+		default:
+			task, q.interactive = q.interactive[0], q.interactive[1:]
+			q.roundsNext = true
+		}
+		q.mu.Unlock()
+		task()
+	}
+}
+
+// close stops intake and waits for the runner to drain.
+func (q *sched) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	<-q.done
+}
+
+// gate is the admission-control semaphore in front of the scheduler's
+// interactive queue: MaxInflight requests may be admitted at once, up to
+// MaxQueue more may wait for a slot, and everything beyond that is
+// rejected immediately with ErrServerBusy — a full server sheds load
+// instead of building an unbounded backlog.
+type gate struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	maxWait int64
+}
+
+func newGate(inflight, queue int) *gate {
+	return &gate{slots: make(chan struct{}, inflight), maxWait: int64(queue)}
+}
+
+// acquire claims a slot, waiting in the bounded queue if none is free.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.waiting.Add(1) > g.maxWait {
+		g.waiting.Add(-1)
+		return srvproto.ErrServerBusy
+	}
+	defer g.waiting.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.slots }

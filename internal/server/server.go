@@ -1,0 +1,715 @@
+// Package server implements rexd: a multi-tenant REX query server. One
+// process owns one worker pool (in-process workers or TCP rexnode peers)
+// and one catalog, and admits many concurrent client sessions over the
+// same length-prefixed wire format the worker transport speaks. Clients
+// connect with rex.Open(ctx, rex.WithServer(addr)) and use the normal
+// Session API; the server schedules their work onto the shared pool —
+// interactive queries and standing-query refresh rounds alternating
+// fairly on a single runner — compiles each distinct query text once
+// into a cross-session plan cache, and sheds load with ErrServerBusy
+// when its admission queue fills.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rex "github.com/rex-data/rex"
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/srvproto"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Nodes sizes the in-process worker pool (default 4). Ignored when
+	// Peers attach external rexnode daemons instead.
+	Nodes int
+	// Peers are rexnode daemon addresses; when set the server fronts a
+	// distributed pool (catalog declarations then require a Dataset, as
+	// on any TCP session).
+	Peers []string
+	// Dataset/Size/Seed stage a deterministic dataset at startup (the
+	// rex.WithDataset form); empty means an empty catalog that clients
+	// populate with CreateTable.
+	Dataset string
+	Size    int
+	Seed    int64
+	// Handlers names a delta-handler bundle to register (rex.WithHandlers).
+	Handlers string
+	// Replication is the store replication factor (0 = session default).
+	Replication int
+
+	// MaxSessions caps concurrently connected clients (default 64);
+	// beyond it the handshake is refused with ErrServerBusy.
+	MaxSessions int
+	// MaxInflight is the admission semaphore: how many interactive
+	// requests may be admitted at once (default 16). The engine still
+	// executes one query at a time — admitted requests queue on the
+	// scheduler — so this bounds the *committed* backlog.
+	MaxInflight int
+	// MaxQueue bounds how many requests may wait for an admission slot
+	// (default 64); beyond it requests fail fast with ErrServerBusy.
+	MaxQueue int
+	// PlanCacheCap bounds the cross-session plan cache (default 256
+	// entries, LRU eviction).
+	PlanCacheCap int
+	// LogWriter, when set, receives one line per accepted session and
+	// per error (default: silent).
+	LogWriter io.Writer
+}
+
+func (c *Config) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 16
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.PlanCacheCap <= 0 {
+		c.PlanCacheCap = 256
+	}
+}
+
+// helloTimeout bounds how long an accepted connection may dawdle before
+// completing the handshake.
+const helloTimeout = 30 * time.Second
+
+// maxRowsPayload is the delta-payload budget per MsgRows frame; larger
+// batches split so no frame approaches the transport's MaxFrame cap.
+const maxRowsPayload = srvproto.MaxFrame - 64*1024
+
+// Server is a running rexd instance.
+type Server struct {
+	cfg   Config
+	sess  *rex.Session // the backend session owning pool + catalog
+	cache *planCache
+	sched *sched
+	gate  *gate
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*srvConn]struct{}
+	subs   map[*srvSub]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	stSessions atomic.Int64
+	stActive   atomic.Int64
+	stQueries  atomic.Int64
+	stRejected atomic.Int64
+	stSubs     atomic.Int64
+	stRounds   atomic.Int64
+	stIngests  atomic.Int64
+}
+
+// New opens the backend session and builds the server. Close releases
+// everything, the pool included.
+func New(cfg Config) (*Server, error) {
+	cfg.defaults()
+	var opts []rex.Option
+	if len(cfg.Peers) > 0 {
+		opts = append(opts, rex.WithTCPPeers(cfg.Peers...))
+	} else {
+		opts = append(opts, rex.WithInProc(cfg.Nodes))
+	}
+	if cfg.Dataset != "" {
+		opts = append(opts, rex.WithDataset(cfg.Dataset, cfg.Size, cfg.Seed))
+	}
+	if cfg.Handlers != "" {
+		opts = append(opts, rex.WithHandlers(cfg.Handlers))
+	}
+	if cfg.Replication > 0 {
+		opts = append(opts, rex.WithReplication(cfg.Replication))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sess, err := rex.Open(ctx, opts...)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("server: open backend session: %w", err)
+	}
+	s := &Server{
+		cfg:        cfg,
+		sess:       sess,
+		sched:      newSched(),
+		gate:       newGate(cfg.MaxInflight, cfg.MaxQueue),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		conns:      map[*srvConn]struct{}{},
+		subs:       map[*srvSub]struct{}{},
+	}
+	s.cache = newPlanCache(sess, cfg.PlanCacheCap)
+	return s, nil
+}
+
+// Session exposes the backend session (rexd main uses it for staging).
+func (s *Server) Session() *rex.Session { return s.sess }
+
+// Listen starts accepting client sessions on addr, returning the bound
+// listener (addr may use port 0). Serve runs on a background goroutine.
+func (s *Server) Listen(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, srvproto.ErrSessionClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.serve(ln)
+	}()
+	return ln, nil
+}
+
+func (s *Server) serve(ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(nc)
+		}()
+	}
+}
+
+// Close stops accepting, tears down every session, waits for handlers,
+// drains the scheduler, and closes the backend pool.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	s.wg.Wait()
+	s.sched.close()
+	return s.sess.Close()
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() srvproto.ServerStats {
+	hits, misses, compiles := s.cache.counters()
+	return srvproto.ServerStats{
+		Sessions:        s.stSessions.Load(),
+		ActiveSessions:  s.stActive.Load(),
+		Queries:         s.stQueries.Load(),
+		Rejected:        s.stRejected.Load(),
+		Compiles:        compiles,
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+		PlanCacheSize:   s.cache.size(),
+		Subscriptions:   s.stSubs.Load(),
+		Rounds:          s.stRounds.Load(),
+		Ingests:         s.stIngests.Load(),
+		CatalogVersion:  s.sess.CatalogVersion(),
+	}
+}
+
+// StatsHandler serves the counters as JSON — mount it on /stats.
+func (s *Server) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Stats())
+	})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.LogWriter != nil {
+		fmt.Fprintf(s.cfg.LogWriter, format+"\n", args...)
+	}
+}
+
+// srvConn is one client session's connection.
+type srvConn struct {
+	srv *Server
+	nc  net.Conn
+
+	wmu sync.Mutex // serializes outgoing frames
+
+	mu   sync.Mutex
+	reqs map[int]context.CancelFunc
+	subs map[int]*srvSub
+}
+
+// handleConn runs the handshake and then the per-session read loop.
+func (s *Server) handleConn(nc net.Conn) {
+	defer nc.Close()
+	_ = nc.SetDeadline(time.Now().Add(helloTimeout))
+	br := bufio.NewReader(nc)
+	m, err := srvproto.ReadMsg(br)
+	if err != nil || m.Kind != cluster.MsgHello {
+		return
+	}
+	var hello srvproto.Hello
+	if err := json.Unmarshal(m.Payload, &hello); err != nil {
+		return
+	}
+	c := &srvConn{srv: s, nc: nc, reqs: map[int]context.CancelFunc{}, subs: map[int]*srvSub{}}
+	refuse := func(code int, err error) {
+		_ = c.writeMsg(cluster.Message{Kind: cluster.MsgHello,
+			Payload: srvproto.EncodeJSON(srvproto.Welcome{Code: code, Err: err.Error()})})
+	}
+	if hello.Version != srvproto.Version {
+		refuse(srvproto.CodeBadRequest, fmt.Errorf("server: protocol version %d not supported (want %d)", hello.Version, srvproto.Version))
+		return
+	}
+	if !s.admitSession(c) {
+		s.stRejected.Add(1)
+		refuse(srvproto.CodeBusy, srvproto.ErrServerBusy)
+		return
+	}
+	defer s.releaseSession(c)
+	if err := c.writeMsg(cluster.Message{Kind: cluster.MsgHello,
+		Payload: srvproto.EncodeJSON(srvproto.Welcome{OK: true, Nodes: s.sess.Nodes()})}); err != nil {
+		return
+	}
+	_ = nc.SetDeadline(time.Time{})
+	s.logf("session from %s", nc.RemoteAddr())
+
+	for {
+		m, err := srvproto.ReadMsg(br)
+		if err != nil {
+			return
+		}
+		if m.Kind != cluster.MsgQuery {
+			continue
+		}
+		var req srvproto.Request
+		if err := json.Unmarshal(m.Payload, &req); err != nil {
+			c.writeErr(m.Edge, fmt.Errorf("server: bad request: %w", err))
+			continue
+		}
+		if req.Op == srvproto.OpCancel {
+			c.cancel(req.Target)
+			continue
+		}
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		c.track(m.Edge, cancel)
+		s.wg.Add(1)
+		go func(id int, req srvproto.Request) {
+			defer s.wg.Done()
+			defer cancel()
+			defer c.untrack(id)
+			s.handleRequest(c, ctx, id, req)
+		}(m.Edge, req)
+	}
+}
+
+// admitSession admits a connection under the session cap.
+func (s *Server) admitSession(c *srvConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.conns) >= s.cfg.MaxSessions {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.stSessions.Add(1)
+	s.stActive.Add(1)
+	return true
+}
+
+// releaseSession tears down a departing connection: in-flight requests
+// cancel, its subscriptions reap silently.
+func (s *Server) releaseSession(c *srvConn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.stActive.Add(-1)
+	c.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(c.reqs))
+	for _, cancel := range c.reqs {
+		cancels = append(cancels, cancel)
+	}
+	subs := make([]*srvSub, 0, len(c.subs))
+	for _, sub := range c.subs {
+		subs = append(subs, sub)
+	}
+	c.reqs, c.subs = map[int]context.CancelFunc{}, map[int]*srvSub{}
+	c.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	for _, sub := range subs {
+		sub.reap()
+	}
+}
+
+func (s *Server) registerSub(sub *srvSub) {
+	s.mu.Lock()
+	s.subs[sub] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) unregisterSub(sub *srvSub) {
+	s.mu.Lock()
+	delete(s.subs, sub)
+	s.mu.Unlock()
+}
+
+// handleRequest dispatches one request (already off the read loop).
+func (s *Server) handleRequest(c *srvConn, ctx context.Context, id int, req srvproto.Request) {
+	switch req.Op {
+	case srvproto.OpStream:
+		s.doStream(c, ctx, id, req)
+	case srvproto.OpSubscribe:
+		s.doSubscribe(c, ctx, id, req)
+	case srvproto.OpPrepare:
+		s.doPrepare(c, id, req)
+	case srvproto.OpIngest:
+		s.doIngest(c, ctx, id, req)
+	case srvproto.OpCreateTable:
+		s.doCreateTable(c, id, req)
+	case srvproto.OpStats:
+		c.writeClosed(id, &srvproto.Trailer{Stats: ptr(s.Stats())})
+	default:
+		c.writeErr(id, fmt.Errorf("server: unknown op %q", req.Op))
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// admit runs task on the scheduler's interactive queue under the
+// admission gate, blocking until it completes.
+func (s *Server) admit(c *srvConn, ctx context.Context, id int, task func()) bool {
+	if err := s.gate.acquire(ctx); err != nil {
+		s.stRejected.Add(1)
+		c.writeErr(id, err)
+		return false
+	}
+	defer s.gate.release()
+	done := make(chan struct{})
+	err := s.sched.submit(true, func() {
+		defer close(done)
+		task()
+	})
+	if err != nil {
+		c.writeErr(id, err)
+		return false
+	}
+	<-done
+	return true
+}
+
+// doStream executes an ad-hoc query and streams its delta batches back.
+func (s *Server) doStream(c *srvConn, ctx context.Context, id int, req srvproto.Request) {
+	s.admit(c, ctx, id, func() {
+		args, err := srvproto.DecodeArgs(req.Args)
+		if err != nil {
+			c.writeErr(id, err)
+			return
+		}
+		stmt, _, err := s.cache.get(req.Src)
+		if err != nil {
+			c.writeErr(id, err)
+			return
+		}
+		s.stQueries.Add(1)
+		st, err := stmt.StreamCtx(ctx, execOpts(req.Opts), args...)
+		if err != nil {
+			c.writeErr(id, err)
+			return
+		}
+		var sent int64
+		for {
+			b, ok := st.Next()
+			if !ok {
+				break
+			}
+			n, werr := c.writeRows(id, b.Stratum, b.Round, b.Deltas)
+			sent += n
+			if werr != nil {
+				st.Close()
+				return // connection gone
+			}
+		}
+		if err := st.Err(); err != nil {
+			c.writeErr(id, err)
+			return
+		}
+		res := *st.Result()
+		res.Tuples = nil // the tuples travelled as delta frames
+		if res.BytesSent == 0 {
+			res.BytesSent = sent
+		}
+		c.writeClosed(id, &srvproto.Trailer{Result: &res})
+	})
+}
+
+// doSubscribe installs a standing query: the initial fixpoint streams as
+// round 0, then the sub lives until cancelled (or its connection drops),
+// refreshed by covering ingests.
+func (s *Server) doSubscribe(c *srvConn, ctx context.Context, id int, req srvproto.Request) {
+	s.admit(c, ctx, id, func() {
+		stmt, _, err := s.cache.get(req.Src)
+		if err != nil {
+			c.writeErr(id, err)
+			return
+		}
+		s.stQueries.Add(1)
+		opts := execOpts(req.Opts)
+		res, err := stmt.QueryCtx(ctx, opts)
+		if err != nil {
+			c.writeErr(id, err)
+			return
+		}
+		sub := newSrvSub(s, c, id, stmt, opts)
+		sub.retain(res.Tuples)
+		deltas := make([]types.Delta, len(res.Tuples))
+		for i, t := range res.Tuples {
+			deltas[i] = types.Insert(t)
+		}
+		sent, werr := c.writeRows(id, 0, 0, deltas)
+		rs := &rex.RoundStats{Round: 0, Strata: len(res.Strata),
+			NewTuples: len(res.Tuples), Deltas: len(deltas), BytesSent: sent}
+		if werr == nil {
+			werr = c.writeBoundary(id, 0, &srvproto.Trailer{Round: rs})
+		}
+		if werr != nil {
+			return // connection gone; releaseSession reaps
+		}
+		sub.mu.Lock()
+		sub.lastStats = rs
+		sub.mu.Unlock()
+		c.addSub(id, sub)
+		s.registerSub(sub)
+		s.stSubs.Add(1)
+	})
+}
+
+// doPrepare compiles into the plan cache and reports the parameter count.
+func (s *Server) doPrepare(c *srvConn, id int, req srvproto.Request) {
+	stmt, _, err := s.cache.get(req.Src)
+	if err != nil {
+		c.writeErr(id, err)
+		return
+	}
+	c.writeClosed(id, &srvproto.Trailer{NumParams: stmt.NumParams()})
+}
+
+// doIngest applies base-table deltas to the shared pool, fans the change
+// out to every standing query, and replies once all covering rounds have
+// completed — so the requester's subscription stream already holds its
+// round when the ingest returns.
+func (s *Server) doIngest(c *srvConn, ctx context.Context, id int, req srvproto.Request) {
+	batches := make(map[string][]rex.Delta, len(req.Tables))
+	for table, enc := range req.Tables {
+		ds, err := cluster.DecodeDeltas(enc)
+		if err != nil {
+			c.writeErr(id, fmt.Errorf("server: ingest %s: %w", table, err))
+			return
+		}
+		batches[table] = ds
+	}
+	if err := s.gate.acquire(ctx); err != nil {
+		s.stRejected.Add(1)
+		c.writeErr(id, err)
+		return
+	}
+	defer s.gate.release()
+	// The backend session applies synchronously (no live subscription is
+	// ever installed on it); its own lock serializes with running queries.
+	if _, err := s.sess.Ingests(batches); err != nil {
+		c.writeErr(id, err)
+		return
+	}
+	s.stIngests.Add(1)
+	type wait struct {
+		sub    *srvSub
+		target int64
+	}
+	s.mu.Lock()
+	waits := make([]wait, 0, len(s.subs))
+	for sub := range s.subs {
+		waits = append(waits, wait{sub, sub.notifyIngest()})
+	}
+	s.mu.Unlock()
+	var reqRound *rex.RoundStats
+	for _, w := range waits {
+		rs := w.sub.await(w.target)
+		if w.sub.conn == c && rs != nil {
+			reqRound = rs
+		}
+	}
+	c.writeClosed(id, &srvproto.Trailer{Round: reqRound})
+}
+
+// doCreateTable declares a table on the shared catalog, bumping its
+// version (stranding every cached plan compiled before it).
+func (s *Server) doCreateTable(c *srvConn, id int, req srvproto.Request) {
+	schema := &types.Schema{}
+	for _, spec := range req.Fields {
+		name, typ, ok := cutField(spec)
+		if !ok {
+			c.writeErr(id, fmt.Errorf("server: bad field spec %q (want name:Type)", spec))
+			return
+		}
+		k, err := types.ParseKind(typ)
+		if err != nil {
+			c.writeErr(id, err)
+			return
+		}
+		schema.Fields = append(schema.Fields, types.Field{Name: name, Kind: k})
+	}
+	if err := s.sess.CreateTable(req.Table, schema, req.Key); err != nil {
+		c.writeErr(id, err)
+		return
+	}
+	c.writeClosed(id, nil)
+}
+
+func cutField(spec string) (name, typ string, ok bool) {
+	for i := 0; i < len(spec); i++ {
+		if spec[i] == ':' {
+			return spec[:i], spec[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// execOpts widens the wire option subset back to exec options.
+func execOpts(o *srvproto.QueryOpts) rex.Options {
+	if o == nil {
+		return rex.Options{}
+	}
+	return rex.Options{
+		BatchSize:           o.BatchSize,
+		MaxStrata:           o.MaxStrata,
+		Compaction:          o.Compaction,
+		CompactionHighWater: o.CompactionHighWater,
+		Checkpoint:          o.Checkpoint,
+	}
+}
+
+// --- srvConn plumbing ---
+
+func (c *srvConn) track(id int, cancel context.CancelFunc) {
+	c.mu.Lock()
+	c.reqs[id] = cancel
+	c.mu.Unlock()
+}
+
+func (c *srvConn) untrack(id int) {
+	c.mu.Lock()
+	delete(c.reqs, id)
+	c.mu.Unlock()
+}
+
+func (c *srvConn) addSub(id int, sub *srvSub) {
+	c.mu.Lock()
+	c.subs[id] = sub
+	c.mu.Unlock()
+}
+
+func (c *srvConn) removeSub(id int) {
+	c.mu.Lock()
+	delete(c.subs, id)
+	c.mu.Unlock()
+}
+
+// cancel aborts the request (or unsubscribes the standing query) with the
+// given id. A subscription ends cleanly — its stream's final frame is a
+// normal close, not an error — so a deliberate client Close reports nil.
+func (c *srvConn) cancel(target int) {
+	c.mu.Lock()
+	sub := c.subs[target]
+	cancelFn := c.reqs[target]
+	c.mu.Unlock()
+	if sub != nil {
+		sub.unsubscribe()
+		return
+	}
+	if cancelFn != nil {
+		cancelFn()
+	}
+}
+
+func (c *srvConn) writeMsg(m cluster.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return srvproto.WriteMsg(c.nc, m)
+}
+
+// writeRows ships a delta batch as one or more MsgRows frames, splitting
+// batches whose encoding would approach the frame cap. Returns payload
+// bytes written.
+func (c *srvConn) writeRows(id, stratum, round int, deltas []types.Delta) (int64, error) {
+	if len(deltas) == 0 {
+		return 0, nil
+	}
+	payload := cluster.EncodeDeltas(deltas)
+	if len(payload) > maxRowsPayload && len(deltas) > 1 {
+		half := len(deltas) / 2
+		n1, err := c.writeRows(id, stratum, round, deltas[:half])
+		if err != nil {
+			return n1, err
+		}
+		n2, err := c.writeRows(id, stratum, round, deltas[half:])
+		return n1 + n2, err
+	}
+	err := c.writeMsg(cluster.Message{Kind: cluster.MsgRows, Edge: id,
+		Stratum: stratum, Count: round, Payload: payload})
+	return int64(len(payload)), err
+}
+
+// writeBoundary marks a standing-query round boundary, carrying the
+// round's stats in the trailer.
+func (c *srvConn) writeBoundary(id, round int, tr *srvproto.Trailer) error {
+	return c.writeMsg(cluster.Message{Kind: cluster.MsgRows, Edge: id,
+		Count: round, Terminate: true, Table: string(srvproto.EncodeJSON(tr))})
+}
+
+// writeClosed sends a request's final frame (trailer optional).
+func (c *srvConn) writeClosed(id int, tr *srvproto.Trailer) error {
+	m := cluster.Message{Kind: cluster.MsgRows, Edge: id, Closed: true}
+	if tr != nil {
+		m.Table = string(srvproto.EncodeJSON(tr))
+	}
+	return c.writeMsg(m)
+}
+
+func (c *srvConn) writeErr(id int, err error) {
+	_ = c.writeMsg(cluster.Message{Kind: cluster.MsgErr, Edge: id,
+		Count: srvproto.CodeFor(err), Table: err.Error()})
+}

@@ -1,0 +1,420 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	rex "github.com/rex-data/rex"
+	"github.com/rex-data/rex/internal/bench"
+	"github.com/rex-data/rex/internal/types"
+)
+
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *rex.Session {
+	t.Helper()
+	s, err := rex.Open(context.Background(), rex.WithServer(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func graphRows(n, verts int) []rex.Tuple {
+	rows := make([]rex.Tuple, n)
+	for i := range rows {
+		rows[i] = rex.NewTuple(int64(i%verts), int64((i*7+3)%verts))
+	}
+	return rows
+}
+
+func feedRows(round, keys int) []rex.Tuple {
+	rows := make([]rex.Tuple, keys)
+	for i := range rows {
+		rows[i] = rex.NewTuple(int64((i+round)%keys), int64(round*100+i))
+	}
+	return rows
+}
+
+// stage creates and loads the test tables on any session (server-backed
+// or direct).
+func stage(t *testing.T, s *rex.Session) {
+	t.Helper()
+	if err := s.CreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("feed", rex.Schema("k:Integer", "v:Integer"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load("graph", graphRows(200, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load("feed", feedRows(0, 7)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerEightClients is the acceptance property: one rexd serves 8
+// concurrent sessions — 7 ad-hoc, 1 holding a standing subscription and
+// ingesting — over one shared pool, every result hash matching direct
+// in-process execution, with the plan cache compiling each distinct text
+// once.
+func TestServerEightClients(t *testing.T) {
+	ctx := context.Background()
+	srv, addr := startServer(t, Config{Nodes: 3})
+
+	admin := dial(t, addr)
+	stage(t, admin)
+
+	const (
+		q1   = `SELECT srcId, count(*) FROM graph GROUP BY srcId`
+		q2   = `SELECT destId FROM graph WHERE srcId > 25`
+		subQ = `SELECT k, count(*) FROM feed GROUP BY k`
+	)
+	const iters = 3
+
+	// Direct-session references (the serverless ground truth).
+	ref, err := rex.Open(ctx, rex.WithInProc(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	stage(t, ref)
+	refHash := func(q string) string {
+		t.Helper()
+		res, err := ref.QueryCtx(ctx, q, rex.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bench.ResultHash(res.Tuples)
+	}
+	want1, want2 := refHash(q1), refHash(q2)
+	for r := 1; r <= iters; r++ {
+		if err := ref.Load("feed", feedRows(r, 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantSub := refHash(subQ)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for i := 0; i < 7; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := rex.Open(ctx, rex.WithServer(addr))
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer s.Close()
+			for it := 0; it < iters; it++ {
+				for q, want := range map[string]string{q1: want1, q2: want2} {
+					res, err := s.QueryCtx(ctx, q, rex.Options{})
+					if err != nil {
+						errc <- fmt.Errorf("client %d: %w", i, err)
+						return
+					}
+					if h := bench.ResultHash(res.Tuples); h != want {
+						errc <- fmt.Errorf("client %d: hash %s != direct %s for %q", i, h, want, q)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s, err := rex.Open(ctx, rex.WithServer(addr))
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer s.Close()
+		sub, err := s.Subscribe(ctx, subQ, rex.Options{})
+		if err != nil {
+			errc <- fmt.Errorf("subscribe: %w", err)
+			return
+		}
+		for r := 1; r <= iters; r++ {
+			if err := s.Insert("feed", feedRows(r, 7)...); err != nil {
+				errc <- fmt.Errorf("ingest round %d: %w", r, err)
+				return
+			}
+		}
+		if err := sub.Close(); err != nil {
+			errc <- fmt.Errorf("sub close: %w", err)
+			return
+		}
+		if err := sub.Err(); err != nil {
+			errc <- fmt.Errorf("sub err after clean close: %w", err)
+			return
+		}
+		if got := foldStream(sub.Stream()); bench.ResultHash(got) != wantSub {
+			errc <- fmt.Errorf("folded subscription %s != direct %s", bench.ResultHash(got), wantSub)
+			return
+		}
+		if len(sub.Rounds()) < iters {
+			errc <- fmt.Errorf("subscription saw %d rounds, want >= %d", len(sub.Rounds()), iters)
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st := srv.Stats()
+	if st.PlanCacheHits == 0 {
+		t.Fatalf("plan cache never hit: %+v", st)
+	}
+	if st.Compiles >= st.Queries {
+		t.Fatalf("compiles (%d) should be below queries (%d)", st.Compiles, st.Queries)
+	}
+	if st.Sessions < 8 {
+		t.Fatalf("sessions = %d, want >= 8", st.Sessions)
+	}
+}
+
+// foldStream folds a finished subscription stream into the final relation.
+func foldStream(st *rex.DeltaStream) []rex.Tuple {
+	type entry struct {
+		tup   rex.Tuple
+		count int
+	}
+	state := map[string]*entry{}
+	for {
+		b, ok := st.TryNext()
+		if !ok {
+			break
+		}
+		for _, d := range b.Deltas {
+			k := string(types.AppendTuple(nil, d.Tup))
+			e := state[k]
+			if e == nil {
+				e = &entry{tup: d.Tup}
+				state[k] = e
+			}
+			switch d.Op {
+			case types.OpInsert:
+				e.count++
+			case types.OpDelete:
+				e.count--
+			default:
+				e.count = 1
+			}
+		}
+	}
+	var out []rex.Tuple
+	for _, e := range state {
+		for i := 0; i < e.count; i++ {
+			out = append(out, e.tup)
+		}
+	}
+	return out
+}
+
+// TestPlanCacheSingleFlight: concurrent identical queries compile ONCE —
+// the cache mutex is held across compilation, so the N-1 laggards block
+// briefly and hit.
+func TestPlanCacheSingleFlight(t *testing.T) {
+	ctx := context.Background()
+	srv, addr := startServer(t, Config{Nodes: 2})
+	admin := dial(t, addr)
+	stage(t, admin)
+
+	const q = `SELECT srcId, count(*) FROM graph GROUP BY srcId`
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := rex.Open(ctx, rex.WithServer(addr))
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer s.Close()
+			if _, err := s.QueryCtx(ctx, q, rex.Options{}); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	hits, misses, compiles := srv.cache.counters()
+	if compiles != 1 {
+		t.Fatalf("compiles = %d (hits %d, misses %d), want exactly 1", compiles, hits, misses)
+	}
+	if hits != 7 {
+		t.Fatalf("hits = %d, want 7", hits)
+	}
+}
+
+// TestPlanCacheInvalidation: a catalog change (CreateTable) strands every
+// cached plan — the same text recompiles at the new version; whitespace
+// variants of one query still share an entry (token-canonical keys).
+func TestPlanCacheInvalidation(t *testing.T) {
+	ctx := context.Background()
+	srv, addr := startServer(t, Config{Nodes: 2})
+	s := dial(t, addr)
+	stage(t, s)
+
+	const q = `SELECT srcId, count(*) FROM graph GROUP BY srcId`
+	run := func() {
+		t.Helper()
+		if _, err := s.QueryCtx(ctx, q, rex.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	// Whitespace/casing-insensitive re-send: same fingerprint, must hit.
+	if _, err := s.QueryCtx(ctx, "SELECT srcId,  count(*)  FROM graph GROUP BY srcId", rex.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, compiles := srv.cache.counters()
+	if compiles != 1 {
+		t.Fatalf("compiles before invalidation = %d, want 1", compiles)
+	}
+
+	if err := s.CreateTable("extra", rex.Schema("x:Integer"), 0); err != nil {
+		t.Fatal(err)
+	}
+	run()
+	hits, _, compiles := srv.cache.counters()
+	if compiles != 2 {
+		t.Fatalf("compiles after CreateTable = %d, want 2 (catalog bump must invalidate)", compiles)
+	}
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}
+
+// TestPlanCachePreparedArgs: a prepared $N statement compiles once and
+// every execution — whatever the bound arguments — reuses the plan; a
+// later Prepare of the same text hits too.
+func TestPlanCachePreparedArgs(t *testing.T) {
+	ctx := context.Background()
+	srv, addr := startServer(t, Config{Nodes: 2})
+	s := dial(t, addr)
+	stage(t, s)
+
+	stmt, err := s.Prepare(`SELECT count(*) FROM graph WHERE srcId > $1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams() != 1 {
+		t.Fatalf("NumParams = %d, want 1", stmt.NumParams())
+	}
+	counts := map[int64]int64{}
+	for _, arg := range []int64{0, 10, 20, 10} {
+		res, err := stmt.QueryCtx(ctx, rex.Options{}, arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := types.AsInt(res.Tuples[0][0])
+		counts[arg] = n
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[20] {
+		t.Fatalf("counts not monotone in the bound argument: %v", counts)
+	}
+	if _, err := stmt.QueryCtx(ctx, rex.Options{}); err == nil {
+		t.Fatal("missing argument must error")
+	}
+	if _, err := s.Prepare(`SELECT count(*) FROM graph WHERE srcId > $1`); err != nil {
+		t.Fatal(err)
+	}
+	_, _, compiles := srv.cache.counters()
+	if compiles != 1 {
+		t.Fatalf("compiles = %d, want 1 (args must not fragment the cache)", compiles)
+	}
+}
+
+// TestServerBusySessionCap: with MaxSessions=1 the second Open is refused
+// at the handshake with a typed, errors.Is-able ErrServerBusy.
+func TestServerBusySessionCap(t *testing.T) {
+	ctx := context.Background()
+	_, addr := startServer(t, Config{Nodes: 2, MaxSessions: 1})
+	_ = dial(t, addr) // occupies the only slot
+	_, err := rex.Open(ctx, rex.WithServer(addr))
+	if !errors.Is(err, rex.ErrServerBusy) {
+		t.Fatalf("err = %v, want rex.ErrServerBusy", err)
+	}
+}
+
+// TestGateBusy exercises the admission gate white-box: one slot, zero
+// queue — the second concurrent acquire must shed immediately.
+func TestGateBusy(t *testing.T) {
+	g := newGate(1, 0)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.acquire(context.Background()); !errors.Is(err, rex.ErrServerBusy) {
+		t.Fatalf("err = %v, want ErrServerBusy", err)
+	}
+	g.release()
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestSentinelsOverWire: typed errors survive the wire — unknown table
+// resolves errors.Is(…, rex.ErrUnknownTable), a closed session reports
+// rex.ErrSessionClosed.
+func TestSentinelsOverWire(t *testing.T) {
+	ctx := context.Background()
+	_, addr := startServer(t, Config{Nodes: 2})
+	s := dial(t, addr)
+	_, err := s.QueryCtx(ctx, `SELECT x FROM nope`, rex.Options{})
+	if !errors.Is(err, rex.ErrUnknownTable) {
+		t.Fatalf("err = %v, want rex.ErrUnknownTable", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.QueryCtx(ctx, `SELECT x FROM nope`, rex.Options{})
+	if !errors.Is(err, rex.ErrSessionClosed) {
+		t.Fatalf("after close: err = %v, want rex.ErrSessionClosed", err)
+	}
+}
+
+// TestServerIngestWithoutSubscription: ingest over a server session with
+// no standing query applies synchronously and later queries see it.
+func TestServerIngestWithoutSubscription(t *testing.T) {
+	ctx := context.Background()
+	_, addr := startServer(t, Config{Nodes: 2})
+	s := dial(t, addr)
+	stage(t, s)
+	if err := s.Insert("feed", rex.NewTuple(int64(99), int64(1))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.QueryCtx(ctx, `SELECT k FROM feed WHERE k = 99`, rex.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 {
+		t.Fatalf("ingested row not visible: %d rows", len(res.Tuples))
+	}
+}

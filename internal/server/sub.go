@@ -1,0 +1,238 @@
+package server
+
+import (
+	"sync"
+
+	rex "github.com/rex-data/rex"
+	"github.com/rex-data/rex/internal/srvproto"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// srvSub is a server-side standing query. The server cannot keep a
+// resident dataflow per subscriber — the backend engine runs one query at
+// a time and a resident StandingQuery would monopolize it — so server
+// subscriptions are DIFF-BASED: the server retains the subscription's
+// last result multiset, re-runs the (cached) plan when a covering ingest
+// lands, and streams only the net change as that round's deltas. Folding
+// the client's stream still reproduces exactly what a from-scratch query
+// would return, which is the standing-query contract; what changes is the
+// server-side mechanism, chosen so many subscribers and ad-hoc clients
+// share one pool fairly.
+//
+// Ingestion requests coalesce: every ingest bumps seq and at most one
+// refresh round is queued at a time, so a burst of writes costs one
+// re-run. An ingest reply waits until doneSeq covers its seq — when the
+// ingester reads its subscription stream afterwards, the covering round
+// is already buffered there.
+type srvSub struct {
+	srv  *Server
+	conn *srvConn
+	id   int // the subscribe request id; round frames echo it
+	stmt *rex.Stmt
+	opts rex.Options
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	last      map[string]*subEntry // result multiset from the previous round
+	round     int                  // next round number (1 after the initial fixpoint)
+	seq       int64                // ingests observed
+	doneSeq   int64                // ingests covered by a completed round
+	queued    bool                 // a refresh round is already scheduled
+	dead      bool                 // torn down (unsubscribed, failed, or conn gone)
+	lastStats *rex.RoundStats      // stats of the most recent completed round
+}
+
+// subEntry is one distinct tuple of the retained result with its
+// multiplicity (results are bags, not sets).
+type subEntry struct {
+	tup   types.Tuple
+	count int
+}
+
+func newSrvSub(srv *Server, conn *srvConn, id int, stmt *rex.Stmt, opts rex.Options) *srvSub {
+	sub := &srvSub{srv: srv, conn: conn, id: id, stmt: stmt, opts: opts, round: 1, last: map[string]*subEntry{}}
+	sub.cond = sync.NewCond(&sub.mu)
+	return sub
+}
+
+// retain replaces the multiset with res's tuples (the initial fixpoint).
+func (sub *srvSub) retain(tuples []types.Tuple) {
+	m := make(map[string]*subEntry, len(tuples))
+	for _, t := range tuples {
+		k := string(types.AppendTuple(nil, t))
+		if e := m[k]; e != nil {
+			e.count++
+		} else {
+			m[k] = &subEntry{tup: t, count: 1}
+		}
+	}
+	sub.mu.Lock()
+	sub.last = m
+	sub.mu.Unlock()
+}
+
+// notifyIngest records one covering ingest and schedules a refresh round
+// if none is pending. It returns the sequence number await must reach.
+func (sub *srvSub) notifyIngest() int64 {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.dead {
+		return 0
+	}
+	sub.seq++
+	target := sub.seq
+	if !sub.queued {
+		sub.queued = true
+		if err := sub.srv.sched.submit(false, sub.runRound); err != nil {
+			sub.queued = false
+			return 0
+		}
+	}
+	return target
+}
+
+// await blocks until a completed round covers target (or the sub dies),
+// returning that round's stats.
+func (sub *srvSub) await(target int64) *rex.RoundStats {
+	if target == 0 {
+		return nil
+	}
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	for sub.doneSeq < target && !sub.dead {
+		sub.cond.Wait()
+	}
+	return sub.lastStats
+}
+
+// runRound executes one refresh: re-run the cached plan, diff against the
+// retained multiset, stream the net change. Runs on the scheduler's
+// single runner, interleaved fairly with interactive queries.
+func (sub *srvSub) runRound() {
+	sub.mu.Lock()
+	if sub.dead {
+		sub.mu.Unlock()
+		return
+	}
+	target := sub.seq
+	prevDone := sub.doneSeq
+	round := sub.round
+	sub.round++
+	sub.queued = false
+	sub.mu.Unlock()
+
+	res, err := sub.stmt.QueryCtx(sub.srv.baseCtx, sub.opts)
+	if err != nil {
+		sub.fail(err)
+		return
+	}
+	deltas := sub.diff(res.Tuples)
+
+	sub.mu.Lock()
+	dead := sub.dead
+	sub.mu.Unlock()
+	if !dead {
+		rs := &rex.RoundStats{
+			Round:     round,
+			Strata:    len(res.Strata),
+			NewTuples: len(res.Tuples),
+			Deltas:    len(deltas),
+			Ingests:   int(target - prevDone),
+		}
+		// A write failure means the connection is gone; its read loop
+		// reaps the sub — waiters still get released below.
+		sent, werr := sub.conn.writeRows(sub.id, 0, round, deltas)
+		rs.BytesSent = sent
+		if werr == nil {
+			_ = sub.conn.writeBoundary(sub.id, round, &srvproto.Trailer{Round: rs})
+		}
+		sub.mu.Lock()
+		sub.lastStats = rs
+		sub.mu.Unlock()
+	}
+
+	sub.mu.Lock()
+	sub.doneSeq = target
+	sub.cond.Broadcast()
+	sub.mu.Unlock()
+	sub.srv.stRounds.Add(1)
+}
+
+// diff computes the net change from the retained multiset to tuples and
+// retains the new multiset.
+func (sub *srvSub) diff(tuples []types.Tuple) []types.Delta {
+	next := make(map[string]*subEntry, len(tuples))
+	for _, t := range tuples {
+		k := string(types.AppendTuple(nil, t))
+		if e := next[k]; e != nil {
+			e.count++
+		} else {
+			next[k] = &subEntry{tup: t, count: 1}
+		}
+	}
+	var deltas []types.Delta
+	sub.mu.Lock()
+	prev := sub.last
+	sub.last = next
+	sub.mu.Unlock()
+	for k, e := range next {
+		old := 0
+		if p := prev[k]; p != nil {
+			old = p.count
+		}
+		for i := old; i < e.count; i++ {
+			deltas = append(deltas, types.Insert(e.tup))
+		}
+	}
+	for k, p := range prev {
+		cur := 0
+		if e := next[k]; e != nil {
+			cur = e.count
+		}
+		for i := cur; i < p.count; i++ {
+			deltas = append(deltas, types.Delete(p.tup))
+		}
+	}
+	return deltas
+}
+
+// fail tears the sub down with an error frame.
+func (sub *srvSub) fail(err error) {
+	if !sub.kill() {
+		return
+	}
+	sub.conn.writeErr(sub.id, err)
+	sub.conn.removeSub(sub.id)
+	sub.srv.unregisterSub(sub)
+}
+
+// unsubscribe tears the sub down cleanly (client cancel): the stream ends
+// with a clean final frame, so the client reports a nil Err.
+func (sub *srvSub) unsubscribe() {
+	if !sub.kill() {
+		return
+	}
+	_ = sub.conn.writeClosed(sub.id, nil)
+	sub.conn.removeSub(sub.id)
+	sub.srv.unregisterSub(sub)
+}
+
+// reap tears the sub down silently (its connection is gone).
+func (sub *srvSub) reap() {
+	if !sub.kill() {
+		return
+	}
+	sub.srv.unregisterSub(sub)
+}
+
+// kill marks the sub dead and wakes waiters; false if already dead.
+func (sub *srvSub) kill() bool {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.dead {
+		return false
+	}
+	sub.dead = true
+	sub.cond.Broadcast()
+	return true
+}

@@ -33,7 +33,7 @@
 // and serving workloads prepare once, execute many times:
 //
 //	stmt, err := s.Prepare(`SELECT sum(tax) FROM lineitem WHERE linenumber > $1`)
-//	res, err := stmt.Query(int64(3))
+//	res, err := stmt.QueryCtx(ctx, rex.Options{}, int64(3))
 //
 // Standing queries keep the dataflow resident after the fixpoint closes:
 // base-table changes ingested through Insert/Delete/LoadDeltas run

@@ -1,6 +1,7 @@
 package rex
 
 import (
+	"context"
 	"testing"
 
 	"github.com/rex-data/rex/internal/datagen"
@@ -15,7 +16,7 @@ func TestClusterQuickstart(t *testing.T) {
 		rows = append(rows, NewTuple(int64(i), float64(i)))
 	}
 	c.MustLoad("items", rows)
-	res, err := c.Query(`SELECT sum(v), count(*) FROM items WHERE k >= 50`)
+	res, err := c.Session().QueryCtx(context.Background(), `SELECT sum(v), count(*) FROM items WHERE k >= 50`, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestClusterCustomHandlersRecursive(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err := c.QueryWithOptions(`
+	res, err := c.Session().QueryCtx(context.Background(), `
 WITH SP (srcId, dist) AS (
   SELECT srcId, dist FROM seed
 ) UNION ALL UNTIL FIXPOINT BY srcId USING keepmin (
@@ -100,7 +101,7 @@ func TestRegisterFuncAndUse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Query(`SELECT sq(x) FROM t`)
+	res, err := c.Session().QueryCtx(context.Background(), `SELECT sq(x) FROM t`, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

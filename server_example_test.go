@@ -1,0 +1,79 @@
+package rex_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/rex-data/rex"
+	"github.com/rex-data/rex/internal/server"
+)
+
+// Example_serverMode runs a rexd server in-process and connects two
+// client sessions to it — the deployment shape `cmd/rexd` serves over
+// real machine boundaries. Both clients send the same query text, so the
+// server compiles it once into the shared plan cache and the second
+// session's execution is a cache hit.
+func Example_serverMode() {
+	ctx := context.Background()
+
+	// Production deployments start this as its own process:
+	//
+	//	rexd -listen 127.0.0.1:7400 -stats 127.0.0.1:7401
+	srv, err := server.New(server.Config{Nodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Clients open ordinary sessions against the server address; every
+	// Session API — QueryCtx, Stream, Prepare, Subscribe, Insert — routes
+	// over the connection.
+	addr := ln.Addr().String()
+	alice, err := rex.Open(ctx, rex.WithServer(addr))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+	if err := alice.CreateTable("items", rex.Schema("k:Integer", "v:Double"), 0); err != nil {
+		log.Fatal(err)
+	}
+	var rows []rex.Tuple
+	for i := 0; i < 100; i++ {
+		rows = append(rows, rex.NewTuple(int64(i), float64(i)))
+	}
+	if err := alice.Load("items", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	bob, err := rex.Open(ctx, rex.WithServer(addr))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+
+	const q = `SELECT count(*) FROM items WHERE k >= 50`
+	for _, sess := range []*rex.Session{alice, bob} {
+		res, err := sess.QueryCtx(ctx, q, rex.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("count=%v\n", res.Tuples[0][0])
+	}
+
+	// The server's counters show one compile serving both sessions.
+	stats, err := alice.ServerStats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("queries=%d compiles=%d hits>0=%v\n",
+		stats.Queries, stats.Compiles, stats.PlanCacheHits > 0)
+	// Output:
+	// count=50
+	// count=50
+	// queries=2 compiles=1 hits>0=true
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/rex-data/rex/internal/expr"
 	"github.com/rex-data/rex/internal/job"
 	"github.com/rex-data/rex/internal/rql"
+	"github.com/rex-data/rex/internal/srvproto"
 	"github.com/rex-data/rex/internal/storage"
 	"github.com/rex-data/rex/internal/types"
 	"github.com/rex-data/rex/internal/uda"
@@ -39,6 +40,9 @@ type config struct {
 
 	// handlers names a delta-handler bundle registered on every process.
 	handlers string
+
+	// serverAddr selects the rexd client transport (WithServer).
+	serverAddr string
 }
 
 // Option configures Open.
@@ -94,6 +98,19 @@ func WithDataset(name string, size int, seed int64) Option {
 	return func(c *config) { c.dataset = name; c.datasetSize = size; c.datasetSeed = seed }
 }
 
+// WithServer connects the session to a running rexd query server
+// (cmd/rexd) instead of owning an engine: Query/Stream/Prepare/Subscribe
+// and the ingestion APIs route transparently over one multiplexed
+// connection, and the server schedules the work on its shared worker
+// pool alongside every other client session. The server owns the
+// catalog, datasets, and handler bundles, so WithServer cannot be
+// combined with the engine-shaping options (WithInProc, WithTCPPeers,
+// WithAutoSpawn, WithDataset, WithHandlers). Admission rejections
+// surface as ErrServerBusy.
+func WithServer(addr string) Option {
+	return func(c *config) { c.serverAddr = addr }
+}
+
 // WithHandlers registers a named delta-handler bundle ("pagerank",
 // "sssp-inc") at Open. Go closures cannot cross process boundaries, so TCP
 // sessions can only use handlers both sides know by name: the bundle name
@@ -123,6 +140,9 @@ type Session struct {
 	// bundle) for driver-side validation — built once at Open; the daemons
 	// rebuild their real catalogs per job.
 	schemaCat *catalog.Catalog
+
+	// server sessions (WithServer): the multiplexed rexd connection.
+	srv *serverConn
 
 	// streamMu guards stream and sub — whichever currently holds mu (see
 	// unlockWhenDone / adoptStanding). Close cancels them so an abandoned
@@ -201,6 +221,9 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 	if cfg.inproc && (len(cfg.peers) > 0 || cfg.autospawn > 0) {
 		return nil, fmt.Errorf("rex: WithInProc cannot be combined with WithTCPPeers/WithAutoSpawn")
 	}
+	if cfg.serverAddr != "" && (cfg.inproc || len(cfg.peers) > 0 || cfg.autospawn > 0 || cfg.dataset != "" || cfg.handlers != "") {
+		return nil, fmt.Errorf("rex: WithServer cannot be combined with engine options (the rexd server owns the pool, datasets, and handlers)")
+	}
 	if cfg.spawnBin != "" && cfg.autospawn == 0 {
 		return nil, fmt.Errorf("rex: WithSpawnCommand requires WithAutoSpawn")
 	}
@@ -213,6 +236,12 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 	}
 	s := &Session{cfg: cfg}
 	switch {
+	case cfg.serverAddr != "":
+		srv, err := dialServer(ctx, cfg.serverAddr)
+		if err != nil {
+			return nil, err
+		}
+		s.srv = srv
 	case len(cfg.peers) > 0:
 		jc, err := job.Connect(cfg.peers)
 		if err != nil {
@@ -297,25 +326,34 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
-	if s.jc != nil {
+	switch {
+	case s.srv != nil:
+		return s.srv.close()
+	case s.jc != nil:
 		s.jc.Close()
 		return nil
+	default:
+		return s.eng.Transport.Close()
 	}
-	return s.eng.Transport.Close()
 }
 
-// lock acquires the session for one query, rejecting closed sessions.
+// lock acquires the session for one query, rejecting closed sessions
+// with ErrSessionClosed.
 func (s *Session) lock() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return fmt.Errorf("rex: session is closed")
+		return ErrSessionClosed
 	}
 	return nil
 }
 
-// Nodes reports the worker count.
+// Nodes reports the worker count (the server's pool size on a server
+// session).
 func (s *Session) Nodes() int {
+	if s.srv != nil {
+		return s.srv.nodes
+	}
 	if s.jc != nil {
 		return len(s.jc.Addrs())
 	}
@@ -342,18 +380,48 @@ func (s *Session) Engine() *exec.Engine { return s.eng }
 
 // inprocOnly guards the APIs that need local storage and a local catalog.
 func (s *Session) inprocOnly(what string) error {
+	if s.srv != nil {
+		return fmt.Errorf("rex: %s is not available on a server session (the rexd server owns the catalog and engine)", what)
+	}
 	if s.jc != nil {
 		return fmt.Errorf("rex: %s is not available on a TCP session (workers rebuild state from job specs; stage data with WithDataset or run a Workload)", what)
 	}
 	return nil
 }
 
-// CreateTable declares a table hash-partitioned by the given column.
+// CreateTable declares a table hash-partitioned by the given column. On
+// a server session the declaration lands in the server's shared catalog
+// (and bumps its version, invalidating cached plans).
 func (s *Session) CreateTable(name string, schema *types.Schema, partitionKey int) error {
+	if s.srv != nil {
+		fields := make([]string, schema.Len())
+		for i, f := range schema.Fields {
+			fields[i] = f.Name + ":" + f.Kind.String()
+		}
+		_, err := s.srv.roundTrip(context.Background(), srvproto.Request{
+			Op: srvproto.OpCreateTable, Table: name, Fields: fields, Key: partitionKey,
+		})
+		return err
+	}
 	if err := s.inprocOnly("CreateTable"); err != nil {
 		return err
 	}
 	return s.cat.AddTable(&catalog.Table{Name: name, Schema: schema, PartitionKey: partitionKey})
+}
+
+// CatalogVersion reports the session's schema version: the catalog's on
+// an in-process session, the staged schema catalog's over TCP, 0 on a
+// server session (the server tracks its own; see ServerStats). Plan
+// caches key on it.
+func (s *Session) CatalogVersion() int64 {
+	switch {
+	case s.cat != nil:
+		return s.cat.Version()
+	case s.schemaCat != nil:
+		return s.schemaCat.Version()
+	default:
+		return 0
+	}
 }
 
 // Load distributes tuples into the table's replicated partitions. It works
@@ -362,7 +430,7 @@ func (s *Session) CreateTable(name string, schema *types.Schema, partitionKey in
 // every subsequent job replays into the daemons' regenerated tables; with
 // a live subscription the load runs as an incremental ingestion round.
 func (s *Session) Load(table string, tuples []Tuple) error {
-	if s.jc == nil && s.liveSub() == nil {
+	if s.jc == nil && s.srv == nil && s.liveSub() == nil {
 		if err := s.lock(); err != nil {
 			return err
 		}
@@ -438,6 +506,22 @@ func (s *Session) Ingests(batches map[string][]Delta) (*IngestAck, error) {
 		return exec.ResolvedAck(nil, nil), nil
 	}
 	sort.Strings(names)
+	if s.srv != nil {
+		// Server sessions ship every ingest over the wire — the server
+		// applies it to the shared pool, fans it out to standing queries,
+		// and replies once every covering round completed, so the returned
+		// ack is already resolved (with the requester's own covering round
+		// stats when it holds a subscription).
+		m := make(map[string][]types.Delta, len(names))
+		for _, table := range names {
+			m[table] = batches[table]
+		}
+		tr, err := s.srv.ingest(context.Background(), m)
+		if err != nil {
+			return nil, err
+		}
+		return exec.ResolvedAck(tr.Round, nil), nil
+	}
 	if sub := s.liveSub(); sub != nil {
 		m := make(map[string][]types.Delta, len(names))
 		for _, table := range names {
@@ -663,6 +747,9 @@ func (s *Session) WhileHandler(name string,
 }
 
 // Query compiles and executes an RQL query with default options.
+//
+// Deprecated: use QueryCtx — the canonical, context-first entry point.
+// Query is a thin wrapper kept for source compatibility.
 func (s *Session) Query(src string) (*Result, error) {
 	return s.QueryCtx(context.Background(), src, Options{})
 }
@@ -672,8 +759,14 @@ func (s *Session) Query(src string) (*Result, error) {
 // context.Canceled / DeadlineExceeded, and the session stays usable for
 // the next query. When no failure recovery is requested the execution
 // streams internally — per-stratum delta batches are folded as they
-// arrive instead of the full result set buffering in the requestor.
+// arrive instead of the full result set buffering in the requestor. It is
+// the canonical query entry point on every transport; on a server session
+// the text ships to the rexd server, which executes it from its shared
+// plan cache.
 func (s *Session) QueryCtx(ctx context.Context, src string, opts Options) (*Result, error) {
+	if s.srv != nil {
+		return s.serverQuery(ctx, src, nil, opts)
+	}
 	if s.jc != nil {
 		spec, err := s.rqlSpec(src, opts)
 		if err != nil {
@@ -693,6 +786,9 @@ func (s *Session) QueryCtx(ctx context.Context, src string, opts Options) (*Resu
 }
 
 // QueryWithOptions is QueryCtx with a background context.
+//
+// Deprecated: use QueryCtx — the canonical, context-first entry point.
+// QueryWithOptions is a thin wrapper kept for source compatibility.
 func (s *Session) QueryWithOptions(src string, opts Options) (*Result, error) {
 	return s.QueryCtx(context.Background(), src, opts)
 }
@@ -716,6 +812,9 @@ func (s *Session) RunPlan(ctx context.Context, plan *exec.PlanSpec, opts Options
 // full result set. Works on both transports. The stream must be consumed
 // or Closed; Query is the convenience wrapper that drains it.
 func (s *Session) Stream(ctx context.Context, src string, opts Options) (*DeltaStream, error) {
+	if s.srv != nil {
+		return s.serverStream(ctx, src, nil, opts)
+	}
 	if s.jc != nil {
 		spec, err := s.rqlSpec(src, opts)
 		if err != nil {
@@ -758,6 +857,9 @@ func (s *Session) StreamPlan(ctx context.Context, plan *exec.PlanSpec, opts Opti
 // directly comparable across transports. tune, when non-nil, adjusts the
 // driver-side options (recovery strategy, stratum hooks) before the run.
 func (s *Session) RunWorkload(ctx context.Context, w *Workload, tune func(*Options)) (*Result, error) {
+	if s.srv != nil {
+		return nil, fmt.Errorf("rex: RunWorkload is not available on a server session (submit RQL; the server owns the pool)")
+	}
 	if err := s.lock(); err != nil {
 		return nil, err
 	}
@@ -771,6 +873,9 @@ func (s *Session) RunWorkload(ctx context.Context, w *Workload, tune func(*Optio
 
 // StreamWorkload is RunWorkload in streaming-result mode.
 func (s *Session) StreamWorkload(ctx context.Context, w *Workload, tune func(*Options)) (*DeltaStream, error) {
+	if s.srv != nil {
+		return nil, fmt.Errorf("rex: StreamWorkload is not available on a server session (submit RQL; the server owns the pool)")
+	}
 	if err := s.lock(); err != nil {
 		return nil, err
 	}
@@ -786,6 +891,9 @@ func (s *Session) StreamWorkload(ctx context.Context, w *Workload, tune func(*Op
 // remote daemon is told to drop traffic and pushes a final stats frame so
 // the dead node's traffic stays in the byte accounting.
 func (s *Session) Kill(node int) error {
+	if s.srv != nil {
+		return fmt.Errorf("rex: Kill is not available on a server session")
+	}
 	if node < 0 || node >= s.Nodes() {
 		return fmt.Errorf("rex: no node %d (cluster has %d)", node, s.Nodes())
 	}
@@ -795,6 +903,9 @@ func (s *Session) Kill(node int) error {
 
 // Revive restores a killed node so successive runs can reuse the session.
 func (s *Session) Revive(node int) error {
+	if s.srv != nil {
+		return fmt.Errorf("rex: Revive is not available on a server session")
+	}
 	if node < 0 || node >= s.Nodes() {
 		return fmt.Errorf("rex: no node %d (cluster has %d)", node, s.Nodes())
 	}
@@ -806,6 +917,9 @@ func (s *Session) Revive(node int) error {
 // wire bytes on both transports (socket bytes over TCP, after the
 // end-of-run metrics sync).
 func (s *Session) BytesShipped() int64 {
+	if s.srv != nil {
+		return 0 // the server's pool does the shipping; see ServerStats
+	}
 	return s.transport().Metrics().TotalBytesSent()
 }
 

@@ -213,7 +213,7 @@ func TestCancelledQueryCtxInProc(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 
-	res, err := sess.Query(`SELECT sum(v), count(*) FROM items`)
+	res, err := sess.QueryCtx(context.Background(), `SELECT sum(v), count(*) FROM items`, Options{})
 	if err != nil {
 		t.Fatalf("follow-up query: %v", err)
 	}
@@ -301,7 +301,7 @@ func TestPreparedStatements(t *testing.T) {
 			t.Fatalf("NumParams = %d, want 1", stmt.NumParams())
 		}
 		for _, min := range []int64{1, 3, 5} {
-			got, err := stmt.Query(min)
+			got, err := stmt.QueryCtx(ctx, Options{}, min)
 			if err != nil {
 				t.Fatalf("exec $1=%d: %v", min, err)
 			}
@@ -316,10 +316,10 @@ func TestPreparedStatements(t *testing.T) {
 			}
 		}
 		// Arity and kind errors.
-		if _, err := stmt.Query(); err == nil {
+		if _, err := stmt.QueryCtx(ctx, Options{}); err == nil {
 			t.Error("missing parameter must error")
 		}
-		if _, err := stmt.Query("nope"); err == nil {
+		if _, err := stmt.QueryCtx(ctx, Options{}, "nope"); err == nil {
 			t.Error("string for integer parameter must error")
 		}
 	}
@@ -417,7 +417,7 @@ func TestStreamPublicAPI(t *testing.T) {
 	ctx := context.Background()
 	sess, q := openChainSession(t)
 
-	want, err := sess.QueryWithOptions(q, Options{MaxStrata: 300})
+	want, err := sess.QueryCtx(ctx, q, Options{MaxStrata: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,7 +463,7 @@ func TestStreamPublicAPI(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	again, err := sess.QueryWithOptions(q, Options{MaxStrata: 300})
+	again, err := sess.QueryCtx(ctx, q, Options{MaxStrata: 300})
 	if err != nil {
 		t.Fatalf("query after abandoned stream: %v", err)
 	}

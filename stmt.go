@@ -6,6 +6,7 @@ import (
 
 	"github.com/rex-data/rex/internal/exec"
 	"github.com/rex-data/rex/internal/rql"
+	"github.com/rex-data/rex/internal/srvproto"
 )
 
 // Stmt is a prepared RQL statement: the query is parsed, bound, and
@@ -18,7 +19,10 @@ import (
 // On a TCP session plans cannot ship across the wire (every daemon
 // recompiles from the job spec), so Prepare validates and plans once
 // driver-side and each execution binds the values into the query text as
-// literals instead.
+// literals instead. On a server session the statement compiles into the
+// rexd server's shared plan cache, and executions ship the text plus the
+// bound argument values — the cached plan is keyed by the text alone, so
+// every execution of the statement, whatever its arguments, reuses it.
 type Stmt struct {
 	sess *Session
 	src  string
@@ -29,11 +33,24 @@ type Stmt struct {
 	// surface driver-side before anything executes.
 	plan *exec.PlanSpec
 	prep *rql.Prepared
+
+	// remote marks a server-session statement; nparams is the parameter
+	// count the server reported at Prepare (argument kinds are checked
+	// server-side at bind time).
+	remote  bool
+	nparams int
 }
 
 // Prepare compiles an RQL statement with $N placeholders for repeated
 // execution.
 func (s *Session) Prepare(src string) (*Stmt, error) {
+	if s.srv != nil {
+		tr, err := s.srv.roundTrip(context.Background(), srvproto.Request{Op: srvproto.OpPrepare, Src: src})
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{sess: s, src: src, remote: true, nparams: tr.NumParams}, nil
+	}
 	if s.jc != nil {
 		// Validate against the session's schema catalog, staged at Open
 		// like the daemons' (dataset schemas plus the handler bundle).
@@ -54,10 +71,18 @@ func (s *Session) Prepare(src string) (*Stmt, error) {
 }
 
 // NumParams reports the statement's placeholder count.
-func (st *Stmt) NumParams() int { return st.prep.NumParams() }
+func (st *Stmt) NumParams() int {
+	if st.remote {
+		return st.nparams
+	}
+	return st.prep.NumParams()
+}
 
 // Query executes the statement with the given parameter values and
 // default options.
+//
+// Deprecated: use QueryCtx — the canonical, context-first entry point.
+// Query is a thin wrapper kept for source compatibility.
 func (st *Stmt) Query(args ...Value) (*Result, error) {
 	return st.QueryCtx(context.Background(), Options{}, args...)
 }
@@ -66,6 +91,12 @@ func (st *Stmt) Query(args ...Value) (*Result, error) {
 // and parameter values.
 func (st *Stmt) QueryCtx(ctx context.Context, opts Options, args ...Value) (*Result, error) {
 	s := st.sess
+	if st.remote {
+		if err := st.checkRemoteArgs(args); err != nil {
+			return nil, err
+		}
+		return s.serverQuery(ctx, st.src, args, opts)
+	}
 	if s.jc != nil {
 		src, err := st.bindText(args)
 		if err != nil {
@@ -91,6 +122,12 @@ func (st *Stmt) QueryCtx(ctx context.Context, opts Options, args ...Value) (*Res
 // Session.Stream).
 func (st *Stmt) StreamCtx(ctx context.Context, opts Options, args ...Value) (*DeltaStream, error) {
 	s := st.sess
+	if st.remote {
+		if err := st.checkRemoteArgs(args); err != nil {
+			return nil, err
+		}
+		return s.serverStream(ctx, st.src, args, opts)
+	}
 	if s.jc != nil {
 		src, err := st.bindText(args)
 		if err != nil {
@@ -115,6 +152,15 @@ func (st *Stmt) StreamCtx(ctx context.Context, opts Options, args ...Value) (*De
 	}
 	stream, err := s.eng.Stream(ctx, st.plan, opts)
 	return s.unlockWhenDone(stream, err)
+}
+
+// checkRemoteArgs enforces the arity the server reported; value kinds
+// are checked server-side when the cached plan binds them.
+func (st *Stmt) checkRemoteArgs(args []Value) error {
+	if len(args) != st.nparams {
+		return fmt.Errorf("rex: statement wants %d parameters, got %d", st.nparams, len(args))
+	}
+	return nil
 }
 
 // bindText typechecks args against the inferred parameter kinds and

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/rex-data/rex/internal/exec"
 	"github.com/rex-data/rex/internal/rql"
+	"github.com/rex-data/rex/internal/srvproto"
 	"github.com/rex-data/rex/internal/types"
 )
 
@@ -31,19 +33,38 @@ type IngestAck = exec.IngestAck
 // stream in order always reproduces what a from-scratch Query over the
 // revised base tables would return.
 //
+// On a server session the dataflow lives in the rexd server: the initial
+// result arrives as round 0 and every covering ingestion round streams
+// its net-change deltas over the connection, interleaved fairly with
+// other clients' queries on the shared pool.
+//
 // A subscription owns the session while live: other queries on the session
 // wait (or fail at Close) until the subscription is closed.
 type Subscription struct {
 	sess *Session
 	sq   *exec.StandingQuery
+
+	// server-session (remote) form: the round-tagged delta stream fed by
+	// the connection's read loop, and the round stats its boundary frames
+	// carried.
+	st        *exec.ResultStream
+	roundsMu  sync.Mutex
+	rounds    []RoundStats
+	ready     chan error
+	readyOnce sync.Once
 }
 
 // Subscribe compiles src, executes its initial fixpoint, and returns the
-// live subscription. Works on both transports: in-process the session
+// live subscription. Works on every transport: in-process the session
 // engine's workers stay resident; over TCP every rexnode daemon keeps its
-// job alive and ingestion rounds travel as MsgIngest wire frames. Standing
-// queries reject failure-recovery and checkpoint options.
+// job alive and ingestion rounds travel as MsgIngest wire frames; on a
+// server session the rexd server keeps the standing state and streams
+// each round back. Standing queries reject failure-recovery and
+// checkpoint options.
 func (s *Session) Subscribe(ctx context.Context, src string, opts Options) (*Subscription, error) {
+	if s.srv != nil {
+		return s.subscribeServer(ctx, src, opts)
+	}
 	if s.jc != nil {
 		spec, err := s.rqlSpec(src, opts)
 		if err != nil {
@@ -64,6 +85,71 @@ func (s *Session) Subscribe(ctx context.Context, src string, opts Options) (*Sub
 	}
 	sq, err := s.eng.Standing(ctx, plan, opts)
 	return s.adoptStanding(sq, err)
+}
+
+// subscribeServer installs a standing query on the rexd server. The call
+// returns once the server finished the initial round (its batches are
+// buffered on Stream by then) — compile errors and unknown tables
+// surface here, not on first read.
+func (s *Session) subscribeServer(ctx context.Context, src string, opts Options) (*Subscription, error) {
+	if err := serverUnsupported(opts); err != nil {
+		return nil, err
+	}
+	req := srvproto.Request{Op: srvproto.OpSubscribe, Src: src, Opts: wireOpts(opts)}
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	sub := &Subscription{sess: s, ready: make(chan error, 1)}
+	st, err := s.srv.openStream(ctx, req, sub.addRound)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	sub.st = st
+	go func() {
+		<-st.Done()
+		sub.signalReady(st.Err())
+	}()
+	select {
+	case err := <-sub.ready:
+		if err != nil {
+			st.Close()
+			s.mu.Unlock()
+			return nil, err
+		}
+	case <-ctx.Done():
+		st.Close() // cancels the request; the server tears the sub down
+		s.mu.Unlock()
+		return nil, ctx.Err()
+	}
+	// Initial round done: hand the session lock to the live subscription,
+	// exactly like adoptStanding.
+	s.streamMu.Lock()
+	s.sub = sub
+	s.streamMu.Unlock()
+	go func() {
+		<-st.Done()
+		s.streamMu.Lock()
+		if s.sub == sub {
+			s.sub = nil
+		}
+		s.streamMu.Unlock()
+		s.mu.Unlock()
+	}()
+	return sub, nil
+}
+
+// addRound records a remote round's statistics (the connection read loop
+// calls it on round-boundary frames); the first round readies Subscribe.
+func (sub *Subscription) addRound(rs RoundStats) {
+	sub.roundsMu.Lock()
+	sub.rounds = append(sub.rounds, rs)
+	sub.roundsMu.Unlock()
+	sub.signalReady(nil)
+}
+
+func (sub *Subscription) signalReady(err error) {
+	sub.readyOnce.Do(func() { sub.ready <- err })
 }
 
 // adoptStanding hands the session lock to a live subscription (released at
@@ -122,12 +208,24 @@ func (s *Session) liveSub() *Subscription {
 // unbounded, so one goroutine may alternate ingestion and consumption
 // (TryNext drains exactly what a completed round buffered). The stream
 // ends when the subscription closes.
-func (sub *Subscription) Stream() *DeltaStream { return sub.sq.Stream() }
+func (sub *Subscription) Stream() *DeltaStream {
+	if sub.sq != nil {
+		return sub.sq.Stream()
+	}
+	return sub.st
+}
 
 // Rounds returns per-round statistics, the initial fixpoint included:
 // strata run, deltas emitted, and — the serving metric — the round's
 // measured wire bytes, to hold against a from-scratch recompute's.
-func (sub *Subscription) Rounds() []RoundStats { return sub.sq.Rounds() }
+func (sub *Subscription) Rounds() []RoundStats {
+	if sub.sq != nil {
+		return sub.sq.Rounds()
+	}
+	sub.roundsMu.Lock()
+	defer sub.roundsMu.Unlock()
+	return append([]RoundStats(nil), sub.rounds...)
+}
 
 // Ingest applies base-table deltas and runs (or joins) one incremental
 // round, returning its stats once the fixpoint closes (all of the round's
@@ -138,6 +236,13 @@ func (sub *Subscription) Ingest(ctx context.Context, table string, deltas []Delt
 	if len(deltas) == 0 {
 		return nil, fmt.Errorf("rex: ingest into %s: empty delta batch", table)
 	}
+	if sub.sq == nil {
+		tr, err := sub.sess.srv.ingest(ctx, map[string][]types.Delta{table: deltas})
+		if err != nil {
+			return nil, err
+		}
+		return tr.Round, nil
+	}
 	return sub.sq.Ingest(ctx, map[string][]types.Delta{table: deltas})
 }
 
@@ -145,12 +250,14 @@ func (sub *Subscription) Ingest(ctx context.Context, table string, deltas []Delt
 // resolves when the covering round completes. Requests enqueued while a
 // round is running coalesce — their deltas fold through the shuffle
 // compactor into a single follow-up round — so a burst of small writes
-// costs one fixpoint, not one per write. Safe for concurrent callers.
+// costs one fixpoint, not one per write. Safe for concurrent callers. On
+// a server session the request travels synchronously and the returned ack
+// is already resolved (coalescing happens server-side, across clients).
 func (sub *Subscription) IngestAsync(table string, deltas []Delta) (*IngestAck, error) {
 	if len(deltas) == 0 {
 		return nil, fmt.Errorf("rex: ingest into %s: empty delta batch", table)
 	}
-	return sub.sq.IngestAsync(map[string][]types.Delta{table: deltas})
+	return sub.ingestAsync(map[string][]types.Delta{table: deltas})
 }
 
 // Ingests is the multi-table batched form of IngestAsync: every table's
@@ -165,16 +272,46 @@ func (sub *Subscription) Ingests(batches map[string][]Delta) (*IngestAck, error)
 	if len(m) == 0 {
 		return nil, fmt.Errorf("rex: ingest: empty delta batch")
 	}
+	return sub.ingestAsync(m)
+}
+
+func (sub *Subscription) ingestAsync(m map[string][]types.Delta) (*IngestAck, error) {
+	if sub.sq == nil {
+		tr, err := sub.sess.srv.ingest(context.Background(), m)
+		if err != nil {
+			return nil, err
+		}
+		return exec.ResolvedAck(tr.Round, nil), nil
+	}
 	return sub.sq.IngestAsync(m)
 }
 
 // Err reports the subscription's terminal error once it is closed; a
 // deliberate Close reports nil.
-func (sub *Subscription) Err() error { return sub.sq.Err() }
+func (sub *Subscription) Err() error {
+	if sub.sq != nil {
+		return sub.sq.Err()
+	}
+	return sub.st.Err()
+}
 
 // Done is closed when the subscription has fully torn down.
-func (sub *Subscription) Done() <-chan struct{} { return sub.sq.Done() }
+func (sub *Subscription) Done() <-chan struct{} {
+	if sub.sq != nil {
+		return sub.sq.Done()
+	}
+	return sub.st.Done()
+}
 
 // Close tears the standing dataflow down and releases the session for
 // other queries. The stream ends after its buffered batches are consumed.
-func (sub *Subscription) Close() error { return sub.sq.Close() }
+func (sub *Subscription) Close() error {
+	if sub.sq != nil {
+		return sub.sq.Close()
+	}
+	// Cancelling the request unsubscribes server-side; the server answers
+	// with a clean final frame, which ends the stream. Detach (not Close)
+	// keeps the already-streamed rounds readable for a post-close fold,
+	// matching the in-process standing-query contract.
+	return sub.st.Detach()
+}

@@ -109,7 +109,7 @@ func subscribeSSSP(t *testing.T, opts ...Option) (string, []RoundStats) {
 	// The session must serve ordinary queries again, over the REVISED base
 	// tables: in-process the stores absorbed the deltas, over TCP the next
 	// job replays the session's change log.
-	res, err := sess.Query(algos.IncSSSPQuery)
+	res, err := sess.QueryCtx(context.Background(), algos.IncSSSPQuery, Options{})
 	if err != nil {
 		t.Fatalf("query after subscription: %v", err)
 	}
@@ -135,7 +135,7 @@ func recomputeSSSP(t *testing.T) (string, int64) {
 			t.Fatal(err)
 		}
 	}
-	res, err := sess.Query(algos.IncSSSPQuery)
+	res, err := sess.QueryCtx(context.Background(), algos.IncSSSPQuery, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestSubscribeAggBothTransports(t *testing.T) {
 		if err := sub.Close(); err != nil {
 			t.Fatal(err)
 		}
-		res, err := sess.Query(q)
+		res, err := sess.QueryCtx(context.Background(), q, Options{})
 		if err != nil {
 			t.Fatalf("query after subscription: %v", err)
 		}
