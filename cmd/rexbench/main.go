@@ -166,6 +166,17 @@ func run(sc bench.Scale, record *bench.CIRecord, transport, peers, exp, jsonPath
 	}
 	record.Suite = suite
 
+	// Shuffle inner-loop benchmark: row vs columnar decode→route→encode.
+	// Pure CPU work, identical on every backend — measured once, on the
+	// inproc record.
+	if transport == "inproc" {
+		inner, err := bench.InnerLoopBench(os.Stdout)
+		if err != nil {
+			return fmt.Errorf("inner-loop benchmark: %w", err)
+		}
+		record.InnerLoop = inner
+	}
+
 	// Standing-query suite: resident dataflow + incremental ingestion vs
 	// from-scratch recompute, on the same backend. It opens its own
 	// session (auto-spawning fresh daemons when no peers were given — this

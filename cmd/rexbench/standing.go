@@ -294,6 +294,9 @@ func standingChurnSuite(w io.Writer, sc bench.Scale, transport, peers string, si
 	if row.FoldedDeltas > 0 {
 		row.CoalesceRatio = float64(row.StagedDeltas) / float64(row.FoldedDeltas)
 	}
+	if row.Millis > 0 {
+		row.RowsPerSec = float64(row.StagedDeltas) / (row.Millis / 1000)
+	}
 
 	// The scenario's gates: identical folded streams, measurably fewer
 	// rounds than ingests, and coalesced rounds shipping no more bytes

@@ -19,8 +19,10 @@ import (
 // History: 1 = unversioned PR 1 records; 2 = adds schema_version, go,
 // commit, and the standing-query section; 3 = adds the write-heavy churn
 // scenario's coalescing fields (ingests, staged/folded deltas,
-// coalesce_ratio, sequential_bytes).
-const CISchemaVersion = 3
+// coalesce_ratio, sequential_bytes); 4 = adds the inner_loop section
+// (rows_per_sec, allocs_per_round, heap_growth_bytes), the suite rows'
+// row_path_hash (vectorization off), and the churn row's rows_per_sec.
+const CISchemaVersion = 4
 
 // CIRecord is the top-level JSON document.
 type CIRecord struct {
@@ -43,6 +45,10 @@ type CIRecord struct {
 	// Standing holds the standing-query (incremental view maintenance)
 	// measurements; result hashes must also agree across transports.
 	Standing []CIStanding `json:"standing,omitempty"`
+	// InnerLoop holds the shuffle inner-loop measurements (row vs
+	// columnar); CI gates on the vector/row rows_per_sec ratio and on
+	// steady-state heap growth staying at zero.
+	InnerLoop []CIInnerLoop `json:"inner_loop,omitempty"`
 }
 
 // CIStanding records one standing-query measurement (produced by the
@@ -81,6 +87,10 @@ type CIStanding struct {
 	FoldedDeltas    int     `json:"folded_deltas,omitempty"`
 	CoalesceRatio   float64 `json:"coalesce_ratio,omitempty"`
 	SequentialBytes int64   `json:"sequential_bytes,omitempty"`
+	// RowsPerSec is staged deltas applied per second of coalesced wall
+	// time (churn row only); the bench-trend gate holds it against the
+	// committed bench/baseline.json floor.
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
 }
 
 // CIExperiment records one figure run.
@@ -92,16 +102,22 @@ type CIExperiment struct {
 // CIWire records one wire-traffic measurement: measured frame bytes and
 // the shuffle compactor's delta counts for a workload at this scale.
 type CIWire struct {
-	Workload   string  `json:"workload"`
-	Transport  string  `json:"transport,omitempty"`
-	Compaction bool    `json:"compaction"`
-	WireBytes  int64   `json:"wire_bytes"`
-	DeltasIn   int64   `json:"deltas_in"`
-	DeltasOut  int64   `json:"deltas_out"`
-	ResultRows int     `json:"result_rows"`
-	Strata     int     `json:"strata,omitempty"`
-	ResultHash string  `json:"result_hash,omitempty"`
-	Millis     float64 `json:"ms"`
+	Workload   string `json:"workload"`
+	Transport  string `json:"transport,omitempty"`
+	Compaction bool   `json:"compaction"`
+	WireBytes  int64  `json:"wire_bytes"`
+	DeltasIn   int64  `json:"deltas_in"`
+	DeltasOut  int64  `json:"deltas_out"`
+	ResultRows int    `json:"result_rows"`
+	Strata     int    `json:"strata,omitempty"`
+	ResultHash string `json:"result_hash,omitempty"`
+	// RowPathHash is the same workload re-run with vectorization off
+	// (NoVectorize); it must equal ResultHash — the vector operators and
+	// columnar wire path change nothing observable. RowPathMillis is that
+	// run's wall time, the end-to-end A/B against Millis.
+	RowPathHash   string  `json:"row_path_hash,omitempty"`
+	RowPathMillis float64 `json:"row_path_ms,omitempty"`
+	Millis        float64 `json:"ms"`
 }
 
 // WireBench measures SSSP and PageRank wire traffic on the DBPedia-like

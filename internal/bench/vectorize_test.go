@@ -1,0 +1,39 @@
+package bench
+
+// Vector-vs-row equivalence: every workload of the transport suite must
+// produce the identical result hash with vectorization on and off, with
+// and without the shuffle compactor. This is the engine-level property
+// behind the columnar fast paths — they change throughput, never results.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rex-data/rex/internal/exec"
+	"github.com/rex-data/rex/internal/job"
+)
+
+func TestVectorizeModesHashIdentical(t *testing.T) {
+	sc := Scale{Nodes: 4, DBPediaVertices: 800, GeoBasePoints: 150, Epsilon: 0.001}
+	for _, spec := range SuiteSpecs(sc) {
+		hashes := map[string]string{}
+		for _, compaction := range []bool{false, true} {
+			for _, novec := range []bool{false, true} {
+				s := *spec
+				s.Compaction = compaction
+				s.NoVectorize = novec
+				res, err := job.RunInProc(&s, func(o *exec.Options) {})
+				if err != nil {
+					t.Fatalf("%s compaction=%v novec=%v: %v", spec.Workload, compaction, novec, err)
+				}
+				hashes[fmt.Sprintf("compaction=%v novec=%v", compaction, novec)] = ResultHash(res.Tuples)
+			}
+		}
+		want := hashes["compaction=true novec=true"]
+		for mode, h := range hashes {
+			if h != want {
+				t.Errorf("%s: %s hashed %s, want %s", spec.Workload, mode, h, want)
+			}
+		}
+	}
+}

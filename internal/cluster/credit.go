@@ -1,6 +1,9 @@
 package cluster
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Credit-based flow control for the shuffle path. The old backpressure
 // signal — a sender probing the destination mailbox's depth — only worked
@@ -86,13 +89,118 @@ func (b *creditBook) reset() {
 
 // observe applies one delivered frame's flow-control side effects to the
 // book: punctuation grants install windows, start/round barriers reset
-// them. Called by both transports on the receiving side of a link.
+// them. Called by both transports on the receiving side of a link —
+// including the requestor's side, where MsgCreditAck grants (From=worker,
+// To=-1) re-arm the standing-query pump's MsgIngest staging windows.
 func (b *creditBook) observe(msg Message) {
 	switch {
 	case msg.Kind == MsgStart || msg.Kind == MsgRound:
 		b.reset()
 	case msg.CreditGrant && msg.From >= 0:
-		// From punctuated; To is being granted a window for sending back.
+		// From punctuated (or acked); To is being granted a window for
+		// sending back.
 		b.grant(msg.To, msg.From, msg.Credits)
 	}
+}
+
+// Adaptive credit windows. A static high-water constant sizes every grant
+// the same regardless of how fast the receiver actually drains; the
+// DrainMeter replaces it with a measured signal. Each worker meters the
+// deltas it applies between punctuation marks, folds the instantaneous
+// rate into an EWMA, and sizes outgoing grants as "the number of batches
+// I can absorb over the next horizon". Fast consumers open senders up;
+// slow ones throttle them early — before the inbox backlog the old
+// constant reacted to has even formed.
+const (
+	// MinCreditWindow / MaxCreditWindow clamp adaptive grants: the floor
+	// keeps a momentarily idle (zero-rate) receiver from closing a link
+	// entirely, the ceiling bounds in-flight volume per link no matter
+	// how fast the drain looks.
+	MinCreditWindow = 2
+	MaxCreditWindow = 256
+
+	// drainAlpha is the EWMA smoothing factor for the drain rate.
+	drainAlpha = 0.3
+	// drainHorizon is how far ahead a grant provisions: a window covers
+	// the deltas the receiver expects to absorb over this span.
+	drainHorizon = 100 * time.Millisecond
+	// drainMinSample ignores punctuation intervals too short to divide
+	// by meaningfully; their deltas roll into the next interval.
+	drainMinSample = 2 * time.Millisecond
+)
+
+// DrainMeter measures one worker's delta drain rate: an EWMA of deltas
+// applied per unit time between punctuation marks. Workers keep one per
+// event loop and size every credit grant from it.
+type DrainMeter struct {
+	mu      sync.Mutex
+	applied int       // deltas applied since the last mark
+	last    time.Time // previous punctuation mark
+	rate    float64   // EWMA, deltas per second
+}
+
+// Observe records n deltas applied by the owning worker.
+func (m *DrainMeter) Observe(n int) {
+	m.mu.Lock()
+	m.applied += n
+	m.mu.Unlock()
+}
+
+// Mark folds the deltas applied since the previous mark into the EWMA
+// rate. Workers call it at punctuation boundaries — the protocol's
+// natural clock ticks.
+func (m *DrainMeter) Mark(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.last.IsZero() {
+		m.last = now
+		m.applied = 0
+		return
+	}
+	elapsed := now.Sub(m.last)
+	if elapsed < drainMinSample {
+		return // roll these deltas into the next interval
+	}
+	inst := float64(m.applied) / elapsed.Seconds()
+	if m.rate == 0 {
+		m.rate = inst
+	} else {
+		m.rate = drainAlpha*inst + (1-drainAlpha)*m.rate
+	}
+	m.last = now
+	m.applied = 0
+}
+
+// Rate reports the current EWMA drain rate in deltas per second (zero
+// before the first complete sample).
+func (m *DrainMeter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rate
+}
+
+// Window sizes a credit grant from the measured drain rate: the number
+// of batchSize-delta batches this worker expects to absorb over the
+// drain horizon, clamped to [MinCreditWindow, MaxCreditWindow]. Before
+// the first measurement it falls back to the caller's static default
+// (clamped the same way), so cold starts behave exactly like the old
+// high-water constant.
+func (m *DrainMeter) Window(batchSize, fallback int) int {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	m.mu.Lock()
+	rate := m.rate
+	m.mu.Unlock()
+	w := fallback
+	if rate > 0 {
+		w = int(rate * drainHorizon.Seconds() / float64(batchSize))
+	}
+	if w < MinCreditWindow {
+		w = MinCreditWindow
+	}
+	if w > MaxCreditWindow {
+		w = MaxCreditWindow
+	}
+	return w
 }

@@ -204,7 +204,10 @@ func (t *InProcTransport) SpendCredits(from, to NodeID, n int) {
 	t.credits.spend(from, to, n)
 }
 
-// SendToRequestor delivers a control frame to the requestor.
+// SendToRequestor delivers a control frame to the requestor. Requestor
+// deliveries observe the credit book the same way worker deliveries do,
+// so a worker's MsgCreditAck grant re-arms the standing-query pump's
+// staging window toward it.
 func (t *InProcTransport) SendToRequestor(msg Message) {
 	t.mu.Lock()
 	aliveFrom := msg.From < 0 || t.alive[msg.From]
@@ -212,6 +215,7 @@ func (t *InProcTransport) SendToRequestor(msg Message) {
 	if !aliveFrom {
 		return
 	}
+	t.credits.observe(msg)
 	t.requestor.Put(msg)
 }
 

@@ -373,6 +373,11 @@ func (t *TCPTransport) Send(msg Message) {
 		t.metrics.BytesSent[msg.From].Add(sz)
 		t.metrics.MessagesSent[msg.From].Add(1)
 		t.metrics.TuplesSent[msg.From].Add(int64(msg.Count))
+	} else if msg.Kind == MsgStart || msg.Kind == MsgRound {
+		// The driver never receives its own barriers, so reset its book
+		// (the requestor's MsgIngest staging windows) at send time — the
+		// same barrier semantics the workers' books observe on delivery.
+		t.credits.reset()
 	}
 	// A write error means the peer process is gone — the distributed
 	// analogue of a dropped frame. The sender already paid the bytes;
@@ -674,6 +679,10 @@ func (t *TCPTransport) deliver(msg Message, frameLen int, via *tcpConn) {
 			// dead node's traffic into the driver totals.
 			_ = t.applyStats(msg.From, msg.Payload)
 		}
+		// Flow-control side effects on the driver side: a worker's
+		// MsgCreditAck grant re-arms the requestor's MsgIngest staging
+		// window toward it.
+		t.credits.observe(msg)
 		t.requestor.Put(msg)
 		return
 	}

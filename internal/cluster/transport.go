@@ -93,6 +93,14 @@ const (
 	// MsgErr fails a MsgQuery: Edge echoes the request id, Table carries
 	// the message, and Count a sentinel error code (see internal/srvproto).
 	MsgErr
+	// MsgCreditAck acknowledges applied MsgIngest staging frames back to
+	// the requestor: From is the acking worker, and the piggybacked credit
+	// grant re-arms the requestor's staging window toward that worker
+	// (Credits sized from the worker's measured drain rate). It is the
+	// MsgIngest counterpart of the punctuation grants workers exchange on
+	// the shuffle path, closing the one flow-control gap the control plane
+	// had.
+	MsgCreditAck
 )
 
 // Message is one transport frame. Data frames carry the encoded batch in

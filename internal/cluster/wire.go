@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/rex-data/rex/internal/types"
 )
@@ -17,15 +18,21 @@ import (
 //
 //   - Frame layer: EncodeFrame/DecodeFrame serialize a whole Message
 //     (header fields varint-packed, payload length-prefixed).
-//   - Batch layer: EncodeDeltas/DecodeDeltas serialize a []types.Delta
-//     with a per-batch dictionary for repeated column values, so the
-//     highly repetitive delta streams of recursive queries (seed ranks,
-//     small integer distances, shared string columns) ship compactly.
+//   - Batch layer: two delta payload formats, discriminated by their
+//     leading tag byte. EncodeDeltas/DecodeDeltas is the row format with
+//     a per-batch dictionary for repeated column values (the compactor's
+//     output ships through it, where the dictionary wins on the highly
+//     repetitive coalesced streams). EncodeDeltaBatch is the columnar
+//     format: the encoded frame IS the in-memory DeltaBatch layout, so
+//     DecodeDeltaBatch only parses the O(columns) header and aliases the
+//     op vector and column payloads out of the frame buffer — values
+//     materialize lazily, on first operator access.
 
 // wireVersion leads every frame; decoders reject unknown versions.
 // History: 1 = PR 1 layout; 2 adds the optional credit-grant field
-// (flow-control windows piggybacked on punctuation frames).
-const wireVersion = 2
+// (flow-control windows piggybacked on punctuation frames); 3 adds the
+// columnar delta-batch payload format and the MsgCreditAck kind.
+const wireVersion = 3
 
 // Frame flag bits.
 const (
@@ -162,6 +169,62 @@ func DecodeFrame(buf []byte) (Message, error) {
 // the value-kind range so corrupted or legacy payloads fail loudly.
 const deltaFormatDict = 0xD1
 
+// deltaFormatCol tags a columnar delta batch (types.AppendDeltaBatch
+// layout after the tag byte).
+const deltaFormatCol = 0xC3
+
+// payloadBufPool recycles encode buffers for delta payloads. The frame
+// layer copies the payload into the frame buffer on every Send (both
+// transports), so the payload buffer is dead the moment Send returns and
+// can go straight back to the pool — the encode side of the steady-state
+// O(1) allocation story.
+var payloadBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// GetPayloadBuf returns an empty pooled byte buffer for payload encoding.
+func GetPayloadBuf() []byte {
+	return (*(payloadBufPool.Get().(*[]byte)))[:0]
+}
+
+// PutPayloadBuf returns a payload buffer to the pool. Callers must be
+// done with every alias into it (Send has returned; the frame layer owns
+// its own copy).
+func PutPayloadBuf(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	payloadBufPool.Put(&buf)
+}
+
+// EncodeDeltaBatch appends the columnar wire encoding of b to buf.
+func EncodeDeltaBatch(buf []byte, b *types.DeltaBatch) []byte {
+	buf = append(buf, deltaFormatCol)
+	return types.AppendDeltaBatch(buf, b)
+}
+
+// DecodeDeltasAny decodes a delta payload of either format. Columnar
+// payloads return a lazily-materializing batch (aliasing buf) and a nil
+// row slice; dictionary payloads return rows and a nil batch. The worker
+// hot path uses this so columnar frames reach vector-capable operators
+// without ever materializing row tuples.
+func DecodeDeltasAny(buf []byte) ([]types.Delta, *types.DeltaBatch, error) {
+	if len(buf) > 0 && buf[0] == deltaFormatCol {
+		b, used, err := types.DecodeDeltaBatch(buf[1:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: decode delta batch: %w", err)
+		}
+		if used != len(buf)-1 {
+			return nil, nil, fmt.Errorf("cluster: decode delta batch: %d trailing bytes", len(buf)-1-used)
+		}
+		return nil, b, nil
+	}
+	rows, err := DecodeDeltas(buf)
+	return rows, nil, err
+}
+
 // dictRefBase splits the per-value token space: tokens below it are inline
 // type-kind bytes (the types codec's own first byte), tokens at or above it
 // reference dictionary entry token-dictRefBase. Kinds today occupy 0..4;
@@ -250,10 +313,22 @@ func EncodeDeltas(batch []types.Delta) []byte {
 	return buf
 }
 
-// DecodeDeltas decodes a batch encoded by EncodeDeltas.
+// DecodeDeltas decodes a delta payload of either format to row form.
+// Columnar payloads are fully materialized (fresh tuples, safe to
+// retain); callers that can consume vectors use DecodeDeltasAny instead.
 func DecodeDeltas(buf []byte) ([]types.Delta, error) {
 	if len(buf) == 0 {
 		return nil, fmt.Errorf("cluster: decode deltas: empty buffer")
+	}
+	if buf[0] == deltaFormatCol {
+		b, used, err := types.DecodeDeltaBatch(buf[1:])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: decode delta batch: %w", err)
+		}
+		if used != len(buf)-1 {
+			return nil, fmt.Errorf("cluster: decode delta batch: %d trailing bytes", len(buf)-1-used)
+		}
+		return b.Deltas(), nil
 	}
 	if buf[0] != deltaFormatDict {
 		return nil, fmt.Errorf("cluster: decode deltas: unknown format 0x%02X", buf[0])

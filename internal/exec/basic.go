@@ -22,6 +22,9 @@ type scanOp struct {
 }
 
 func (s *scanOp) Start() error {
+	if s.ctx.Vectorize {
+		return s.startVec()
+	}
 	buf := make([]types.Delta, 0, s.batch)
 	flush := func() error {
 		if len(buf) == 0 {
@@ -47,6 +50,34 @@ func (s *scanOp) Start() error {
 	return s.outs.punct(0, true)
 }
 
+// startVec is Start on the columnar path: the partition scan fills one
+// pooled batch per BatchSize rows and hands it downstream as a unit, so a
+// vectorized pipeline runs the whole base stratum without materializing
+// per-row deltas.
+func (s *scanOp) startVec() error {
+	b := types.GetBatch()
+	defer types.PutBatch(b)
+	flush := func() error {
+		err := s.outs.sendBatch(b)
+		b.Reset()
+		return err
+	}
+	err := s.ctx.Store.ScanOwned(s.table, s.ctx.Snap, func(t types.Tuple) error {
+		b.AppendInsert(t)
+		if b.Len() >= s.batch {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return s.outs.punct(0, true)
+}
+
 // Inject feeds a base-table delta batch through this scan's edge during a
 // standing query's ingestion round: the deltas enter the dataflow exactly
 // where a fresh scan of the revised table would have emitted them, so every
@@ -55,6 +86,20 @@ func (s *scanOp) Start() error {
 // the node has injected, preserving the data-before-punctuation discipline
 // across tables.
 func (s *scanOp) Inject(batch []types.Delta) error {
+	if s.ctx.Vectorize {
+		b := types.GetBatch()
+		defer types.PutBatch(b)
+		for _, d := range batch {
+			if !b.CanAppend(d) || b.Len() >= s.batch {
+				if err := s.outs.sendBatch(b); err != nil {
+					return err
+				}
+				b.Reset()
+			}
+			b.Append(d)
+		}
+		return s.outs.sendBatch(b)
+	}
 	for len(batch) > 0 {
 		n := min(s.batch, len(batch))
 		if err := s.outs.send(batch[:n]); err != nil {
@@ -115,6 +160,78 @@ func (f *filterOp) Push(port int, batch []types.Delta) error {
 		}
 	}
 	return f.outs.send(out)
+}
+
+// PushBatch is the columnar filter path: rows are evaluated against a
+// reused scratch tuple (no per-row allocation) and survivors are copied
+// column-wise into a pooled output batch, so typed vectors never round-
+// trip through boxed deltas. Replace degradation matches Push exactly.
+func (f *filterOp) PushBatch(port int, b *types.DeltaBatch) error {
+	out := types.GetBatch()
+	defer types.PutBatch(out)
+	var scratch, oldScratch types.Tuple
+	for i := 0; i < b.Len(); i++ {
+		if b.Op(i) == types.OpReplace && b.HasOld() {
+			oldScratch = b.OldRow(i, oldScratch)
+			scratch = b.Row(i, scratch)
+			oldOK, err := expr.EvalBool(f.pred, oldScratch)
+			if err != nil {
+				return err
+			}
+			newOK, err := expr.EvalBool(f.pred, scratch)
+			if err != nil {
+				return err
+			}
+			switch {
+			case oldOK && newOK:
+				if !out.CanAppendRowFrom(b, i) {
+					if err := f.flushVec(out); err != nil {
+						return err
+					}
+				}
+				out.AppendRowFrom(b, i)
+			case oldOK:
+				d := types.Delete(oldScratch)
+				if !out.CanAppend(d) {
+					if err := f.flushVec(out); err != nil {
+						return err
+					}
+				}
+				out.Append(d)
+			case newOK:
+				d := types.Insert(scratch)
+				if !out.CanAppend(d) {
+					if err := f.flushVec(out); err != nil {
+						return err
+					}
+				}
+				out.Append(d)
+			}
+			continue
+		}
+		scratch = b.Row(i, scratch)
+		ok, err := expr.EvalBool(f.pred, scratch)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if !out.CanAppendRowFrom(b, i) {
+				if err := f.flushVec(out); err != nil {
+					return err
+				}
+			}
+			out.AppendRowFrom(b, i)
+		}
+	}
+	return f.outs.sendBatch(out)
+}
+
+func (f *filterOp) flushVec(out *types.DeltaBatch) error {
+	if err := f.outs.sendBatch(out); err != nil {
+		return err
+	}
+	out.Reset()
+	return nil
 }
 
 func (f *filterOp) Punct(port, stratum int, closed bool) error {
@@ -276,6 +393,19 @@ func (o *outputOp) Push(port int, batch []types.Delta) error {
 	o.ctx.Transport.SendToRequestor(cluster.Message{
 		From: o.ctx.Node, Kind: cluster.MsgData, Edge: resultEdge,
 		Payload: payload, Count: len(batch), Epoch: o.ctx.Epoch,
+	})
+	return nil
+}
+
+// PushBatch ships a result batch in the columnar wire format without
+// materializing rows. The payload buffer is freshly allocated, not pooled:
+// requestor-bound messages are delivered by reference in-process, so the
+// payload outlives this call.
+func (o *outputOp) PushBatch(port int, b *types.DeltaBatch) error {
+	payload := cluster.EncodeDeltaBatch(nil, b)
+	o.ctx.Transport.SendToRequestor(cluster.Message{
+		From: o.ctx.Node, Kind: cluster.MsgData, Edge: resultEdge,
+		Payload: payload, Count: b.Len(), Epoch: o.ctx.Epoch,
 	})
 	return nil
 }

@@ -76,34 +76,69 @@ func (g *groupByOp) Push(port int, batch []types.Delta) error {
 		return g.pushUDA(batch)
 	}
 	for _, d := range batch {
-		key := d.Tup.Key(g.spec.GroupKey)
-		gs, ok := g.groups[key]
-		if !ok {
-			gs = &groupState{keyTuple: d.Tup.Project(g.spec.GroupKey)}
-			gs.states = make([]uda.State, len(g.aggs))
-			for i, a := range g.aggs {
-				gs.states[i] = a.NewState()
-			}
-			g.groups[key] = gs
+		if err := g.apply(d.Op, d.Tup, d.Old); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// PushBatch is the columnar group-by path: rows fold into aggregate state
+// through reused scratch tuples — everything retained from a row (the map
+// key, the projected key tuple, evaluated arguments) is freshly built by
+// apply, so no per-row delta materialization is needed. UDA mode falls
+// back to the row path.
+func (g *groupByOp) PushBatch(port int, b *types.DeltaBatch) error {
+	if g.udaAgg != nil {
+		return g.Push(port, b.Deltas())
+	}
+	var scratch, oldScratch types.Tuple
+	for i := 0; i < b.Len(); i++ {
+		op := b.Op(i)
+		scratch = b.Row(i, scratch)
+		var old types.Tuple
+		if op == types.OpReplace && b.HasOld() {
+			oldScratch = b.OldRow(i, oldScratch)
+			old = oldScratch
+		}
+		if err := g.apply(op, scratch, old); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// apply folds one delta into scalar aggregate state. It retains nothing
+// from tup or old (Key and Project copy; evaluated args are fresh), so
+// callers may pass reused scratch tuples.
+func (g *groupByOp) apply(op types.Op, tup, old types.Tuple) error {
+	key := tup.Key(g.spec.GroupKey)
+	gs, ok := g.groups[key]
+	if !ok {
+		gs = &groupState{keyTuple: tup.Project(g.spec.GroupKey)}
+		gs.states = make([]uda.State, len(g.aggs))
 		for i, a := range g.aggs {
-			args, err := evalArgs(g.argExprs[i], d.Tup)
-			if err != nil {
+			gs.states[i] = a.NewState()
+		}
+		g.groups[key] = gs
+	}
+	for i, a := range g.aggs {
+		args, err := evalArgs(g.argExprs[i], tup)
+		if err != nil {
+			return err
+		}
+		var oldArgs []types.Value
+		if op == types.OpReplace {
+			if oldArgs, err = evalArgs(g.argExprs[i], old); err != nil {
 				return err
 			}
-			var oldArgs []types.Value
-			if d.Op == types.OpReplace {
-				if oldArgs, err = evalArgs(g.argExprs[i], d.Old); err != nil {
-					return err
-				}
-			}
-			if err := a.Update(gs.states[i], d.Op, args, oldArgs); err != nil {
-				return fmt.Errorf("exec: group-by %s: %w", a.Name(), err)
-			}
 		}
-		g.dirty[key] = true
-		g.ckptDirty[key] = true
+		if err := a.Update(gs.states[i], op, args, oldArgs); err != nil {
+			return fmt.Errorf("exec: group-by %s: %w", a.Name(), err)
+		}
 	}
+	g.dirty[key] = true
+	g.ckptDirty[key] = true
 	return nil
 }
 
@@ -360,6 +395,43 @@ func (p *preAggOp) Push(port int, batch []types.Delta) error {
 			}
 		default:
 			return fmt.Errorf("exec: pre-aggregation over delta %v", d.Op)
+		}
+	}
+	return nil
+}
+
+// PushBatch is the columnar combiner path; fold retains nothing from its
+// tuple, so rows stream through reused scratch tuples.
+func (p *preAggOp) PushBatch(port int, b *types.DeltaBatch) error {
+	var scratch, oldScratch types.Tuple
+	for i := 0; i < b.Len(); i++ {
+		op := b.Op(i)
+		scratch = b.Row(i, scratch)
+		switch op {
+		case types.OpInsert, types.OpUpdate:
+			if err := p.fold(op, scratch); err != nil {
+				return err
+			}
+		case types.OpDelete:
+			if !p.invertible {
+				return fmt.Errorf("exec: pre-aggregation over non-insert delta %v (aggregate is not invertible)", op)
+			}
+			if err := p.fold(op, scratch); err != nil {
+				return err
+			}
+		case types.OpReplace:
+			if !p.invertible {
+				return fmt.Errorf("exec: pre-aggregation over non-insert delta %v (aggregate is not invertible)", op)
+			}
+			oldScratch = b.OldRow(i, oldScratch)
+			if err := p.fold(types.OpDelete, oldScratch); err != nil {
+				return err
+			}
+			if err := p.fold(types.OpInsert, scratch); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("exec: pre-aggregation over delta %v", op)
 		}
 	}
 	return nil

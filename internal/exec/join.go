@@ -69,6 +69,29 @@ func (j *hashJoinOp) Push(port int, batch []types.Delta) error {
 	return j.outs.send(out)
 }
 
+// PushBatch is the columnar join path: rows are processed straight off the
+// batch without building an intermediate delta slice. Bucket inserts
+// retain their tuples, so each row is materialized fresh via Delta (never
+// a reused scratch). Handler mode falls back to the row path — handlers
+// see exactly the batches they always did.
+func (j *hashJoinOp) PushBatch(port int, b *types.DeltaBatch) error {
+	if port != 0 && port != 1 {
+		return fmt.Errorf("exec: join port %d out of range", port)
+	}
+	if j.handler != nil {
+		return j.Push(port, b.Deltas())
+	}
+	var out []types.Delta
+	for i := 0; i < b.Len(); i++ {
+		res, err := j.processDelta(port, b.Delta(i))
+		if err != nil {
+			return err
+		}
+		out = append(out, res...)
+	}
+	return j.outs.send(out)
+}
+
 func (j *hashJoinOp) processDelta(port int, d types.Delta) ([]types.Delta, error) {
 	key := j.keyOf(port, d.Tup)
 	if d.Op == types.OpReplace {

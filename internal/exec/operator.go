@@ -21,6 +21,23 @@ type Operator interface {
 	Punct(port, stratum int, closed bool) error
 }
 
+// BatchOperator is implemented by operators with a columnar fast path:
+// PushBatch consumes a whole types.DeltaBatch without materializing its
+// rows as []types.Delta first. The worker and upstream operators probe for
+// it with a type assertion and fall back to Push for everything else, so
+// implementing it is purely an optimization — semantics must be identical
+// to Push(port, b.Deltas()).
+//
+// Ownership: a pushed batch is borrowed for the duration of the call. An
+// implementation must not retain the batch or any slice derived from it
+// (decoded batches alias transport frame buffers); anything kept past the
+// call must be materialized via Delta/Row/Value, which always yield fresh
+// tuples.
+type BatchOperator interface {
+	Operator
+	PushBatch(port int, b *types.DeltaBatch) error
+}
+
 // starter is implemented by source operators that produce data when the
 // query (or a recovery re-run) starts.
 type starter interface {
@@ -70,10 +87,19 @@ type Context struct {
 	// Compaction enables delta-batch compaction in rehash send buffers.
 	Compaction bool
 	// CompactionHighWater is the destination-mailbox depth above which
-	// compacting senders defer flushes (soft backpressure).
+	// compacting senders defer flushes (soft backpressure). It is also the
+	// cold-start fallback for adaptive credit windows before the drain
+	// meter has a measurement.
 	CompactionHighWater int
 	// Stratum is the stratum currently executing on this node.
 	Stratum int
+	// Vectorize routes eligible edges through the columnar batch path
+	// (PushBatch) instead of row-at-a-time Push. Operators that cannot
+	// vectorize (UDF/handler modes) fall back transparently.
+	Vectorize bool
+	// Drain is this node's delta drain-rate meter; credit grants are sized
+	// from it (Drain.Window) instead of the static high-water constant.
+	Drain *cluster.DrainMeter
 }
 
 // output is a wired edge to a consumer within the same node.
@@ -92,6 +118,32 @@ func (o outputs) send(batch []types.Delta) error {
 	}
 	for _, out := range o {
 		if err := out.op.Push(out.port, batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendBatch pushes a columnar batch to every consumer, using the
+// vectorized path for consumers that implement it and materializing the
+// batch's rows at most once for those that do not. The batch is borrowed:
+// consumers must not retain it past their call.
+func (o outputs) sendBatch(b *types.DeltaBatch) error {
+	if b == nil || b.Len() == 0 {
+		return nil
+	}
+	var rows []types.Delta
+	for _, out := range o {
+		if bo, ok := out.op.(BatchOperator); ok {
+			if err := bo.PushBatch(out.port, b); err != nil {
+				return err
+			}
+			continue
+		}
+		if rows == nil {
+			rows = b.Deltas()
+		}
+		if err := out.op.Push(out.port, rows); err != nil {
 			return err
 		}
 	}

@@ -39,6 +39,14 @@ type rehashOp struct {
 	compactors map[cluster.NodeID]*cluster.Compactor
 	mergeFn    cluster.MergeFunc
 	allCols    []int // cached 0..n-1 index for keyless (broadcast) edges
+	// vecBuffers are the per-destination pending batches of the columnar
+	// path (Vectorize on, compaction off): rows accumulate column-wise in
+	// pooled batches and ship as columnar wire frames, so the shuffle hot
+	// loop never materializes row deltas. The row and columnar pending
+	// stores are mutually exclusive per mode — in vec mode even row-form
+	// pushes append into vecBuffers, preserving same-key delta order.
+	vecBuffers map[cluster.NodeID]*types.DeltaBatch
+	scratch    types.Tuple // reused by multi-column HashKeyAt calls
 	// flushedIn tracks each compactor's cumulative added-count at its
 	// last flush, so CompactIn/CompactOut metrics are accounted together
 	// at flush time (deltas a Reset discards count toward neither).
@@ -70,9 +78,17 @@ func newRehashOp(spec *OpSpec, ctx *Context, broadcast bool) *rehashOp {
 		r.compactors = map[cluster.NodeID]*cluster.Compactor{}
 		r.flushedIn = map[cluster.NodeID]int{}
 		r.mergeFn = compactMergeFn(spec)
+	} else if ctx.Vectorize {
+		r.vecBuffers = map[cluster.NodeID]*types.DeltaBatch{}
 	}
 	return r
 }
+
+// vec reports whether this rehash runs the columnar send path. Compaction
+// wins when both are requested: the compactor coalesces same-key deltas
+// row-wise, and a coalesced dictionary frame beats a columnar one on the
+// workloads compaction exists for.
+func (r *rehashOp) vec() bool { return r.vecBuffers != nil }
 
 func (r *rehashOp) Push(port int, batch []types.Delta) error {
 	switch port {
@@ -84,6 +100,139 @@ func (r *rehashOp) Push(port int, batch []types.Delta) error {
 	default:
 		return fmt.Errorf("exec: rehash port %d out of range", port)
 	}
+}
+
+// PushBatch is the columnar rehash path. Send side: rows are routed by
+// key hash computed straight off the typed vectors (no boxing) and copied
+// column-wise into per-destination pending batches. Receive side: the
+// batch passes downstream as-is. With compaction on, the send side
+// materializes rows once and takes the compactor path.
+func (r *rehashOp) PushBatch(port int, b *types.DeltaBatch) error {
+	switch port {
+	case 0:
+		if !r.vec() {
+			return r.route(b.Deltas())
+		}
+		return r.routeBatch(b)
+	case 1:
+		return r.outs.sendBatch(b)
+	default:
+		return fmt.Errorf("exec: rehash port %d out of range", port)
+	}
+}
+
+func (r *rehashOp) routeBatch(b *types.DeltaBatch) error {
+	if cap(r.scratch) < b.NumCols() {
+		r.scratch = make(types.Tuple, 0, b.NumCols())
+	}
+	for i := 0; i < b.Len(); i++ {
+		if r.broadcast {
+			for _, n := range r.ctx.Snap.AliveNodes() {
+				if err := r.enqueueVecRow(n, b, i); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		h := b.HashKeyAt(i, r.spec.HashKey, r.scratch)
+		dest, err := r.ctx.Snap.Primary(h)
+		if err != nil {
+			return err
+		}
+		if b.Op(i) == types.OpReplace && b.HasOld() {
+			oh := b.OldHashKeyAt(i, r.spec.HashKey, r.scratch)
+			oldDest, err := r.ctx.Snap.Primary(oh)
+			if err != nil {
+				return err
+			}
+			if oldDest != dest {
+				// Cross-partition replace: split into a deletion at the
+				// old home and an insertion at the new one. The scratch
+				// rows are copied value-wise by enqueueVecDelta, never
+				// retained.
+				r.scratch = b.OldRow(i, r.scratch)
+				if err := r.enqueueVecDelta(oldDest, types.Delete(r.scratch)); err != nil {
+					return err
+				}
+				r.scratch = b.Row(i, r.scratch)
+				if err := r.enqueueVecDelta(dest, types.Insert(r.scratch)); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		if err := r.enqueueVecRow(dest, b, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enqueueVecRow appends row i of src to dest's pending columnar batch,
+// flushing first when the batch is full or the row's arity diverges.
+func (r *rehashOp) enqueueVecRow(dest cluster.NodeID, src *types.DeltaBatch, i int) error {
+	vb := r.vecBuffer(dest)
+	if !vb.CanAppendRowFrom(src, i) {
+		if err := r.flushVec(dest); err != nil {
+			return err
+		}
+	}
+	vb.AppendRowFrom(src, i)
+	if vb.Len() >= r.ctx.BatchSize {
+		return r.flushVec(dest)
+	}
+	return nil
+}
+
+// enqueueVecDelta is enqueueVecRow for a row-form delta (the vec-mode
+// landing point of Push and of the replace split).
+func (r *rehashOp) enqueueVecDelta(dest cluster.NodeID, d types.Delta) error {
+	vb := r.vecBuffer(dest)
+	if !vb.CanAppend(d) {
+		if err := r.flushVec(dest); err != nil {
+			return err
+		}
+	}
+	vb.Append(d)
+	if vb.Len() >= r.ctx.BatchSize {
+		return r.flushVec(dest)
+	}
+	return nil
+}
+
+func (r *rehashOp) vecBuffer(dest cluster.NodeID) *types.DeltaBatch {
+	vb := r.vecBuffers[dest]
+	if vb == nil {
+		vb = types.GetBatch()
+		r.vecBuffers[dest] = vb
+	}
+	return vb
+}
+
+// flushVec ships dest's pending columnar batch: loopback hands it straight
+// downstream; remote destinations encode the columnar wire format into a
+// pooled payload buffer (returned to the pool once Send has copied it into
+// the frame) and keep the batch for reuse.
+func (r *rehashOp) flushVec(dest cluster.NodeID) error {
+	vb := r.vecBuffers[dest]
+	if vb == nil || vb.Len() == 0 {
+		return nil
+	}
+	if dest == r.ctx.Node {
+		err := r.outs.sendBatch(vb)
+		vb.Reset()
+		return err
+	}
+	buf := cluster.GetPayloadBuf()
+	payload := cluster.EncodeDeltaBatch(buf, vb)
+	r.ctx.Transport.Send(cluster.Message{
+		From: r.ctx.Node, To: dest, Edge: edgeID(r.spec.ID, 1),
+		Stratum: r.ctx.Stratum, Kind: cluster.MsgData,
+		Payload: payload, Count: vb.Len(), Epoch: r.ctx.Epoch,
+	})
+	cluster.PutPayloadBuf(payload)
+	vb.Reset()
+	return nil
 }
 
 func (r *rehashOp) route(batch []types.Delta) error {
@@ -143,6 +292,12 @@ func (r *rehashOp) routingKey(t types.Tuple) types.Value {
 }
 
 func (r *rehashOp) enqueue(dest cluster.NodeID, d types.Delta) error {
+	if r.vec() {
+		// Row-form deltas reaching a vectorized rehash (a non-vector
+		// upstream, or the replace split) land in the same per-dest
+		// columnar batches so same-key delta order is preserved.
+		return r.enqueueVecDelta(dest, d)
+	}
 	if r.compactors != nil {
 		c := r.compactors[dest]
 		if c == nil {
@@ -227,6 +382,11 @@ func (r *rehashOp) flushAll() error {
 			return err
 		}
 	}
+	for dest := range r.vecBuffers {
+		if err := r.flushVec(dest); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -246,7 +406,16 @@ func (r *rehashOp) Punct(port, stratum int, closed bool) error {
 		}
 		grant := 0
 		if r.ctx.Compaction {
-			grant = r.ctx.CompactionHighWater - r.ctx.Transport.InboxLen(r.ctx.Node)
+			// Adaptive window: size the grant from this node's measured
+			// drain rate (how many batches it expects to absorb over the
+			// next horizon), falling back to the static high-water constant
+			// until the meter has a sample, then subtract the backlog
+			// already sitting in the inbox.
+			window := r.ctx.CompactionHighWater
+			if r.ctx.Drain != nil {
+				window = r.ctx.Drain.Window(r.ctx.BatchSize, r.ctx.CompactionHighWater)
+			}
+			grant = window - r.ctx.Transport.InboxLen(r.ctx.Node)
 			if grant < 0 {
 				grant = 0
 			}
@@ -288,6 +457,12 @@ func (r *rehashOp) Reset() {
 	if r.ctx.Compaction {
 		r.compactors = map[cluster.NodeID]*cluster.Compactor{}
 		r.flushedIn = map[cluster.NodeID]int{}
+	}
+	if r.vecBuffers != nil {
+		for _, vb := range r.vecBuffers {
+			types.PutBatch(vb)
+		}
+		r.vecBuffers = map[cluster.NodeID]*types.DeltaBatch{}
 	}
 	r.punctCount = map[int]int{}
 	r.closedCount = map[int]int{}

@@ -557,8 +557,11 @@ func (sq *StandingQuery) pump(queryID string, alive []cluster.NodeID, wg *sync.W
 			// collectRound would read it. (MsgIngest staging frames are
 			// driver control-plane and never counted.)
 			bytesBefore := e.Transport.Metrics().TotalBytesSent()
-			for _, f := range frames {
-				e.Transport.Send(f)
+			if err := sq.sendStaged(frames); err != nil {
+				for _, r := range reqs {
+					r.ack.resolve(nil, err)
+				}
+				return err
 			}
 			for _, n := range alive {
 				e.Transport.Send(cluster.Message{From: -1, To: n, Kind: cluster.MsgRound, Epoch: 0})
@@ -838,17 +841,73 @@ func (sq *StandingQuery) routeAll(tables map[string][]types.Delta) (frames []clu
 			nodes = append(nodes, int(n))
 		}
 		sort.Ints(nodes)
+		// Staging frames are chunked to the transport batch granularity so
+		// the credit window gating them counts comparable units (a window
+		// slot is one batch on the shuffle path too).
+		bs := sq.opts.BatchSize
+		if bs <= 0 {
+			bs = defaultBatchSize
+		}
 		for _, n := range nodes {
 			batch := byNode[cluster.NodeID(n)]
-			payload := cluster.EncodeDeltas(batch)
-			nBytes += int64(len(payload))
-			frames = append(frames, cluster.Message{
-				From: -1, To: cluster.NodeID(n), Kind: cluster.MsgIngest,
-				Table: table, Payload: payload, Count: len(batch), Epoch: 0,
-			})
+			for len(batch) > 0 {
+				chunk := batch[:min(bs, len(batch))]
+				batch = batch[len(chunk):]
+				payload := cluster.EncodeDeltas(chunk)
+				nBytes += int64(len(payload))
+				frames = append(frames, cluster.Message{
+					From: -1, To: cluster.NodeID(n), Kind: cluster.MsgIngest,
+					Table: table, Payload: payload, Count: len(chunk), Epoch: 0,
+				})
+			}
 		}
 	}
 	return frames, nDeltas, nBytes, nil
+}
+
+// sendStaged ships a round's MsgIngest frames under credit flow control:
+// each frame spends one staging credit from the requestor's window to its
+// destination, and an exhausted window blocks on the requestor mailbox
+// until the worker's MsgCreditAck grant (installed by the transport at
+// delivery) re-arms it. Workers ack every applied frame with a window
+// sized from their measured drain rate, so a slow worker throttles the
+// pump before its inbox floods — the control-plane counterpart of the
+// shuffle path's punctuation grants.
+func (sq *StandingQuery) sendStaged(frames []cluster.Message) error {
+	e := sq.eng
+	req := e.Transport.Requestor()
+	for _, f := range frames {
+		for e.Transport.Credits(-1, f.To) <= 0 {
+			if err := sq.ctx.Err(); err != nil {
+				return err
+			}
+			msg, ok := req.Get()
+			if !ok {
+				return fmt.Errorf("exec: requestor mailbox closed")
+			}
+			switch msg.Kind {
+			case cluster.MsgCancel:
+				if err := sq.ctx.Err(); err != nil {
+					return err
+				}
+			case cluster.MsgError:
+				return fmt.Errorf("exec: node %d: %s", msg.From, msg.Table)
+			case cluster.MsgFailure:
+				return fmt.Errorf("exec: node %d failed (standing queries do not support recovery)", msg.From)
+			case cluster.MsgRoundReq:
+				// Harmless to consume: round requests are claimed from the
+				// queue at the top of the pump loop, and the staged batches
+				// behind this sentinel are already queued for the sweep
+				// after the current round.
+			case cluster.MsgCreditAck:
+				// The transport installed the grant on delivery; the loop
+				// re-probes the window.
+			}
+		}
+		e.Transport.SpendCredits(-1, f.To, 1)
+		e.Transport.Send(f)
+	}
+	return nil
 }
 
 // route partitions one table's deltas by ring owner (primary plus

@@ -1,0 +1,115 @@
+package exec
+
+// Microbenchmarks for the operator inner loop: the identical delta stream
+// pushed through filter→preAgg as materialized rows (Push) and as a
+// columnar batch (PushBatch). Run with
+//
+//	go test -run '^$' -bench 'Vector|Row' -benchmem ./internal/exec
+//
+// and compare B/op and allocs/op between the pairs; CI's bench-micro step
+// uploads the output in benchstat-compatible form.
+
+import (
+	"testing"
+
+	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/expr"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// benchStream builds an SSSP-shaped delta stream: (vertex, dist) updates
+// with a sprinkle of inserts.
+func benchStream(n int) []types.Delta {
+	ds := make([]types.Delta, n)
+	for i := range ds {
+		op := types.OpUpdate
+		if i%5 == 0 {
+			op = types.OpInsert
+		}
+		ds[i] = types.Delta{Op: op, Tup: types.NewTuple(int64(i%997), float64(i%31))}
+	}
+	return ds
+}
+
+// benchPipeline wires filter(dist < 25) → preAgg(min-free: sum by vertex).
+func benchPipeline(b *testing.B) (*filterOp, *preAggOp) {
+	agg, err := newPreAggOp(&OpSpec{
+		GroupKey: []int{0},
+		Aggs:     []AggSpec{{Fn: "sum", Args: []expr.Expr{expr.NewCol(1, types.KindFloat, "d")}, OutName: "s", OutKind: types.KindFloat}},
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &filterOp{
+		pred: expr.NewCmp(expr.OpLt, expr.NewCol(1, types.KindFloat, "d"), expr.NewConst(float64(25))),
+		outs: outputs{{op: agg, port: 0}},
+	}
+	return f, agg
+}
+
+// The data-path pair measures what a worker does with an arriving MsgData
+// frame: decode the payload (materializing row tuples in row mode,
+// aliasing the frame in vector mode) and push it through the pipeline.
+func BenchmarkDataPathFilterPreAggRow(b *testing.B) {
+	f, _ := benchPipeline(b)
+	payload := cluster.EncodeDeltas(benchStream(8192))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := cluster.DecodeDeltas(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Push(0, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDataPathFilterPreAggVector(b *testing.B) {
+	f, _ := benchPipeline(b)
+	cb, ok := types.FromDeltas(benchStream(8192))
+	if !ok {
+		b.Fatal("stream not batchable")
+	}
+	payload := cluster.EncodeDeltaBatch(nil, cb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, dec, err := cluster.DecodeDeltasAny(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.PushBatch(0, dec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The row sink mirrors a non-batch-capable consumer so the row benchmark
+// measures the materializing path end to end.
+type countSink struct{ rows int }
+
+func (c *countSink) Push(port int, batch []types.Delta) error { c.rows += len(batch); return nil }
+func (c *countSink) Punct(port, stratum int, closed bool) error {
+	return nil
+}
+
+// BenchmarkBatchMaterialize measures outputs.sendBatch's fallback: a
+// columnar batch delivered to a row-only consumer (the cost vectorized
+// producers pay when a UDF operator sits downstream).
+func BenchmarkBatchMaterialize(b *testing.B) {
+	cb, ok := types.FromDeltas(benchStream(8192))
+	if !ok {
+		b.Fatal("stream not batchable")
+	}
+	sink := &countSink{}
+	outs := outputs{{op: sink, port: 0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := outs.sendBatch(cb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/rex-data/rex/internal/catalog"
 	"github.com/rex-data/rex/internal/cluster"
@@ -28,6 +29,12 @@ type Worker struct {
 	compaction  bool
 	highWater   int
 	stream      bool
+	vectorize   bool
+
+	// drain meters this worker's delta-application rate between
+	// punctuation marks; credit grants (shuffle punctuation and MsgIngest
+	// acks) are sized from it.
+	drain *cluster.DrainMeter
 
 	// per-epoch state, rebuilt on MsgStart
 	ctx      *Context
@@ -78,6 +85,12 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		checkpoints: opts.Checkpoint,
 		compaction:  opts.Compaction, highWater: opts.CompactionHighWater,
 		stream: opts.Stream,
+		// Operator vectorization engages only without the shuffle
+		// compactor: compaction re-encodes row frames anyway, so a
+		// vectorized scan chain would pay the row↔column bridging cost at
+		// every expression operator and win nothing back at the wire.
+		vectorize: !opts.NoVectorize && !opts.Compaction,
+		drain:     &cluster.DrainMeter{},
 	}
 }
 
@@ -149,11 +162,23 @@ func (w *Worker) handle(msg cluster.Message) error {
 		if !ok {
 			return fmt.Errorf("exec: node %d: data for unknown op %d", w.node, op)
 		}
-		batch, err := cluster.DecodeDeltas(msg.Payload)
+		// Columnar frames stay columnar all the way into a vectorized
+		// operator: decode parses the header and aliases column payloads
+		// out of the frame buffer, and values materialize only where an
+		// operator actually touches them.
+		rows, cb, err := cluster.DecodeDeltasAny(msg.Payload)
 		if err != nil {
 			return err
 		}
-		return inst.Push(port, batch)
+		if cb != nil {
+			w.drain.Observe(cb.Len())
+			if bo, ok := inst.(BatchOperator); ok && w.vectorize {
+				return bo.PushBatch(port, cb)
+			}
+			return inst.Push(port, cb.Deltas())
+		}
+		w.drain.Observe(len(rows))
+		return inst.Push(port, rows)
 	case cluster.MsgPunct:
 		if msg.Epoch != w.epoch || w.ops == nil {
 			return nil
@@ -163,6 +188,9 @@ func (w *Worker) handle(msg cluster.Message) error {
 		if !ok {
 			return fmt.Errorf("exec: node %d: punct for unknown op %d", w.node, op)
 		}
+		// Punctuation is the drain meter's clock tick: fold the deltas
+		// applied since the last marker into the EWMA rate.
+		w.drain.Mark(time.Now())
 		return inst.Punct(port, msg.Stratum, msg.Closed)
 	case cluster.MsgDecision:
 		if msg.Epoch != w.epoch || w.fixpoint == nil {
@@ -286,6 +314,17 @@ func (w *Worker) handleIngest(msg cluster.Message) error {
 		w.ingest = map[string][]types.Delta{}
 	}
 	w.ingest[msg.Table] = append(w.ingest[msg.Table], batch...)
+	w.drain.Observe(len(batch))
+	// Ack the applied frame with a piggybacked credit grant: the pump
+	// spends one staging credit per MsgIngest frame it ships to this node
+	// and blocks when the window runs dry, so the ack both confirms
+	// application and re-arms the window — sized from this worker's
+	// measured drain rate. To=-1 addresses the grant at the requestor pair
+	// in the credit book.
+	w.transport.SendToRequestor(cluster.Message{
+		From: w.node, To: -1, Kind: cluster.MsgCreditAck, Epoch: w.epoch,
+		CreditGrant: true, Credits: w.drain.Window(w.batchSize, w.highWater),
+	})
 	return nil
 }
 
@@ -426,6 +465,7 @@ func (w *Worker) build(snap *cluster.Snapshot) error {
 		Store: w.store, Catalog: w.cat, QueryID: w.queryID,
 		Epoch: w.epoch, BatchSize: w.batchSize,
 		Compaction: w.compaction, CompactionHighWater: w.highWater,
+		Vectorize: w.vectorize, Drain: w.drain,
 	}
 	w.ctx = ctx
 	w.ops = map[int]Operator{}

@@ -78,6 +78,9 @@ type Spec struct {
 	// state changes as it closes instead of flushing the final relation
 	// (both sides must agree — it changes fixpoint behavior).
 	Stream bool `json:"stream,omitempty"`
+	// NoVectorize disables the columnar batch path (both sides must agree
+	// — it changes the wire frames workers emit).
+	NoVectorize bool `json:"no_vectorize,omitempty"`
 }
 
 // IngestedTable is one base-table delta batch of a session's change log.
@@ -121,6 +124,7 @@ func (s *Spec) Options() exec.Options {
 		CompactionHighWater: s.CompactionHighWater,
 		MaxStrata:           s.MaxStrata,
 		Stream:              s.Stream,
+		NoVectorize:         s.NoVectorize,
 	}
 }
 

@@ -91,10 +91,16 @@ func (s *Store) Delete(table string, t types.Tuple) bool {
 // insertions (and δ-updates) store a copy, deletions remove one, and
 // replacements do both. Unknown tables error — ingestion never creates
 // tables implicitly.
+//
+// ApplyDelta is a retention boundary: delta tuples arrive from transport
+// frames and batch materializers whose buffers the caller may reuse, so
+// the inserted tuple is cloned before it is stored. (Loader.Load bulk
+// loads through Insert directly — its tuples are caller-owned for good,
+// and cloning a whole dataset there would double load-time allocation.)
 func (s *Store) ApplyDelta(table string, d types.Delta) error {
 	switch d.Op {
 	case types.OpInsert, types.OpUpdate:
-		return s.Insert(table, d.Tup)
+		return s.Insert(table, d.Tup.Clone())
 	case types.OpDelete:
 		s.mu.RLock()
 		_, ok := s.tables[table]
@@ -106,7 +112,7 @@ func (s *Store) ApplyDelta(table string, d types.Delta) error {
 		return nil
 	case types.OpReplace:
 		s.Delete(table, d.Old)
-		return s.Insert(table, d.Tup)
+		return s.Insert(table, d.Tup.Clone())
 	}
 	return nil
 }

@@ -1,0 +1,8 @@
+//go:build !pooldebug
+
+package types
+
+// poisonBatch is a no-op in normal builds; the pooldebug build tag swaps
+// in a version that scribbles on released batches so use-after-release
+// bugs surface as loudly wrong values instead of silently stale ones.
+func poisonBatch(*DeltaBatch) {}

@@ -56,6 +56,13 @@
 //
 //	WITH R (cols) AS (base) UNION UNTIL FIXPOINT BY key [USING handler] (recursive)
 //
+// Internally the engine executes columnar: delta batches flow between
+// operators as typed column vectors, travel the wire in a near-zero-copy
+// frame layout, and recycle through per-round allocation pools. This is
+// transparent — results are bit-identical with Options.NoVectorize, which
+// forces the row-at-a-time paths (handler and UDF operators always run
+// row-at-a-time; the engine bridges automatically).
+//
 // See the examples/ directory for PageRank, shortest-path, and K-means.
 package rex
 

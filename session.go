@@ -975,9 +975,9 @@ func (s *Session) rqlSpec(src string, opts Options) (*job.Spec, error) {
 		VNodes: s.cfg.vnodes, Replication: s.cfg.replication,
 		BatchSize: opts.BatchSize, Compaction: opts.Compaction,
 		Checkpoint: opts.Checkpoint, CompactionHighWater: opts.CompactionHighWater,
-		MaxStrata: opts.MaxStrata,
-		Handlers:  s.cfg.handlers,
-		Ingest:    s.ingestSnapshot(),
+		MaxStrata: opts.MaxStrata, NoVectorize: opts.NoVectorize,
+		Handlers: s.cfg.handlers,
+		Ingest:   s.ingestSnapshot(),
 	}, nil
 }
 
