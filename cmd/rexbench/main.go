@@ -175,6 +175,15 @@ func run(sc bench.Scale, record *bench.CIRecord, transport, peers, exp, jsonPath
 			return fmt.Errorf("inner-loop benchmark: %w", err)
 		}
 		record.InnerLoop = inner
+
+		// Spill workload: the SSSP suite spec through paged stores whose
+		// buffer pool is far smaller than the dataset, gated against the
+		// in-RAM hash.
+		spill, err := bench.SpillBench(os.Stdout, sc)
+		if err != nil {
+			return fmt.Errorf("spill benchmark: %w", err)
+		}
+		record.Spill = spill
 	}
 
 	// Standing-query suite: resident dataflow + incremental ingestion vs

@@ -44,6 +44,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset seed")
 	handlers := flag.String("handlers", "", "delta-handler bundle to register (e.g. sssp)")
 	replication := flag.Int("replication", 0, "store replication factor (0 = default)")
+	dataDir := flag.String("data-dir", "", "directory for paged spill-to-disk stores (in-process pool only; empty = in-memory)")
+	poolPages := flag.Int("buffer-pool-pages", 0, "buffer pool capacity in 8 KiB pages (0 = default)")
 	maxSessions := flag.Int("max-sessions", 0, "concurrent client session cap (0 = default 64)")
 	maxInflight := flag.Int("max-inflight", 0, "admitted interactive request cap (0 = default 16)")
 	maxQueue := flag.Int("max-queue", 0, "admission wait-queue cap (0 = default 64)")
@@ -66,6 +68,7 @@ func main() {
 	cfg := server.Config{
 		Nodes: *nodes, Dataset: *dataset, Size: *size, Seed: *seed,
 		Handlers: *handlers, Replication: *replication,
+		DataDir: *dataDir, BufferPoolPages: *poolPages,
 		MaxSessions: *maxSessions, MaxInflight: *maxInflight, MaxQueue: *maxQueue,
 	}
 	if *peers != "" {

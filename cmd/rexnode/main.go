@@ -14,6 +14,12 @@
 // With -listen :0 the daemon picks a free port and announces it on
 // stdout as REXNODE_LISTEN=<addr> (how driver auto-spawn finds its
 // children).
+//
+// With -data-dir the daemon's store pages to disk through a buffer pool
+// (sized by -buffer-pool-pages) and its active job is persisted: killed
+// and restarted on the same address and directory, the daemon restores
+// the job and its committed data before announcing the address, so a
+// driver can respawn crashed workers mid-query.
 package main
 
 import (
@@ -29,6 +35,8 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7101", "address to listen on (use :0 for a free port)")
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	dataDir := flag.String("data-dir", "", "directory for paged store files and durable job state (empty = in-memory)")
+	poolPages := flag.Int("buffer-pool-pages", 0, "buffer pool capacity in 8 KiB pages (0 = default)")
 	flag.Parse()
 
 	var logw io.Writer = os.Stderr
@@ -39,6 +47,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rexnode: %v\n", err)
 		os.Exit(1)
+	}
+	if *dataDir != "" {
+		if err := n.UseDataDir(*dataDir, *poolPages); err != nil {
+			fmt.Fprintf(os.Stderr, "rexnode: %v\n", err)
+			os.Exit(1)
+		}
+		// Restore before announcing: a respawning driver reads the
+		// announcement as "the restored job is being served again".
+		if _, err := n.Restore(); err != nil {
+			fmt.Fprintf(os.Stderr, "rexnode: restore: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("%s%s\n", job.SpawnPrefix, n.Addr())
 	if err := n.Serve(); err != nil {

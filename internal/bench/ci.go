@@ -21,8 +21,10 @@ import (
 // scenario's coalescing fields (ingests, staged/folded deltas,
 // coalesce_ratio, sequential_bytes); 4 = adds the inner_loop section
 // (rows_per_sec, allocs_per_round, heap_growth_bytes), the suite rows'
-// row_path_hash (vectorization off), and the churn row's rows_per_sec.
-const CISchemaVersion = 4
+// row_path_hash (vectorization off), and the churn row's rows_per_sec;
+// 5 = adds the spill section (paged stores with a larger-than-pool
+// dataset: buffer-pool hit rate, evictions, bytes spilled, rows/sec).
+const CISchemaVersion = 5
 
 // CIRecord is the top-level JSON document.
 type CIRecord struct {
@@ -49,6 +51,10 @@ type CIRecord struct {
 	// columnar); CI gates on the vector/row rows_per_sec ratio and on
 	// steady-state heap growth staying at zero.
 	InnerLoop []CIInnerLoop `json:"inner_loop,omitempty"`
+	// Spill holds the paged-store workload rows (dataset larger than the
+	// buffer pool); CI gates on hash equality with the in-RAM run, on
+	// evictions proving the run paged, and on hit-rate/throughput floors.
+	Spill []CISpill `json:"spill,omitempty"`
 }
 
 // CIStanding records one standing-query measurement (produced by the

@@ -324,6 +324,20 @@ func (t *TCPTransport) Kill(n NodeID) {
 	t.requestor.Put(Message{From: n, Kind: MsgFailure, Job: gen})
 }
 
+// MarkAlive (driver only) restores the driver's view of a node WITHOUT
+// shipping MsgRevive. It is the respawn counterpart of Revive: a daemon
+// that died for real and was restarted restored its own job state at
+// boot, so the simulated-death re-arm protocol does not apply — a
+// MsgRevive would reach the restored daemon with its worker loop already
+// running and deadlock its control loop waiting for the loop to exit.
+func (t *TCPTransport) MarkAlive(n NodeID) {
+	t.mu.Lock()
+	if t.driver && n >= 0 && int(n) < t.n {
+		t.alive[n] = true
+	}
+	t.mu.Unlock()
+}
+
 // Revive (driver only) restores a node and re-arms the remote daemon.
 func (t *TCPTransport) Revive(n NodeID) {
 	t.mu.Lock()
@@ -772,8 +786,13 @@ func (t *TCPTransport) conn(addr string) (*tcpConn, error) {
 	return tc, nil
 }
 
-// write frames and ships one encoded message to addr, dropping the cached
-// connection on error so the next send redials.
+// write frames and ships one encoded message to addr. A failed write on a
+// cached connection is retried exactly once on a fresh dial: after a
+// daemon is respawned on the same address, every process that talked to
+// its predecessor still holds a dead cached connection, and without the
+// retry the first frame to the new process — a recovery MsgStart, a
+// shuffle batch — would be silently lost. If the fresh dial (or its
+// write) also fails, the process behind the address is really gone.
 func (t *TCPTransport) write(addr string, frame []byte) error {
 	tc, err := t.conn(addr)
 	if err != nil {
@@ -783,19 +802,32 @@ func (t *TCPTransport) write(addr string, frame []byte) error {
 		t.nodeDown(addr)
 		return err
 	}
-	if err := writeConn(tc, frame); err != nil {
-		_ = tc.c.Close()
-		t.mu.Lock()
-		if t.conns[addr] == tc {
-			delete(t.conns, addr)
-		}
-		t.mu.Unlock()
-		// The read loop on the dropped connection reports the death; the
-		// write error only triggers the cleanup above so the next send
-		// redials (a revived daemon is a fresh process on the same addr).
+	werr := writeConn(tc, frame)
+	if werr == nil {
+		return nil
+	}
+	t.dropConn(addr, tc)
+	if tc, err = t.conn(addr); err != nil {
+		t.nodeDown(addr)
 		return err
 	}
+	if werr = writeConn(tc, frame); werr != nil {
+		t.dropConn(addr, tc)
+		// The fresh connection's read loop reports the death.
+		return werr
+	}
 	return nil
+}
+
+// dropConn closes a broken connection and evicts it from the dial cache
+// (unless a newer connection already replaced it).
+func (t *TCPTransport) dropConn(addr string, tc *tcpConn) {
+	_ = tc.c.Close()
+	t.mu.Lock()
+	if t.conns[addr] == tc {
+		delete(t.conns, addr)
+	}
+	t.mu.Unlock()
 }
 
 // writeConn writes one length-prefixed frame under the connection lock.

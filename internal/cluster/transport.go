@@ -101,6 +101,14 @@ const (
 	// the shuffle path, closing the one flow-control gap the control plane
 	// had.
 	MsgCreditAck
+	// MsgCommit is the standing-query round-commit barrier. Driver → worker
+	// (From=-1): the round in Stratum closed its fixpoint on every node —
+	// apply the round's buffered base-table deltas to local storage and,
+	// on a durable backend, fsync a commit mark. Worker → requestor: the
+	// ack, echoing the round. Store mutation happens only here, so a node
+	// that dies mid-round leaves its store exactly at the last committed
+	// round — the invariant crash recovery rebuilds from.
+	MsgCommit
 )
 
 // Message is one transport frame. Data frames carry the encoded batch in

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 
 	"github.com/rex-data/rex/internal/catalog"
 	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/pagestore"
 	"github.com/rex-data/rex/internal/storage"
 	"github.com/rex-data/rex/internal/types"
 )
@@ -83,6 +85,20 @@ type Options struct {
 	// OnStratum, when set, observes each completed stratum (used by the
 	// experiment harness, e.g. to inject failures at iteration k).
 	OnStratum func(stratum, newTuples int)
+	// Recover, when set, enables standing-query crash recovery: on a node
+	// failure the pump aborts in-flight work, calls Recover(node) to bring
+	// the node back (respawn its daemon, or revive its in-process mailbox),
+	// rebuilds the dataflow from the survivors' and the recovered node's
+	// committed stores, and replays the interrupted round. Requires every
+	// local store to be storage.Durable (see Engine.UseSpill).
+	Recover func(node cluster.NodeID) error
+	// SpillDir and BufferPoolPages configure paged spill-to-disk storage
+	// when a job spec materializes its engine (session/daemon layers call
+	// Engine.UseSpill directly). SpillDir is a local path and never
+	// travels on the wire; BufferPoolPages does, so every process in a
+	// TCP job agrees on pool sizing.
+	SpillDir        string
+	BufferPoolPages int
 }
 
 // StratumStats records one stratum of a recursive execution.
@@ -120,8 +136,10 @@ type Engine struct {
 	Transport cluster.Transport
 	Ring      *cluster.Ring
 	// Stores/Ckpts are indexed by node; entries are nil for nodes whose
-	// event loops run in other processes.
-	Stores  []*storage.Store
+	// event loops run in other processes. Stores are in-memory
+	// storage.Store by default; UseSpill swaps in paged spill-to-disk
+	// stores (storage.Durable) behind the same interface.
+	Stores  []storage.Backend
 	Ckpts   []*storage.CheckpointStore
 	Catalog *catalog.Catalog
 
@@ -141,7 +159,7 @@ func NewEngineOn(tr cluster.Transport, vnodes, replication int, cat *catalog.Cat
 	e := &Engine{
 		Transport: tr,
 		Ring:      cluster.NewRing(n, vnodes, replication),
-		Stores:    make([]*storage.Store, n),
+		Stores:    make([]storage.Backend, n),
 		Ckpts:     make([]*storage.CheckpointStore, n),
 		Catalog:   cat,
 	}
@@ -150,6 +168,63 @@ func NewEngineOn(tr cluster.Transport, vnodes, replication int, cat *catalog.Cat
 		e.Ckpts[i] = storage.NewCheckpointStore()
 	}
 	return e
+}
+
+// UseSpill replaces every local node's in-memory store with a paged
+// spill-to-disk store under dir (one subdirectory per node), each with a
+// poolPages-frame buffer pool. Call before loading data. Directories with
+// existing durable state recover it — that is how a respawned daemon
+// rejoins with its committed rounds intact.
+func (e *Engine) UseSpill(dir string, poolPages int) error {
+	for _, i := range e.Transport.LocalNodes() {
+		nodeDir := filepath.Join(dir, fmt.Sprintf("node%d", i))
+		s, err := pagestore.Open(nodeDir, i, poolPages)
+		if err != nil {
+			return fmt.Errorf("exec: spill store for node %d: %w", i, err)
+		}
+		e.Stores[i] = s
+		// Checkpoints ride along: the §4.3 Δ-set checkpoints persist to an
+		// append-only log next to the page files, so a restarted node can
+		// resume incremental recovery from its last checkpointed stratum.
+		if err := e.Ckpts[i].UseDir(filepath.Join(nodeDir, "ckpt")); err != nil {
+			return fmt.Errorf("exec: checkpoint log for node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CloseStores flushes and closes every local durable store (graceful
+// shutdown: dirty state is sealed into a checkpoint image). In-memory
+// stores are untouched.
+func (e *Engine) CloseStores() error {
+	var first error
+	for _, s := range e.Stores {
+		if d, ok := s.(storage.Durable); ok {
+			if err := d.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	for _, c := range e.Ckpts {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// PoolStats aggregates buffer-pool traffic across the local nodes' paged
+// stores (all-zero when spill is not in use).
+func (e *Engine) PoolStats() storage.PoolStats {
+	var total storage.PoolStats
+	for _, s := range e.Stores {
+		if ps, ok := s.(storage.PoolStatter); ok {
+			total.Add(ps.PoolStats())
+		}
+	}
+	return total
 }
 
 // Load distributes a dataset to the local workers' replicated storage.

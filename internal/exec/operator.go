@@ -77,7 +77,7 @@ type Context struct {
 	Node      cluster.NodeID
 	Snap      *cluster.Snapshot
 	Transport cluster.Transport
-	Store     *storage.Store
+	Store     storage.Backend
 	Catalog   *catalog.Catalog
 	QueryID   string
 	Epoch     int

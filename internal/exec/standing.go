@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/storage"
 	"github.com/rex-data/rex/internal/types"
 )
 
@@ -189,7 +190,59 @@ type StandingQuery struct {
 	closed    bool
 	err       error
 
+	// epoch is the current execution attempt, bumped by each crash
+	// recovery; pump-goroutine state (only the pump reads or writes it).
+	epoch int
+	// recoveries counts crash recoveries survived.
+	recoveries int
+
 	done chan struct{}
+}
+
+// Recoveries reports how many node crashes this standing query has
+// recovered from.
+func (sq *StandingQuery) Recoveries() int {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	return sq.recoveries
+}
+
+// nodeFailureErr signals a node failure to the pump's recovery loop
+// (only produced when Options.Recover is installed).
+type nodeFailureErr struct{ node cluster.NodeID }
+
+func (e nodeFailureErr) Error() string {
+	return fmt.Sprintf("exec: node %d failed", e.node)
+}
+
+// failureErr converts a MsgFailure into either a recoverable sentinel or
+// the terminal error, depending on whether recovery is enabled.
+func (sq *StandingQuery) failureErr(n cluster.NodeID) error {
+	if sq.opts.Recover != nil {
+		return nodeFailureErr{node: n}
+	}
+	return fmt.Errorf("exec: node %d failed (standing-query recovery not enabled; set Options.Recover)", n)
+}
+
+// roundRun is one ingestion round's full context, kept so a crash
+// recovery can replay it: the covered requests, the folded and routed
+// frames (re-staged verbatim on retry), the round's buffered output, and
+// whether its fixpoint had closed when the failure hit. completed decides
+// the retry's output handling — a completed round's output was already
+// captured (the re-run, over a partially committed base, would emit
+// deltas relative to the wrong view), while an incomplete round's output
+// comes from the re-run itself.
+type roundRun struct {
+	round     int
+	reqs      []*ingestReq
+	folded    map[string][]types.Delta
+	frames    []cluster.Message
+	staged    int
+	nDeltas   int
+	nBytes    int64
+	stats     *RoundStats
+	buf       []StreamBatch
+	completed bool
 }
 
 // Standing compiles nothing and tears nothing down: it starts spec on the
@@ -203,10 +256,20 @@ func (e *Engine) Standing(ctx context.Context, spec *PlanSpec, opts Options) (*S
 		return nil, err
 	}
 	if opts.Recovery != RecoveryNone {
-		return nil, fmt.Errorf("exec: standing queries do not support failure recovery")
+		return nil, fmt.Errorf("exec: standing queries do not support epoch-restart recovery (use Options.Recover)")
 	}
 	if opts.Checkpoint {
 		return nil, fmt.Errorf("exec: standing queries do not support checkpointing")
+	}
+	if opts.Recover != nil {
+		// Crash recovery replays the interrupted round against each node's
+		// last committed store state; an in-memory store has no committed
+		// state to rebuild a victim from.
+		for _, n := range e.Transport.LocalNodes() {
+			if _, ok := e.Stores[n].(storage.Durable); !ok {
+				return nil, fmt.Errorf("exec: standing-query recovery needs durable stores (node %d is in-memory; see Engine.UseSpill)", n)
+			}
+		}
 	}
 	opts.Stream = true
 	if opts.BatchSize <= 0 {
@@ -509,37 +572,219 @@ func (sq *StandingQuery) recordRound(st RoundStats) {
 	sq.mu.Unlock()
 }
 
+// maxRecoveryAttempts caps consecutive crash-recovery attempts before the
+// pump gives up and fails the standing query.
+const maxRecoveryAttempts = 5
+
 // pump is the standing query's requestor loop: it runs the initial round,
 // then serves ingestion rounds until cancellation or an execution error,
-// then tears the dataflow down.
+// then tears the dataflow down. With Options.Recover installed, every
+// round ends in a commit barrier (workers apply staged deltas to their
+// stores and fsync the round mark) and a node crash at any point — mid
+// staging, mid fixpoint, mid commit — is survived by rebuilding the
+// dataflow from committed store state and replaying the interrupted
+// round.
 func (sq *StandingQuery) pump(queryID string, alive []cluster.NodeID, wg *sync.WaitGroup, stopWatch chan struct{}, watchDone <-chan struct{}, initErr chan<- error) {
 	e := sq.eng
 	start := time.Now()
 	last := 0 // highest stratum started, shared with workers via decisions
 
-	payload := encodeNodeList(alive)
-	for _, n := range alive {
-		e.Transport.Send(cluster.Message{
-			From: -1, To: n, Kind: cluster.MsgStart,
-			Epoch: 0, Stratum: 0, Count: startFresh, Payload: payload,
-		})
+	// With recovery on, a round's output is buffered pump-side until its
+	// commit barrier lands: a crash mid-round must be able to discard or
+	// replace it without the subscriber seeing a partial round.
+	buffered := sq.opts.Recover != nil
+
+	broadcastStart := func(mode int) {
+		payload := encodeNodeList(alive)
+		for _, n := range alive {
+			e.Transport.Send(cluster.Message{
+				From: -1, To: n, Kind: cluster.MsgStart,
+				Epoch: sq.epoch, Stratum: 0, Count: mode, Payload: payload,
+			})
+		}
 	}
 
+	// recoverFrom brings the cluster back after victim died and re-runs
+	// the interrupted round (rr; nil when the crash hit between rounds).
+	// On return the cluster is whole, every store is at rr's committed
+	// round, and rr.buf/rr.stats hold the round's output.
+	recoverFrom := func(victim cluster.NodeID, rr *roundRun) error {
+		for attempt := 1; ; attempt++ {
+			if attempt > maxRecoveryAttempts {
+				return fmt.Errorf("exec: giving up after %d crash-recovery attempts", maxRecoveryAttempts)
+			}
+			if err := sq.ctx.Err(); err != nil {
+				return err
+			}
+			// Drop per-query state everywhere. Mailboxes are FIFO, so any
+			// staged frames still in flight are consumed before the abort
+			// clears the workers' pending buffers — nothing stale survives
+			// into the rebuilt epoch.
+			e.Transport.Broadcast(cluster.Message{From: -1, Kind: cluster.MsgAbort})
+			if err := sq.opts.Recover(victim); err != nil {
+				return fmt.Errorf("exec: recovering node %d: %w", victim, err)
+			}
+			// An in-process victim needs a fresh worker loop over its
+			// recovered store; a daemon victim's respawned process runs its
+			// own.
+			if int(victim) < len(e.Stores) && e.Stores[victim] != nil {
+				w := NewWorker(WorkerConfig{
+					Node: victim, Transport: e.Transport, Store: e.Stores[victim],
+					Checkpoints: e.Ckpts[victim], Catalog: e.Catalog, Ring: e.Ring,
+					Plan: sq.spec, QueryID: queryID, Options: sq.opts,
+				})
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					w.Loop()
+				}()
+			}
+			sq.epoch++
+			sq.mu.Lock()
+			sq.recoveries++
+			sq.mu.Unlock()
+			alive = e.Transport.AliveNodes()
+			if len(alive) != e.Transport.N() {
+				return fmt.Errorf("exec: recovery left %d of %d nodes alive", len(alive), e.Transport.N())
+			}
+			// Fresh epoch, fresh strata: MsgStart rebuilds every worker's
+			// port trackers, so the monotonic-stratum clock restarts at 0.
+			last = 0
+			broadcastStart(startRecover)
+
+			// Recovery fixpoint: every node rebuilds its operator state
+			// from its committed store. Some nodes may have committed the
+			// interrupted round and some not — that partial base is a
+			// legitimate state; the replay below injects only the missing
+			// partitions and converges it. The fixpoint's output re-derives
+			// rounds already delivered and is discarded — unless the
+			// interrupted round IS round 0 (initial fixpoint), in which
+			// case this run's output is the round's output.
+			initialRerun := rr != nil && rr.round == 0 && !rr.completed
+			emit := func(StreamBatch) {}
+			if initialRerun {
+				rr.buf = nil
+				emit = func(b StreamBatch) { rr.buf = append(rr.buf, b) }
+			}
+			stats, err := sq.collectRound(0, 0, alive, &last, e.Transport.Metrics().TotalBytesSent(), emit)
+			if nf, ok := errAsNodeFailure(err); ok {
+				victim = nf.node
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if initialRerun {
+				rr.stats = stats
+				rr.completed = true
+			}
+
+			// Replay an interrupted ingestion round: re-stage its routed
+			// frames verbatim (nodes whose durable watermark covers the
+			// round skip them; the rest buffer them again) and re-run. A
+			// round whose fixpoint had closed keeps its original output —
+			// the re-run executes over a partially committed base, so its
+			// emitted deltas would be relative to the wrong view.
+			if rr != nil && rr.round > 0 {
+				if !rr.completed {
+					rr.buf = nil
+				}
+				bytesBefore := e.Transport.Metrics().TotalBytesSent()
+				if err := sq.sendStaged(rr.frames, rr.round); err != nil {
+					if nf, ok := errAsNodeFailure(err); ok {
+						victim = nf.node
+						continue
+					}
+					return err
+				}
+				for _, n := range alive {
+					e.Transport.Send(cluster.Message{From: -1, To: n, Kind: cluster.MsgRound, Epoch: sq.epoch})
+				}
+				base := last + 1
+				last = base
+				remit := func(StreamBatch) {}
+				if !rr.completed {
+					remit = func(b StreamBatch) { rr.buf = append(rr.buf, b) }
+				}
+				stats, err := sq.collectRound(rr.round, base, alive, &last, bytesBefore, remit)
+				if nf, ok := errAsNodeFailure(err); ok {
+					victim = nf.node
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				if !rr.completed {
+					rr.stats = stats
+					rr.completed = true
+				}
+			}
+
+			// Commit barrier for the replayed round. A between-rounds crash
+			// (rr nil) changed no store state and needs no commit.
+			if rr != nil {
+				if err := sq.waitCommits(rr.round, alive); err != nil {
+					if nf, ok := errAsNodeFailure(err); ok {
+						victim = nf.node
+						continue
+					}
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
+	// runRetrying executes one round attempt and loops through crash
+	// recovery until the round is durable or the error is terminal.
+	runRetrying := func(rr *roundRun, attempt func() error) error {
+		err := attempt()
+		for {
+			nf, ok := errAsNodeFailure(err)
+			if !ok {
+				return err
+			}
+			err = recoverFrom(nf.node, rr)
+		}
+	}
+
+	broadcastStart(startFresh)
+
 	runErr := func() error {
-		stats, err := sq.collectRound(0, 0, alive, &last, e.Transport.Metrics().TotalBytesSent())
+		rr0 := &roundRun{round: 0}
+		err := runRetrying(rr0, func() error {
+			rr0.buf = nil
+			emit := func(b StreamBatch) { sq.spool.push(b) }
+			if buffered {
+				emit = func(b StreamBatch) { rr0.buf = append(rr0.buf, b) }
+			}
+			stats, err := sq.collectRound(0, 0, alive, &last, e.Transport.Metrics().TotalBytesSent(), emit)
+			if err != nil {
+				return err
+			}
+			rr0.stats = stats
+			rr0.completed = true
+			// Round 0's commit seals every store's loaded base (and, on
+			// durable backends, resets watermarks left by prior queries).
+			return sq.waitCommits(0, alive)
+		})
 		if err != nil {
 			initErr <- err
 			return err
 		}
-		sq.recordRound(*stats)
+		for _, b := range rr0.buf {
+			sq.spool.push(b)
+		}
+		sq.recordRound(*rr0.stats)
 		initErr <- nil
 
 		round := 0
 		// serve runs ONE coalesced round covering every claimed request:
 		// their staged deltas fold per table through the shuffle compactor,
 		// the folded batches route as MsgIngest frames, a single MsgRound
-		// barrier starts the fixpoint, and every covered ack resolves with
-		// the round's shared stats when it closes.
+		// barrier starts the fixpoint, the commit barrier makes the round
+		// durable, and every covered ack resolves with the round's shared
+		// stats.
 		serve := func(reqs []*ingestReq) error {
 			folded, staged := sq.fold(reqs)
 			frames, nDeltas, nBytes, err := sq.routeAll(folded)
@@ -552,33 +797,53 @@ func (sq *StandingQuery) pump(queryID string, alive []cluster.NodeID, wg *sync.W
 				return err
 			}
 			round++
-			// Snapshot the wire counter before any round traffic: workers
-			// start shipping the moment MsgRound lands, possibly before
-			// collectRound would read it. (MsgIngest staging frames are
-			// driver control-plane and never counted.)
-			bytesBefore := e.Transport.Metrics().TotalBytesSent()
-			if err := sq.sendStaged(frames); err != nil {
-				for _, r := range reqs {
-					r.ack.resolve(nil, err)
+			rr := &roundRun{
+				round: round, reqs: reqs, folded: folded, frames: frames,
+				staged: staged, nDeltas: nDeltas, nBytes: nBytes,
+			}
+			err = runRetrying(rr, func() error {
+				// Snapshot the wire counter before any round traffic:
+				// workers start shipping the moment MsgRound lands, possibly
+				// before collectRound would read it. (MsgIngest staging
+				// frames are driver control-plane and never counted.)
+				bytesBefore := e.Transport.Metrics().TotalBytesSent()
+				if err := sq.sendStaged(rr.frames, rr.round); err != nil {
+					return err
 				}
-				return err
-			}
-			for _, n := range alive {
-				e.Transport.Send(cluster.Message{From: -1, To: n, Kind: cluster.MsgRound, Epoch: 0})
-			}
-			// Mirror the workers' startRound exactly: the round's base
-			// stratum is counted as started on both sides (decisions
-			// advance both further), so non-recursive rounds — which
-			// have no decisions — stay in sync too.
-			base := last + 1
-			last = base
-			stats, err := sq.collectRound(round, base, alive, &last, bytesBefore)
+				for _, n := range alive {
+					e.Transport.Send(cluster.Message{From: -1, To: n, Kind: cluster.MsgRound, Epoch: sq.epoch})
+				}
+				// Mirror the workers' startRound exactly: the round's base
+				// stratum is counted as started on both sides (decisions
+				// advance both further), so non-recursive rounds — which
+				// have no decisions — stay in sync too.
+				base := last + 1
+				last = base
+				rr.buf = nil
+				emit := func(b StreamBatch) { sq.spool.push(b) }
+				if buffered {
+					emit = func(b StreamBatch) { rr.buf = append(rr.buf, b) }
+				}
+				stats, err := sq.collectRound(rr.round, base, alive, &last, bytesBefore, emit)
+				if err != nil {
+					return err
+				}
+				rr.stats = stats
+				rr.completed = true
+				return sq.waitCommits(rr.round, alive)
+			})
 			if err != nil {
 				for _, r := range reqs {
 					r.ack.resolve(nil, err)
 				}
 				return err
 			}
+			// The round is durable on every node: release its buffered
+			// output, then stats, hook, acks.
+			for _, b := range rr.buf {
+				sq.spool.push(b)
+			}
+			stats := rr.stats
 			stats.Ingests = len(reqs)
 			stats.IngestedDeltas = staged
 			stats.CoalescedDeltas = nDeltas
@@ -625,7 +890,19 @@ func (sq *StandingQuery) pump(queryID string, alive []cluster.NodeID, wg *sync.W
 			case cluster.MsgError:
 				return fmt.Errorf("exec: node %d: %s", msg.From, msg.Table)
 			case cluster.MsgFailure:
-				return fmt.Errorf("exec: node %d failed (standing queries do not support recovery)", msg.From)
+				if sq.opts.Recover != nil && e.Transport.Alive(msg.From) {
+					continue // duplicate failure frame for an already-recovered node
+				}
+				ferr := sq.failureErr(msg.From)
+				if nf, ok := errAsNodeFailure(ferr); ok {
+					// Idle crash: no round in flight, nothing to replay —
+					// rebuild the dataflow and keep serving.
+					if rerr := recoverFrom(nf.node, nil); rerr != nil {
+						return rerr
+					}
+					continue
+				}
+				return ferr
 			}
 		}
 	}()
@@ -683,12 +960,13 @@ func (sq *StandingQuery) pump(queryID string, alive []cluster.NodeID, wg *sync.W
 	sq.cancel(nil)
 }
 
-// collectRound drives one round's vote/advance/terminate loop and streams
-// its output batches, returning when every node's final punctuation has
-// arrived. base is the round's base stratum; last tracks the highest
-// stratum started so the next round's base continues the monotonic
-// numbering exactly as the workers compute it.
-func (sq *StandingQuery) collectRound(round, base int, alive []cluster.NodeID, last *int, bytesBefore int64) (*RoundStats, error) {
+// collectRound drives one round's vote/advance/terminate loop and feeds
+// its output batches to emit, returning when every node's final
+// punctuation has arrived. base is the round's base stratum; last tracks
+// the highest stratum started so the next round's base continues the
+// monotonic numbering exactly as the workers compute it. Frames from
+// other epochs (pre-recovery stragglers) are filtered out.
+func (sq *StandingQuery) collectRound(round, base int, alive []cluster.NodeID, last *int, bytesBefore int64, out func(StreamBatch)) (*RoundStats, error) {
 	e := sq.eng
 	req := e.Transport.Requestor()
 	stats := &RoundStats{Round: round}
@@ -699,7 +977,7 @@ func (sq *StandingQuery) collectRound(round, base int, alive []cluster.NodeID, l
 	emit := func(stratum int, batch []types.Delta) {
 		stats.Batches++
 		stats.Deltas += len(batch)
-		sq.spool.push(StreamBatch{Round: round, Stratum: stratum - base, Deltas: batch})
+		out(StreamBatch{Round: round, Stratum: stratum - base, Deltas: batch})
 	}
 	for {
 		if err := sq.ctx.Err(); err != nil {
@@ -717,9 +995,12 @@ func (sq *StandingQuery) collectRound(round, base int, alive []cluster.NodeID, l
 		case cluster.MsgError:
 			return nil, fmt.Errorf("exec: node %d: %s", msg.From, msg.Table)
 		case cluster.MsgFailure:
-			return nil, fmt.Errorf("exec: node %d failed (standing queries do not support recovery)", msg.From)
+			if sq.opts.Recover != nil && e.Transport.Alive(msg.From) {
+				continue // duplicate failure frame for an already-recovered node
+			}
+			return nil, sq.failureErr(msg.From)
 		case cluster.MsgVote:
-			if msg.Epoch != 0 {
+			if msg.Epoch != sq.epoch {
 				continue
 			}
 			s := msg.Stratum
@@ -764,14 +1045,14 @@ func (sq *StandingQuery) collectRound(round, base int, alive []cluster.NodeID, l
 			for _, n := range alive {
 				e.Transport.Send(cluster.Message{
 					From: -1, To: n, Kind: cluster.MsgDecision,
-					Epoch: 0, Stratum: s + 1, Terminate: terminate,
+					Epoch: sq.epoch, Stratum: s + 1, Terminate: terminate,
 				})
 			}
 			if !terminate {
 				*last = s + 1
 			}
 		case cluster.MsgData:
-			if msg.Epoch != 0 || msg.Edge != resultEdge {
+			if msg.Epoch != sq.epoch || msg.Edge != resultEdge {
 				continue
 			}
 			batch, err := cluster.DecodeDeltas(msg.Payload)
@@ -784,7 +1065,7 @@ func (sq *StandingQuery) collectRound(round, base int, alive []cluster.NodeID, l
 				emit(base, batch)
 			}
 		case cluster.MsgPunct:
-			if msg.Epoch != 0 || msg.Edge != resultEdge {
+			if msg.Epoch != sq.epoch || msg.Edge != resultEdge {
 				continue
 			}
 			done[msg.From] = true
@@ -855,9 +1136,11 @@ func (sq *StandingQuery) routeAll(tables map[string][]types.Delta) (frames []clu
 				batch = batch[len(chunk):]
 				payload := cluster.EncodeDeltas(chunk)
 				nBytes += int64(len(payload))
+				// Epoch and round (Stratum) are stamped by sendStaged on
+				// every send, so a recovery replay restamps automatically.
 				frames = append(frames, cluster.Message{
 					From: -1, To: cluster.NodeID(n), Kind: cluster.MsgIngest,
-					Table: table, Payload: payload, Count: len(chunk), Epoch: 0,
+					Table: table, Payload: payload, Count: len(chunk),
 				})
 			}
 		}
@@ -873,9 +1156,18 @@ func (sq *StandingQuery) routeAll(tables map[string][]types.Delta) (frames []clu
 // sized from their measured drain rate, so a slow worker throttles the
 // pump before its inbox floods — the control-plane counterpart of the
 // shuffle path's punctuation grants.
-func (sq *StandingQuery) sendStaged(frames []cluster.Message) error {
+//
+// Frames are stamped with the current epoch and the round number on every
+// call: a recovery replay re-sends the same frames under a new epoch, and
+// the round stamp is the watermark workers compare against their durable
+// committed round to skip frames they already applied.
+func (sq *StandingQuery) sendStaged(frames []cluster.Message, round int) error {
 	e := sq.eng
 	req := e.Transport.Requestor()
+	for i := range frames {
+		frames[i].Epoch = sq.epoch
+		frames[i].Stratum = round
+	}
 	for _, f := range frames {
 		for e.Transport.Credits(-1, f.To) <= 0 {
 			if err := sq.ctx.Err(); err != nil {
@@ -893,7 +1185,10 @@ func (sq *StandingQuery) sendStaged(frames []cluster.Message) error {
 			case cluster.MsgError:
 				return fmt.Errorf("exec: node %d: %s", msg.From, msg.Table)
 			case cluster.MsgFailure:
-				return fmt.Errorf("exec: node %d failed (standing queries do not support recovery)", msg.From)
+				if sq.opts.Recover != nil && e.Transport.Alive(msg.From) {
+					continue // duplicate failure frame for an already-recovered node
+				}
+				return sq.failureErr(msg.From)
 			case cluster.MsgRoundReq:
 				// Harmless to consume: round requests are claimed from the
 				// queue at the top of the pump loop, and the staged batches
@@ -908,6 +1203,57 @@ func (sq *StandingQuery) sendStaged(frames []cluster.Message) error {
 		e.Transport.Send(f)
 	}
 	return nil
+}
+
+// waitCommits drives the round-commit barrier: broadcast MsgCommit for
+// the round, then wait for every alive node's ack. A worker applies its
+// buffered staged deltas to its store and (on a durable backend) fsyncs
+// the round mark before acking, so once this returns the round is applied
+// — and, with spill stores, durable — cluster-wide. Output release,
+// stats, and ingest acks all wait behind it.
+func (sq *StandingQuery) waitCommits(round int, alive []cluster.NodeID) error {
+	e := sq.eng
+	e.Transport.Broadcast(cluster.Message{
+		From: -1, Kind: cluster.MsgCommit, Stratum: round, Epoch: sq.epoch,
+	})
+	req := e.Transport.Requestor()
+	acked := map[cluster.NodeID]bool{}
+	for len(acked) < len(alive) {
+		if err := sq.ctx.Err(); err != nil {
+			return err
+		}
+		msg, ok := req.Get()
+		if !ok {
+			return fmt.Errorf("exec: requestor mailbox closed")
+		}
+		switch msg.Kind {
+		case cluster.MsgCancel:
+			if err := sq.ctx.Err(); err != nil {
+				return err
+			}
+		case cluster.MsgError:
+			return fmt.Errorf("exec: node %d: %s", msg.From, msg.Table)
+		case cluster.MsgFailure:
+			if sq.opts.Recover != nil && e.Transport.Alive(msg.From) {
+				continue // duplicate failure frame for an already-recovered node
+			}
+			return sq.failureErr(msg.From)
+		case cluster.MsgCommit:
+			if msg.Epoch == sq.epoch && msg.Stratum == round {
+				acked[msg.From] = true
+			}
+		}
+	}
+	return nil
+}
+
+// errAsNodeFailure unwraps err as a recoverable node failure.
+func errAsNodeFailure(err error) (nodeFailureErr, bool) {
+	var nf nodeFailureErr
+	if errors.As(err, &nf) {
+		return nf, true
+	}
+	return nodeFailureErr{}, false
 }
 
 // route partitions one table's deltas by ring owner (primary plus

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/rex-data/rex/internal/catalog"
+	"github.com/rex-data/rex/internal/cluster"
 	"github.com/rex-data/rex/internal/expr"
 	"github.com/rex-data/rex/internal/types"
 )
@@ -594,5 +595,130 @@ func TestStandingIngestValidation(t *testing.T) {
 	must(t, err)
 	if rs.IngestedDeltas != 1 {
 		t.Fatalf("stats: %+v", rs)
+	}
+}
+
+// TestStandingCrashRecoveryInproc is the crash-recovery property on the
+// in-process transport: a standing recursive query over spill-backed
+// durable stores survives a node kill both between rounds (idle recovery)
+// and during a round (abort + replay), and the folded subscription stream
+// still equals a from-scratch recompute over the final edge set — every
+// round delivered exactly once, none lost, none duplicated.
+func TestStandingCrashRecoveryInproc(t *testing.T) {
+	const nodes = 4
+	const island = 50
+	const V = 3 * island
+	var base []types.Tuple
+	for is := 0; is < 3; is++ {
+		for i := 0; i < island-1; i++ {
+			v := int64(is*island + i)
+			base = append(base, types.NewTuple(v, v+1))
+		}
+	}
+	seed := []types.Tuple{types.NewTuple(int64(0))}
+
+	cat := reachCatalog(t)
+	eng := NewEngine(nodes, 32, 2, cat)
+	must(t, eng.UseSpill(t.TempDir(), 64))
+	defer eng.CloseStores()
+	must(t, eng.Load("edges", 0, base))
+	must(t, eng.Load("seed", 0, seed))
+
+	tr := eng.Transport.(*cluster.InProcTransport)
+	hook := func(victim cluster.NodeID) error {
+		tr.Revive(victim)
+		return nil
+	}
+	sq, err := eng.Standing(context.Background(), reachPlan(), Options{MaxStrata: 400, Recover: hook})
+	must(t, err)
+	st := sq.Stream()
+	acc := foldBatches(t, st, sq.Rounds()[0].Batches)
+	if got := len(acc.materialize()); got != island {
+		t.Fatalf("initial fixpoint reached %d vertices, want %d", got, island)
+	}
+
+	apply := func(rs *RoundStats) {
+		t.Helper()
+		for i := 0; i < rs.Batches; i++ {
+			b, ok := st.Next()
+			if !ok {
+				t.Fatalf("stream ended early: %v", st.Err())
+			}
+			if b.Round != rs.Round {
+				t.Fatalf("batch round %d, want %d", b.Round, rs.Round)
+			}
+			acc.apply(b.Deltas)
+		}
+	}
+
+	// Idle kill: the victim dies with no round in flight; the pump rebuilds
+	// the dataflow from committed store state before serving the next round.
+	tr.Kill(2)
+	rs, err := sq.Ingest(context.Background(), map[string][]types.Delta{
+		"edges": {types.Insert(types.NewTuple(int64(10), int64(island)))},
+	})
+	must(t, err)
+	apply(rs)
+
+	// Mid-round kill: bridging island 3 runs a ~50-stratum round; a second
+	// victim dies while it executes, forcing an abort + replay. (If the
+	// timer fires after the round closed, the kill degrades to another idle
+	// recovery — the correctness assertion is the same either way.)
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(3 * time.Millisecond)
+		tr.Kill(1)
+	}()
+	rs, err = sq.Ingest(context.Background(), map[string][]types.Delta{
+		"edges": {types.Insert(types.NewTuple(int64(island+10), int64(2*island)))},
+	})
+	must(t, err)
+	apply(rs)
+	<-killed
+
+	// A final quiet round flushes any still-pending failure frame through
+	// recovery before teardown, and proves the rebuilt dataflow still serves.
+	r := rand.New(rand.NewSource(23))
+	var chords []types.Delta
+	for i := 0; i < 5; i++ {
+		chords = append(chords, types.Insert(types.NewTuple(int64(r.Intn(V)), int64(r.Intn(V)))))
+	}
+	rs, err = sq.Ingest(context.Background(), map[string][]types.Delta{"edges": chords})
+	must(t, err)
+	apply(rs)
+
+	must(t, sq.Close())
+	if sq.Recoveries() < 2 {
+		t.Fatalf("Recoveries() = %d, want >= 2", sq.Recoveries())
+	}
+
+	// Recompute from scratch with all edges on a fresh in-memory engine.
+	all := append([]types.Tuple(nil), base...)
+	all = append(all, types.NewTuple(int64(10), int64(island)))
+	all = append(all, types.NewTuple(int64(island+10), int64(2*island)))
+	for _, d := range chords {
+		all = append(all, d.Tup)
+	}
+	cat2 := reachCatalog(t)
+	eng2 := NewEngine(nodes, 32, 2, cat2)
+	must(t, eng2.Load("edges", 0, all))
+	must(t, eng2.Load("seed", 0, seed))
+	want, err := eng2.Run(reachPlan(), Options{MaxStrata: 400})
+	must(t, err)
+	tuplesMatch(t, acc.materialize(), want.Tuples, "crash-recovered fold vs recompute")
+}
+
+// TestStandingRecoverNeedsDurable: enabling Options.Recover over plain
+// in-memory stores must fail fast at Standing time.
+func TestStandingRecoverNeedsDurable(t *testing.T) {
+	cat := aggCatalog(t)
+	eng := NewEngine(2, 32, 2, cat)
+	must(t, eng.Load("items", 0, []types.Tuple{types.NewTuple(int64(1), 2.0)}))
+	_, err := eng.Standing(context.Background(), aggPlan(), Options{
+		Recover: func(cluster.NodeID) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("Standing must reject Recover over in-memory stores")
 	}
 }

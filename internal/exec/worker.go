@@ -18,7 +18,8 @@ import (
 type Worker struct {
 	node        cluster.NodeID
 	transport   cluster.Transport
-	store       *storage.Store
+	store       storage.Backend
+	durable     storage.Durable // non-nil when store survives process death
 	ckpt        *storage.CheckpointStore
 	cat         *catalog.Catalog
 	ring        *cluster.Ring
@@ -52,6 +53,24 @@ type Worker struct {
 	// injects them into the resident dataflow.
 	lastStratum int
 	ingest      map[string][]types.Delta
+
+	// pending buffers the same staged deltas for local storage: stores
+	// mutate only at the MsgCommit barrier, after the round's fixpoint
+	// closed on every node, so a crash mid-round leaves every surviving
+	// store exactly at its last committed round. appliedRound is the
+	// watermark of the last round committed here; recovery re-stages an
+	// interrupted round to everyone, and nodes that already committed it
+	// skip the replayed frames by this watermark.
+	pending      []pendingIngest
+	appliedRound int
+}
+
+// pendingIngest is one staged MsgIngest frame awaiting the round's commit
+// barrier, in arrival order.
+type pendingIngest struct {
+	table  string
+	keyCol int
+	deltas []types.Delta
 }
 
 // WorkerConfig assembles a Worker. Plan, transport, and storage must
@@ -59,7 +78,7 @@ type Worker struct {
 type WorkerConfig struct {
 	Node        cluster.NodeID
 	Transport   cluster.Transport
-	Store       *storage.Store
+	Store       storage.Backend
 	Checkpoints *storage.CheckpointStore
 	Catalog     *catalog.Catalog
 	Ring        *cluster.Ring
@@ -78,8 +97,22 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if opts.CompactionHighWater <= 0 {
 		opts.CompactionHighWater = defaultHighWater
 	}
+	var durable storage.Durable
+	if d, ok := cfg.Store.(storage.Durable); ok {
+		durable = d
+	}
+	applied := 0
+	if durable != nil {
+		// A worker built over a recovered store resumes at its durable
+		// watermark, so re-staged frames for rounds already committed here
+		// are skipped rather than applied twice.
+		if cr := durable.CommittedRound(); cr > 0 {
+			applied = int(cr)
+		}
+	}
 	return &Worker{
 		node: cfg.Node, transport: cfg.Transport, store: cfg.Store,
+		durable: durable, appliedRound: applied,
 		ckpt: cfg.Checkpoints, cat: cfg.Catalog, ring: cfg.Ring,
 		spec: cfg.Plan, queryID: cfg.QueryID, batchSize: opts.BatchSize,
 		checkpoints: opts.Checkpoint,
@@ -143,6 +176,11 @@ func (w *Worker) handle(msg cluster.Message) error {
 		w.baseScan = nil
 		w.fixpoint = nil
 		w.ckptOps = nil
+		// Uncommitted staged deltas die with the round: an abort during
+		// recovery must leave the store at its last committed round, and
+		// re-staging after MsgStart rebuilds both buffers.
+		w.pending = nil
+		w.ingest = nil
 		return nil
 	case cluster.MsgStart:
 		return w.handleStart(msg)
@@ -211,6 +249,11 @@ func (w *Worker) handle(msg cluster.Message) error {
 			return nil
 		}
 		return w.startRound()
+	case cluster.MsgCommit:
+		if msg.Epoch != w.epoch || w.ops == nil {
+			return nil
+		}
+		return w.handleCommit(msg)
 	default:
 		return nil
 	}
@@ -220,12 +263,39 @@ func (w *Worker) handle(msg cluster.Message) error {
 const (
 	startFresh       = 0
 	startIncremental = 1
+	// startRecover rebuilds a standing query's dataflow after a crash:
+	// like startFresh (full base scans, fresh operator state) but the
+	// durable round watermark is read back instead of reset, so an
+	// interrupted round's re-staged frames are skipped where already
+	// committed and applied where not.
+	startRecover = 2
 )
 
 func (w *Worker) handleStart(msg cluster.Message) error {
 	w.epoch = msg.Epoch
 	w.lastStratum = msg.Stratum
 	w.ingest = nil
+	w.pending = nil
+	switch msg.Count {
+	case startFresh:
+		w.appliedRound = 0
+		if w.durable != nil {
+			// Seal the loaded base state as round 0. This also resets a
+			// stale watermark left by a prior query on a reused store —
+			// without it, this query's recovery would skip re-staged rounds
+			// the old query committed.
+			if err := w.durable.Commit(0); err != nil {
+				return err
+			}
+		}
+	case startRecover:
+		if w.durable != nil {
+			w.appliedRound = 0
+			if cr := w.durable.CommittedRound(); cr > 0 {
+				w.appliedRound = int(cr)
+			}
+		}
+	}
 	alive, err := decodeNodeList(msg.Payload)
 	if err != nil {
 		return err
@@ -288,12 +358,34 @@ func (w *Worker) handleCheckpoint(msg cluster.Message) error {
 	return nil
 }
 
-// handleIngest applies a base-table delta batch to local storage and
-// buffers it for the next ingestion round. The frame's deltas were routed
-// to every ring owner of each delta's key, so local replicas stay as
-// consistent as a bulk Load would leave them; injection into the dataflow
-// happens once per round (startRound) and only for primarily-owned keys.
+// handleIngest stages a base-table delta batch: buffered for the next
+// round's dataflow injection (ingest) and for local storage (pending).
+// The store itself is NOT touched here — mutation happens at the round's
+// MsgCommit barrier, after the fixpoint closed cluster-wide, so a crash
+// mid-round never leaves a partially applied round in any store. The
+// frame's deltas were routed to every ring owner of each delta's key;
+// injection (startRound) picks out primarily-owned keys.
+//
+// Frames carry their round in Stratum: a recovery re-stages the
+// interrupted round to every node, and a node whose durable watermark
+// already covers that round drops the replay (acking its credit so the
+// pump's window still re-arms).
 func (w *Worker) handleIngest(msg cluster.Message) error {
+	ackCredit := func() {
+		// The pump spends one staging credit per MsgIngest frame it ships
+		// to this node and blocks when the window runs dry, so the ack both
+		// confirms staging and re-arms the window — sized from this
+		// worker's measured drain rate. To=-1 addresses the grant at the
+		// requestor pair in the credit book.
+		w.transport.SendToRequestor(cluster.Message{
+			From: w.node, To: -1, Kind: cluster.MsgCreditAck, Epoch: w.epoch,
+			CreditGrant: true, Credits: w.drain.Window(w.batchSize, w.highWater),
+		})
+	}
+	if msg.Stratum > 0 && msg.Stratum <= w.appliedRound {
+		ackCredit()
+		return nil // replayed frame for a round this node already committed
+	}
 	batch, err := cluster.DecodeDeltas(msg.Payload)
 	if err != nil {
 		return err
@@ -302,28 +394,44 @@ func (w *Worker) handleIngest(msg cluster.Message) error {
 	if err != nil {
 		return fmt.Errorf("exec: node %d: ingest: %w", w.node, err)
 	}
-	if w.store != nil {
-		w.store.CreateTable(msg.Table, tab.PartitionKey)
-		for _, d := range batch {
-			if err := w.store.ApplyDelta(msg.Table, d); err != nil {
-				return err
-			}
-		}
-	}
 	if w.ingest == nil {
 		w.ingest = map[string][]types.Delta{}
 	}
 	w.ingest[msg.Table] = append(w.ingest[msg.Table], batch...)
+	w.pending = append(w.pending, pendingIngest{
+		table: msg.Table, keyCol: tab.PartitionKey, deltas: batch,
+	})
 	w.drain.Observe(len(batch))
-	// Ack the applied frame with a piggybacked credit grant: the pump
-	// spends one staging credit per MsgIngest frame it ships to this node
-	// and blocks when the window runs dry, so the ack both confirms
-	// application and re-arms the window — sized from this worker's
-	// measured drain rate. To=-1 addresses the grant at the requestor pair
-	// in the credit book.
+	ackCredit()
+	return nil
+}
+
+// handleCommit is the worker side of the round-commit barrier: apply the
+// round's staged deltas to local storage (the only place stores mutate
+// during a standing query), fsync the round mark on a durable backend,
+// advance the watermark, and ack.
+func (w *Worker) handleCommit(msg cluster.Message) error {
+	for _, pb := range w.pending {
+		if w.store == nil {
+			break
+		}
+		w.store.CreateTable(pb.table, pb.keyCol)
+		for _, d := range pb.deltas {
+			if err := w.store.ApplyDelta(pb.table, d); err != nil {
+				return err
+			}
+		}
+	}
+	w.pending = nil
+	if w.durable != nil {
+		if err := w.durable.Commit(int64(msg.Stratum)); err != nil {
+			return err
+		}
+	}
+	w.appliedRound = msg.Stratum
 	w.transport.SendToRequestor(cluster.Message{
-		From: w.node, To: -1, Kind: cluster.MsgCreditAck, Epoch: w.epoch,
-		CreditGrant: true, Credits: w.drain.Window(w.batchSize, w.highWater),
+		From: w.node, Kind: cluster.MsgCommit,
+		Stratum: msg.Stratum, Epoch: w.epoch,
 	})
 	return nil
 }

@@ -5,8 +5,10 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	osexec "os/exec"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -31,6 +33,16 @@ type Cluster struct {
 	tr    *cluster.TCPTransport
 	addrs []string
 	procs []*osexec.Cmd
+
+	// Respawn support (SpawnLocal clusters with a data root): the binary
+	// and the per-node argument lists — pinned listen address included —
+	// that bring a crashed daemon back on the same identity.
+	bin         string
+	respawnArgs [][]string
+
+	// procMu guards procs/respawn state against concurrent pump-driven
+	// recovery and driver-side process control.
+	procMu sync.Mutex
 
 	// buildMu guards builds, the driver-side compiled-job cache: Build is
 	// deterministic from the encoded spec, so identical consecutive jobs
@@ -68,8 +80,17 @@ func Connect(addrs []string) (*Cluster, error) {
 // binary (extraArgs must put it in daemon mode, e.g. "-node") on loopback
 // ports, then connects to them. Use Close to tear the children down.
 func SpawnLocal(n int, bin string, extraArgs []string) (*Cluster, error) {
+	return SpawnLocalData(n, bin, extraArgs, "")
+}
+
+// SpawnLocalData is SpawnLocal giving each daemon a private data
+// directory (dataRoot/node<i>, passed as -data-dir): daemon stores page
+// to disk, the active job is persisted, and RespawnProcess can bring a
+// SIGKILLed daemon back on the same address and state.
+func SpawnLocalData(n int, bin string, extraArgs []string, dataRoot string) (*Cluster, error) {
 	var procs []*osexec.Cmd
 	var addrs []string
+	var respawn [][]string
 	fail := func(err error) (*Cluster, error) {
 		for _, p := range procs {
 			_ = p.Process.Kill()
@@ -78,8 +99,11 @@ func SpawnLocal(n int, bin string, extraArgs []string) (*Cluster, error) {
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
-		args := append(append([]string(nil), extraArgs...), "-listen", "127.0.0.1:0")
-		cmd := osexec.Command(bin, args...)
+		args := append([]string(nil), extraArgs...)
+		if dataRoot != "" {
+			args = append(args, "-data-dir", filepath.Join(dataRoot, fmt.Sprintf("node%d", i)))
+		}
+		cmd := osexec.Command(bin, append(args, "-listen", "127.0.0.1:0")...)
 		cmd.Stderr = os.Stderr
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
@@ -89,31 +113,42 @@ func SpawnLocal(n int, bin string, extraArgs []string) (*Cluster, error) {
 			return fail(fmt.Errorf("job: spawn %s: %w", bin, err))
 		}
 		procs = append(procs, cmd)
-		sc := bufio.NewScanner(stdout)
-		addr := ""
-		for sc.Scan() {
-			if line := strings.TrimSpace(sc.Text()); strings.HasPrefix(line, SpawnPrefix) {
-				addr = strings.TrimPrefix(line, SpawnPrefix)
-				break
-			}
-		}
-		if addr == "" {
-			return fail(fmt.Errorf("job: node %d never announced %q", i, SpawnPrefix))
+		addr, err := scanSpawnAddr(stdout)
+		if err != nil {
+			return fail(fmt.Errorf("job: node %d: %w", i, err))
 		}
 		addrs = append(addrs, addr)
-		// Keep draining the child's stdout so it never blocks on a full
-		// pipe.
-		go func() {
-			for sc.Scan() {
-			}
-		}()
+		// The respawn arg list pins the learned address: the replacement
+		// process must come back where its peers expect it.
+		respawn = append(respawn, append(args, "-listen", addr))
 	}
 	c, err := Connect(addrs)
 	if err != nil {
 		return fail(err)
 	}
 	c.procs = procs
+	c.bin = bin
+	if dataRoot != "" {
+		c.respawnArgs = respawn
+	}
 	return c, nil
+}
+
+// scanSpawnAddr reads a daemon's stdout until its SpawnPrefix
+// announcement, then keeps draining the pipe in the background so the
+// child never blocks on it.
+func scanSpawnAddr(stdout io.Reader) (string, error) {
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); strings.HasPrefix(line, SpawnPrefix) {
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return strings.TrimPrefix(line, SpawnPrefix), nil
+		}
+	}
+	return "", fmt.Errorf("never announced %q", SpawnPrefix)
 }
 
 // Transport exposes the underlying TCP driver transport (failure
@@ -156,11 +191,19 @@ func (c *Cluster) StreamCtx(ctx context.Context, spec *Spec, tune func(*exec.Opt
 // StandingCtx runs spec as a standing query: every daemon keeps its worker
 // loop, operator state, and data resident after the initial fixpoint, and
 // the returned handle ingests base-table deltas as incremental rounds over
-// the sockets (see exec.StandingQuery).
+// the sockets (see exec.StandingQuery). On a respawnable cluster
+// (SpawnLocalData), crash recovery is installed automatically: a daemon
+// whose process dies mid-query is respawned on its persisted state and the
+// interrupted round replays (override by setting Options.Recover in tune).
 func (c *Cluster) StandingCtx(ctx context.Context, spec *Spec, tune func(*exec.Options)) (*exec.StandingQuery, error) {
 	eng, plan, opts, err := c.prepare(ctx, spec, tune, true)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Recover == nil && c.Respawnable() {
+		opts.Recover = func(victim cluster.NodeID) error {
+			return c.RespawnProcess(int(victim))
+		}
 	}
 	return eng.Standing(ctx, plan, opts)
 }
@@ -282,10 +325,65 @@ func (c *Cluster) awaitReady(ctx context.Context, n, gen int) error {
 // play dead. The driver discovers the death through the broken connection
 // and surfaces it as a node failure. Only valid on SpawnLocal clusters.
 func (c *Cluster) KillProcess(i int) error {
+	c.procMu.Lock()
+	defer c.procMu.Unlock()
 	if i < 0 || i >= len(c.procs) {
 		return fmt.Errorf("job: no spawned process %d (cluster spawned %d)", i, len(c.procs))
 	}
 	return c.procs[i].Process.Kill()
+}
+
+// RespawnProcess restarts the i-th spawned daemon after its process died:
+// the replacement runs the same binary with the same pinned listen
+// address and data directory, restores its persisted job and committed
+// store state at boot, and announces the address once it is serving
+// again. The driver then marks the node alive — without MsgRevive, which
+// is the simulated-death re-arm and would deadlock a daemon whose worker
+// loop is already running. Only valid on SpawnLocalData clusters.
+func (c *Cluster) RespawnProcess(i int) error {
+	c.procMu.Lock()
+	defer c.procMu.Unlock()
+	if c.respawnArgs == nil {
+		return fmt.Errorf("job: respawn needs a cluster spawned with SpawnLocalData")
+	}
+	if i < 0 || i >= len(c.procs) {
+		return fmt.Errorf("job: no spawned process %d (cluster spawned %d)", i, len(c.procs))
+	}
+	// Reap the corpse so the listen port frees up before the replacement
+	// binds it.
+	_ = c.procs[i].Process.Kill()
+	_ = c.procs[i].Wait()
+	cmd := osexec.Command(c.bin, c.respawnArgs[i]...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("job: respawn %s: %w", c.bin, err)
+	}
+	addr, err := scanSpawnAddr(stdout)
+	if err != nil {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return fmt.Errorf("job: respawned node %d: %w", i, err)
+	}
+	if addr != c.addrs[i] {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return fmt.Errorf("job: respawned node %d bound %s, want %s", i, addr, c.addrs[i])
+	}
+	c.procs[i] = cmd
+	c.tr.MarkAlive(cluster.NodeID(i))
+	return nil
+}
+
+// Respawnable reports whether RespawnProcess can revive this cluster's
+// daemons (spawned with SpawnLocalData).
+func (c *Cluster) Respawnable() bool {
+	c.procMu.Lock()
+	defer c.procMu.Unlock()
+	return c.respawnArgs != nil
 }
 
 // Close shuts down the daemons (sending MsgQuit) and, for spawned

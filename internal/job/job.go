@@ -81,6 +81,15 @@ type Spec struct {
 	// NoVectorize disables the columnar batch path (both sides must agree
 	// — it changes the wire frames workers emit).
 	NoVectorize bool `json:"no_vectorize,omitempty"`
+
+	// BufferPoolPages sizes the page-store buffer pool on daemons running
+	// with a data directory (0 = the daemon's own default). It crosses the
+	// wire so one spec can pin the working-set budget cluster-wide.
+	BufferPoolPages int `json:"buffer_pool_pages,omitempty"`
+	// SpillDir, when set, backs the in-process engine's stores with paged
+	// spill-to-disk files under this directory. Local-only: daemons place
+	// their stores under their own -data-dir, never a driver path.
+	SpillDir string `json:"-"`
 }
 
 // IngestedTable is one base-table delta batch of a session's change log.
@@ -466,6 +475,11 @@ func InProcEngine(s *Spec) (*exec.Engine, *exec.PlanSpec, exec.Options, error) {
 		return nil, nil, exec.Options{}, err
 	}
 	eng := exec.NewEngine(s.Nodes, s.VNodes, s.Replication, cat)
+	if s.SpillDir != "" {
+		if err := eng.UseSpill(s.SpillDir, s.BufferPoolPages); err != nil {
+			return nil, nil, exec.Options{}, err
+		}
+	}
 	for _, tb := range tables {
 		if err := eng.Load(tb.Name, tb.KeyCol, tb.Tuples); err != nil {
 			return nil, nil, exec.Options{}, err

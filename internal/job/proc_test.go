@@ -4,22 +4,41 @@ import (
 	"context"
 	"os"
 	"slices"
+	"strconv"
 	"testing"
 	"time"
 
 	"github.com/rex-data/rex"
+	"github.com/rex-data/rex/internal/algos"
+	"github.com/rex-data/rex/internal/bench"
 	"github.com/rex-data/rex/internal/exec"
 	"github.com/rex-data/rex/internal/job"
+	"github.com/rex-data/rex/internal/types"
 )
 
 // nodeChildFlag re-executes this test binary as a rexnode worker daemon:
 // TestMain spots it before any test runs, so SpawnLocal can treat the test
 // binary itself as the daemon executable (no separate build step in CI).
+// The child honors the flags the driver passes real rexnode binaries
+// (-listen, -data-dir, -buffer-pool-pages) so SpawnLocalData respawn —
+// which pins the listen address and reuses the data directory — works
+// against the test binary too.
 const nodeChildFlag = "-rexnode-child"
 
 func TestMain(m *testing.M) {
 	if slices.Contains(os.Args, nodeChildFlag) {
-		if err := rex.ServeNode("127.0.0.1:0", os.Stderr); err != nil {
+		listen, dataDir, pool := "127.0.0.1:0", "", 0
+		for i := 1; i < len(os.Args)-1; i++ {
+			switch os.Args[i] {
+			case "-listen":
+				listen = os.Args[i+1]
+			case "-data-dir":
+				dataDir = os.Args[i+1]
+			case "-buffer-pool-pages":
+				pool, _ = strconv.Atoi(os.Args[i+1])
+			}
+		}
+		if err := rex.ServeNodeDurable(listen, os.Stderr, dataDir, pool); err != nil {
 			os.Exit(1)
 		}
 		return
@@ -60,6 +79,167 @@ func TestProcessKillSurfacesError(t *testing.T) {
 		t.Fatalf("driver hit the watchdog timeout instead of detecting the death: %v", err)
 	}
 	t.Logf("driver surfaced the death in %v: %v", time.Since(start).Round(time.Millisecond), err)
+}
+
+// crashSpec is the standing query the crash-recovery property runs: the
+// incremental shortest-path query over the deterministic sssp dataset,
+// with a deliberately tiny buffer pool so durable daemons page under the
+// churn.
+func crashSpec() *job.Spec {
+	return &job.Spec{
+		Workload: "rql", Query: algos.IncSSSPQuery,
+		Dataset: "sssp", Handlers: "sssp-inc",
+		Seed: 1, Size: 300, MaxStrata: 300,
+		BufferPoolPages: 64,
+	}
+}
+
+// crashRounds are the per-round edge insertions: shortcuts from the
+// reachable core into higher-numbered vertices, so every round genuinely
+// re-derives distances through resident operator state.
+func crashRounds() [][]types.Delta {
+	mk := func(pairs ...int64) []types.Delta {
+		var ds []types.Delta
+		for i := 0; i < len(pairs); i += 2 {
+			ds = append(ds, types.Insert(types.NewTuple(pairs[i], pairs[i+1])))
+		}
+		return ds
+	}
+	return [][]types.Delta{
+		mk(0, 171, 171, 243),
+		mk(2, 222, 222, 223),
+		mk(1, 257, 0, 280),
+	}
+}
+
+// runStandingSSSP drives the standing query through every crash round on
+// the given cluster, folding the delta stream into a materialized view,
+// and returns the view hash plus how many recoveries the pump performed.
+// kill, when non-nil, is invoked keyed by the upcoming round index so the
+// caller can SIGKILL daemons at chosen points.
+func runStandingSSSP(t *testing.T, cl *job.Cluster, kill func(round int)) (string, int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	sq, err := cl.StandingCtx(ctx, crashSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sq.Stream()
+	view := &deltaFold{}
+	fold := func(rs *exec.RoundStats) {
+		t.Helper()
+		for i := 0; i < rs.Batches; i++ {
+			b, ok := st.Next()
+			if !ok {
+				t.Fatalf("stream ended early on round %d: %v", rs.Round, st.Err())
+			}
+			view.apply(b.Deltas)
+		}
+	}
+	fold(&sq.Rounds()[0])
+	if len(view.live) == 0 {
+		t.Fatal("initial fixpoint yielded no tuples")
+	}
+	for i, batch := range crashRounds() {
+		if kill != nil {
+			kill(i + 1)
+		}
+		rs, err := sq.Ingest(ctx, map[string][]types.Delta{"graph": batch})
+		if err != nil {
+			t.Fatalf("ingest round %d: %v", i+1, err)
+		}
+		fold(rs)
+	}
+	recoveries := sq.Recoveries()
+	if err := sq.Close(); err != nil {
+		t.Fatalf("standing close: %v", err)
+	}
+	return bench.ResultHash(view.live), recoveries
+}
+
+// deltaFold replays a delta stream into the relation it describes.
+type deltaFold struct{ live []types.Tuple }
+
+func (f *deltaFold) apply(batch []types.Delta) {
+	for _, d := range batch {
+		switch d.Op {
+		case types.OpInsert, types.OpUpdate:
+			f.live = append(f.live, d.Tup)
+		case types.OpDelete:
+			f.remove(d.Tup)
+		case types.OpReplace:
+			f.remove(d.Old)
+			f.live = append(f.live, d.Tup)
+		}
+	}
+}
+
+func (f *deltaFold) remove(t types.Tuple) {
+	for i, x := range f.live {
+		if x != nil && x.Equal(t) {
+			f.live[i] = f.live[len(f.live)-1]
+			f.live = f.live[:len(f.live)-1]
+			return
+		}
+	}
+}
+
+// TestProcessCrashRecoveryStanding is the crash-recovery acceptance
+// property over real processes and sockets: a standing recursive query on
+// durable, disk-paged daemons survives a worker SIGKILL — the driver
+// respawns the replacement on the victim's pinned address and data
+// directory, the replacement restores the persisted job and its committed
+// store image at boot, the pump replays the interrupted round — and the
+// folded subscription stream still hashes identically to an uninterrupted
+// run on plain in-memory daemons. One assertion, three properties: exactly
+// once delivery across a process death, durable restore fidelity, and
+// spill-backed vs in-RAM equivalence over TCP.
+func TestProcessCrashRecoveryStanding(t *testing.T) {
+	// Reference: same rounds, no kills, in-memory daemons.
+	ref, err := job.SpawnLocal(3, os.Args[0], []string{nodeChildFlag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, refRecov := runStandingSSSP(t, ref, nil)
+	ref.Close()
+	if refRecov != 0 {
+		t.Fatalf("uninterrupted run reported %d recoveries", refRecov)
+	}
+
+	// Victim run: durable daemons with private data dirs; SIGKILL node 1
+	// before round 2's ingest (the death is discovered mid-protocol) and
+	// node 2 shortly into round 3's fixpoint.
+	cl, err := job.SpawnLocalData(3, os.Args[0], []string{nodeChildFlag}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if !cl.Respawnable() {
+		t.Fatal("SpawnLocalData cluster must be respawnable")
+	}
+	got, recoveries := runStandingSSSP(t, cl, func(round int) {
+		switch round {
+		case 2:
+			if err := cl.KillProcess(1); err != nil {
+				t.Errorf("kill node 1: %v", err)
+			}
+		case 3:
+			go func() {
+				time.Sleep(2 * time.Millisecond)
+				if err := cl.KillProcess(2); err != nil {
+					t.Errorf("kill node 2: %v", err)
+				}
+			}()
+		}
+	})
+	if recoveries < 1 {
+		t.Fatalf("Recoveries() = %d, want >= 1", recoveries)
+	}
+	if got != want {
+		t.Fatalf("crash-recovered fold %s != uninterrupted run %s", got, want)
+	}
+	t.Logf("recovered %d process deaths; hash %s", recoveries, got)
 }
 
 // TestProcessKillDuringPrepare kills the daemon process before the job

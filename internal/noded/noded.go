@@ -5,16 +5,35 @@
 // the driver tears the query down, and then waits for the next job. It
 // also answers daemon-level control traffic (stats requests, kill/revive
 // failure injection, quit).
+//
+// With a data directory configured, the daemon becomes crash-durable: its
+// store is a paged spill-to-disk store, the active job description is
+// persisted next to it, and Restore rebuilds the whole runtime — job,
+// plan, committed store state, running worker loop — at boot. A SIGKILLed
+// daemon respawned on the same address and data directory rejoins the
+// cluster with every committed round intact.
 package noded
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sync"
 
 	"github.com/rex-data/rex/internal/cluster"
 	"github.com/rex-data/rex/internal/exec"
 	"github.com/rex-data/rex/internal/job"
+	"github.com/rex-data/rex/internal/pagestore"
 	"github.com/rex-data/rex/internal/storage"
+)
+
+// jobFile is the persisted active-job description inside the data
+// directory; jobMagic versions its framing.
+const (
+	jobFile  = "job.bin"
+	jobMagic = "REXJOB01"
 )
 
 // Node is one worker daemon instance.
@@ -22,6 +41,16 @@ type Node struct {
 	tr   *cluster.TCPTransport
 	logw io.Writer
 	jobs int
+
+	// dataDir, when non-empty, roots the daemon's durable state: the
+	// paged store lives under it and the active job is persisted to it.
+	// storeMu guards store and ckpts: Close may tear them down from a
+	// different goroutine than the Serve loop that builds and uses them.
+	dataDir   string
+	poolPages int
+	storeMu   sync.Mutex
+	store     storage.Durable // nil when running in-memory
+	ckpts     *storage.CheckpointStore
 
 	// current job state, kept across kill/revive so a revived node can
 	// rejoin the next run of the same job.
@@ -41,11 +70,57 @@ func Listen(addr string, logw io.Writer) (*Node, error) {
 	return &Node{tr: tr, logw: logw}, nil
 }
 
+// UseDataDir roots the daemon's durable state under dir: its store
+// becomes a paged spill-to-disk store with a poolPages-frame buffer pool
+// (0 = default), and the active job survives a crash. Call before Serve
+// or Restore.
+func (n *Node) UseDataDir(dir string, poolPages int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n.dataDir = dir
+	n.poolPages = poolPages
+	return nil
+}
+
 // Addr reports the bound listen address.
 func (n *Node) Addr() string { return n.tr.Addr() }
 
 // Close tears the daemon down without waiting for a MsgQuit.
-func (n *Node) Close() { _ = n.tr.Close() }
+func (n *Node) Close() {
+	_ = n.tr.Close()
+	n.closeStore()
+}
+
+// closeStore flushes and closes the durable store, sealing dirty state
+// into a checkpoint image (graceful shutdown).
+func (n *Node) closeStore() {
+	n.storeMu.Lock()
+	store, ckpts := n.store, n.ckpts
+	n.store, n.ckpts = nil, nil
+	n.storeMu.Unlock()
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(n.logw, "rexnode: store close: %v\n", err)
+		}
+	}
+	if ckpts != nil {
+		if err := ckpts.Close(); err != nil {
+			fmt.Fprintf(n.logw, "rexnode: checkpoint close: %v\n", err)
+		}
+	}
+}
+
+// PoolStats reports the durable store's cumulative buffer-pool counters
+// (zero when running in-memory).
+func (n *Node) PoolStats() storage.PoolStats {
+	n.storeMu.Lock()
+	defer n.storeMu.Unlock()
+	if ps, ok := n.store.(storage.PoolStatter); ok {
+		return ps.PoolStats()
+	}
+	return storage.PoolStats{}
+}
 
 // Serve processes daemon control traffic until MsgQuit (or Close). Engine
 // traffic flows to the worker loop goroutine, so Serve stays responsive
@@ -54,6 +129,7 @@ func (n *Node) Serve() error {
 	for {
 		msg, ok := n.tr.Control().Get()
 		if !ok {
+			n.closeStore()
 			return nil // transport closed
 		}
 		switch msg.Kind {
@@ -62,6 +138,7 @@ func (n *Node) Serve() error {
 			// mid-query wakes up and waitLoop cannot deadlock.
 			_ = n.tr.Close()
 			n.waitLoop()
+			n.closeStore()
 			return nil
 		case cluster.MsgStatsReq:
 			n.tr.SendControl(cluster.Message{
@@ -122,33 +199,176 @@ func (n *Node) startJob(msg cluster.Message) error {
 		n.worker.DropQuery()
 		n.worker = nil
 	}
-
-	cat, plan, tables, err := spec.Build()
-	if err != nil {
-		return err
-	}
-	ring := cluster.NewRing(len(spec.Peers), spec.VNodes, spec.Replication)
-	store := storage.NewStore(self)
-	stores := make([]*storage.Store, len(spec.Peers))
-	stores[self] = store
-	loader := &storage.Loader{Ring: ring, Stores: stores}
-	for _, tb := range tables {
-		if err := loader.Load(tb.Name, tb.KeyCol, tb.Tuples); err != nil {
+	if n.dataDir != "" {
+		// Persist the job before building it: a crash at any later point
+		// must find the description a respawn restores from.
+		if err := writeJobFile(n.dataDir, msg.Job, self, msg.Payload); err != nil {
 			return err
 		}
 	}
-	n.jobs++
-	n.worker = exec.NewWorker(exec.WorkerConfig{
-		Node: self, Transport: n.tr, Store: store,
-		Checkpoints: storage.NewCheckpointStore(), Catalog: cat, Ring: ring,
-		Plan: plan, QueryID: fmt.Sprintf("node%d-job%d", self, n.jobs),
-		Options: spec.Options(),
-	})
+	if err := n.buildJob(spec, self, false); err != nil {
+		return err
+	}
 	n.spawnLoop()
 	n.tr.SendControl(cluster.Message{From: self, Kind: cluster.MsgJobReady})
 	fmt.Fprintf(n.logw, "rexnode: node %d ready for %s job (gen %d, %d peers)\n",
 		self, spec.Workload, msg.Job, len(spec.Peers))
 	return nil
+}
+
+// Restore rebuilds the daemon's runtime from its data directory: the
+// persisted job is decoded, the transport configured, the paged store
+// reopened on its last committed state, and the worker loop started. It
+// reports whether a job was restored. Call after Listen (the restored
+// runtime needs the listener) and before announcing the address to a
+// spawner — the driver's respawn handshake treats the announcement as
+// "ready to serve the restored job".
+func (n *Node) Restore() (bool, error) {
+	if n.dataDir == "" {
+		return false, nil
+	}
+	gen, self, payload, err := readJobFile(n.dataDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	spec, err := job.Decode(payload)
+	if err != nil {
+		return false, err
+	}
+	if err := n.tr.Configure(self, spec.Peers, gen); err != nil {
+		return false, err
+	}
+	if err := n.buildJob(spec, self, true); err != nil {
+		return false, err
+	}
+	n.spawnLoop()
+	n.storeMu.Lock()
+	committed := int64(-1)
+	if n.store != nil {
+		committed = n.store.CommittedRound()
+	}
+	n.storeMu.Unlock()
+	fmt.Fprintf(n.logw, "rexnode: node %d restored %s job (gen %d, committed round %d)\n",
+		self, spec.Workload, gen, committed)
+	return true, nil
+}
+
+// buildJob constructs the job's catalog, plan, store, and worker.
+// restore=true reuses the store's committed on-disk state instead of
+// loading the spec's generated partition; if the store turns out to hold
+// no committed data (the crash hit before the initial load was sealed),
+// it falls back to a fresh load.
+func (n *Node) buildJob(spec *job.Spec, self cluster.NodeID, restore bool) error {
+	cat, plan, tables, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	ring := cluster.NewRing(len(spec.Peers), spec.VNodes, spec.Replication)
+	var store storage.Backend
+	var durable storage.Durable
+	n.closeStore()
+	if n.dataDir != "" {
+		storeDir := filepath.Join(n.dataDir, "store")
+		if !restore {
+			// A new job's data replaces the previous job's: wipe before
+			// opening so stale durable state cannot leak across jobs.
+			if err := os.RemoveAll(storeDir); err != nil {
+				return err
+			}
+		}
+		pool := spec.BufferPoolPages
+		if pool <= 0 {
+			pool = n.poolPages
+		}
+		ps, err := pagestore.Open(storeDir, self, pool)
+		if err != nil {
+			return err
+		}
+		if restore && ps.CommittedRound() < 0 {
+			restore = false // nothing durable: crashed before the base commit
+		}
+		n.storeMu.Lock()
+		n.store = ps
+		n.storeMu.Unlock()
+		store, durable = ps, ps
+	} else {
+		store = storage.NewStore(self)
+	}
+	ckpts := storage.NewCheckpointStore()
+	if n.dataDir != "" {
+		// The §4.3 Δ-set checkpoints persist next to the page files and
+		// survive a respawn alongside the store image.
+		if err := ckpts.UseDir(filepath.Join(n.dataDir, "store", "ckpt")); err != nil {
+			return err
+		}
+		n.storeMu.Lock()
+		n.ckpts = ckpts
+		n.storeMu.Unlock()
+	}
+	if !restore {
+		stores := make([]storage.Backend, len(spec.Peers))
+		stores[self] = store
+		loader := &storage.Loader{Ring: ring, Stores: stores}
+		for _, tb := range tables {
+			if err := loader.Load(tb.Name, tb.KeyCol, tb.Tuples); err != nil {
+				return err
+			}
+		}
+		if durable != nil {
+			// Seal the loaded base as committed round 0 so a crash at any
+			// later point recovers to it (and a respawn can skip the load).
+			if err := durable.Commit(0); err != nil {
+				return err
+			}
+		}
+	}
+	n.jobs++
+	n.worker = exec.NewWorker(exec.WorkerConfig{
+		Node: self, Transport: n.tr, Store: store,
+		Checkpoints: ckpts, Catalog: cat, Ring: ring,
+		Plan: plan, QueryID: fmt.Sprintf("node%d-job%d", self, n.jobs),
+		Options: spec.Options(),
+	})
+	return nil
+}
+
+// writeJobFile atomically persists the active job (generation, node id,
+// encoded spec) into dir.
+func writeJobFile(dir string, gen int, self cluster.NodeID, payload []byte) error {
+	buf := []byte(jobMagic)
+	buf = binary.AppendVarint(buf, int64(gen))
+	buf = binary.AppendVarint(buf, int64(self))
+	buf = append(buf, payload...)
+	tmp := filepath.Join(dir, jobFile+".tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, jobFile))
+}
+
+// readJobFile loads the persisted job description from dir.
+func readJobFile(dir string) (gen int, self cluster.NodeID, payload []byte, err error) {
+	buf, err := os.ReadFile(filepath.Join(dir, jobFile))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if len(buf) < len(jobMagic) || string(buf[:len(jobMagic)]) != jobMagic {
+		return 0, 0, nil, fmt.Errorf("noded: corrupt %s", jobFile)
+	}
+	rest := buf[len(jobMagic):]
+	g, used := binary.Varint(rest)
+	if used <= 0 {
+		return 0, 0, nil, fmt.Errorf("noded: corrupt %s", jobFile)
+	}
+	rest = rest[used:]
+	s, used := binary.Varint(rest)
+	if used <= 0 {
+		return 0, 0, nil, fmt.Errorf("noded: corrupt %s", jobFile)
+	}
+	return int(g), cluster.NodeID(s), rest[used:], nil
 }
 
 // spawnLoop runs the current worker's event loop on its own goroutine.

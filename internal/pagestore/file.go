@@ -1,0 +1,80 @@
+package pagestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// pageFile is one table's spill target: page N lives at byte offset
+// N*PageSize. Page files are scratch, not a durability structure — a page
+// is only ever read back if an eviction wrote it first, and recovery
+// discards the whole pages directory (durability is the checkpoint image
+// plus the WAL's committed prefix).
+type pageFile struct {
+	path string
+	f    *os.File
+}
+
+func newPageFile(dir, table string) *pageFile {
+	return &pageFile{path: filepath.Join(dir, sanitizeName(table)+".pg")}
+}
+
+func (pf *pageFile) ensure() error {
+	if pf.f != nil {
+		return nil
+	}
+	f, err := os.OpenFile(pf.path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	pf.f = f
+	return nil
+}
+
+func (pf *pageFile) read(no uint32, buf []byte) error {
+	if err := pf.ensure(); err != nil {
+		return err
+	}
+	if _, err := pf.f.ReadAt(buf, int64(no)*PageSize); err != nil {
+		return fmt.Errorf("pagestore: read page %d of %s: %w", no, pf.path, err)
+	}
+	return nil
+}
+
+func (pf *pageFile) write(no uint32, buf []byte) error {
+	if err := pf.ensure(); err != nil {
+		return err
+	}
+	if _, err := pf.f.WriteAt(buf, int64(no)*PageSize); err != nil {
+		return fmt.Errorf("pagestore: write page %d of %s: %w", no, pf.path, err)
+	}
+	return nil
+}
+
+func (pf *pageFile) close() error {
+	if pf.f == nil {
+		return nil
+	}
+	err := pf.f.Close()
+	pf.f = nil
+	return err
+}
+
+// sanitizeName maps a table name onto a safe file stem: identifier
+// characters pass through, anything else is percent-escaped.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == '-':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02x", c)
+		}
+	}
+	return b.String()
+}

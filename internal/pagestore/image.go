@@ -1,0 +1,141 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"github.com/rex-data/rex/internal/types"
+)
+
+// A checkpoint image is the durable full-state snapshot a node restarts
+// from: every table's local tuples (primary and replica copies alike),
+// payload-encoded with the columnar delta-batch codec when the table's
+// shape allows it and the row codec otherwise. The image is written to a
+// temp file, fsynced, and atomically renamed over the previous one, so a
+// crash mid-checkpoint leaves the old image intact.
+//
+// Layout: magic, varint committedRound, uvarint table count, then per
+// table: name, uvarint keyCol, format byte (0 = row batch, 1 = columnar
+// batch), uvarint payload length, payload.
+var imageMagic = []byte("REXIMG01")
+
+const (
+	imageFormatRow = 0
+	imageFormatCol = 1
+)
+
+type imageTable struct {
+	name   string
+	keyCol int
+	tuples []types.Tuple
+}
+
+func writeImage(path string, committedRound int64, tables []imageTable) error {
+	buf := append([]byte(nil), imageMagic...)
+	buf = binary.AppendVarint(buf, committedRound)
+	buf = binary.AppendUvarint(buf, uint64(len(tables)))
+	for _, t := range tables {
+		buf = encodeString(buf, t.name)
+		buf = binary.AppendUvarint(buf, uint64(t.keyCol))
+		ds := make([]types.Delta, len(t.tuples))
+		for i, tup := range t.tuples {
+			ds[i] = types.Insert(tup)
+		}
+		var payload []byte
+		format := byte(imageFormatRow)
+		if cb, ok := types.FromDeltas(ds); ok {
+			format = imageFormatCol
+			payload = types.AppendDeltaBatch(nil, cb)
+		} else {
+			payload = types.EncodeBatch(ds)
+		}
+		buf = append(buf, format)
+		buf = binary.AppendUvarint(buf, uint64(len(payload)))
+		buf = append(buf, payload...)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readImage(path string) (committedRound int64, tables []imageTable, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return -1, nil, err
+	}
+	if len(buf) < len(imageMagic)+1 || string(buf[:len(imageMagic)]) != string(imageMagic) {
+		return -1, nil, fmt.Errorf("pagestore: %s: not a checkpoint image", path)
+	}
+	buf = buf[len(imageMagic):]
+	round, n := binary.Varint(buf)
+	if n <= 0 {
+		return -1, nil, fmt.Errorf("pagestore: %s: bad round", path)
+	}
+	buf = buf[n:]
+	nt, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return -1, nil, fmt.Errorf("pagestore: %s: bad table count", path)
+	}
+	buf = buf[n:]
+	for i := uint64(0); i < nt; i++ {
+		name, used, ok := decodeString(buf)
+		if !ok {
+			return -1, nil, fmt.Errorf("pagestore: %s: bad table name", path)
+		}
+		buf = buf[used:]
+		keyCol, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return -1, nil, fmt.Errorf("pagestore: %s: bad key column", path)
+		}
+		buf = buf[n:]
+		if len(buf) == 0 {
+			return -1, nil, fmt.Errorf("pagestore: %s: truncated", path)
+		}
+		format := buf[0]
+		buf = buf[1:]
+		plen, n := binary.Uvarint(buf)
+		if n <= 0 || plen > uint64(len(buf)-n) {
+			return -1, nil, fmt.Errorf("pagestore: %s: bad payload length", path)
+		}
+		payload := buf[n : n+int(plen)]
+		buf = buf[n+int(plen):]
+		var ds []types.Delta
+		switch format {
+		case imageFormatCol:
+			cb, _, err := types.DecodeDeltaBatch(payload)
+			if err != nil {
+				return -1, nil, fmt.Errorf("pagestore: %s: table %s: %w", path, name, err)
+			}
+			ds = cb.Deltas()
+		case imageFormatRow:
+			var err error
+			ds, err = types.DecodeBatch(payload)
+			if err != nil {
+				return -1, nil, fmt.Errorf("pagestore: %s: table %s: %w", path, name, err)
+			}
+		default:
+			return -1, nil, fmt.Errorf("pagestore: %s: table %s: unknown format %d", path, name, format)
+		}
+		tuples := make([]types.Tuple, len(ds))
+		for j, d := range ds {
+			tuples[j] = d.Tup
+		}
+		tables = append(tables, imageTable{name: name, keyCol: int(keyCol), tuples: tuples})
+	}
+	return round, tables, nil
+}

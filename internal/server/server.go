@@ -47,6 +47,15 @@ type Config struct {
 	Handlers string
 	// Replication is the store replication factor (0 = session default).
 	Replication int
+	// DataDir, when set on an in-process pool, backs the workers' stores
+	// with paged spill-to-disk files under it (rex.WithSpillDir): datasets
+	// larger than RAM page through a buffer pool, and Close flushes dirty
+	// pages into durable checkpoint images. With Peers the daemons page
+	// under their own rexnode -data-dir instead, so DataDir must be empty.
+	DataDir string
+	// BufferPoolPages sizes the paged-store buffer pool in 8 KiB pages
+	// (0 = default). With Peers it crosses the wire in every job spec.
+	BufferPoolPages int
 
 	// MaxSessions caps concurrently connected clients (default 64);
 	// beyond it the handshake is refused with ErrServerBusy.
@@ -139,6 +148,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Replication > 0 {
 		opts = append(opts, rex.WithReplication(cfg.Replication))
 	}
+	if cfg.DataDir != "" {
+		opts = append(opts, rex.WithSpillDir(cfg.DataDir))
+	}
+	if cfg.BufferPoolPages > 0 {
+		opts = append(opts, rex.WithBufferPoolPages(cfg.BufferPoolPages))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	sess, err := rex.Open(ctx, opts...)
 	if err != nil {
@@ -229,19 +244,24 @@ func (s *Server) Close() error {
 // Stats snapshots the server counters.
 func (s *Server) Stats() srvproto.ServerStats {
 	hits, misses, compiles := s.cache.counters()
+	pool := s.sess.PoolStats()
 	return srvproto.ServerStats{
-		Sessions:        s.stSessions.Load(),
-		ActiveSessions:  s.stActive.Load(),
-		Queries:         s.stQueries.Load(),
-		Rejected:        s.stRejected.Load(),
-		Compiles:        compiles,
-		PlanCacheHits:   hits,
-		PlanCacheMisses: misses,
-		PlanCacheSize:   s.cache.size(),
-		Subscriptions:   s.stSubs.Load(),
-		Rounds:          s.stRounds.Load(),
-		Ingests:         s.stIngests.Load(),
-		CatalogVersion:  s.sess.CatalogVersion(),
+		PoolHits:         pool.Hits,
+		PoolMisses:       pool.Misses,
+		PoolEvictions:    pool.Evictions,
+		PoolBytesSpilled: pool.BytesSpilled,
+		Sessions:         s.stSessions.Load(),
+		ActiveSessions:   s.stActive.Load(),
+		Queries:          s.stQueries.Load(),
+		Rejected:         s.stRejected.Load(),
+		Compiles:         compiles,
+		PlanCacheHits:    hits,
+		PlanCacheMisses:  misses,
+		PlanCacheSize:    s.cache.size(),
+		Subscriptions:    s.stSubs.Load(),
+		Rounds:           s.stRounds.Load(),
+		Ingests:          s.stIngests.Load(),
+		CatalogVersion:   s.sess.CatalogVersion(),
 	}
 }
 

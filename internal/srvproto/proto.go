@@ -147,6 +147,14 @@ type ServerStats struct {
 	Ingests       int64 `json:"ingests"`
 	// CatalogVersion is the backing catalog's current schema version.
 	CatalogVersion int64 `json:"catalog_version"`
+	// Buffer-pool traffic of the backing pool's paged stores (a server
+	// started with -data-dir): page-cache hits and misses, pages evicted
+	// to make room, and dirty page bytes written to spill files. All-zero
+	// on an in-memory pool.
+	PoolHits         int64 `json:"pool_hits"`
+	PoolMisses       int64 `json:"pool_misses"`
+	PoolEvictions    int64 `json:"pool_evictions"`
+	PoolBytesSpilled int64 `json:"pool_bytes_spilled"`
 }
 
 // Sentinel error codes carried in MsgErr.Count (and Welcome.Code), so

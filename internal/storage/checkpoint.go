@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"os"
 	"sync"
 
 	"github.com/rex-data/rex/internal/cluster"
@@ -18,6 +19,12 @@ import (
 type CheckpointStore struct {
 	mu      sync.RWMutex
 	entries map[ckptKey][]ckptEntry
+
+	// File-backed mode (see UseDir in ckptfile.go): the log directory,
+	// the open append handle, and the tombstones-since-compaction count.
+	dir   string
+	f     *os.File
+	drops int
 }
 
 type ckptKey struct {
@@ -46,6 +53,7 @@ func (c *CheckpointStore) Put(queryID string, opID, stratum int, keyHashes []uin
 	for i, t := range tuples {
 		c.entries[k] = append(c.entries[k], ckptEntry{keyHash: keyHashes[i], tup: t})
 	}
+	c.persistPutLocked(k, keyHashes, tuples)
 }
 
 // LastStratum reports the most recent stratum with a checkpoint for
@@ -98,6 +106,7 @@ func (c *CheckpointStore) DropAbove(queryID string, stratum int) {
 			delete(c.entries, k)
 		}
 	}
+	c.persistDropLocked(ckptRecDropAbove, queryID, stratum)
 }
 
 // Drop discards all checkpoints of a query (called at query completion).
@@ -109,6 +118,7 @@ func (c *CheckpointStore) Drop(queryID string) {
 			delete(c.entries, k)
 		}
 	}
+	c.persistDropLocked(ckptRecDrop, queryID, 0)
 }
 
 // Size reports the number of checkpointed tuples held for a query.

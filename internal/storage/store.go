@@ -94,9 +94,9 @@ func (s *Store) Delete(table string, t types.Tuple) bool {
 //
 // ApplyDelta is a retention boundary: delta tuples arrive from transport
 // frames and batch materializers whose buffers the caller may reuse, so
-// the inserted tuple is cloned before it is stored. (Loader.Load bulk
-// loads through Insert directly — its tuples are caller-owned for good,
-// and cloning a whole dataset there would double load-time allocation.)
+// the inserted tuple is cloned before it is stored. Loader.Load clones at
+// its own boundary (once per tuple, shared by the replicas), so every
+// path into a store owns what it keeps.
 func (s *Store) ApplyDelta(table string, d types.Delta) error {
 	switch d.Op {
 	case types.OpInsert, types.OpUpdate:
@@ -181,10 +181,15 @@ func (s *Store) Tables() []string {
 // deterministic dataset.
 type Loader struct {
 	Ring   *cluster.Ring
-	Stores []*Store
+	Stores []Backend
 }
 
 // Load creates the table on every local store and distributes the tuples.
+//
+// Load is a retention boundary: callers may reuse or mutate the tuple
+// slice (and its backing arrays) after Load returns, so each stored tuple
+// is cloned once, with the ring owners sharing the clone — stores never
+// mutate stored tuples in place, so replicas aliasing one clone is safe.
 func (l *Loader) Load(table string, keyCol int, tuples []types.Tuple) error {
 	for _, st := range l.Stores {
 		if st != nil {
@@ -193,6 +198,7 @@ func (l *Loader) Load(table string, keyCol int, tuples []types.Tuple) error {
 	}
 	for _, t := range tuples {
 		h := types.HashValue(t[keyCol])
+		var clone types.Tuple
 		for _, owner := range l.Ring.Owners(h) {
 			if int(owner) >= len(l.Stores) {
 				return fmt.Errorf("storage: owner %d beyond store set", owner)
@@ -200,7 +206,10 @@ func (l *Loader) Load(table string, keyCol int, tuples []types.Tuple) error {
 			if l.Stores[owner] == nil {
 				continue // remote node: loaded in its own process
 			}
-			if err := l.Stores[owner].Insert(table, t); err != nil {
+			if clone == nil {
+				clone = t.Clone()
+			}
+			if err := l.Stores[owner].Insert(table, clone); err != nil {
 				return err
 			}
 		}

@@ -73,6 +73,7 @@ import (
 	"github.com/rex-data/rex/internal/exec"
 	"github.com/rex-data/rex/internal/job"
 	"github.com/rex-data/rex/internal/noded"
+	"github.com/rex-data/rex/internal/storage"
 	"github.com/rex-data/rex/internal/types"
 	"github.com/rex-data/rex/internal/uda"
 )
@@ -109,6 +110,10 @@ type (
 	// daemon — rebuilds an identical catalog, plan, and data partition.
 	// It is the unit of multi-process execution (Session.RunWorkload).
 	Workload = job.Spec
+	// PoolStats is buffer-pool traffic for paged (spill-to-disk) stores:
+	// hits, misses, evictions, and bytes spilled. Reported by
+	// Session.PoolStats on in-process sessions opened with WithSpillDir.
+	PoolStats = storage.PoolStats
 )
 
 // Recovery strategies.
@@ -149,9 +154,28 @@ func Schema(fields ...string) *types.Schema { return types.MustSchema(fields...)
 //		return
 //	}
 func ServeNode(listen string, logw io.Writer) error {
+	return ServeNodeDurable(listen, logw, "", 0)
+}
+
+// ServeNodeDurable is ServeNode with a data directory: the daemon's store
+// pages to disk through a buffer pool of poolPages 8 KiB pages, its active
+// job is persisted under dataDir, and a restart on the same listen address
+// and directory restores the job and its committed data before announcing
+// the address — the contract driver-side crash recovery relies on (a
+// respawned daemon that has announced is serving its restored job again).
+// An empty dataDir degrades to ServeNode.
+func ServeNodeDurable(listen string, logw io.Writer, dataDir string, poolPages int) error {
 	n, err := noded.Listen(listen, logw)
 	if err != nil {
 		return err
+	}
+	if dataDir != "" {
+		if err := n.UseDataDir(dataDir, poolPages); err != nil {
+			return err
+		}
+		if _, err := n.Restore(); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("%s%s\n", job.SpawnPrefix, n.Addr())
 	return n.Serve()

@@ -41,6 +41,11 @@ type config struct {
 	// handlers names a delta-handler bundle registered on every process.
 	handlers string
 
+	// spillDir backs in-process stores with paged spill-to-disk files;
+	// poolPages sizes the buffer pool (also shipped in TCP job specs).
+	spillDir  string
+	poolPages int
+
 	// serverAddr selects the rexd client transport (WithServer).
 	serverAddr string
 }
@@ -109,6 +114,25 @@ func WithDataset(name string, size int, seed int64) Option {
 // surface as ErrServerBusy.
 func WithServer(addr string) Option {
 	return func(c *config) { c.serverAddr = addr }
+}
+
+// WithSpillDir backs the in-process session's stores with the paged
+// storage subsystem under dir: table state lives in slotted page files,
+// a buffer pool (see WithBufferPoolPages) keeps the hot working set in
+// RAM, and datasets larger than memory spill to disk instead of growing
+// the heap. Session.Close flushes dirty pages and seals a durable
+// checkpoint image. In-process sessions only — TCP daemons place their
+// paged stores under their own rexnode -data-dir.
+func WithSpillDir(dir string) Option {
+	return func(c *config) { c.spillDir = dir }
+}
+
+// WithBufferPoolPages sizes the paged-store buffer pool in 8 KiB pages
+// (0 = the default). On an in-process session it takes effect with
+// WithSpillDir; on a TCP session it crosses the wire in each job spec so
+// one knob pins the working-set budget cluster-wide.
+func WithBufferPoolPages(n int) Option {
+	return func(c *config) { c.poolPages = n }
 }
 
 // WithHandlers registers a named delta-handler bundle ("pagerank",
@@ -227,6 +251,9 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 	if cfg.spawnBin != "" && cfg.autospawn == 0 {
 		return nil, fmt.Errorf("rex: WithSpawnCommand requires WithAutoSpawn")
 	}
+	if cfg.spillDir != "" && (cfg.serverAddr != "" || len(cfg.peers) > 0 || cfg.autospawn > 0) {
+		return nil, fmt.Errorf("rex: WithSpillDir is in-process only (rexnode daemons page under their own -data-dir)")
+	}
 	if cfg.handlers != "" {
 		// Validate the bundle name eagerly on every transport; TCP daemons
 		// register it per job from the spec.
@@ -273,6 +300,11 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 		s.cfg = cfg
 		s.cat = catalog.New()
 		s.eng = exec.NewEngine(cfg.nodes, cfg.vnodes, cfg.replication, s.cat)
+		if cfg.spillDir != "" {
+			if err := s.eng.UseSpill(cfg.spillDir, cfg.poolPages); err != nil {
+				return nil, err
+			}
+		}
 		if cfg.handlers != "" {
 			if err := job.RegisterBundle(s.cat, cfg.handlers); err != nil {
 				return nil, err
@@ -333,8 +365,25 @@ func (s *Session) Close() error {
 		s.jc.Close()
 		return nil
 	default:
-		return s.eng.Transport.Close()
+		err := s.eng.Transport.Close()
+		// Flush after the workers are gone: dirty pages are sealed into
+		// each paged store's checkpoint image (no-op without WithSpillDir).
+		if serr := s.eng.CloseStores(); err == nil {
+			err = serr
+		}
+		return err
 	}
+}
+
+// PoolStats aggregates buffer-pool traffic across an in-process session's
+// paged stores: hits, misses, evictions, and bytes spilled to page files.
+// All-zero without WithSpillDir, and on TCP/server sessions (daemon pools
+// are reported by their own processes; see ServerStats for rexd).
+func (s *Session) PoolStats() PoolStats {
+	if s.eng == nil {
+		return PoolStats{}
+	}
+	return s.eng.PoolStats()
 }
 
 // lock acquires the session for one query, rejecting closed sessions
@@ -976,8 +1025,9 @@ func (s *Session) rqlSpec(src string, opts Options) (*job.Spec, error) {
 		BatchSize: opts.BatchSize, Compaction: opts.Compaction,
 		Checkpoint: opts.Checkpoint, CompactionHighWater: opts.CompactionHighWater,
 		MaxStrata: opts.MaxStrata, NoVectorize: opts.NoVectorize,
-		Handlers: s.cfg.handlers,
-		Ingest:   s.ingestSnapshot(),
+		Handlers:        s.cfg.handlers,
+		Ingest:          s.ingestSnapshot(),
+		BufferPoolPages: s.cfg.poolPages,
 	}, nil
 }
 
