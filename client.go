@@ -54,8 +54,9 @@ type srvPending struct {
 	reply   chan cluster.Message
 }
 
-// dialServer connects and performs the hello exchange.
-func dialServer(ctx context.Context, addr string) (*serverConn, error) {
+// dialServer connects and performs the hello exchange, announcing the
+// session's default tenant.
+func dialServer(ctx context.Context, addr, tenant string) (*serverConn, error) {
 	var d net.Dialer
 	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -66,7 +67,7 @@ func dialServer(ctx context.Context, addr string) (*serverConn, error) {
 		deadline = time.Now().Add(handshakeTimeout)
 	}
 	_ = nc.SetDeadline(deadline)
-	hello := cluster.Message{Kind: cluster.MsgHello, Payload: srvproto.EncodeJSON(srvproto.Hello{Version: srvproto.Version})}
+	hello := cluster.Message{Kind: cluster.MsgHello, Payload: srvproto.EncodeJSON(srvproto.Hello{Version: srvproto.Version, Tenant: tenant})}
 	if err := srvproto.WriteMsg(nc, hello); err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("rex: server handshake: %w", err)
@@ -130,9 +131,15 @@ func (c *serverConn) write(m cluster.Message) error {
 }
 
 // sendReq ships a request frame; on a write failure the pending entry is
-// withdrawn (the read loop will observe the broken socket shortly).
+// withdrawn (the read loop will observe the broken socket shortly). The
+// request's priority rides the frame header too, so the server can
+// classify it before decoding the JSON body.
 func (c *serverConn) sendReq(id int, req srvproto.Request) error {
-	err := c.write(cluster.Message{Kind: cluster.MsgQuery, Edge: id, Payload: srvproto.EncodeJSON(req)})
+	m := cluster.Message{Kind: cluster.MsgQuery, Edge: id, Payload: srvproto.EncodeJSON(req)}
+	if req.Opts != nil {
+		m.Priority = req.Opts.Priority
+	}
+	err := c.write(m)
 	if err != nil {
 		c.unregister(id)
 		return fmt.Errorf("rex: send to server: %w", err)
@@ -345,7 +352,8 @@ func serverUnsupported(opts Options) error {
 
 // wireOpts extracts the wire-travelling option subset.
 func wireOpts(opts Options) *srvproto.QueryOpts {
-	if opts.BatchSize == 0 && opts.MaxStrata == 0 && !opts.Compaction && opts.CompactionHighWater == 0 && !opts.Checkpoint {
+	if opts.BatchSize == 0 && opts.MaxStrata == 0 && !opts.Compaction && opts.CompactionHighWater == 0 &&
+		!opts.Checkpoint && !opts.NoVectorize && opts.Tenant == "" && opts.Priority == 0 {
 		return nil
 	}
 	return &srvproto.QueryOpts{
@@ -354,6 +362,9 @@ func wireOpts(opts Options) *srvproto.QueryOpts {
 		Compaction:          opts.Compaction,
 		CompactionHighWater: opts.CompactionHighWater,
 		Checkpoint:          opts.Checkpoint,
+		NoVectorize:         opts.NoVectorize,
+		Tenant:              opts.Tenant,
+		Priority:            opts.Priority,
 	}
 }
 
@@ -384,16 +395,17 @@ func (s *Session) serverQuery(ctx context.Context, src string, args []Value, opt
 
 // ServerStats reports the rexd server's counters — plan-cache hits and
 // misses included. Server sessions only.
+//
+// Deprecated: use Session.Stats — the unified snapshot; its Server field
+// carries the same record plus the scheduler counters. ServerStats is a
+// thin wrapper kept for source compatibility.
 func (s *Session) ServerStats(ctx context.Context) (*ServerStats, error) {
 	if s.srv == nil {
 		return nil, fmt.Errorf("rex: ServerStats requires a server session (rex.WithServer)")
 	}
-	tr, err := s.srv.roundTrip(ctx, srvproto.Request{Op: srvproto.OpStats})
+	st, err := s.Stats(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if tr.Stats == nil {
-		return nil, fmt.Errorf("rex: server sent a stats reply without stats")
-	}
-	return tr.Stats, nil
+	return st.Server, nil
 }

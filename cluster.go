@@ -88,12 +88,12 @@ func (c *Cluster) MustLoad(table string, tuples []Tuple) {
 
 // Query compiles and executes an RQL query with default options.
 func (c *Cluster) Query(src string) (*Result, error) {
-	return c.s.QueryCtx(context.Background(), src, Options{})
+	return c.s.QueryCtx(context.Background(), src)
 }
 
 // QueryWithOptions compiles and executes an RQL query.
 func (c *Cluster) QueryWithOptions(src string, opts Options) (*Result, error) {
-	return c.s.QueryCtx(context.Background(), src, opts)
+	return c.s.QueryCtx(context.Background(), src, WithOptions(opts))
 }
 
 // RunPlan executes a hand-built physical plan.

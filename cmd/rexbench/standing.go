@@ -79,7 +79,7 @@ func standingSuite(w io.Writer, sc bench.Scale, transport, peers string) ([]benc
 	defer sess.Close()
 
 	start := time.Now()
-	sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, rex.Options{MaxStrata: 300, Compaction: true})
+	sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, rex.WithMaxStrata(300), rex.WithCompaction(0))
 	if err != nil {
 		return nil, fmt.Errorf("bench: subscribe on %s: %w", transport, err)
 	}
@@ -115,7 +115,7 @@ func standingSuite(w io.Writer, sc bench.Scale, transport, peers string) ([]benc
 	// From-scratch reference on the same session: the base tables already
 	// carry the ingested churn (store revision in-process, change-log
 	// replay over TCP).
-	res, err := sess.QueryCtx(ctx, algos.IncSSSPQuery, rex.Options{})
+	res, err := sess.QueryCtx(ctx, algos.IncSSSPQuery)
 	if err != nil {
 		return nil, fmt.Errorf("bench: recompute on %s: %w", transport, err)
 	}
@@ -191,7 +191,7 @@ func standingChurnSuite(w io.Writer, sc bench.Scale, transport, peers string, si
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, rex.Options{MaxStrata: 300, Compaction: true})
+		sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, rex.WithMaxStrata(300), rex.WithCompaction(0))
 		if err != nil {
 			sess.Close()
 			return nil, nil, nil, err

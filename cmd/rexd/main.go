@@ -49,16 +49,20 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "concurrent client session cap (0 = default 64)")
 	maxInflight := flag.Int("max-inflight", 0, "admitted interactive request cap (0 = default 16)")
 	maxQueue := flag.Int("max-queue", 0, "admission wait-queue cap (0 = default 64)")
+	subPools := flag.Int("sub-pools", 0, "engine sub-pools: concurrently executing queries (0 = default 2; forced 1 with -peers)")
+	tenantQuota := flag.Int("tenant-quota", 0, "per-tenant inflight request quota (0 = unlimited)")
+	tenantQuotas := flag.String("tenant-quotas", "", "comma-separated tenant=quota overrides (e.g. acme=2,batch=8)")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
 
 	smoke := flag.Bool("client-smoke", false, "run as a smoke-test client harness against -server instead of serving")
 	serverAddr := flag.String("server", "", "rexd address the smoke harness dials")
 	clients := flag.Int("clients", 8, "smoke harness: concurrent client sessions")
 	iters := flag.Int("iters", 5, "smoke harness: query iterations per ad-hoc client")
+	throttle := flag.String("throttle", "", "smoke harness: tenant expected to hit quota rejections (must be quota-limited server-side; empty = skip)")
 	flag.Parse()
 
 	if *smoke {
-		if err := runSmoke(*serverAddr, *clients, *iters); err != nil {
+		if err := runSmoke(*serverAddr, *clients, *iters, *throttle); err != nil {
 			fmt.Fprintf(os.Stderr, "rexd: smoke: %v\n", err)
 			os.Exit(1)
 		}
@@ -70,6 +74,23 @@ func main() {
 		Handlers: *handlers, Replication: *replication,
 		DataDir: *dataDir, BufferPoolPages: *poolPages,
 		MaxSessions: *maxSessions, MaxInflight: *maxInflight, MaxQueue: *maxQueue,
+		SubPools: *subPools, TenantQuota: *tenantQuota,
+	}
+	if *tenantQuotas != "" {
+		cfg.TenantQuotas = map[string]int{}
+		for _, kv := range strings.Split(*tenantQuotas, ",") {
+			name, val, ok := strings.Cut(kv, "=")
+			var q int
+			if ok {
+				_, err := fmt.Sscanf(val, "%d", &q)
+				ok = err == nil && q > 0
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rexd: bad -tenant-quotas entry %q (want tenant=quota)\n", kv)
+				os.Exit(2)
+			}
+			cfg.TenantQuotas[name] = q
+		}
 	}
 	if *peers != "" {
 		cfg.Peers = strings.Split(*peers, ",")
@@ -112,9 +133,11 @@ func die(format string, args ...any) error { return fmt.Errorf(format, args...) 
 
 // runSmoke drives a mixed concurrent workload at a running rexd and
 // gates on correctness: zero errors, identical result hashes across
-// ad-hoc clients, a subscriber whose stream folds to the ingested state,
-// and a plan cache that actually got hit.
-func runSmoke(addr string, clients, iters int) error {
+// tenants and priorities, a subscriber whose stream folds to the
+// ingested state, measured query overlap on multi-core pools, quota
+// pushback for the throttled tenant, and a plan cache that actually got
+// hit.
+func runSmoke(addr string, clients, iters int, throttle string) error {
 	if addr == "" {
 		return die("-server is required with -client-smoke")
 	}
@@ -122,12 +145,22 @@ func runSmoke(addr string, clients, iters int) error {
 		clients = 2
 	}
 	ctx := context.Background()
-	r, err := newSmokeRun(ctx, addr, clients, iters)
+	r, err := newSmokeRun(ctx, addr, clients, iters, throttle)
 	if err != nil {
 		return err
 	}
 	defer r.close()
 	if err := r.run(); err != nil {
+		return err
+	}
+	snap, err := r.admin.Stats(ctx)
+	if err != nil || snap.Server == nil {
+		return die("server stats unavailable before overlap phase: %v", err)
+	}
+	if err := r.overlap(snap.Server.SubPools); err != nil {
+		return err
+	}
+	if err := r.quotaStorm(); err != nil {
 		return err
 	}
 	return r.gate()

@@ -2,8 +2,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
 
 	rex "github.com/rex-data/rex"
 	"github.com/rex-data/rex/internal/bench"
@@ -12,17 +15,34 @@ import (
 
 // Smoke workload shape: an immutable graph table the ad-hoc clients
 // hammer (identical query texts across clients, so the plan cache must
-// hit), and a mutable feed table one subscriber watches while ingesting.
+// hit), a mutable feed table one subscriber watches while ingesting, and
+// a wide big table whose aggregation is heavy enough to measure whether
+// K admitted queries genuinely overlap on the sub-pooled engine.
+//
+// The 8 mixed clients are spread across 3 tenants with mixed priorities,
+// exercising the per-tenant lanes of the scheduler; a separate storm
+// phase drives a deliberately throttled tenant into quota rejections.
 const (
 	smokeEdges    = 240
 	smokeVerts    = 40
 	smokeFeedKeys = 7
+	smokeBigRows  = 120000
+	smokeBigKeys  = 64
 
 	smokeQ1       = `SELECT srcId, count(*) FROM graph GROUP BY srcId`
 	smokeQ2       = `SELECT destId FROM graph WHERE srcId > 25`
 	smokePrepared = `SELECT count(*) FROM graph WHERE srcId > $1`
 	smokeSubQ     = `SELECT k, count(*) FROM feed GROUP BY k`
+	smokeHeavyQ   = `SELECT srcId, sum(destId), count(*) FROM big GROUP BY srcId`
+
+	// overlapFactor is the CI gate: wall-clock for K concurrent heavy
+	// queries must come in under this fraction of the sequential sum.
+	overlapFactor = 0.6
+	overlapK      = 4
 )
+
+// smokeTenants are the tenant ids the 8 mixed clients rotate through.
+var smokeTenants = []string{"team-red", "team-green", "team-blue"}
 
 func smokeGraph() []rex.Tuple {
 	edges := make([]rex.Tuple, smokeEdges)
@@ -42,22 +62,32 @@ func smokeFeed(r int) []rex.Tuple {
 	return rows
 }
 
+func smokeBig() []rex.Tuple {
+	rows := make([]rex.Tuple, smokeBigRows)
+	for i := range rows {
+		rows[i] = rex.NewTuple(int64(i%smokeBigKeys), int64((i*2654435761)%1000003))
+	}
+	return rows
+}
+
 type smokeRun struct {
-	addr    string
-	clients int
-	iters   int
-	ctx     context.Context
+	addr     string
+	clients  int
+	iters    int
+	throttle string // tenant expected to hit quota rejections ("" = skip)
+	ctx      context.Context
 
 	admin *rex.Session // server session that stages the tables
 	local *rex.Session // direct in-proc session computing reference hashes
 
 	refQ1, refQ2 string
+	refHeavy     string
 	refPrepared  map[int64]string
 	refSubFinal  string
 }
 
-func newSmokeRun(ctx context.Context, addr string, clients, iters int) (*smokeRun, error) {
-	r := &smokeRun{addr: addr, clients: clients, iters: iters, ctx: ctx, refPrepared: map[int64]string{}}
+func newSmokeRun(ctx context.Context, addr string, clients, iters int, throttle string) (*smokeRun, error) {
+	r := &smokeRun{addr: addr, clients: clients, iters: iters, throttle: throttle, ctx: ctx, refPrepared: map[int64]string{}}
 
 	admin, err := rex.Open(ctx, rex.WithServer(addr))
 	if err != nil {
@@ -81,10 +111,16 @@ func newSmokeRun(ctx context.Context, addr string, clients, iters int) (*smokeRu
 		if err := s.CreateTable("feed", rex.Schema("k:Integer", "v:Integer"), 0); err != nil {
 			return nil, err
 		}
+		if err := s.CreateTable("big", rex.Schema("srcId:Integer", "destId:Integer"), 0); err != nil {
+			return nil, err
+		}
 		if err := s.Load("graph", smokeGraph()); err != nil {
 			return nil, err
 		}
 		if err := s.Load("feed", smokeFeed(0)); err != nil {
+			return nil, err
+		}
+		if err := s.Load("big", smokeBig()); err != nil {
 			return nil, err
 		}
 	}
@@ -92,6 +128,9 @@ func newSmokeRun(ctx context.Context, addr string, clients, iters int) (*smokeRu
 		return nil, err
 	}
 	if r.refQ2, err = r.localHash(smokeQ2); err != nil {
+		return nil, err
+	}
+	if r.refHeavy, err = r.localHash(smokeHeavyQ); err != nil {
 		return nil, err
 	}
 	stmt, err := local.Prepare(smokePrepared)
@@ -119,7 +158,7 @@ func newSmokeRun(ctx context.Context, addr string, clients, iters int) (*smokeRu
 }
 
 func (r *smokeRun) localHash(q string) (string, error) {
-	res, err := r.local.QueryCtx(r.ctx, q, rex.Options{})
+	res, err := r.local.QueryCtx(r.ctx, q)
 	if err != nil {
 		return "", err
 	}
@@ -135,8 +174,20 @@ func (r *smokeRun) close() {
 	}
 }
 
+// tenantFor spreads the mixed clients across the three smoke tenants.
+func tenantFor(i int) string { return smokeTenants[i%len(smokeTenants)] }
+
+// prioFor mixes priorities deterministically: low, normal, high, low, ...
+func prioFor(i int) int { return i%3 - 1 }
+
+// dialTenant opens one client session bound to client i's tenant.
+func (r *smokeRun) dialTenant(i int) (*rex.Session, error) {
+	return rex.Open(r.ctx, rex.WithServer(r.addr), rex.WithServerTenant(tenantFor(i)))
+}
+
 // run drives the concurrent clients: one subscriber+ingester, one
-// prepared-statement client, the rest ad-hoc.
+// prepared-statement client, the rest ad-hoc — spread over 3 tenants
+// with mixed per-query priorities.
 func (r *smokeRun) run() error {
 	var wg sync.WaitGroup
 	errc := make(chan error, r.clients)
@@ -147,14 +198,14 @@ func (r *smokeRun) run() error {
 			var err error
 			switch {
 			case i == 0:
-				err = r.runSubscriber()
+				err = r.runSubscriber(i)
 			case i == 1:
 				err = r.runPrepared(i)
 			default:
 				err = r.runAdhoc(i)
 			}
 			if err != nil {
-				errc <- fmt.Errorf("client %d: %w", i, err)
+				errc <- fmt.Errorf("client %d (tenant %s): %w", i, tenantFor(i), err)
 			}
 		}(i)
 	}
@@ -167,14 +218,14 @@ func (r *smokeRun) run() error {
 }
 
 func (r *smokeRun) runAdhoc(i int) error {
-	s, err := rex.Open(r.ctx, rex.WithServer(r.addr))
+	s, err := r.dialTenant(i)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
 	for it := 0; it < r.iters; it++ {
 		for _, q := range []struct{ src, want string }{{smokeQ1, r.refQ1}, {smokeQ2, r.refQ2}} {
-			res, err := s.QueryCtx(r.ctx, q.src, rex.Options{})
+			res, err := s.QueryCtx(r.ctx, q.src, rex.WithPriority(prioFor(i+it)))
 			if err != nil {
 				return err
 			}
@@ -187,12 +238,12 @@ func (r *smokeRun) runAdhoc(i int) error {
 }
 
 func (r *smokeRun) runPrepared(i int) error {
-	s, err := rex.Open(r.ctx, rex.WithServer(r.addr))
+	s, err := r.dialTenant(i)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
-	stmt, err := s.Prepare(smokePrepared)
+	stmt, err := s.Prepare(smokePrepared, rex.WithPriority(prioFor(i)))
 	if err != nil {
 		return err
 	}
@@ -211,14 +262,16 @@ func (r *smokeRun) runPrepared(i int) error {
 
 // runSubscriber installs the standing query, ingests iters rounds, closes
 // the subscription, and checks the folded stream against the reference
-// aggregate over all ingested data.
-func (r *smokeRun) runSubscriber() error {
-	s, err := rex.Open(r.ctx, rex.WithServer(r.addr))
+// aggregate over all ingested data. On the sub-pool server the standing
+// query is a RESIDENT dataflow: each ingest round costs one incremental
+// pump round, not a cached-plan re-run.
+func (r *smokeRun) runSubscriber(i int) error {
+	s, err := r.dialTenant(i)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
-	sub, err := s.Subscribe(r.ctx, smokeSubQ, rex.Options{})
+	sub, err := s.Subscribe(r.ctx, smokeSubQ, rex.WithPriority(rex.PriorityHigh))
 	if err != nil {
 		return err
 	}
@@ -245,6 +298,147 @@ func (r *smokeRun) runSubscriber() error {
 	return nil
 }
 
+// overlap measures true intra-server concurrency: overlapK identical
+// heavy aggregations run once sequentially on a single session, then
+// concurrently on overlapK sessions. On a multi-core pool with sub-pools
+// the concurrent wall-clock must land below overlapFactor of the
+// sequential sum. Every result hash is checked against direct execution
+// in both phases. The timing gate only arms on hardware that can show
+// overlap (>= 4 CPUs, >= 2 sub-pools); the hash gates always apply.
+func (r *smokeRun) overlap(subPools int64) error {
+	check := func(res *rex.Result, err error) error {
+		if err != nil {
+			return err
+		}
+		if h := bench.ResultHash(res.Tuples); h != r.refHeavy {
+			return die("heavy query hash %s, want %s", h, r.refHeavy)
+		}
+		return nil
+	}
+	// Warm the plan cache so neither phase pays the one-time compile.
+	if err := check(r.admin.QueryCtx(r.ctx, smokeHeavyQ)); err != nil {
+		return err
+	}
+
+	sessions := make([]*rex.Session, overlapK)
+	for i := range sessions {
+		s, err := r.dialTenant(i)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		sessions[i] = s
+	}
+
+	gateArmed := runtime.NumCPU() >= 4 && subPools >= 2
+	var bestRatio float64
+	const attempts = 3
+	for attempt := 1; attempt <= attempts; attempt++ {
+		seqStart := time.Now()
+		for i := 0; i < overlapK; i++ {
+			if err := check(sessions[0].QueryCtx(r.ctx, smokeHeavyQ)); err != nil {
+				return err
+			}
+		}
+		seq := time.Since(seqStart)
+
+		var wg sync.WaitGroup
+		errc := make(chan error, overlapK)
+		conStart := time.Now()
+		for i := 0; i < overlapK; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if err := check(sessions[i].QueryCtx(r.ctx, smokeHeavyQ)); err != nil {
+					errc <- err
+				}
+			}(i)
+		}
+		wg.Wait()
+		con := time.Since(conStart)
+		close(errc)
+		for err := range errc {
+			return err
+		}
+
+		ratio := float64(con) / float64(seq)
+		if attempt == 1 || ratio < bestRatio {
+			bestRatio = ratio
+		}
+		fmt.Printf("smoke: overlap attempt %d: %d queries sequential=%v concurrent=%v ratio=%.2f (cpus=%d sub-pools=%d)\n",
+			attempt, overlapK, seq.Round(time.Millisecond), con.Round(time.Millisecond), ratio, runtime.NumCPU(), subPools)
+		if !gateArmed || bestRatio < overlapFactor {
+			break // gate satisfied (or informational only)
+		}
+	}
+	if gateArmed && bestRatio >= overlapFactor {
+		return die("no overlap: concurrent/sequential ratio %.2f >= %.2f on %d CPUs with %d sub-pools",
+			bestRatio, overlapFactor, runtime.NumCPU(), subPools)
+	}
+	if !gateArmed {
+		fmt.Printf("smoke: overlap gate skipped (cpus=%d sub-pools=%d)\n", runtime.NumCPU(), subPools)
+	}
+	return nil
+}
+
+// quotaStorm bursts concurrent heavy queries from the throttled tenant
+// until the server's per-tenant quota pushes back: at least one request
+// must be rejected with rex.ErrTenantBusy (checked via errors.Is after
+// the wire round trip), and every non-rejected request must still return
+// the correct result.
+func (r *smokeRun) quotaStorm() error {
+	if r.throttle == "" {
+		return nil
+	}
+	const stormSessions = 4
+	sessions := make([]*rex.Session, stormSessions)
+	for i := range sessions {
+		s, err := rex.Open(r.ctx, rex.WithServer(r.addr), rex.WithServerTenant(r.throttle))
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		sessions[i] = s
+	}
+	for attempt := 0; attempt < 10; attempt++ {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var busy int
+		errc := make(chan error, stormSessions)
+		for _, s := range sessions {
+			wg.Add(1)
+			go func(s *rex.Session) {
+				defer wg.Done()
+				res, err := s.QueryCtx(r.ctx, smokeHeavyQ)
+				switch {
+				case errors.Is(err, rex.ErrTenantBusy):
+					mu.Lock()
+					busy++
+					mu.Unlock()
+				case err != nil:
+					errc <- die("storm query failed with a non-quota error: %w", err)
+				default:
+					if h := bench.ResultHash(res.Tuples); h != r.refHeavy {
+						errc <- die("storm query hash %s, want %s", h, r.refHeavy)
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			return err
+		}
+		if busy > 0 {
+			fmt.Printf("smoke: quota storm: %d/%d requests rejected with ErrTenantBusy for tenant %q\n",
+				busy, stormSessions, r.throttle)
+			return nil
+		}
+	}
+	return die("tenant %q was never rejected — is its quota configured on the server (-tenant-quotas %s=1)?",
+		r.throttle, r.throttle)
+}
+
 // foldStream folds a finished subscription stream's buffered delta
 // batches into the final relation.
 func foldStream(st *rex.DeltaStream) []rex.Tuple {
@@ -253,25 +447,29 @@ func foldStream(st *rex.DeltaStream) []rex.Tuple {
 		count int
 	}
 	state := map[string]*entry{}
+	bump := func(tup rex.Tuple, by int) {
+		k := string(types.AppendTuple(nil, tup))
+		e := state[k]
+		if e == nil {
+			e = &entry{tup: tup}
+			state[k] = e
+		}
+		e.count += by
+	}
 	for {
 		b, ok := st.TryNext()
 		if !ok {
 			break
 		}
 		for _, d := range b.Deltas {
-			k := string(types.AppendTuple(nil, d.Tup))
-			e := state[k]
-			if e == nil {
-				e = &entry{tup: d.Tup}
-				state[k] = e
-			}
 			switch d.Op {
-			case types.OpInsert:
-				e.count++
 			case types.OpDelete:
-				e.count--
-			default: // replace: new value wins outright
-				e.count = 1
+				bump(d.Tup, -1)
+			case types.OpReplace: // retract the old value, assert the new
+				bump(d.Old, -1)
+				bump(d.Tup, 1)
+			default:
+				bump(d.Tup, 1)
 			}
 		}
 	}
@@ -285,15 +483,25 @@ func foldStream(st *rex.DeltaStream) []rex.Tuple {
 }
 
 // gate asserts the server-side counters: the plan cache must have been
-// hit, and compilations must be rarer than queries.
+// hit, compilations must be rarer than queries, under-capacity traffic
+// must never see ErrServerBusy, and — when a throttled tenant is
+// configured — its quota rejections must be visible in the per-tenant
+// stats while other tenants stay clean.
 func (r *smokeRun) gate() error {
-	st, err := r.admin.ServerStats(r.ctx)
+	snap, err := r.admin.Stats(r.ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("smoke: sessions=%d queries=%d compiles=%d cache_hits=%d cache_misses=%d subs=%d rounds=%d ingests=%d rejected=%d\n",
+	st := snap.Server
+	if st == nil {
+		return die("server session returned no server stats block")
+	}
+	fmt.Printf("smoke: sessions=%d queries=%d compiles=%d cache_hits=%d cache_misses=%d subs=%d rounds=%d ingests=%d rejected=%d quota_rejected=%d sub_pools=%d\n",
 		st.Sessions, st.Queries, st.Compiles, st.PlanCacheHits, st.PlanCacheMisses,
-		st.Subscriptions, st.Rounds, st.Ingests, st.Rejected)
+		st.Subscriptions, st.Rounds, st.Ingests, st.Rejected, st.QuotaRejections, st.SubPools)
+	for tn, ts := range st.Tenants {
+		fmt.Printf("smoke:   tenant %-10s admitted=%d inflight=%d quota_rejected=%d\n", tn, ts.Admitted, ts.Inflight, ts.QuotaRejections)
+	}
 	if st.PlanCacheHits == 0 {
 		return die("plan cache was never hit (hits=0, misses=%d)", st.PlanCacheMisses)
 	}
@@ -301,7 +509,18 @@ func (r *smokeRun) gate() error {
 		return die("compiles (%d) not below queries (%d): plan cache is not amortizing", st.Compiles, st.Queries)
 	}
 	if st.Rejected != 0 {
-		return die("server rejected %d requests during an under-capacity smoke", st.Rejected)
+		return die("server rejected %d requests with ErrServerBusy during an under-capacity smoke", st.Rejected)
+	}
+	if r.throttle != "" {
+		ts, ok := st.Tenants[r.throttle]
+		if !ok || ts.QuotaRejections == 0 {
+			return die("throttled tenant %q shows no quota rejections", r.throttle)
+		}
+		for _, tn := range smokeTenants {
+			if other := st.Tenants[tn]; other.QuotaRejections != 0 {
+				return die("unthrottled tenant %q collected %d quota rejections", tn, other.QuotaRejections)
+			}
+		}
 	}
 	fmt.Println("smoke: OK")
 	return nil

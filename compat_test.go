@@ -29,7 +29,7 @@ func TestDeprecatedQueryWrappers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	want, err := sess.QueryCtx(ctx, `SELECT count(*) FROM t`, Options{})
+	want, err := sess.QueryCtx(ctx, `SELECT count(*) FROM t`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestSentinelErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.QueryCtx(ctx, `SELECT x FROM nope`, Options{}); !errors.Is(err, ErrUnknownTable) {
+	if _, err := sess.QueryCtx(ctx, `SELECT x FROM nope`); !errors.Is(err, ErrUnknownTable) {
 		t.Fatalf("unknown table: err = %v, want ErrUnknownTable", err)
 	}
 	if err := sess.CreateTable("t", Schema("x:Integer"), 0); err != nil {
@@ -77,7 +77,7 @@ func TestSentinelErrors(t *testing.T) {
 	if err := sess.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.QueryCtx(ctx, `SELECT x FROM t`, Options{}); !errors.Is(err, ErrSessionClosed) {
+	if _, err := sess.QueryCtx(ctx, `SELECT x FROM t`); !errors.Is(err, ErrSessionClosed) {
 		t.Fatalf("closed session: err = %v, want ErrSessionClosed", err)
 	}
 	if err := sess.Load("t", []Tuple{NewTuple(int64(1))}); !errors.Is(err, ErrSessionClosed) {

@@ -17,4 +17,8 @@ var (
 	// ErrServerBusy rejects work a rexd server cannot admit: the
 	// admission queue is full, or the server is at its session cap.
 	ErrServerBusy = srvproto.ErrServerBusy
+	// ErrTenantBusy rejects work past the requesting tenant's inflight
+	// quota on a rexd server. Unlike ErrServerBusy it says nothing about
+	// overall server load — only that this tenant is at its cap.
+	ErrTenantBusy = srvproto.ErrTenantBusy
 )

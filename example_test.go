@@ -38,7 +38,7 @@ func ExampleOpen() {
 	}
 	defer s.Close()
 
-	res, err := s.QueryCtx(ctx, `SELECT sum(v), count(*) FROM items WHERE k >= 50`, rex.Options{})
+	res, err := s.QueryCtx(ctx, `SELECT sum(v), count(*) FROM items WHERE k >= 50`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func ExampleSession_Subscribe() {
 	}
 	defer s.Close()
 
-	sub, err := s.Subscribe(ctx, `SELECT count(*), sum(v) FROM items WHERE k < 10`, rex.Options{})
+	sub, err := s.Subscribe(ctx, `SELECT count(*), sum(v) FROM items WHERE k < 10`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func ExampleSession_IngestAsync() {
 	}
 	defer s.Close()
 
-	sub, err := s.Subscribe(ctx, `SELECT count(*), sum(v) FROM items WHERE k < 10`, rex.Options{})
+	sub, err := s.Subscribe(ctx, `SELECT count(*), sum(v) FROM items WHERE k < 10`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func ExampleSession_Stream() {
 	}
 	defer s.Close()
 
-	st, err := s.Stream(ctx, `SELECT k, sum(v) FROM items WHERE k < 3 GROUP BY k`, rex.Options{})
+	st, err := s.Stream(ctx, `SELECT k, sum(v) FROM items WHERE k < 3 GROUP BY k`)
 	if err != nil {
 		log.Fatal(err)
 	}

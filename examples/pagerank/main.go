@@ -52,7 +52,7 @@ WITH PR (srcId, pr) AS (
 	// Stream the fixpoint: every stratum's state-change batch arrives as
 	// its punctuation closes, and folding the batches yields the final
 	// ranks — no full-result buffering in the requestor.
-	st, err := s.Stream(ctx, query, rex.Options{MaxStrata: 100})
+	st, err := s.Stream(ctx, query, rex.WithMaxStrata(100))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -57,7 +57,7 @@ func main() {
 	defer s.Close()
 
 	// The Fig. 4 query: filter + global aggregation, under a context.
-	res, err := s.QueryCtx(ctx, `SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1`, rex.Options{})
+	res, err := s.QueryCtx(ctx, `SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func main() {
 
 	// Streaming: result batches arrive as punctuation closes them instead
 	// of buffering the full result set in the requestor.
-	st, err := s.Stream(ctx, `SELECT returnflag, count(*) FROM lineitem GROUP BY returnflag`, rex.Options{})
+	st, err := s.Stream(ctx, `SELECT returnflag, count(*) FROM lineitem GROUP BY returnflag`)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -31,7 +31,7 @@ func sequentialIngestSSSP(t *testing.T, edges []Tuple, opts ...Option) (string, 
 		t.Fatal(err)
 	}
 	defer sess.Close()
-	sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, Options{MaxStrata: 300})
+	sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, WithMaxStrata(300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func coalescedIngestSSSP(t *testing.T, edges []Tuple, opts ...Option) (string, i
 		t.Fatal(err)
 	}
 	defer sess.Close()
-	sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, Options{MaxStrata: 300})
+	sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, WithMaxStrata(300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func coalescedIngestSSSP(t *testing.T, edges []Tuple, opts ...Option) (string, i
 	// hook: a post-subscription query over the revised tables must agree
 	// with the folded stream (store revision in-process, compacted
 	// change-log replay over TCP).
-	res, err := sess.QueryCtx(context.Background(), algos.IncSSSPQuery, Options{})
+	res, err := sess.QueryCtx(context.Background(), algos.IncSSSPQuery)
 	if err != nil {
 		t.Fatalf("query after coalesced subscription: %v", err)
 	}
@@ -221,7 +221,7 @@ func TestIngestLogBoundedUnderChurn(t *testing.T) {
 	// Replay correctness: the TCP job built from the folded log must agree
 	// with an in-process session whose tables had only the net change.
 	const q = `SELECT srcId, count(*) FROM graph GROUP BY srcId`
-	got, err := sess.QueryCtx(ctx, q, Options{})
+	got, err := sess.QueryCtx(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestIngestLogBoundedUnderChurn(t *testing.T) {
 	if err := ref.Insert("graph", live...); err != nil {
 		t.Fatal(err)
 	}
-	want, err := ref.QueryCtx(ctx, q, Options{})
+	want, err := ref.QueryCtx(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}

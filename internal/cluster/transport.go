@@ -145,6 +145,13 @@ type Message struct {
 	// Transport.Credits.
 	CreditGrant bool
 	Credits     int
+	// Priority is scheduling metadata on client-facing frames (MsgHello /
+	// MsgQuery between a rex client and a rexd server): -1 low, 0 normal,
+	// +1 high. Encoded only when nonzero (flag bit + varint, like credit
+	// grants) so inter-worker data frames pay nothing for it. Workers
+	// ignore it; the server's admission scheduler reads it off the frame
+	// before the request payload is even parsed.
+	Priority int
 }
 
 // Transport connects worker nodes and the query requestor. The executor is

@@ -31,7 +31,10 @@ import (
 // wireVersion leads every frame; decoders reject unknown versions.
 // History: 1 = PR 1 layout; 2 adds the optional credit-grant field
 // (flow-control windows piggybacked on punctuation frames); 3 adds the
-// columnar delta-batch payload format and the MsgCreditAck kind.
+// columnar delta-batch payload format, the MsgCreditAck kind, and the
+// optional priority field on client-facing frames (same flag+varint
+// trick as credits, so it costs nothing when absent — no version bump
+// needed: v3 decoders that predate it never saw the flag set).
 const wireVersion = 3
 
 // Frame flag bits.
@@ -44,6 +47,11 @@ const (
 	// and lets an explicit zero-window grant stay distinguishable from
 	// "no grant".
 	flagCreditGrant
+	// flagPriority marks a frame carrying a scheduling priority: the
+	// Priority varint follows the payload (after the credits varint when
+	// both flags are set). Only nonzero priorities are encoded — normal
+	// priority is the zero value, so the common frame stays untouched.
+	flagPriority
 )
 
 // EncodeFrame serializes msg to its wire representation. The payload is
@@ -61,6 +69,9 @@ func EncodeFrame(msg Message) []byte {
 	if msg.CreditGrant {
 		flags |= flagCreditGrant
 	}
+	if msg.Priority != 0 {
+		flags |= flagPriority
+	}
 	buf = append(buf, flags)
 	buf = binary.AppendVarint(buf, int64(msg.From))
 	buf = binary.AppendVarint(buf, int64(msg.To))
@@ -75,6 +86,9 @@ func EncodeFrame(msg Message) []byte {
 	buf = append(buf, msg.Payload...)
 	if msg.CreditGrant {
 		buf = binary.AppendUvarint(buf, uint64(msg.Credits))
+	}
+	if msg.Priority != 0 {
+		buf = binary.AppendVarint(buf, int64(msg.Priority))
 	}
 	return buf
 }
@@ -158,6 +172,14 @@ func DecodeFrame(buf []byte) (Message, error) {
 		}
 		off += n
 		msg.Credits = int(cr)
+	}
+	if buf[2]&flagPriority != 0 {
+		pr, n := binary.Varint(buf[off:])
+		if n <= 0 {
+			return msg, fmt.Errorf("cluster: decode frame: bad priority varint")
+		}
+		off += n
+		msg.Priority = int(pr)
 	}
 	if off != len(buf) {
 		return msg, fmt.Errorf("cluster: decode frame: %d trailing bytes", len(buf)-off)

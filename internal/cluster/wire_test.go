@@ -11,13 +11,14 @@ import (
 
 func TestFrameRoundTripProperty(t *testing.T) {
 	f := func(from, to int16, edge, stratum, count, epoch int32, kind uint8,
-		terminate, closed, grant bool, credits uint16, table string, payload []byte) bool {
+		terminate, closed, grant bool, credits uint16, prio int8, table string, payload []byte) bool {
 		msg := Message{
 			From: NodeID(from), To: NodeID(to), Edge: int(edge),
 			Stratum: int(stratum), Kind: MsgKind(kind % 9), Payload: payload,
 			Count: int(count), Terminate: terminate, Closed: closed,
 			Epoch: int(epoch), Table: table,
 			CreditGrant: grant,
+			Priority:    int(prio),
 		}
 		if grant {
 			msg.Credits = int(credits)
@@ -30,7 +31,8 @@ func TestFrameRoundTripProperty(t *testing.T) {
 			got.Stratum != msg.Stratum || got.Kind != msg.Kind ||
 			got.Count != msg.Count || got.Terminate != msg.Terminate ||
 			got.Closed != msg.Closed || got.Epoch != msg.Epoch || got.Table != msg.Table ||
-			got.CreditGrant != msg.CreditGrant || got.Credits != msg.Credits {
+			got.CreditGrant != msg.CreditGrant || got.Credits != msg.Credits ||
+			got.Priority != msg.Priority {
 			return false
 		}
 		if len(got.Payload) != len(msg.Payload) {

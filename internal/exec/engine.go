@@ -99,6 +99,12 @@ type Options struct {
 	// TCP job agrees on pool sizing.
 	SpillDir        string
 	BufferPoolPages int
+	// Tenant and Priority are scheduling metadata, not execution knobs:
+	// the engine ignores them, but a server session forwards them so the
+	// rexd admission scheduler can enforce per-tenant inflight quotas and
+	// order its runnable queue. Priority is -1 low / 0 normal / +1 high.
+	Tenant   string
+	Priority int
 }
 
 // StratumStats records one stratum of a recursive execution.

@@ -8,19 +8,29 @@ import (
 )
 
 // planCache is the server's cross-session compiled-plan cache. Entries
-// are prepared statements keyed by (canonical RQL text, catalog version):
-// two clients sending the same query — or one client re-sending it, or a
-// prepared statement executing with fresh arguments — reuse one
-// compilation. Keys are token-canonical (rql.Fingerprint), so whitespace
-// and comment differences still hit. A catalog change (CreateTable,
-// handler registration) bumps the version and strands every older entry;
+// are keyed by (canonical RQL text, catalog version): two clients sending
+// the same query — or one client re-sending it, or a prepared statement
+// executing with fresh arguments — reuse one logical compilation. Keys
+// are token-canonical (rql.Fingerprint), so whitespace and comment
+// differences still hit. A catalog change (CreateTable, handler
+// registration) bumps the version and strands every older entry;
 // strandings are evicted lazily on lookup and by LRU pressure at cap.
 //
-// The mutex is held across compilation on purpose: concurrent identical
-// queries single-flight into ONE compile, the rest block briefly and hit.
+// With sub-pools an entry materializes one prepared statement per pool,
+// lazily — a statement's bind step mutates its plan in place, so pools
+// cannot share one Stmt while running concurrently. Compiles counts
+// LOGICAL entries (what a cacheless server would repeat per client
+// request); the per-pool materializations are the fixed fan-out cost of
+// the partitioned engine, not cache misses.
+//
+// Locking is two-level so distinct queries compile in parallel across
+// runners: the cache mutex only guards the map (held briefly), while each
+// entry's own mutex single-flights compilation of that text — concurrent
+// identical queries produce ONE compile, the rest block on the entry and
+// hit.
 type planCache struct {
-	sess *rex.Session
-	cap  int
+	be  *backend
+	cap int
 
 	mu       sync.Mutex
 	entries  map[string]*planEntry
@@ -31,42 +41,73 @@ type planCache struct {
 }
 
 type planEntry struct {
+	key     string
 	ver     int64
-	stmt    *rex.Stmt
 	lastUse int64
+
+	mu       sync.Mutex
+	stmts    []*rex.Stmt // per sub-pool, materialized lazily
+	compiled bool        // first successful materialization counted
 }
 
-func newPlanCache(sess *rex.Session, cap int) *planCache {
-	return &planCache{sess: sess, cap: cap, entries: map[string]*planEntry{}}
+func newPlanCache(be *backend, cap int) *planCache {
+	return &planCache{be: be, cap: cap, entries: map[string]*planEntry{}}
 }
 
-// get returns the cached statement for src at the catalog's current
-// version, compiling (and caching) on miss. The bool reports a hit.
-func (pc *planCache) get(src string) (*rex.Stmt, bool, error) {
+// get returns the cached statement for src on sub-pool `pool` at the
+// catalog's current version, compiling (and caching) on miss. The bool
+// reports a logical cache hit.
+func (pc *planCache) get(src string, pool int) (*rex.Stmt, bool, error) {
 	key := rql.Fingerprint(src)
-	ver := pc.sess.CatalogVersion()
+	ver := pc.be.catalogVersion()
 	pc.mu.Lock()
-	defer pc.mu.Unlock()
 	pc.clock++
-	if e := pc.entries[key]; e != nil {
-		if e.ver == ver {
-			e.lastUse = pc.clock
-			pc.hits++
-			return e.stmt, true, nil
-		}
+	e := pc.entries[key]
+	if e != nil && e.ver != ver {
 		delete(pc.entries, key) // stranded by a catalog change
+		e = nil
 	}
-	pc.misses++
-	stmt, err := pc.sess.Prepare(src)
-	if err != nil {
-		return nil, false, err
+	hit := e != nil
+	if hit {
+		e.lastUse = pc.clock
+		pc.hits++
+	} else {
+		pc.misses++
+		e = &planEntry{key: key, ver: ver, lastUse: pc.clock, stmts: make([]*rex.Stmt, pc.be.size())}
+		if len(pc.entries) >= pc.cap {
+			pc.evictLocked()
+		}
+		pc.entries[key] = e
 	}
-	pc.compiles++
-	if len(pc.entries) >= pc.cap {
-		pc.evictLocked()
+	pc.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stmts[pool] == nil {
+		stmt, err := pc.be.pool(pool).Prepare(src)
+		if err != nil {
+			pc.dropEntry(key, e)
+			return nil, false, err
+		}
+		e.stmts[pool] = stmt
+		if !e.compiled {
+			e.compiled = true
+			pc.mu.Lock()
+			pc.compiles++
+			pc.mu.Unlock()
+		}
 	}
-	pc.entries[key] = &planEntry{ver: ver, stmt: stmt, lastUse: pc.clock}
-	return stmt, false, nil
+	return e.stmts[pool], hit, nil
+}
+
+// dropEntry removes a failed entry so the error is not cached (the next
+// attempt recompiles and reports it afresh).
+func (pc *planCache) dropEntry(key string, e *planEntry) {
+	pc.mu.Lock()
+	if cur := pc.entries[key]; cur == e {
+		delete(pc.entries, key)
+	}
+	pc.mu.Unlock()
 }
 
 // evictLocked drops the least-recently-used entry.
@@ -88,8 +129,9 @@ func (pc *planCache) size() int64 {
 	return int64(len(pc.entries))
 }
 
-// counters snapshots hit/miss/compile totals (compiles counts successful
-// compilations only, so it is the number a cacheless server would repeat).
+// counters snapshots hit/miss/compile totals (compiles counts logical
+// compilations of distinct texts, the number a cacheless server would
+// repeat per request).
 func (pc *planCache) counters() (hits, misses, compiles int64) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()

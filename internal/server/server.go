@@ -1,19 +1,27 @@
 // Package server implements rexd: a multi-tenant REX query server. One
-// process owns one worker pool (in-process workers or TCP rexnode peers)
-// and one catalog, and admits many concurrent client sessions over the
-// same length-prefixed wire format the worker transport speaks. Clients
-// connect with rex.Open(ctx, rex.WithServer(addr)) and use the normal
-// Session API; the server schedules their work onto the shared pool —
-// interactive queries and standing-query refresh rounds alternating
-// fairly on a single runner — compiles each distinct query text once
-// into a cross-session plan cache, and sheds load with ErrServerBusy
-// when its admission queue fills.
+// process owns a partitioned engine — SubPools identically staged worker
+// pools over the same deterministic data — and one catalog, and admits
+// many concurrent client sessions over the same length-prefixed wire
+// format the worker transport speaks. Clients connect with
+// rex.Open(ctx, rex.WithServer(addr), rex.WithServerTenant(id)) and use
+// the normal Session API; the server schedules their work across the
+// sub-pools — one runner per pool, so up to SubPools queries execute
+// genuinely concurrently — under a priority-aware, tenant-fair
+// discipline: interactive queries order high-priority-first with
+// round-robin across tenants inside each level, standing-query refresh
+// rounds share the runners under weighted fair queueing, per-tenant
+// inflight quotas reject over-quota tenants with ErrTenantBusy, and a
+// bounded global admission window sheds overload with ErrServerBusy.
+// Each distinct query text compiles once into a cross-session plan
+// cache, and every subscription runs as a resident standing dataflow
+// whose rounds cost the net change, not a recompute.
 package server
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -30,9 +38,15 @@ import (
 
 // Config tunes a Server.
 type Config struct {
-	// Nodes sizes the in-process worker pool (default 4). Ignored when
+	// Nodes sizes each in-process worker pool (default 4). Ignored when
 	// Peers attach external rexnode daemons instead.
 	Nodes int
+	// SubPools partitions the engine into this many identically staged
+	// worker pools (default 2): queries admitted together run genuinely
+	// concurrently, one per pool, at the cost of one staged copy of the
+	// data per pool. Forced to 1 when Peers front a distributed pool (the
+	// daemons are the parallelism budget there).
+	SubPools int
 	// Peers are rexnode daemon addresses; when set the server fronts a
 	// distributed pool (catalog declarations then require a Dataset, as
 	// on any TCP session).
@@ -50,8 +64,9 @@ type Config struct {
 	// DataDir, when set on an in-process pool, backs the workers' stores
 	// with paged spill-to-disk files under it (rex.WithSpillDir): datasets
 	// larger than RAM page through a buffer pool, and Close flushes dirty
-	// pages into durable checkpoint images. With Peers the daemons page
-	// under their own rexnode -data-dir instead, so DataDir must be empty.
+	// pages into durable checkpoint images. Each sub-pool pages under its
+	// own subdirectory. With Peers the daemons page under their own
+	// rexnode -data-dir instead, so DataDir must be empty.
 	DataDir string
 	// BufferPoolPages sizes the paged-store buffer pool in 8 KiB pages
 	// (0 = default). With Peers it crosses the wire in every job spec.
@@ -60,14 +75,19 @@ type Config struct {
 	// MaxSessions caps concurrently connected clients (default 64);
 	// beyond it the handshake is refused with ErrServerBusy.
 	MaxSessions int
-	// MaxInflight is the admission semaphore: how many interactive
-	// requests may be admitted at once (default 16). The engine still
-	// executes one query at a time — admitted requests queue on the
-	// scheduler — so this bounds the *committed* backlog.
+	// MaxInflight is the admission window: how many requests may hold
+	// slots at once (default 16). Admitted requests queue on the
+	// scheduler for a runner, so this bounds the *committed* backlog.
 	MaxInflight int
 	// MaxQueue bounds how many requests may wait for an admission slot
 	// (default 64); beyond it requests fail fast with ErrServerBusy.
 	MaxQueue int
+	// TenantQuota caps any one tenant's inflight requests — admitted plus
+	// queued (0 = unlimited). A tenant at quota is rejected immediately
+	// with ErrTenantBusy; other tenants' capacity is unaffected.
+	TenantQuota int
+	// TenantQuotas overrides TenantQuota per tenant id.
+	TenantQuotas map[string]int
 	// PlanCacheCap bounds the cross-session plan cache (default 256
 	// entries, LRU eviction).
 	PlanCacheCap int
@@ -79,6 +99,12 @@ type Config struct {
 func (c *Config) defaults() {
 	if c.Nodes <= 0 {
 		c.Nodes = 4
+	}
+	if c.SubPools <= 0 {
+		c.SubPools = 2
+	}
+	if len(c.Peers) > 0 {
+		c.SubPools = 1
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 64
@@ -105,7 +131,7 @@ const maxRowsPayload = srvproto.MaxFrame - 64*1024
 // Server is a running rexd instance.
 type Server struct {
 	cfg   Config
-	sess  *rex.Session // the backend session owning pool + catalog
+	be    *backend // the partitioned engine: sub-pools + replay log
 	cache *planCache
 	sched *sched
 	gate  *gate
@@ -116,9 +142,9 @@ type Server struct {
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[*srvConn]struct{}
-	subs   map[*srvSub]struct{}
 	closed bool
 	wg     sync.WaitGroup
+	flowWG sync.WaitGroup // resident-flow teardowns; waited after sched drain
 
 	stSessions atomic.Int64
 	stActive   atomic.Int64
@@ -129,53 +155,33 @@ type Server struct {
 	stIngests  atomic.Int64
 }
 
-// New opens the backend session and builds the server. Close releases
-// everything, the pool included.
+// New boots the sub-pools and builds the server. Close releases
+// everything, the pools included.
 func New(cfg Config) (*Server, error) {
 	cfg.defaults()
-	var opts []rex.Option
-	if len(cfg.Peers) > 0 {
-		opts = append(opts, rex.WithTCPPeers(cfg.Peers...))
-	} else {
-		opts = append(opts, rex.WithInProc(cfg.Nodes))
-	}
-	if cfg.Dataset != "" {
-		opts = append(opts, rex.WithDataset(cfg.Dataset, cfg.Size, cfg.Seed))
-	}
-	if cfg.Handlers != "" {
-		opts = append(opts, rex.WithHandlers(cfg.Handlers))
-	}
-	if cfg.Replication > 0 {
-		opts = append(opts, rex.WithReplication(cfg.Replication))
-	}
-	if cfg.DataDir != "" {
-		opts = append(opts, rex.WithSpillDir(cfg.DataDir))
-	}
-	if cfg.BufferPoolPages > 0 {
-		opts = append(opts, rex.WithBufferPoolPages(cfg.BufferPoolPages))
-	}
 	ctx, cancel := context.WithCancel(context.Background())
-	sess, err := rex.Open(ctx, opts...)
+	be, err := newBackend(ctx, cfg)
 	if err != nil {
 		cancel()
-		return nil, fmt.Errorf("server: open backend session: %w", err)
+		return nil, err
 	}
 	s := &Server{
 		cfg:        cfg,
-		sess:       sess,
-		sched:      newSched(),
-		gate:       newGate(cfg.MaxInflight, cfg.MaxQueue),
+		be:         be,
+		sched:      newSched(be.size()),
+		gate:       newGate(cfg.MaxInflight, cfg.MaxQueue, cfg.TenantQuota, cfg.TenantQuotas),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		conns:      map[*srvConn]struct{}{},
-		subs:       map[*srvSub]struct{}{},
 	}
-	s.cache = newPlanCache(sess, cfg.PlanCacheCap)
+	s.cache = newPlanCache(be, cfg.PlanCacheCap)
 	return s, nil
 }
 
-// Session exposes the backend session (rexd main uses it for staging).
-func (s *Server) Session() *rex.Session { return s.sess }
+// Session exposes sub-pool 0's session (rexd main uses it for staging
+// checks; mutations must go through client connections so every pool and
+// flow sees them).
+func (s *Server) Session() *rex.Session { return s.be.pool(0) }
 
 // Listen starts accepting client sessions on addr, returning the bound
 // listener (addr may use port 0). Serve runs on a background goroutine.
@@ -214,8 +220,9 @@ func (s *Server) serve(ln net.Listener) {
 	}
 }
 
-// Close stops accepting, tears down every session, waits for handlers,
-// drains the scheduler, and closes the backend pool.
+// Close stops accepting, tears down every session (reaping their
+// standing flows), waits for handlers, drains the scheduler, waits for
+// flow teardowns, and closes the sub-pools.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -238,13 +245,15 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	s.sched.close()
-	return s.sess.Close()
+	s.flowWG.Wait()
+	return s.be.close()
 }
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() srvproto.ServerStats {
 	hits, misses, compiles := s.cache.counters()
-	pool := s.sess.PoolStats()
+	pool := s.be.poolStats()
+	g := s.gate.snapshot()
 	return srvproto.ServerStats{
 		PoolHits:         pool.Hits,
 		PoolMisses:       pool.Misses,
@@ -254,6 +263,11 @@ func (s *Server) Stats() srvproto.ServerStats {
 		ActiveSessions:   s.stActive.Load(),
 		Queries:          s.stQueries.Load(),
 		Rejected:         s.stRejected.Load(),
+		QuotaRejections:  g.quotaRejects,
+		SubPools:         int64(s.be.size()),
+		Inflight:         g.inflight,
+		QueueDepth:       g.waiting,
+		Tenants:          g.tenants,
 		Compiles:         compiles,
 		PlanCacheHits:    hits,
 		PlanCacheMisses:  misses,
@@ -261,7 +275,7 @@ func (s *Server) Stats() srvproto.ServerStats {
 		Subscriptions:    s.stSubs.Load(),
 		Rounds:           s.stRounds.Load(),
 		Ingests:          s.stIngests.Load(),
-		CatalogVersion:   s.sess.CatalogVersion(),
+		CatalogVersion:   s.be.catalogVersion(),
 	}
 }
 
@@ -283,8 +297,9 @@ func (s *Server) logf(format string, args ...any) {
 
 // srvConn is one client session's connection.
 type srvConn struct {
-	srv *Server
-	nc  net.Conn
+	srv    *Server
+	nc     net.Conn
+	tenant string // Hello tenant; per-request QueryOpts.Tenant overrides
 
 	wmu sync.Mutex // serializes outgoing frames
 
@@ -306,7 +321,8 @@ func (s *Server) handleConn(nc net.Conn) {
 	if err := json.Unmarshal(m.Payload, &hello); err != nil {
 		return
 	}
-	c := &srvConn{srv: s, nc: nc, reqs: map[int]context.CancelFunc{}, subs: map[int]*srvSub{}}
+	c := &srvConn{srv: s, nc: nc, tenant: hello.Tenant,
+		reqs: map[int]context.CancelFunc{}, subs: map[int]*srvSub{}}
 	refuse := func(code int, err error) {
 		_ = c.writeMsg(cluster.Message{Kind: cluster.MsgHello,
 			Payload: srvproto.EncodeJSON(srvproto.Welcome{Code: code, Err: err.Error()})})
@@ -322,11 +338,11 @@ func (s *Server) handleConn(nc net.Conn) {
 	}
 	defer s.releaseSession(c)
 	if err := c.writeMsg(cluster.Message{Kind: cluster.MsgHello,
-		Payload: srvproto.EncodeJSON(srvproto.Welcome{OK: true, Nodes: s.sess.Nodes()})}); err != nil {
+		Payload: srvproto.EncodeJSON(srvproto.Welcome{OK: true, Nodes: s.be.pool(0).Nodes()})}); err != nil {
 		return
 	}
 	_ = nc.SetDeadline(time.Time{})
-	s.logf("session from %s", nc.RemoteAddr())
+	s.logf("session from %s (tenant %q)", nc.RemoteAddr(), c.tenant)
 
 	for {
 		m, err := srvproto.ReadMsg(br)
@@ -348,12 +364,12 @@ func (s *Server) handleConn(nc net.Conn) {
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		c.track(m.Edge, cancel)
 		s.wg.Add(1)
-		go func(id int, req srvproto.Request) {
+		go func(id, framePrio int, req srvproto.Request) {
 			defer s.wg.Done()
 			defer cancel()
 			defer c.untrack(id)
-			s.handleRequest(c, ctx, id, req)
-		}(m.Edge, req)
+			s.handleRequest(c, ctx, id, framePrio, req)
+		}(m.Edge, m.Priority, req)
 	}
 }
 
@@ -396,29 +412,30 @@ func (s *Server) releaseSession(c *srvConn) {
 	}
 }
 
-func (s *Server) registerSub(sub *srvSub) {
-	s.mu.Lock()
-	s.subs[sub] = struct{}{}
-	s.mu.Unlock()
-}
-
-func (s *Server) unregisterSub(sub *srvSub) {
-	s.mu.Lock()
-	delete(s.subs, sub)
-	s.mu.Unlock()
-}
-
 // handleRequest dispatches one request (already off the read loop).
-func (s *Server) handleRequest(c *srvConn, ctx context.Context, id int, req srvproto.Request) {
+// Scheduling metadata resolves here: the session's Hello tenant unless
+// the request overrides it, and the request's priority (the frame header
+// copy is the fallback when no opts travelled).
+func (s *Server) handleRequest(c *srvConn, ctx context.Context, id, framePrio int, req srvproto.Request) {
+	tenant := c.tenant
+	prio := framePrio
+	if req.Opts != nil {
+		if req.Opts.Tenant != "" {
+			tenant = req.Opts.Tenant
+		}
+		if req.Opts.Priority != 0 {
+			prio = req.Opts.Priority
+		}
+	}
 	switch req.Op {
 	case srvproto.OpStream:
-		s.doStream(c, ctx, id, req)
+		s.doStream(c, ctx, id, req, tenant, prio)
 	case srvproto.OpSubscribe:
-		s.doSubscribe(c, ctx, id, req)
+		s.doSubscribe(c, ctx, id, req, tenant, prio)
 	case srvproto.OpPrepare:
 		s.doPrepare(c, id, req)
 	case srvproto.OpIngest:
-		s.doIngest(c, ctx, id, req)
+		s.doIngest(c, ctx, id, req, tenant)
 	case srvproto.OpCreateTable:
 		s.doCreateTable(c, id, req)
 	case srvproto.OpStats:
@@ -430,19 +447,23 @@ func (s *Server) handleRequest(c *srvConn, ctx context.Context, id int, req srvp
 
 func ptr[T any](v T) *T { return &v }
 
-// admit runs task on the scheduler's interactive queue under the
-// admission gate, blocking until it completes.
-func (s *Server) admit(c *srvConn, ctx context.Context, id int, task func()) bool {
-	if err := s.gate.acquire(ctx); err != nil {
-		s.stRejected.Add(1)
+// admit runs task through the admission gate and the tenant-fair
+// scheduler, blocking until it completes on a runner (whose sub-pool
+// index it receives).
+func (s *Server) admit(c *srvConn, ctx context.Context, id int, tenant string, prio int, task func(pool int)) bool {
+	sl, err := s.gate.acquire(ctx, tenant)
+	if err != nil {
+		if errors.Is(err, srvproto.ErrServerBusy) {
+			s.stRejected.Add(1)
+		}
 		c.writeErr(id, err)
 		return false
 	}
-	defer s.gate.release()
+	defer sl.release()
 	done := make(chan struct{})
-	err := s.sched.submit(true, func() {
+	err = s.sched.submitQuery(tenant, prio, func(pool int) {
 		defer close(done)
-		task()
+		task(pool)
 	})
 	if err != nil {
 		c.writeErr(id, err)
@@ -452,15 +473,16 @@ func (s *Server) admit(c *srvConn, ctx context.Context, id int, task func()) boo
 	return true
 }
 
-// doStream executes an ad-hoc query and streams its delta batches back.
-func (s *Server) doStream(c *srvConn, ctx context.Context, id int, req srvproto.Request) {
-	s.admit(c, ctx, id, func() {
+// doStream executes an ad-hoc query on the runner's sub-pool and streams
+// its delta batches back.
+func (s *Server) doStream(c *srvConn, ctx context.Context, id int, req srvproto.Request, tenant string, prio int) {
+	s.admit(c, ctx, id, tenant, prio, func(pool int) {
 		args, err := srvproto.DecodeArgs(req.Args)
 		if err != nil {
 			c.writeErr(id, err)
 			return
 		}
-		stmt, _, err := s.cache.get(req.Src)
+		stmt, _, err := s.cache.get(req.Src, pool)
 		if err != nil {
 			c.writeErr(id, err)
 			return
@@ -497,50 +519,85 @@ func (s *Server) doStream(c *srvConn, ctx context.Context, id int, req srvproto.
 	})
 }
 
-// doSubscribe installs a standing query: the initial fixpoint streams as
-// round 0, then the sub lives until cancelled (or its connection drops),
-// refreshed by covering ingests.
-func (s *Server) doSubscribe(c *srvConn, ctx context.Context, id int, req srvproto.Request) {
-	s.admit(c, ctx, id, func() {
-		stmt, _, err := s.cache.get(req.Src)
-		if err != nil {
-			c.writeErr(id, err)
-			return
-		}
-		s.stQueries.Add(1)
+// doSubscribe installs a standing query as a resident dataflow: a
+// dedicated flow session boots from the replay snapshot, its initial
+// fixpoint streams as round 0, and the pump stays live until cancelled
+// (or its connection drops), fed staged deltas by covering ingests.
+func (s *Server) doSubscribe(c *srvConn, ctx context.Context, id int, req srvproto.Request, tenant string, prio int) {
+	s.admit(c, ctx, id, tenant, prio, func(int) {
 		opts := execOpts(req.Opts)
-		res, err := stmt.QueryCtx(ctx, opts)
-		if err != nil {
+		sub := newSrvSub(s, c, id, req.Src, opts)
+		snap := s.be.register(sub)
+		fail := func(err error) {
+			sub.kill()
 			c.writeErr(id, err)
+		}
+		// Bridge the request context into the flow's lifetime during
+		// bring-up only: a client cancel aborts the initial fixpoint, but
+		// once resident the flow outlives the subscribe request.
+		bootDone := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				sub.cancel()
+			case <-bootDone:
+			}
+		}()
+		flow, err := s.be.newFlowSession(sub.ctx, snap)
+		if err != nil {
+			close(bootDone)
+			fail(err)
 			return
-		}
-		sub := newSrvSub(s, c, id, stmt, opts)
-		sub.retain(res.Tuples)
-		deltas := make([]types.Delta, len(res.Tuples))
-		for i, t := range res.Tuples {
-			deltas[i] = types.Insert(t)
-		}
-		sent, werr := c.writeRows(id, 0, 0, deltas)
-		rs := &rex.RoundStats{Round: 0, Strata: len(res.Strata),
-			NewTuples: len(res.Tuples), Deltas: len(deltas), BytesSent: sent}
-		if werr == nil {
-			werr = c.writeBoundary(id, 0, &srvproto.Trailer{Round: rs})
-		}
-		if werr != nil {
-			return // connection gone; releaseSession reaps
 		}
 		sub.mu.Lock()
-		sub.lastStats = rs
+		sub.flow = flow
 		sub.mu.Unlock()
+		s.stQueries.Add(1)
+		fsub, err := flow.Subscribe(sub.ctx, req.Src, rex.WithOptions(opts))
+		close(bootDone)
+		if err != nil {
+			fail(err)
+			return
+		}
+		sub.mu.Lock()
+		sub.fsub = fsub
+		sub.mu.Unlock()
+		// Forward the initial fixpoint's buffered batches as round 0.
+		st := fsub.Stream()
+		var sent int64
+		var werr error
+		for werr == nil {
+			b, ok := st.TryNext()
+			if !ok {
+				break
+			}
+			var n int64
+			n, werr = c.writeRows(id, b.Stratum, b.Round, b.Deltas)
+			sent += n
+		}
+		var rs rex.RoundStats
+		if rounds := fsub.Rounds(); len(rounds) > 0 {
+			rs = rounds[0]
+		}
+		if rs.BytesSent == 0 {
+			rs.BytesSent = sent
+		}
+		if werr == nil {
+			werr = c.writeBoundary(id, 0, &srvproto.Trailer{Round: &rs})
+		}
+		if werr != nil {
+			sub.kill() // connection gone; silent teardown
+			return
+		}
+		sub.activate(flow, fsub, &rs)
 		c.addSub(id, sub)
-		s.registerSub(sub)
 		s.stSubs.Add(1)
 	})
 }
 
 // doPrepare compiles into the plan cache and reports the parameter count.
 func (s *Server) doPrepare(c *srvConn, id int, req srvproto.Request) {
-	stmt, _, err := s.cache.get(req.Src)
+	stmt, _, err := s.cache.get(req.Src, 0)
 	if err != nil {
 		c.writeErr(id, err)
 		return
@@ -548,11 +605,11 @@ func (s *Server) doPrepare(c *srvConn, id int, req srvproto.Request) {
 	c.writeClosed(id, &srvproto.Trailer{NumParams: stmt.NumParams()})
 }
 
-// doIngest applies base-table deltas to the shared pool, fans the change
-// out to every standing query, and replies once all covering rounds have
+// doIngest applies base-table deltas to every sub-pool, fans the change
+// out to every standing flow, and replies once all covering rounds have
 // completed — so the requester's subscription stream already holds its
 // round when the ingest returns.
-func (s *Server) doIngest(c *srvConn, ctx context.Context, id int, req srvproto.Request) {
+func (s *Server) doIngest(c *srvConn, ctx context.Context, id int, req srvproto.Request, tenant string) {
 	batches := make(map[string][]rex.Delta, len(req.Tables))
 	for table, enc := range req.Tables {
 		ds, err := cluster.DecodeDeltas(enc)
@@ -562,31 +619,23 @@ func (s *Server) doIngest(c *srvConn, ctx context.Context, id int, req srvproto.
 		}
 		batches[table] = ds
 	}
-	if err := s.gate.acquire(ctx); err != nil {
-		s.stRejected.Add(1)
+	sl, err := s.gate.acquire(ctx, tenant)
+	if err != nil {
+		if errors.Is(err, srvproto.ErrServerBusy) {
+			s.stRejected.Add(1)
+		}
 		c.writeErr(id, err)
 		return
 	}
-	defer s.gate.release()
-	// The backend session applies synchronously (no live subscription is
-	// ever installed on it); its own lock serializes with running queries.
-	if _, err := s.sess.Ingests(batches); err != nil {
+	defer sl.release()
+	targets, err := s.be.ingest(batches)
+	if err != nil {
 		c.writeErr(id, err)
 		return
 	}
 	s.stIngests.Add(1)
-	type wait struct {
-		sub    *srvSub
-		target int64
-	}
-	s.mu.Lock()
-	waits := make([]wait, 0, len(s.subs))
-	for sub := range s.subs {
-		waits = append(waits, wait{sub, sub.notifyIngest()})
-	}
-	s.mu.Unlock()
 	var reqRound *rex.RoundStats
-	for _, w := range waits {
+	for _, w := range targets {
 		rs := w.sub.await(w.target)
 		if w.sub.conn == c && rs != nil {
 			reqRound = rs
@@ -595,8 +644,8 @@ func (s *Server) doIngest(c *srvConn, ctx context.Context, id int, req srvproto.
 	c.writeClosed(id, &srvproto.Trailer{Round: reqRound})
 }
 
-// doCreateTable declares a table on the shared catalog, bumping its
-// version (stranding every cached plan compiled before it).
+// doCreateTable declares a table on every sub-pool's catalog, bumping
+// the shared version (stranding every cached plan compiled before it).
 func (s *Server) doCreateTable(c *srvConn, id int, req srvproto.Request) {
 	schema := &types.Schema{}
 	for _, spec := range req.Fields {
@@ -612,7 +661,7 @@ func (s *Server) doCreateTable(c *srvConn, id int, req srvproto.Request) {
 		}
 		schema.Fields = append(schema.Fields, types.Field{Name: name, Kind: k})
 	}
-	if err := s.sess.CreateTable(req.Table, schema, req.Key); err != nil {
+	if err := s.be.createTable(req.Table, schema, req.Key); err != nil {
 		c.writeErr(id, err)
 		return
 	}
@@ -628,7 +677,9 @@ func cutField(spec string) (name, typ string, ok bool) {
 	return "", "", false
 }
 
-// execOpts widens the wire option subset back to exec options.
+// execOpts widens the wire option subset back to exec options. Tenant
+// and priority stay out — they are scheduling metadata, consumed before
+// execution.
 func execOpts(o *srvproto.QueryOpts) rex.Options {
 	if o == nil {
 		return rex.Options{}
@@ -639,6 +690,7 @@ func execOpts(o *srvproto.QueryOpts) rex.Options {
 		Compaction:          o.Compaction,
 		CompactionHighWater: o.CompactionHighWater,
 		Checkpoint:          o.Checkpoint,
+		NoVectorize:         o.NoVectorize,
 	}
 }
 

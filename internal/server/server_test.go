@@ -99,7 +99,7 @@ func TestServerEightClients(t *testing.T) {
 	stage(t, ref)
 	refHash := func(q string) string {
 		t.Helper()
-		res, err := ref.QueryCtx(ctx, q, rex.Options{})
+		res, err := ref.QueryCtx(ctx, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func TestServerEightClients(t *testing.T) {
 			defer s.Close()
 			for it := 0; it < iters; it++ {
 				for q, want := range map[string]string{q1: want1, q2: want2} {
-					res, err := s.QueryCtx(ctx, q, rex.Options{})
+					res, err := s.QueryCtx(ctx, q)
 					if err != nil {
 						errc <- fmt.Errorf("client %d: %w", i, err)
 						return
@@ -149,7 +149,7 @@ func TestServerEightClients(t *testing.T) {
 			return
 		}
 		defer s.Close()
-		sub, err := s.Subscribe(ctx, subQ, rex.Options{})
+		sub, err := s.Subscribe(ctx, subQ)
 		if err != nil {
 			errc <- fmt.Errorf("subscribe: %w", err)
 			return
@@ -201,25 +201,29 @@ func foldStream(st *rex.DeltaStream) []rex.Tuple {
 		count int
 	}
 	state := map[string]*entry{}
+	bump := func(tup rex.Tuple, by int) {
+		k := string(types.AppendTuple(nil, tup))
+		e := state[k]
+		if e == nil {
+			e = &entry{tup: tup}
+			state[k] = e
+		}
+		e.count += by
+	}
 	for {
 		b, ok := st.TryNext()
 		if !ok {
 			break
 		}
 		for _, d := range b.Deltas {
-			k := string(types.AppendTuple(nil, d.Tup))
-			e := state[k]
-			if e == nil {
-				e = &entry{tup: d.Tup}
-				state[k] = e
-			}
 			switch d.Op {
-			case types.OpInsert:
-				e.count++
 			case types.OpDelete:
-				e.count--
+				bump(d.Tup, -1)
+			case types.OpReplace:
+				bump(d.Old, -1)
+				bump(d.Tup, 1)
 			default:
-				e.count = 1
+				bump(d.Tup, 1)
 			}
 		}
 	}
@@ -254,7 +258,7 @@ func TestPlanCacheSingleFlight(t *testing.T) {
 				return
 			}
 			defer s.Close()
-			if _, err := s.QueryCtx(ctx, q, rex.Options{}); err != nil {
+			if _, err := s.QueryCtx(ctx, q); err != nil {
 				errc <- err
 			}
 		}()
@@ -285,13 +289,13 @@ func TestPlanCacheInvalidation(t *testing.T) {
 	const q = `SELECT srcId, count(*) FROM graph GROUP BY srcId`
 	run := func() {
 		t.Helper()
-		if _, err := s.QueryCtx(ctx, q, rex.Options{}); err != nil {
+		if _, err := s.QueryCtx(ctx, q); err != nil {
 			t.Fatal(err)
 		}
 	}
 	run()
 	// Whitespace/casing-insensitive re-send: same fingerprint, must hit.
-	if _, err := s.QueryCtx(ctx, "SELECT srcId,  count(*)  FROM graph GROUP BY srcId", rex.Options{}); err != nil {
+	if _, err := s.QueryCtx(ctx, "SELECT srcId,  count(*)  FROM graph GROUP BY srcId"); err != nil {
 		t.Fatal(err)
 	}
 	_, _, compiles := srv.cache.counters()
@@ -367,16 +371,26 @@ func TestServerBusySessionCap(t *testing.T) {
 // TestGateBusy exercises the admission gate white-box: one slot, zero
 // queue — the second concurrent acquire must shed immediately.
 func TestGateBusy(t *testing.T) {
-	g := newGate(1, 0)
-	if err := g.acquire(context.Background()); err != nil {
+	g := newGate(1, 0, 0, nil)
+	sl, err := g.acquire(context.Background(), "")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := g.acquire(context.Background()); !errors.Is(err, rex.ErrServerBusy) {
+	if _, err := g.acquire(context.Background(), ""); !errors.Is(err, rex.ErrServerBusy) {
 		t.Fatalf("err = %v, want ErrServerBusy", err)
 	}
-	g.release()
-	if err := g.acquire(context.Background()); err != nil {
+	sl.release()
+	sl.release() // idempotent: a double release must not free a second slot
+	sl2, err := g.acquire(context.Background(), "")
+	if err != nil {
 		t.Fatalf("after release: %v", err)
+	}
+	if _, err := g.acquire(context.Background(), ""); !errors.Is(err, rex.ErrServerBusy) {
+		t.Fatalf("double release leaked a slot: err = %v, want ErrServerBusy", err)
+	}
+	sl2.release()
+	if !g.idle() {
+		t.Fatal("gate not idle after all slots released")
 	}
 }
 
@@ -387,14 +401,14 @@ func TestSentinelsOverWire(t *testing.T) {
 	ctx := context.Background()
 	_, addr := startServer(t, Config{Nodes: 2})
 	s := dial(t, addr)
-	_, err := s.QueryCtx(ctx, `SELECT x FROM nope`, rex.Options{})
+	_, err := s.QueryCtx(ctx, `SELECT x FROM nope`)
 	if !errors.Is(err, rex.ErrUnknownTable) {
 		t.Fatalf("err = %v, want rex.ErrUnknownTable", err)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, err = s.QueryCtx(ctx, `SELECT x FROM nope`, rex.Options{})
+	_, err = s.QueryCtx(ctx, `SELECT x FROM nope`)
 	if !errors.Is(err, rex.ErrSessionClosed) {
 		t.Fatalf("after close: err = %v, want rex.ErrSessionClosed", err)
 	}
@@ -410,7 +424,7 @@ func TestServerIngestWithoutSubscription(t *testing.T) {
 	if err := s.Insert("feed", rex.NewTuple(int64(99), int64(1))); err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.QueryCtx(ctx, `SELECT k FROM feed WHERE k = 99`, rex.Options{})
+	res, err := s.QueryCtx(ctx, `SELECT k FROM feed WHERE k = 99`)
 	if err != nil {
 		t.Fatal(err)
 	}

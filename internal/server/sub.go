@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 
 	rex "github.com/rex-data/rex"
@@ -8,87 +9,107 @@ import (
 	"github.com/rex-data/rex/internal/types"
 )
 
-// srvSub is a server-side standing query. The server cannot keep a
-// resident dataflow per subscriber — the backend engine runs one query at
-// a time and a resident StandingQuery would monopolize it — so server
-// subscriptions are DIFF-BASED: the server retains the subscription's
-// last result multiset, re-runs the (cached) plan when a covering ingest
-// lands, and streams only the net change as that round's deltas. Folding
-// the client's stream still reproduces exactly what a from-scratch query
-// would return, which is the standing-query contract; what changes is the
-// server-side mechanism, chosen so many subscribers and ad-hoc clients
-// share one pool fairly.
+// srvSub is a server-side standing query, promoted to a RESIDENT
+// dataflow: each subscription owns a dedicated in-process flow session
+// whose standing query — worker loops, operator state, delta network —
+// stays alive between rounds, exactly the engine-level machinery
+// in-process subscribers get. A covering ingest stages deltas here and a
+// scheduler round task feeds them to the resident pump, which runs one
+// INCREMENTAL round proportional to the net change; the round's
+// per-stratum output deltas stream to the client tagged with their true
+// round and stratum. (Earlier servers re-ran the cached plan and diffed
+// retained results — paying a full recompute per round — because the
+// single shared engine could not host resident dataflows; the sub-pool
+// backend removes that constraint.)
 //
-// Ingestion requests coalesce: every ingest bumps seq and at most one
-// refresh round is queued at a time, so a burst of writes costs one
-// re-run. An ingest reply waits until doneSeq covers its seq — when the
-// ingester reads its subscription stream afterwards, the covering round
-// is already buffered there.
+// The flow session boots from the same deterministic dataset staging as
+// the serving pools plus the backend's replay log, registered atomically
+// with the log snapshot so no ingest is missed or double-applied. It is
+// always in-process, even when the serving pools front TCP daemons.
+//
+// Ingestion requests coalesce: every covering ingest bumps seq, staged
+// deltas accumulate, and at most one round task is queued at a time — a
+// burst of writes costs one incremental round, whose reported Ingests is
+// the number of client requests it covered. An ingest reply waits until
+// doneSeq covers its seq, so the ingester's subscription stream already
+// holds the covering round when its ingest returns.
 type srvSub struct {
 	srv  *Server
 	conn *srvConn
 	id   int // the subscribe request id; round frames echo it
-	stmt *rex.Stmt
+	src  string
 	opts rex.Options
+
+	// ctx bounds the resident dataflow's lifetime: derived from the
+	// server's base context, cancelled at teardown (and, during bring-up
+	// only, bridged to the subscribe request's context so a client cancel
+	// aborts the initial fixpoint).
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	last      map[string]*subEntry // result multiset from the previous round
-	round     int                  // next round number (1 after the initial fixpoint)
-	seq       int64                // ingests observed
-	doneSeq   int64                // ingests covered by a completed round
-	queued    bool                 // a refresh round is already scheduled
-	dead      bool                 // torn down (unsubscribed, failed, or conn gone)
-	lastStats *rex.RoundStats      // stats of the most recent completed round
+	flow      *rex.Session
+	fsub      *rex.Subscription
+	ready     bool                     // bring-up finished; rounds may run
+	staged    map[string][]types.Delta // deltas awaiting the next round
+	seq       int64                    // covering ingests observed
+	doneSeq   int64                    // covering ingests absorbed by a completed round
+	queued    bool                     // a round task is already scheduled
+	dead      bool                     // torn down (unsubscribed, failed, or conn gone)
+	lastStats *rex.RoundStats          // stats of the most recent completed round
 }
 
-// subEntry is one distinct tuple of the retained result with its
-// multiplicity (results are bags, not sets).
-type subEntry struct {
-	tup   types.Tuple
-	count int
-}
-
-func newSrvSub(srv *Server, conn *srvConn, id int, stmt *rex.Stmt, opts rex.Options) *srvSub {
-	sub := &srvSub{srv: srv, conn: conn, id: id, stmt: stmt, opts: opts, round: 1, last: map[string]*subEntry{}}
+func newSrvSub(srv *Server, conn *srvConn, id int, src string, opts rex.Options) *srvSub {
+	ctx, cancel := context.WithCancel(srv.baseCtx)
+	sub := &srvSub{srv: srv, conn: conn, id: id, src: src, opts: opts, ctx: ctx, cancel: cancel}
 	sub.cond = sync.NewCond(&sub.mu)
 	return sub
 }
 
-// retain replaces the multiset with res's tuples (the initial fixpoint).
-func (sub *srvSub) retain(tuples []types.Tuple) {
-	m := make(map[string]*subEntry, len(tuples))
-	for _, t := range tuples {
-		k := string(types.AppendTuple(nil, t))
-		if e := m[k]; e != nil {
-			e.count++
-		} else {
-			m[k] = &subEntry{tup: t, count: 1}
-		}
-	}
-	sub.mu.Lock()
-	sub.last = m
-	sub.mu.Unlock()
-}
-
-// notifyIngest records one covering ingest and schedules a refresh round
-// if none is pending. It returns the sequence number await must reach.
-func (sub *srvSub) notifyIngest() int64 {
+// stage records one covering ingest's deltas and schedules a round task
+// if the flow is ready and none is pending. Called under backend.mu (the
+// atomicity that keeps staging consistent with the replay log). Returns
+// the sequence number await must reach, 0 if the sub is dead.
+func (sub *srvSub) stage(batches map[string][]types.Delta) int64 {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
 	if sub.dead {
 		return 0
 	}
+	if sub.staged == nil {
+		sub.staged = map[string][]types.Delta{}
+	}
+	for table, deltas := range batches {
+		sub.staged[table] = append(sub.staged[table], deltas...)
+	}
 	sub.seq++
 	target := sub.seq
-	if !sub.queued {
-		sub.queued = true
-		if err := sub.srv.sched.submit(false, sub.runRound); err != nil {
-			sub.queued = false
-			return 0
-		}
-	}
+	sub.scheduleLocked()
 	return target
+}
+
+// scheduleLocked queues a round task if the flow is live and none is
+// pending.
+func (sub *srvSub) scheduleLocked() {
+	if sub.queued || !sub.ready || sub.dead || sub.seq <= sub.doneSeq {
+		return
+	}
+	sub.queued = true
+	if err := sub.srv.sched.submitRound(sub.runRound); err != nil {
+		sub.queued = false
+	}
+}
+
+// activate installs the booted flow (bring-up done, round 0 streamed) and
+// schedules a round for anything staged during bring-up.
+func (sub *srvSub) activate(flow *rex.Session, fsub *rex.Subscription, rs *rex.RoundStats) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	sub.flow, sub.fsub = flow, fsub
+	sub.ready = true
+	sub.lastStats = rs
+	sub.scheduleLocked()
 }
 
 // await blocks until a completed round covers target (or the sub dies),
@@ -105,95 +126,82 @@ func (sub *srvSub) await(target int64) *rex.RoundStats {
 	return sub.lastStats
 }
 
-// runRound executes one refresh: re-run the cached plan, diff against the
-// retained multiset, stream the net change. Runs on the scheduler's
-// single runner, interleaved fairly with interactive queries.
-func (sub *srvSub) runRound() {
+// runRound claims everything staged and feeds it to the resident pump as
+// one incremental round, then forwards the round's buffered per-stratum
+// batches and its boundary to the client. Runs as a scheduler round task
+// (the pool argument is pacing only — the work happens on the flow
+// session's own workers).
+func (sub *srvSub) runRound(int) {
 	sub.mu.Lock()
-	if sub.dead {
+	if sub.dead || !sub.ready {
+		sub.queued = false
 		sub.mu.Unlock()
 		return
 	}
+	staged := sub.staged
+	sub.staged = nil
 	target := sub.seq
 	prevDone := sub.doneSeq
-	round := sub.round
-	sub.round++
-	sub.queued = false
+	fsub := sub.fsub
 	sub.mu.Unlock()
 
-	res, err := sub.stmt.QueryCtx(sub.srv.baseCtx, sub.opts)
-	if err != nil {
-		sub.fail(err)
+	if len(staged) == 0 {
+		sub.finishRound(target, nil)
 		return
 	}
-	deltas := sub.diff(res.Tuples)
-
-	sub.mu.Lock()
-	dead := sub.dead
-	sub.mu.Unlock()
-	if !dead {
-		rs := &rex.RoundStats{
-			Round:     round,
-			Strata:    len(res.Strata),
-			NewTuples: len(res.Tuples),
-			Deltas:    len(deltas),
-			Ingests:   int(target - prevDone),
-		}
-		// A write failure means the connection is gone; its read loop
-		// reaps the sub — waiters still get released below.
-		sent, werr := sub.conn.writeRows(sub.id, 0, round, deltas)
-		rs.BytesSent = sent
-		if werr == nil {
-			_ = sub.conn.writeBoundary(sub.id, round, &srvproto.Trailer{Round: rs})
-		}
-		sub.mu.Lock()
-		sub.lastStats = rs
-		sub.mu.Unlock()
+	ack, err := fsub.Ingests(staged)
+	if err != nil {
+		sub.fail(err)
+		sub.finishRound(target, nil)
+		return
 	}
-
-	sub.mu.Lock()
-	sub.doneSeq = target
-	sub.cond.Broadcast()
-	sub.mu.Unlock()
+	rs, err := ack.Wait(sub.ctx)
+	if err != nil {
+		sub.fail(err)
+		sub.finishRound(target, nil)
+		return
+	}
+	// The sub is this flow's only ingester and rounds run one at a time,
+	// so the stream buffer now holds exactly this round's batches.
+	st := fsub.Stream()
+	var sent int64
+	for {
+		b, ok := st.TryNext()
+		if !ok {
+			break
+		}
+		n, werr := sub.conn.writeRows(sub.id, b.Stratum, b.Round, b.Deltas)
+		sent += n
+		if werr != nil {
+			break // connection gone; its read loop reaps the sub
+		}
+	}
+	out := *rs
+	// Report the round's coverage from the client's perspective: how many
+	// ingest REQUESTS it absorbed (the pump saw our one folded call).
+	out.Ingests = int(target - prevDone)
+	if out.BytesSent == 0 {
+		out.BytesSent = sent
+	}
+	_ = sub.conn.writeBoundary(sub.id, out.Round, &srvproto.Trailer{Round: &out})
 	sub.srv.stRounds.Add(1)
+	sub.finishRound(target, &out)
 }
 
-// diff computes the net change from the retained multiset to tuples and
-// retains the new multiset.
-func (sub *srvSub) diff(tuples []types.Tuple) []types.Delta {
-	next := make(map[string]*subEntry, len(tuples))
-	for _, t := range tuples {
-		k := string(types.AppendTuple(nil, t))
-		if e := next[k]; e != nil {
-			e.count++
-		} else {
-			next[k] = &subEntry{tup: t, count: 1}
-		}
-	}
-	var deltas []types.Delta
+// finishRound publishes the round's coverage, wakes ingest waiters, and
+// reschedules if more work staged while the round ran.
+func (sub *srvSub) finishRound(target int64, rs *rex.RoundStats) {
 	sub.mu.Lock()
-	prev := sub.last
-	sub.last = next
+	if rs != nil {
+		sub.lastStats = rs
+	}
+	if target > sub.doneSeq {
+		sub.doneSeq = target
+	}
+	sub.queued = false
+	sub.scheduleLocked()
+	sub.cond.Broadcast()
 	sub.mu.Unlock()
-	for k, e := range next {
-		old := 0
-		if p := prev[k]; p != nil {
-			old = p.count
-		}
-		for i := old; i < e.count; i++ {
-			deltas = append(deltas, types.Insert(e.tup))
-		}
-	}
-	for k, p := range prev {
-		cur := 0
-		if e := next[k]; e != nil {
-			cur = e.count
-		}
-		for i := cur; i < p.count; i++ {
-			deltas = append(deltas, types.Delete(p.tup))
-		}
-	}
-	return deltas
 }
 
 // fail tears the sub down with an error frame.
@@ -203,7 +211,6 @@ func (sub *srvSub) fail(err error) {
 	}
 	sub.conn.writeErr(sub.id, err)
 	sub.conn.removeSub(sub.id)
-	sub.srv.unregisterSub(sub)
 }
 
 // unsubscribe tears the sub down cleanly (client cancel): the stream ends
@@ -214,25 +221,40 @@ func (sub *srvSub) unsubscribe() {
 	}
 	_ = sub.conn.writeClosed(sub.id, nil)
 	sub.conn.removeSub(sub.id)
-	sub.srv.unregisterSub(sub)
 }
 
 // reap tears the sub down silently (its connection is gone).
 func (sub *srvSub) reap() {
-	if !sub.kill() {
-		return
-	}
-	sub.srv.unregisterSub(sub)
+	sub.kill()
 }
 
-// kill marks the sub dead and wakes waiters; false if already dead.
+// kill marks the sub dead, wakes waiters, removes it from the ingest
+// fan-out, and releases the resident dataflow asynchronously (round
+// tasks in flight unblock via the cancelled sub context). Returns false
+// if already dead.
 func (sub *srvSub) kill() bool {
 	sub.mu.Lock()
-	defer sub.mu.Unlock()
 	if sub.dead {
+		sub.mu.Unlock()
 		return false
 	}
 	sub.dead = true
+	flow, fsub := sub.flow, sub.fsub
 	sub.cond.Broadcast()
+	sub.mu.Unlock()
+	sub.cancel()
+	sub.srv.be.unregister(sub)
+	if flow != nil || fsub != nil {
+		sub.srv.flowWG.Add(1)
+		go func() {
+			defer sub.srv.flowWG.Done()
+			if fsub != nil {
+				_ = fsub.Close()
+			}
+			if flow != nil {
+				_ = flow.Close()
+			}
+		}()
+	}
 	return true
 }

@@ -63,9 +63,12 @@ const (
 	OpCancel = "cancel"
 )
 
-// Hello is the first frame a client sends (inside MsgHello).
+// Hello is the first frame a client sends (inside MsgHello). Tenant is
+// the session-level default tenant id for admission quotas and fair
+// scheduling; per-request QueryOpts.Tenant overrides it.
 type Hello struct {
-	Version int `json:"version"`
+	Version int    `json:"version"`
+	Tenant  string `json:"tenant,omitempty"`
 }
 
 // Welcome is the server's MsgHello reply.
@@ -76,6 +79,14 @@ type Welcome struct {
 	Err   string `json:"err,omitempty"`
 }
 
+// Priority levels carried by QueryOpts.Priority and the frame header.
+// The rex package re-exports them as rex.PriorityLow/Normal/High.
+const (
+	PriorityLow    = -1
+	PriorityNormal = 0
+	PriorityHigh   = 1
+)
+
 // QueryOpts is the wire subset of exec.Options — the fields that travel;
 // driver-side hooks (recovery, termination callbacks) stay client-side
 // and are rejected before a request is sent.
@@ -85,6 +96,14 @@ type QueryOpts struct {
 	Compaction          bool `json:"compaction,omitempty"`
 	CompactionHighWater int  `json:"compaction_hw,omitempty"`
 	Checkpoint          bool `json:"checkpoint,omitempty"`
+	NoVectorize         bool `json:"no_vectorize,omitempty"`
+	// Tenant overrides the session's Hello tenant for this request;
+	// Priority (-1 low / 0 normal / +1 high) orders the scheduler's
+	// runnable queue. Priority also rides the frame header (see
+	// cluster.Message.Priority) so the server can classify a request
+	// before parsing its body.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 }
 
 // Request is the JSON body of a MsgQuery frame; which fields are
@@ -131,9 +150,22 @@ type ServerStats struct {
 	ActiveSessions int64 `json:"active_sessions"`
 	// Queries counts admitted interactive executions (streams and
 	// subscription initial rounds); Rejected the admission-control
-	// rejections (ErrServerBusy).
-	Queries  int64 `json:"queries"`
-	Rejected int64 `json:"rejected"`
+	// rejections (ErrServerBusy); QuotaRejections the per-tenant quota
+	// rejections (ErrTenantBusy), counted separately so a deliberately
+	// throttled tenant does not read as server overload.
+	Queries         int64 `json:"queries"`
+	Rejected        int64 `json:"rejected"`
+	QuotaRejections int64 `json:"quota_rejections"`
+	// SubPools is the number of independent engine sub-pools queries
+	// run on (true intra-server concurrency = min(SubPools, runnable));
+	// Inflight and QueueDepth snapshot the admission gate: requests
+	// holding slots and requests parked in the bounded wait queue.
+	SubPools   int64 `json:"sub_pools"`
+	Inflight   int64 `json:"inflight"`
+	QueueDepth int64 `json:"queue_depth"`
+	// Tenants snapshots the per-tenant scheduler counters, keyed by
+	// tenant id ("" = untagged sessions).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 	// Compiles counts real plan compilations; PlanCacheHits/Misses the
 	// cache outcomes. Hits > 0 with Compiles < Queries is the cache win.
 	Compiles        int64 `json:"compiles"`
@@ -157,6 +189,16 @@ type ServerStats struct {
 	PoolBytesSpilled int64 `json:"pool_bytes_spilled"`
 }
 
+// TenantStats is one tenant's slice of the scheduler counters.
+type TenantStats struct {
+	// Admitted counts requests that won an admission slot; Inflight the
+	// ones currently holding one (admitted or parked in the wait queue);
+	// QuotaRejections the ErrTenantBusy rejections.
+	Admitted        int64 `json:"admitted"`
+	Inflight        int64 `json:"inflight"`
+	QuotaRejections int64 `json:"quota_rejections"`
+}
+
 // Sentinel error codes carried in MsgErr.Count (and Welcome.Code), so
 // typed errors survive the wire and errors.Is works on both sides.
 const (
@@ -166,21 +208,30 @@ const (
 	CodeSessionClosed
 	CodeCanceled
 	CodeBadRequest
+	CodeTenantBusy
 )
 
 // Sentinels shared by the client session and the server. The rex package
-// re-exports them as rex.ErrServerBusy / rex.ErrSessionClosed.
+// re-exports them as rex.ErrServerBusy / rex.ErrSessionClosed /
+// rex.ErrTenantBusy.
 var (
 	// ErrServerBusy rejects work when the admission queue is full (or the
 	// server is at its session cap).
 	ErrServerBusy = errors.New("rex: server busy")
 	// ErrSessionClosed rejects operations on a closed session.
 	ErrSessionClosed = errors.New("rex: session is closed")
+	// ErrTenantBusy rejects work past the requesting tenant's inflight
+	// quota; other tenants' capacity is unaffected.
+	ErrTenantBusy = errors.New("rex: tenant quota exhausted")
 )
 
-// CodeFor classifies an error as a wire code.
+// CodeFor classifies an error as a wire code. ErrTenantBusy is checked
+// before ErrServerBusy so a quota rejection never degrades into the
+// generic busy code.
 func CodeFor(err error) int {
 	switch {
+	case errors.Is(err, ErrTenantBusy):
+		return CodeTenantBusy
 	case errors.Is(err, ErrServerBusy):
 		return CodeBusy
 	case errors.Is(err, catalog.ErrUnknownTable):
@@ -210,6 +261,8 @@ func Rehydrate(code int, msg string) error {
 	switch code {
 	case CodeBusy:
 		base = ErrServerBusy
+	case CodeTenantBusy:
+		base = ErrTenantBusy
 	case CodeUnknownTable:
 		base = catalog.ErrUnknownTable
 	case CodeSessionClosed:

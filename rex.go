@@ -13,7 +13,7 @@
 //	defer s.Close()
 //	s.CreateTable("graph", rex.Schema("srcId:Integer", "destId:Integer"), 0)
 //	s.Load("graph", edges)
-//	res, err := s.QueryCtx(ctx, `SELECT srcId, count(*) FROM graph GROUP BY srcId`, rex.Options{})
+//	res, err := s.QueryCtx(ctx, `SELECT srcId, count(*) FROM graph GROUP BY srcId`)
 //
 // or across OS processes over TCP, through the same API — WithTCPPeers
 // attaches to running rexnode daemons, WithAutoSpawn launches local child
@@ -22,12 +22,21 @@
 //	s, err := rex.Open(ctx, rex.WithAutoSpawn(4),
 //		rex.WithDataset("dbpedia", 2000, 1))
 //
+// Per-query knobs are variadic QueryOptions, accepted uniformly by
+// QueryCtx, Stream, Prepare, and Subscribe — WithPriority and WithTenant
+// address the rexd server's tenant-aware scheduler (see below),
+// WithNoVectorize forces the row-at-a-time paths, WithBatchSize,
+// WithMaxStrata, and friends tune execution:
+//
+//	res, err := s.QueryCtx(ctx, query,
+//		rex.WithTenant("acme"), rex.WithPriority(rex.PriorityHigh))
+//
 // Queries honor their context end to end: cancellation or a deadline
 // aborts a recursive query between strata and leaves the session usable.
 // Streaming consumers observe the fixpoint converge stratum by stratum
 // instead of waiting for the final relation:
 //
-//	st, err := s.Stream(ctx, query, rex.Options{})
+//	st, err := s.Stream(ctx, query)
 //	for stratum, deltas := range st.Seq() { ... }
 //
 // and serving workloads prepare once, execute many times:
@@ -40,9 +49,18 @@
 // incremental rounds whose output deltas stream to the subscriber, with
 // work proportional to the change rather than the data:
 //
-//	sub, err := s.Subscribe(ctx, query, rex.Options{})
+//	sub, err := s.Subscribe(ctx, query)
 //	s.Insert("graph", rex.NewTuple(int64(2), int64(977)))
 //	for _, deltas := range sub.Stream().Seq() { ... }
+//
+// A rexd server (cmd/rexd) shares one partitioned engine among many such
+// sessions: rex.Open(ctx, rex.WithServer(addr), rex.WithServerTenant(id))
+// connects, queries from distinct tenants are admitted under per-tenant
+// quotas (rex.ErrTenantBusy on exhaustion) and scheduled by priority
+// across engine sub-pools, and subscriptions run as resident server-side
+// dataflows. Session.Stats reports the unified snapshot, including the
+// server's per-tenant counters. See Example (ServerMode) and
+// Example (TenantScheduling).
 //
 // Write-heavy workloads use the asynchronous form: IngestAsync enqueues
 // and returns an ack that resolves when the covering round completes, and

@@ -16,7 +16,7 @@ func TestClusterQuickstart(t *testing.T) {
 		rows = append(rows, NewTuple(int64(i), float64(i)))
 	}
 	c.MustLoad("items", rows)
-	res, err := c.Session().QueryCtx(context.Background(), `SELECT sum(v), count(*) FROM items WHERE k >= 50`, Options{})
+	res, err := c.Session().QueryCtx(context.Background(), `SELECT sum(v), count(*) FROM items WHERE k >= 50`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ WITH SP (srcId, dist) AS (
   SELECT nbr, min(d)
   FROM (SELECT hops(srcId, dist).{nbr, d}
         FROM graph, SP WHERE graph.srcId = SP.srcId GROUP BY srcId)
-  GROUP BY nbr)`, Options{MaxStrata: 300})
+  GROUP BY nbr)`, WithMaxStrata(300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestRegisterFuncAndUse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Session().QueryCtx(context.Background(), `SELECT sq(x) FROM t`, Options{})
+	res, err := c.Session().QueryCtx(context.Background(), `SELECT sq(x) FROM t`)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,7 +58,7 @@ func Example_serverMode() {
 
 	const q = `SELECT count(*) FROM items WHERE k >= 50`
 	for _, sess := range []*rex.Session{alice, bob} {
-		res, err := sess.QueryCtx(ctx, q, rex.Options{})
+		res, err := sess.QueryCtx(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,14 +66,83 @@ func Example_serverMode() {
 	}
 
 	// The server's counters show one compile serving both sessions.
-	stats, err := alice.ServerStats(ctx)
+	stats, err := alice.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("queries=%d compiles=%d hits>0=%v\n",
-		stats.Queries, stats.Compiles, stats.PlanCacheHits > 0)
+		stats.Server.Queries, stats.Server.Compiles, stats.Server.PlanCacheHits > 0)
 	// Output:
 	// count=50
 	// count=50
 	// queries=2 compiles=1 hits>0=true
+}
+
+// Example_tenantScheduling shows the per-query options API against a
+// multi-tenant server: sessions carry a default tenant id, individual
+// queries can override it and set a scheduling priority, and the unified
+// Stats snapshot reports per-tenant admission counters. A tenant at its
+// inflight quota is rejected immediately with rex.ErrTenantBusy —
+// errors.Is-testable after the wire round trip — instead of crowding the
+// shared queue.
+func Example_tenantScheduling() {
+	ctx := context.Background()
+
+	// rexd -sub-pools 2 -tenant-quotas batch=2 is the process form.
+	srv, err := server.New(server.Config{
+		Nodes:        2,
+		SubPools:     2, // two queries execute genuinely in parallel
+		TenantQuotas: map[string]int{"batch": 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The session's tenant is set at Open; every request it sends is
+	// admitted and scheduled under that tenant's lane.
+	ops, err := rex.Open(ctx, rex.WithServer(ln.Addr().String()), rex.WithServerTenant("ops"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ops.Close()
+	if err := ops.CreateTable("events", rex.Schema("k:Integer", "n:Integer"), 0); err != nil {
+		log.Fatal(err)
+	}
+	var rows []rex.Tuple
+	for i := 0; i < 60; i++ {
+		rows = append(rows, rex.NewTuple(int64(i%6), int64(i)))
+	}
+	if err := ops.Load("events", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	const q = `SELECT k, count(*) FROM events GROUP BY k`
+	// An urgent query jumps the tenant's lane ahead of normal traffic.
+	res, err := ops.QueryCtx(ctx, q, rex.WithPriority(rex.PriorityHigh))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The same session can file work under another tenant's quota —
+	// here a background scan billed to (and throttled as) "batch".
+	if _, err := ops.QueryCtx(ctx, q, rex.WithTenant("batch"), rex.WithPriority(rex.PriorityLow)); err != nil {
+		log.Fatal(err)
+	}
+
+	st, err := ops.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("groups=%d sub_pools=%d\n", len(res.Tuples), st.Server.SubPools)
+	fmt.Printf("ops_admitted>0=%v batch_admitted>0=%v quota_rejections=%d\n",
+		st.Server.Tenants["ops"].Admitted > 0,
+		st.Server.Tenants["batch"].Admitted > 0,
+		st.Server.QuotaRejections)
+	// Output:
+	// groups=6 sub_pools=2
+	// ops_admitted>0=true batch_admitted>0=true quota_rejections=0
 }

@@ -46,8 +46,11 @@ type config struct {
 	spillDir  string
 	poolPages int
 
-	// serverAddr selects the rexd client transport (WithServer).
-	serverAddr string
+	// serverAddr selects the rexd client transport (WithServer);
+	// serverTenant is the session's default tenant id, announced in the
+	// hello frame.
+	serverAddr   string
+	serverTenant string
 }
 
 // Option configures Open.
@@ -114,6 +117,15 @@ func WithDataset(name string, size int, seed int64) Option {
 // surface as ErrServerBusy.
 func WithServer(addr string) Option {
 	return func(c *config) { c.serverAddr = addr }
+}
+
+// WithServerTenant sets the session's default tenant id on a server
+// session: it is announced in the connection handshake and every request
+// the session issues schedules under that tenant's admission quota and
+// fairness lane unless a per-query WithTenant overrides it. Requires
+// WithServer.
+func WithServerTenant(id string) Option {
+	return func(c *config) { c.serverTenant = id }
 }
 
 // WithSpillDir backs the in-process session's stores with the paged
@@ -251,6 +263,9 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 	if cfg.spawnBin != "" && cfg.autospawn == 0 {
 		return nil, fmt.Errorf("rex: WithSpawnCommand requires WithAutoSpawn")
 	}
+	if cfg.serverTenant != "" && cfg.serverAddr == "" {
+		return nil, fmt.Errorf("rex: WithServerTenant requires WithServer (tenancy is a rexd scheduling concept)")
+	}
 	if cfg.spillDir != "" && (cfg.serverAddr != "" || len(cfg.peers) > 0 || cfg.autospawn > 0) {
 		return nil, fmt.Errorf("rex: WithSpillDir is in-process only (rexnode daemons page under their own -data-dir)")
 	}
@@ -264,7 +279,7 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 	s := &Session{cfg: cfg}
 	switch {
 	case cfg.serverAddr != "":
-		srv, err := dialServer(ctx, cfg.serverAddr)
+		srv, err := dialServer(ctx, cfg.serverAddr, cfg.serverTenant)
 		if err != nil {
 			return nil, err
 		}
@@ -378,7 +393,11 @@ func (s *Session) Close() error {
 // PoolStats aggregates buffer-pool traffic across an in-process session's
 // paged stores: hits, misses, evictions, and bytes spilled to page files.
 // All-zero without WithSpillDir, and on TCP/server sessions (daemon pools
-// are reported by their own processes; see ServerStats for rexd).
+// are reported by their own processes).
+//
+// Deprecated: use Session.Stats — the unified snapshot; its Pool field
+// carries the same record. PoolStats is a thin wrapper kept for source
+// compatibility.
 func (s *Session) PoolStats() PoolStats {
 	if s.eng == nil {
 		return PoolStats{}
@@ -800,7 +819,7 @@ func (s *Session) WhileHandler(name string,
 // Deprecated: use QueryCtx — the canonical, context-first entry point.
 // Query is a thin wrapper kept for source compatibility.
 func (s *Session) Query(src string) (*Result, error) {
-	return s.QueryCtx(context.Background(), src, Options{})
+	return s.QueryCtx(context.Background(), src)
 }
 
 // QueryCtx compiles and executes an RQL query under a context: cancelling
@@ -811,8 +830,11 @@ func (s *Session) Query(src string) (*Result, error) {
 // arrive instead of the full result set buffering in the requestor. It is
 // the canonical query entry point on every transport; on a server session
 // the text ships to the rexd server, which executes it from its shared
-// plan cache.
-func (s *Session) QueryCtx(ctx context.Context, src string, opts Options) (*Result, error) {
+// plan cache. Per-query knobs are QueryOptions:
+//
+//	s.QueryCtx(ctx, src, rex.WithTenant("acme"), rex.WithPriority(rex.PriorityHigh))
+func (s *Session) QueryCtx(ctx context.Context, src string, qopts ...QueryOption) (*Result, error) {
+	opts := buildOptions(qopts)
 	if s.srv != nil {
 		return s.serverQuery(ctx, src, nil, opts)
 	}
@@ -834,12 +856,14 @@ func (s *Session) QueryCtx(ctx context.Context, src string, opts Options) (*Resu
 	return s.runInProcLocked(ctx, plan, opts)
 }
 
-// QueryWithOptions is QueryCtx with a background context.
+// QueryWithOptions is QueryCtx with a background context and a struct
+// options form.
 //
-// Deprecated: use QueryCtx — the canonical, context-first entry point.
-// QueryWithOptions is a thin wrapper kept for source compatibility.
+// Deprecated: use QueryCtx with QueryOptions (WithOptions bridges an
+// existing Options value). QueryWithOptions is a thin wrapper kept for
+// source compatibility.
 func (s *Session) QueryWithOptions(src string, opts Options) (*Result, error) {
-	return s.QueryCtx(context.Background(), src, opts)
+	return s.QueryCtx(context.Background(), src, WithOptions(opts))
 }
 
 // RunPlan executes a hand-built physical plan (the plan-level API used by
@@ -859,8 +883,9 @@ func (s *Session) RunPlan(ctx context.Context, plan *exec.PlanSpec, opts Options
 // returned DeltaStream yields each stratum's state-change batch as
 // punctuation closes the stratum on every node, instead of buffering the
 // full result set. Works on both transports. The stream must be consumed
-// or Closed; Query is the convenience wrapper that drains it.
-func (s *Session) Stream(ctx context.Context, src string, opts Options) (*DeltaStream, error) {
+// or Closed; QueryCtx is the convenience wrapper that drains it.
+func (s *Session) Stream(ctx context.Context, src string, qopts ...QueryOption) (*DeltaStream, error) {
+	opts := buildOptions(qopts)
 	if s.srv != nil {
 		return s.serverStream(ctx, src, nil, opts)
 	}

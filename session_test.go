@@ -209,11 +209,11 @@ func TestCancelledQueryCtxInProc(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // already expired: the query must fail fast with ctx.Err()
-	if _, err := sess.QueryCtx(ctx, `SELECT sum(v) FROM items`, Options{}); !errors.Is(err, context.Canceled) {
+	if _, err := sess.QueryCtx(ctx, `SELECT sum(v) FROM items`); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 
-	res, err := sess.QueryCtx(context.Background(), `SELECT sum(v), count(*) FROM items`, Options{})
+	res, err := sess.QueryCtx(context.Background(), `SELECT sum(v), count(*) FROM items`)
 	if err != nil {
 		t.Fatalf("follow-up query: %v", err)
 	}
@@ -307,7 +307,7 @@ func TestPreparedStatements(t *testing.T) {
 			}
 			want, err := sess.QueryCtx(ctx,
 				`SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > `+
-					types.AsString(min), Options{})
+					types.AsString(min))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -417,12 +417,12 @@ func TestStreamPublicAPI(t *testing.T) {
 	ctx := context.Background()
 	sess, q := openChainSession(t)
 
-	want, err := sess.QueryCtx(ctx, q, Options{MaxStrata: 300})
+	want, err := sess.QueryCtx(ctx, q, WithMaxStrata(300))
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	st, err := sess.Stream(ctx, q, Options{MaxStrata: 300})
+	st, err := sess.Stream(ctx, q, WithMaxStrata(300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +440,7 @@ func TestStreamPublicAPI(t *testing.T) {
 	}
 
 	// Fold equivalence via Drain on a fresh stream.
-	st, err = sess.Stream(ctx, q, Options{MaxStrata: 300})
+	st, err = sess.Stream(ctx, q, WithMaxStrata(300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -453,7 +453,7 @@ func TestStreamPublicAPI(t *testing.T) {
 	}
 
 	// Abandon a stream mid-consumption; the session must still answer.
-	st, err = sess.Stream(ctx, q, Options{MaxStrata: 300})
+	st, err = sess.Stream(ctx, q, WithMaxStrata(300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,7 +463,7 @@ func TestStreamPublicAPI(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	again, err := sess.QueryCtx(ctx, q, Options{MaxStrata: 300})
+	again, err := sess.QueryCtx(ctx, q, WithMaxStrata(300))
 	if err != nil {
 		t.Fatalf("query after abandoned stream: %v", err)
 	}
@@ -478,7 +478,7 @@ func TestStreamPublicAPI(t *testing.T) {
 // channel holding the session lock, and Close has to cancel it.
 func TestCloseWithAbandonedStream(t *testing.T) {
 	sess, q := openChainSession(t)
-	st, err := sess.Stream(context.Background(), q, Options{MaxStrata: 300})
+	st, err := sess.Stream(context.Background(), q, WithMaxStrata(300))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,7 +68,7 @@ func TestSpillLargerThanRAMBothTransports(t *testing.T) {
 
 	runHash := func(t *testing.T, sess *Session) string {
 		t.Helper()
-		res, err := sess.QueryCtx(ctx, algos.IncSSSPQuery, opts)
+		res, err := sess.QueryCtx(ctx, algos.IncSSSPQuery, WithOptions(opts))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -39,17 +39,24 @@ type Stmt struct {
 	// server-side at bind time).
 	remote  bool
 	nparams int
+
+	// def carries the statement's Prepare-time default options; an
+	// execution passing a zero Options value inherits them.
+	def Options
 }
 
 // Prepare compiles an RQL statement with $N placeholders for repeated
-// execution.
-func (s *Session) Prepare(src string) (*Stmt, error) {
+// execution. QueryOptions become the statement's defaults: executions
+// that pass a zero Options value inherit them (a non-zero per-execution
+// Options replaces them wholesale).
+func (s *Session) Prepare(src string, qopts ...QueryOption) (*Stmt, error) {
+	def := buildOptions(qopts)
 	if s.srv != nil {
 		tr, err := s.srv.roundTrip(context.Background(), srvproto.Request{Op: srvproto.OpPrepare, Src: src})
 		if err != nil {
 			return nil, err
 		}
-		return &Stmt{sess: s, src: src, remote: true, nparams: tr.NumParams}, nil
+		return &Stmt{sess: s, src: src, remote: true, nparams: tr.NumParams, def: def}, nil
 	}
 	if s.jc != nil {
 		// Validate against the session's schema catalog, staged at Open
@@ -61,13 +68,32 @@ func (s *Session) Prepare(src string) (*Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Stmt{sess: s, src: src, prep: prep}, nil
+		return &Stmt{sess: s, src: src, prep: prep, def: def}, nil
 	}
 	plan, prep, err := rql.CompileStmt(src, s.cat, s.cfg.nodes)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{sess: s, src: src, plan: plan, prep: prep}, nil
+	return &Stmt{sess: s, src: src, plan: plan, prep: prep, def: def}, nil
+}
+
+// effOpts resolves one execution's options: a zero per-call Options
+// falls back to the statement's Prepare-time defaults.
+func (st *Stmt) effOpts(opts Options) Options {
+	if isZeroOpts(opts) {
+		return st.def
+	}
+	return opts
+}
+
+// isZeroOpts reports whether o is the zero Options value (Options holds
+// func fields, so it is not comparable with ==).
+func isZeroOpts(o Options) bool {
+	return o.BatchSize == 0 && o.MaxStrata == 0 && o.Recovery == RecoveryNone &&
+		!o.Checkpoint && !o.Compaction && o.CompactionHighWater == 0 &&
+		!o.Stream && !o.NoVectorize && o.TermFn == nil && o.OnStratum == nil &&
+		o.Recover == nil && o.SpillDir == "" && o.BufferPoolPages == 0 &&
+		o.Tenant == "" && o.Priority == 0
 }
 
 // NumParams reports the statement's placeholder count.
@@ -88,9 +114,11 @@ func (st *Stmt) Query(args ...Value) (*Result, error) {
 }
 
 // QueryCtx executes the statement under a context with the given options
-// and parameter values.
+// and parameter values. A zero Options inherits the Prepare-time
+// defaults (see Prepare's QueryOptions).
 func (st *Stmt) QueryCtx(ctx context.Context, opts Options, args ...Value) (*Result, error) {
 	s := st.sess
+	opts = st.effOpts(opts)
 	if st.remote {
 		if err := st.checkRemoteArgs(args); err != nil {
 			return nil, err
@@ -119,9 +147,10 @@ func (st *Stmt) QueryCtx(ctx context.Context, opts Options, args ...Value) (*Res
 }
 
 // StreamCtx executes the statement in streaming-result mode (see
-// Session.Stream).
+// Session.Stream). A zero Options inherits the Prepare-time defaults.
 func (st *Stmt) StreamCtx(ctx context.Context, opts Options, args ...Value) (*DeltaStream, error) {
 	s := st.sess
+	opts = st.effOpts(opts)
 	if st.remote {
 		if err := st.checkRemoteArgs(args); err != nil {
 			return nil, err

@@ -61,7 +61,8 @@ type Subscription struct {
 // server session the rexd server keeps the standing state and streams
 // each round back. Standing queries reject failure-recovery and
 // checkpoint options.
-func (s *Session) Subscribe(ctx context.Context, src string, opts Options) (*Subscription, error) {
+func (s *Session) Subscribe(ctx context.Context, src string, qopts ...QueryOption) (*Subscription, error) {
+	opts := buildOptions(qopts)
 	if s.srv != nil {
 		return s.subscribeServer(ctx, src, opts)
 	}

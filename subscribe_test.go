@@ -73,7 +73,7 @@ func subscribeSSSP(t *testing.T, opts ...Option) (string, []RoundStats) {
 		t.Fatal(err)
 	}
 	defer sess.Close()
-	sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, Options{MaxStrata: 300})
+	sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, WithMaxStrata(300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func subscribeSSSP(t *testing.T, opts ...Option) (string, []RoundStats) {
 	// The session must serve ordinary queries again, over the REVISED base
 	// tables: in-process the stores absorbed the deltas, over TCP the next
 	// job replays the session's change log.
-	res, err := sess.QueryCtx(context.Background(), algos.IncSSSPQuery, Options{})
+	res, err := sess.QueryCtx(context.Background(), algos.IncSSSPQuery)
 	if err != nil {
 		t.Fatalf("query after subscription: %v", err)
 	}
@@ -135,7 +135,7 @@ func recomputeSSSP(t *testing.T) (string, int64) {
 			t.Fatal(err)
 		}
 	}
-	res, err := sess.QueryCtx(context.Background(), algos.IncSSSPQuery, Options{})
+	res, err := sess.QueryCtx(context.Background(), algos.IncSSSPQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestSubscribeAggBothTransports(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer sess.Close()
-		sub, err := sess.Subscribe(ctx, q, Options{})
+		sub, err := sess.Subscribe(ctx, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +216,7 @@ func TestSubscribeAggBothTransports(t *testing.T) {
 		if err := sub.Close(); err != nil {
 			t.Fatal(err)
 		}
-		res, err := sess.QueryCtx(context.Background(), q, Options{})
+		res, err := sess.QueryCtx(context.Background(), q)
 		if err != nil {
 			t.Fatalf("query after subscription: %v", err)
 		}
@@ -247,7 +247,7 @@ func TestSubscriptionLifecycleLeaks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, Options{MaxStrata: 200})
+	sub, err := sess.Subscribe(ctx, algos.IncSSSPQuery, WithMaxStrata(200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func TestSubscriptionLifecycleLeaks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err = sess.Subscribe(ctx, algos.IncSSSPQuery, Options{MaxStrata: 200})
+	sub, err = sess.Subscribe(ctx, algos.IncSSSPQuery, WithMaxStrata(200))
 	if err != nil {
 		t.Fatal(err)
 	}
