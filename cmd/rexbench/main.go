@@ -176,6 +176,14 @@ func run(sc bench.Scale, record *bench.CIRecord, transport, peers, exp, jsonPath
 		}
 		record.InnerLoop = inner
 
+		// Expression-kernel microloop: the filter inner loop with compiled
+		// column kernels vs the scratch-tuple bridge.
+		kern, err := bench.KernelBench(os.Stdout)
+		if err != nil {
+			return fmt.Errorf("kernel benchmark: %w", err)
+		}
+		record.Kernel = kern
+
 		// Spill workload: the SSSP suite spec through paged stores whose
 		// buffer pool is far smaller than the dataset, gated against the
 		// in-RAM hash.

@@ -23,8 +23,11 @@ import (
 // (rows_per_sec, allocs_per_round, heap_growth_bytes), the suite rows'
 // row_path_hash (vectorization off), and the churn row's rows_per_sec;
 // 5 = adds the spill section (paged stores with a larger-than-pool
-// dataset: buffer-pool hit rate, evictions, bytes spilled, rows/sec).
-const CISchemaVersion = 5
+// dataset: buffer-pool hit rate, evictions, bytes spilled, rows/sec);
+// 6 = adds the kernel section (filter microloop: compiled column kernel
+// vs scratch-tuple bridge, speedup_vs_bridged) and the filter-heavy rql
+// suite workload.
+const CISchemaVersion = 6
 
 // CIRecord is the top-level JSON document.
 type CIRecord struct {
@@ -55,6 +58,10 @@ type CIRecord struct {
 	// buffer pool); CI gates on hash equality with the in-RAM run, on
 	// evictions proving the run paged, and on hit-rate/throughput floors.
 	Spill []CISpill `json:"spill,omitempty"`
+	// Kernel holds the expression-kernel filter microloop rows (compiled
+	// column kernel vs scratch-tuple bridge over one resident batch); CI
+	// gates on the kernel row's speedup_vs_bridged floor.
+	Kernel []CIKernel `json:"kernel,omitempty"`
 }
 
 // CIStanding records one standing-query measurement (produced by the

@@ -1,0 +1,211 @@
+// Kernel microloop benchmark: the filter inner loop that the expression
+// kernels accelerate — evaluate a predicate over a resident 4096-row
+// batch and copy the survivors into an output batch — measured with the
+// compiled column kernel (typed vector loop + selection bitmap +
+// column-wise survivor copy) and with the scratch-tuple bridge (box every
+// row, walk the expression tree, append the materialized delta). Both
+// modes consume the identical batch and must select the identical rows
+// (checked, not assumed); CI gates on the kernel mode's speedup over the
+// bridge staying above the committed floor.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/rex-data/rex/internal/expr"
+	"github.com/rex-data/rex/internal/types"
+)
+
+// CIKernel records one kernel-microloop measurement (one mode). The
+// trend fields CI gates on are RowsPerSec and, on the kernel row,
+// SpeedupVsBridged.
+type CIKernel struct {
+	Workload string `json:"workload"`
+	// Mode is "kernel" (compiled column kernel) or "bridged"
+	// (scratch-tuple row interpreter).
+	Mode   string `json:"mode"`
+	Rows   int    `json:"rows"`   // batch rows per round
+	Rounds int    `json:"rounds"` // timed rounds
+
+	RowsPerSec     float64 `json:"rows_per_sec"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	BytesPerRound  float64 `json:"alloc_bytes_per_round"`
+	// SpeedupVsBridged is set on the kernel row: kernel rows/sec over
+	// bridged rows/sec. The bench-trend gate holds it against the
+	// committed bench/baseline.json floor.
+	SpeedupVsBridged float64 `json:"speedup_vs_bridged,omitempty"`
+	// Checksum folds every surviving row index; the two modes of one
+	// workload must agree exactly — kernels change throughput, never
+	// which rows pass.
+	Checksum string  `json:"checksum"`
+	Millis   float64 `json:"ms"`
+}
+
+const (
+	kernelLoopRows   = 4096 // batch rows per round
+	kernelLoopRounds = 400  // timed rounds
+)
+
+// kernelLoopKinds is the (vertex int, dist float) SSSP frontier shape.
+var kernelLoopKinds = []types.Kind{types.KindInt, types.KindFloat}
+
+// kernelLoopBatch builds the resident batch both modes filter.
+func kernelLoopBatch() (*types.DeltaBatch, error) {
+	ds := make([]types.Delta, kernelLoopRows)
+	for i := range ds {
+		ds[i] = types.Insert(types.NewTuple(int64(i%997), float64(i%31)))
+	}
+	cb, ok := types.FromDeltas(ds)
+	if !ok {
+		return nil, fmt.Errorf("bench: kernel loop deltas not batchable")
+	}
+	return cb, nil
+}
+
+// kernelLoopPred is the filter: dist < 25 AND vertex >= 10 (~77%
+// selective, so the survivor copy is part of both timings).
+func kernelLoopPred() expr.Expr {
+	return expr.NewLogic(expr.OpAnd,
+		expr.NewCmp(expr.OpLt, expr.NewCol(1, types.KindFloat, "dist"), expr.NewConst(float64(25))),
+		expr.NewCmp(expr.OpGe, expr.NewCol(0, types.KindInt, "vertex"), expr.NewConst(int64(10))))
+}
+
+// kernelRound is one kernel-mode round: one EvalBools pass over the
+// whole batch, then a column-wise copy of the survivors.
+func kernelRound(kern *expr.Kernel, cb *types.DeltaBatch, verdicts []bool, out *types.DeltaBatch, sink *int64, sum *uint64) error {
+	if !kern.EvalBools(cb, false, kern.AllRows(cb.Len()), verdicts) {
+		return fmt.Errorf("bench: kernel declined the microloop batch")
+	}
+	for i := 0; i < cb.Len(); i++ {
+		if !verdicts[i] {
+			continue
+		}
+		*sum = (*sum ^ uint64(i)) * 1099511628211
+		out.AppendRowFrom(cb, i)
+	}
+	*sink += int64(out.Len())
+	out.Reset()
+	return nil
+}
+
+// bridgedRound is one bridge-mode round: materialize each row into a
+// scratch tuple, interpret the tree, append the surviving delta — what
+// every filter paid before kernels, and what non-compilable predicates
+// still pay.
+func bridgedRound(pred expr.Expr, cb *types.DeltaBatch, scratch types.Tuple, out *types.DeltaBatch, sink *int64, sum *uint64) error {
+	for i := 0; i < cb.Len(); i++ {
+		scratch = cb.Row(i, scratch)
+		keep, err := expr.EvalBool(pred, scratch)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			continue
+		}
+		*sum = (*sum ^ uint64(i)) * 1099511628211
+		out.Append(types.Delta{Op: cb.Op(i), Tup: scratch.Clone()})
+	}
+	*sink += int64(out.Len())
+	out.Reset()
+	return nil
+}
+
+// KernelBench runs the filter microloop in both modes and returns the CI
+// rows, bridged first. Selection-checksum equality is enforced here, not
+// left to the CI gate.
+func KernelBench(w io.Writer) ([]CIKernel, error) {
+	cb, err := kernelLoopBatch()
+	if err != nil {
+		return nil, err
+	}
+	pred := kernelLoopPred()
+	kern, ok := expr.Compile(pred, kernelLoopKinds)
+	if !ok {
+		return nil, fmt.Errorf("bench: kernel loop predicate must compile")
+	}
+
+	out := types.GetBatch()
+	defer types.PutBatch(out)
+	scratch := make(types.Tuple, 0, len(kernelLoopKinds))
+	bridgedRec, err := timeKernelLoop("filter4k", "bridged", func(sink *int64, sum *uint64) error {
+		return bridgedRound(pred, cb, scratch, out, sink, sum)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	verdicts := make([]bool, cb.Len())
+	kernelRec, err := timeKernelLoop("filter4k", "kernel", func(sink *int64, sum *uint64) error {
+		return kernelRound(kern, cb, verdicts, out, sink, sum)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if kernelRec.Checksum != bridgedRec.Checksum {
+		return nil, fmt.Errorf("bench: kernel loop selected differently: bridged %s vs kernel %s",
+			bridgedRec.Checksum, kernelRec.Checksum)
+	}
+	if bridgedRec.RowsPerSec > 0 {
+		kernelRec.SpeedupVsBridged = kernelRec.RowsPerSec / bridgedRec.RowsPerSec
+	}
+
+	rep := &Report{
+		Title: "Expression kernels (filter microloop)",
+		Notes: fmt.Sprintf("%d-row batch filtered %d times; predicate eval + survivor copy",
+			kernelLoopRows, kernelLoopRounds),
+		Headers: []string{"workload", "mode", "rows/sec", "allocs/round", "alloc_bytes/round",
+			"speedup", "checksum", "ms"},
+	}
+	rows := []CIKernel{bridgedRec, kernelRec}
+	for _, rec := range rows {
+		rep.Rows = append(rep.Rows, []string{
+			rec.Workload, rec.Mode,
+			fmt.Sprintf("%.0f", rec.RowsPerSec),
+			fmt.Sprintf("%.0f", rec.AllocsPerRound),
+			fmt.Sprintf("%.0f", rec.BytesPerRound),
+			fmt.Sprintf("%.2fx", rec.SpeedupVsBridged),
+			rec.Checksum, fmt.Sprintf("%.1f", rec.Millis),
+		})
+	}
+	rep.Print(w)
+	return rows, nil
+}
+
+// timeKernelLoop measures one mode: rows/sec over the timed rounds plus
+// allocation counters from runtime.MemStats (Mallocs/TotalAlloc are
+// monotonic, so no GC is forced inside the timed region).
+func timeKernelLoop(workload, mode string, round func(sink *int64, sum *uint64) error) (CIKernel, error) {
+	rec := CIKernel{Workload: workload, Mode: mode, Rows: kernelLoopRows, Rounds: kernelLoopRounds}
+	var sink int64
+	var sum uint64
+	// Warm pools and caches with two untimed rounds.
+	for r := 0; r < 2; r++ {
+		if err := round(&sink, &sum); err != nil {
+			return rec, err
+		}
+	}
+	sum = 0
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for r := 0; r < kernelLoopRounds; r++ {
+		if err := round(&sink, &sum); err != nil {
+			return rec, err
+		}
+	}
+	dur := time.Since(start)
+	runtime.ReadMemStats(&after)
+	rec.Checksum = fmt.Sprintf("%016x", sum)
+	rec.Millis = float64(dur) / float64(time.Millisecond)
+	if dur > 0 {
+		rec.RowsPerSec = float64(kernelLoopRows*kernelLoopRounds) / dur.Seconds()
+	}
+	rec.AllocsPerRound = float64(after.Mallocs-before.Mallocs) / kernelLoopRounds
+	rec.BytesPerRound = float64(after.TotalAlloc-before.TotalAlloc) / kernelLoopRounds
+	_ = sink
+	return rec, nil
+}

@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestKernelBenchModesAgree(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := KernelBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "bridged" || rows[1].Mode != "kernel" {
+		t.Fatalf("want [bridged kernel] rows, got %+v", rows)
+	}
+	// KernelBench enforces selection-checksum equality internally; assert
+	// it anyway so a refactor that drops the check fails here.
+	if rows[0].Checksum != rows[1].Checksum {
+		t.Fatalf("modes selected different rows: %s vs %s", rows[0].Checksum, rows[1].Checksum)
+	}
+	if rows[1].SpeedupVsBridged <= 0 {
+		t.Fatalf("kernel row missing speedup: %+v", rows[1])
+	}
+	for _, r := range rows {
+		if r.RowsPerSec <= 0 || r.Rows != kernelLoopRows || r.Rounds != kernelLoopRounds {
+			t.Fatalf("bad record: %+v", r)
+		}
+	}
+}

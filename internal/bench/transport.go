@@ -20,9 +20,12 @@ import (
 type Runner func(spec *job.Spec, tune func(*exec.Options)) (*exec.Result, error)
 
 // SuiteSpecs are the transport-comparison workloads: the paper's three
-// recursive algorithms at benchmark scale, with compaction on. Every
-// parameter is pinned so an inproc run and a TCP run (or two runs on
-// different machines) execute the identical query on identical data.
+// recursive algorithms plus a filter-heavy TPC-H-style aggregation, at
+// benchmark scale, with compaction on. Every parameter is pinned so an
+// inproc run and a TCP run (or two runs on different machines) execute
+// the identical query on identical data. The rql workload's scan→filter→
+// pre-agg chain is where the compiled column kernels live, so its
+// row_path_ms column is the end-to-end kernels-vs-interpreter A/B.
 func SuiteSpecs(sc Scale) []*job.Spec {
 	return []*job.Spec{
 		{
@@ -36,6 +39,11 @@ func SuiteSpecs(sc Scale) []*job.Spec {
 		{
 			Workload: "kmeans", Nodes: sc.Nodes, Seed: 3, Size: sc.GeoBasePoints,
 			K: 8, MaxIterations: 100, Compaction: true,
+		},
+		{
+			Workload: "rql", Nodes: sc.Nodes, Seed: 5, Size: sc.LineItemRows,
+			Dataset: "lineitem", Compaction: true,
+			Query: `SELECT returnflag, sum(extendedprice), count(*) FROM lineitem WHERE quantity < 30.0 AND linenumber > 1 GROUP BY returnflag`,
 		},
 	}
 }

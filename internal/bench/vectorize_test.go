@@ -14,7 +14,7 @@ import (
 )
 
 func TestVectorizeModesHashIdentical(t *testing.T) {
-	sc := Scale{Nodes: 4, DBPediaVertices: 800, GeoBasePoints: 150, Epsilon: 0.001}
+	sc := Scale{Nodes: 4, DBPediaVertices: 800, GeoBasePoints: 150, LineItemRows: 3000, Epsilon: 0.001}
 	for _, spec := range SuiteSpecs(sc) {
 		hashes := map[string]string{}
 		for _, compaction := range []bool{false, true} {

@@ -187,6 +187,24 @@ func (t *TCPTransport) Configure(self NodeID, peers []string, gen int) error {
 	return nil
 }
 
+// Quiesce closes the node's current inbox without touching its identity
+// or generation: the worker loop draining that inbox wakes up and exits,
+// and anything it sends on the way out is still stamped with the OLD
+// generation, so peers and the driver drop it as stale. Daemons call
+// this (and join the loop) BEFORE Configure bumps the generation for the
+// next job — Send stamps frames with the current generation at send
+// time, so a loop joined only after the bump could sign its final
+// stragglers (votes, flushed shuffle batches) with the new job's
+// generation and poison the next run's mailboxes.
+func (t *TCPTransport) Quiesce() {
+	t.mu.Lock()
+	inbox := t.inbox
+	t.mu.Unlock()
+	if inbox != nil {
+		inbox.Close()
+	}
+}
+
 // StartJob begins a new job generation on the driver: it revives its view
 // of every node and ships a MsgJob carrying payload to each daemon. The
 // per-node frame's To field tells each daemon its NodeID.

@@ -122,10 +122,32 @@ func (s *scanOp) Punct(int, int, bool) error    { return fmt.Errorf("exec: scan 
 
 // filterOp applies a predicate with proper delta semantics: a replacement
 // whose old and new tuples fall on different sides of the predicate
-// degrades into a bare insertion or deletion.
+// degrades into a bare insertion or deletion. When the predicate compiles
+// to a column kernel, whole batches are evaluated with typed loops and
+// survivors copied via the selection vector; batches the kernel declines
+// (and predicates that never compiled) bridge through scratch tuples.
 type filterOp struct {
 	pred expr.Expr
+	kern *expr.Kernel
 	outs outputs
+
+	// kernel scratch: per-row verdicts over new and old images, and the
+	// replace-row selection, reused across batches.
+	selNew  []bool
+	selOld  []bool
+	oldRows []int32
+}
+
+// newFilterOp builds the operator and compiles the predicate kernel when
+// the expression shape allows it (schema may be nil when the plan did
+// not record the input schema).
+func newFilterOp(pred expr.Expr, schema []types.Kind) *filterOp {
+	f := &filterOp{pred: pred}
+	if k, ok := expr.Compile(pred, schema); ok {
+		f.kern = k
+		kernelCompiled.Add(1)
+	}
+	return f
 }
 
 func (f *filterOp) Push(port int, batch []types.Delta) error {
@@ -162,11 +184,112 @@ func (f *filterOp) Push(port int, batch []types.Delta) error {
 	return f.outs.send(out)
 }
 
-// PushBatch is the columnar filter path: rows are evaluated against a
+// PushBatch is the columnar filter path. With a compiled kernel the
+// predicate runs column-wise over the whole batch (one pass for new
+// images, one over the old images of replace rows); without one — or
+// when the kernel declines the batch — rows bridge through the scratch-
+// tuple row path below, which is the semantic ground truth.
+func (f *filterOp) PushBatch(port int, b *types.DeltaBatch) error {
+	if b.Len() > 0 {
+		if f.kern != nil {
+			if done, err := f.pushKernel(b); done {
+				return err
+			}
+			kernelFallbackEvals.Add(1)
+		} else {
+			kernelBridgedBatches.Add(1)
+		}
+	}
+	return f.pushBridged(b)
+}
+
+// pushKernel evaluates the predicate kernel over the batch and emits
+// survivors via selection-vector copy — no per-row scratch tuples except
+// for degraded replaces. done=false declines to the bridged path without
+// having emitted anything.
+func (f *filterOp) pushKernel(b *types.DeltaBatch) (bool, error) {
+	n := b.Len()
+	rows := f.kern.AllRows(n)
+	f.selNew = growBools(f.selNew, n)
+	if !f.kern.EvalBools(b, false, rows, f.selNew) {
+		return false, nil
+	}
+	hasOld := b.HasOld()
+	if hasOld {
+		f.oldRows = f.oldRows[:0]
+		for i := 0; i < n; i++ {
+			if b.Op(i) == types.OpReplace {
+				f.oldRows = append(f.oldRows, int32(i))
+			}
+		}
+		if len(f.oldRows) > 0 {
+			f.selOld = growBools(f.selOld, n)
+			if !f.kern.EvalBools(b, true, f.oldRows, f.selOld) {
+				return false, nil
+			}
+		}
+	}
+	kernelVectorBatches.Add(1)
+	out := types.GetBatch()
+	defer types.PutBatch(out)
+	var scratch types.Tuple
+	for i := 0; i < n; i++ {
+		if b.Op(i) == types.OpReplace && hasOld {
+			oldOK, newOK := f.selOld[i], f.selNew[i]
+			switch {
+			case oldOK && newOK:
+				if !out.CanAppendRowFrom(b, i) {
+					if err := f.flushVec(out); err != nil {
+						return true, err
+					}
+				}
+				out.AppendRowFrom(b, i)
+			case oldOK:
+				scratch = b.OldRow(i, scratch)
+				d := types.Delete(scratch)
+				if !out.CanAppend(d) {
+					if err := f.flushVec(out); err != nil {
+						return true, err
+					}
+				}
+				out.Append(d)
+			case newOK:
+				scratch = b.Row(i, scratch)
+				d := types.Insert(scratch)
+				if !out.CanAppend(d) {
+					if err := f.flushVec(out); err != nil {
+						return true, err
+					}
+				}
+				out.Append(d)
+			}
+			continue
+		}
+		if f.selNew[i] {
+			if !out.CanAppendRowFrom(b, i) {
+				if err := f.flushVec(out); err != nil {
+					return true, err
+				}
+			}
+			out.AppendRowFrom(b, i)
+		}
+	}
+	return true, f.outs.sendBatch(out)
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// pushBridged is the scratch-tuple bridge: rows are evaluated against a
 // reused scratch tuple (no per-row allocation) and survivors are copied
 // column-wise into a pooled output batch, so typed vectors never round-
 // trip through boxed deltas. Replace degradation matches Push exactly.
-func (f *filterOp) PushBatch(port int, b *types.DeltaBatch) error {
+// This is a documented expr.EvalBool fallback site.
+func (f *filterOp) pushBridged(b *types.DeltaBatch) error {
 	out := types.GetBatch()
 	defer types.PutBatch(out)
 	var scratch, oldScratch types.Tuple
@@ -250,9 +373,17 @@ type projectOp struct {
 	memo     map[string]types.Tuple
 	memoable bool
 	argKinds [][]types.Kind
+
+	// kerns holds one compiled kernel per output expression; nil unless
+	// every expression compiled and no per-batch UDF machinery (memo,
+	// typecheck) needs the row path.
+	kerns   []*expr.Kernel
+	newVecs []*types.Vec
+	oldVecs []*types.Vec
+	oldRows []int32
 }
 
-func newProjectOp(exprs []expr.Expr, argKinds [][]types.Kind) *projectOp {
+func newProjectOp(exprs []expr.Expr, argKinds [][]types.Kind, schema []types.Kind) *projectOp {
 	p := &projectOp{exprs: exprs, argKinds: argKinds}
 	p.memoable = true
 	for _, e := range exprs {
@@ -268,6 +399,25 @@ func newProjectOp(exprs []expr.Expr, argKinds [][]types.Kind) *projectOp {
 	}
 	if hasCall && p.memoable {
 		p.memo = map[string]types.Tuple{}
+	}
+	// Kernels apply only to pure column expressions: a UDF anywhere (it
+	// would not compile, and memoization/typechecking live on the row
+	// path) keeps the whole operator bridged.
+	if p.memo == nil && p.argKinds == nil && !hasCall {
+		kerns := make([]*expr.Kernel, len(exprs))
+		all := true
+		for i, e := range exprs {
+			k, ok := expr.Compile(e, schema)
+			if !ok {
+				all = false
+				break
+			}
+			kerns[i] = k
+		}
+		if all && len(kerns) > 0 {
+			p.kerns = kerns
+			kernelCompiled.Add(int64(len(kerns)))
+		}
 	}
 	return p
 }
@@ -349,6 +499,75 @@ func (p *projectOp) Push(port int, batch []types.Delta) error {
 		out = append(out, nd)
 	}
 	return p.outs.send(out)
+}
+
+// PushBatch is the columnar projection path: output batches are built
+// column-at-a-time from kernel result vectors (new images in one pass,
+// old images of replace rows in a second), with no-op replacements
+// dropped by a typed row-equality check. Batches the kernels decline —
+// and operators whose expressions never compiled — materialize rows and
+// run the Push path, the semantic ground truth.
+func (p *projectOp) PushBatch(port int, b *types.DeltaBatch) error {
+	if b.Len() > 0 {
+		if p.kerns != nil {
+			if done, err := p.pushKernel(b); done {
+				return err
+			}
+			kernelFallbackEvals.Add(1)
+		} else {
+			kernelBridgedBatches.Add(1)
+		}
+	}
+	return p.Push(port, b.Deltas())
+}
+
+func (p *projectOp) pushKernel(b *types.DeltaBatch) (bool, error) {
+	n := b.Len()
+	p.oldRows = p.oldRows[:0]
+	for i := 0; i < n; i++ {
+		if b.Op(i) == types.OpReplace {
+			p.oldRows = append(p.oldRows, int32(i))
+		}
+	}
+	if len(p.oldRows) > 0 && !b.HasOld() {
+		return false, nil // degenerate replace without old images: row path arbitrates
+	}
+	if p.newVecs == nil {
+		p.newVecs = make([]*types.Vec, len(p.kerns))
+		p.oldVecs = make([]*types.Vec, len(p.kerns))
+		for j := range p.kerns {
+			p.newVecs[j] = new(types.Vec)
+			p.oldVecs[j] = new(types.Vec)
+		}
+	}
+	rows := p.kerns[0].AllRows(n)
+	for j, k := range p.kerns {
+		if !k.EvalInto(b, false, rows, p.newVecs[j]) {
+			return false, nil
+		}
+	}
+	if len(p.oldRows) > 0 {
+		for j, k := range p.kerns {
+			if !k.EvalInto(b, true, p.oldRows, p.oldVecs[j]) {
+				return false, nil
+			}
+		}
+	}
+	kernelVectorBatches.Add(1)
+	out := types.GetBatch()
+	defer types.PutBatch(out)
+	for i := 0; i < n; i++ {
+		op := b.Op(i)
+		if op == types.OpReplace {
+			if types.VecRowEq(p.newVecs, p.oldVecs, i) {
+				continue // replacement invisible after projection
+			}
+			out.AppendVecRow(op, p.newVecs, p.oldVecs, i)
+			continue
+		}
+		out.AppendVecRow(op, p.newVecs, nil, i)
+	}
+	return true, p.outs.sendBatch(out)
 }
 
 func (p *projectOp) Punct(port, stratum int, closed bool) error {

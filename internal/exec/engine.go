@@ -286,11 +286,21 @@ func (e *Engine) run(ctx context.Context, spec *PlanSpec, opts Options, sink fun
 	start := time.Now()
 
 	// Spawn one worker loop per alive node hosted in this process;
-	// remote nodes run their loops in their own daemons.
+	// remote nodes run their loops in their own daemons. In-process
+	// inboxes persist across queries on one transport, so drain the
+	// debris of any abandoned prior run first: its frames carry the same
+	// epoch numbering as this query's and would otherwise be held by the
+	// fresh worker as "early" frames and replayed into the wrong plan.
+	// No frame of THIS query can exist yet — MsgStart has not been
+	// broadcast — and TCP daemons get a fresh inbox from Configure, so
+	// the drain only ever removes dead frames.
 	var wg sync.WaitGroup
 	for _, n := range alive {
 		if e.Stores[n] == nil {
 			continue
+		}
+		if ib := e.Transport.Inbox(n); ib != nil {
+			ib.Drain()
 		}
 		w := NewWorker(WorkerConfig{
 			Node: n, Transport: e.Transport, Store: e.Stores[n],

@@ -71,7 +71,7 @@ func TestProjectReplaceCollapse(t *testing.T) {
 	c := &collector{}
 	// Project onto column 0 only: a replacement that changes only column 1
 	// becomes invisible.
-	p := newProjectOp([]expr.Expr{expr.NewCol(0, types.KindInt, "k")}, nil)
+	p := newProjectOp([]expr.Expr{expr.NewCol(0, types.KindInt, "k")}, nil, nil)
 	p.outs = outputs{{op: c, port: 0}}
 	in := []types.Delta{
 		types.Replace(types.NewTuple(int64(1), int64(10)), types.NewTuple(int64(1), int64(11))),
@@ -102,7 +102,7 @@ func TestProjectMemoization(t *testing.T) {
 	c := &collector{}
 	p := newProjectOp([]expr.Expr{
 		expr.NewCall("dbl", fn, types.KindInt, true, expr.NewCol(0, types.KindInt, "x")),
-	}, nil)
+	}, nil, nil)
 	p.outs = outputs{{op: c, port: 0}}
 	batch := []types.Delta{
 		types.Insert(types.NewTuple(int64(4))),
@@ -179,7 +179,7 @@ func TestGroupByDeltaFlush(t *testing.T) {
 		ID: 0, Kind: OpGroupBy, GroupKey: []int{0},
 		Aggs: []AggSpec{{Fn: "sum", Args: []expr.Expr{expr.NewCol(1, types.KindFloat, "v")}, OutName: "s"}},
 	}
-	g, err := newGroupByOp(spec, 1, nil)
+	g, err := newGroupByOp(spec, 1, nil, nil)
 	must(t, err)
 	g.outs = outputs{{op: c, port: 0}}
 
@@ -223,7 +223,7 @@ func TestGroupByCheckpointRoundTrip(t *testing.T) {
 			{Fn: "min", Args: []expr.Expr{expr.NewCol(1, types.KindFloat, "v")}},
 		},
 	}
-	g1, err := newGroupByOp(spec, 1, nil)
+	g1, err := newGroupByOp(spec, 1, nil, nil)
 	must(t, err)
 	c1 := &collector{}
 	g1.outs = outputs{{op: c1, port: 0}}
@@ -237,7 +237,7 @@ func TestGroupByCheckpointRoundTrip(t *testing.T) {
 		t.Fatalf("dirty entries: %d", len(entries))
 	}
 
-	g2, err := newGroupByOp(spec, 1, nil)
+	g2, err := newGroupByOp(spec, 1, nil, nil)
 	must(t, err)
 	c2 := &collector{}
 	g2.outs = outputs{{op: c2, port: 0}}

@@ -38,6 +38,16 @@ type groupByOp struct {
 	udaAgg    uda.Aggregator
 	udaStates map[types.Value]uda.State
 	udaKeys   map[types.Value]types.Tuple
+
+	// kernel path (scalar mode): per-agg, per-arg compiled kernels. nil
+	// unless the plan carried an input schema and every argument
+	// compiled; key extraction then runs columnar through KeyAt and the
+	// scratch-tuple bridge is skipped entirely.
+	argKerns [][]*expr.Kernel
+	argVecs  [][]*types.Vec
+	oldVecs  [][]*types.Vec
+	rows     []int32
+	oldRows  []int32
 }
 
 type groupState struct {
@@ -46,7 +56,7 @@ type groupState struct {
 	last     types.Tuple // last emitted result; nil before first emission
 }
 
-func newGroupByOp(spec *OpSpec, nin int, agg uda.Aggregator) (*groupByOp, error) {
+func newGroupByOp(spec *OpSpec, nin int, agg uda.Aggregator, schema []types.Kind) (*groupByOp, error) {
 	g := &groupByOp{
 		spec:      spec,
 		tracker:   newPortTracker(nin),
@@ -68,7 +78,99 @@ func newGroupByOp(spec *OpSpec, nin int, agg uda.Aggregator) (*groupByOp, error)
 		g.aggs = append(g.aggs, a)
 		g.argExprs = append(g.argExprs, as.Args)
 	}
+	g.argKerns = compileArgKernels(g.argExprs, schema)
 	return g, nil
+}
+
+// compileArgKernels compiles every aggregate argument against the input
+// schema, all-or-nothing: one uncompilable argument keeps the whole
+// operator on the scratch-tuple bridge (mixing kernel and interpreted
+// arguments per row would forfeit the win).
+func compileArgKernels(argExprs [][]expr.Expr, schema []types.Kind) [][]*expr.Kernel {
+	if schema == nil {
+		return nil
+	}
+	kerns := make([][]*expr.Kernel, len(argExprs))
+	total := 0
+	for i, args := range argExprs {
+		kerns[i] = make([]*expr.Kernel, len(args))
+		for j, e := range args {
+			k, ok := expr.Compile(e, schema)
+			if !ok {
+				return nil
+			}
+			kerns[i][j] = k
+			total++
+		}
+	}
+	kernelCompiled.Add(int64(total))
+	return kerns
+}
+
+// vecGrid allocates caller-owned result vectors shaped like the kernel
+// grid.
+func vecGrid(kerns [][]*expr.Kernel) [][]*types.Vec {
+	out := make([][]*types.Vec, len(kerns))
+	for i, ks := range kerns {
+		out[i] = make([]*types.Vec, len(ks))
+		for j := range ks {
+			out[i][j] = new(types.Vec)
+		}
+	}
+	return out
+}
+
+// evalArgKernels evaluates a kernel grid over the batch — new images for
+// every row, old images for the given replace rows — declining as a unit.
+func evalArgKernels(kerns [][]*expr.Kernel, vecs, oldVecs [][]*types.Vec, b *types.DeltaBatch, rows, oldRows []int32) bool {
+	for i, ks := range kerns {
+		for j, k := range ks {
+			if !k.EvalInto(b, false, rows, vecs[i][j]) {
+				return false
+			}
+			if len(oldRows) > 0 && !k.EvalInto(b, true, oldRows, oldVecs[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// identityRows returns the dense selection [0, n), reusing rows.
+func identityRows(rows []int32, n int) []int32 {
+	rows = rows[:0]
+	for i := 0; i < n; i++ {
+		rows = append(rows, int32(i))
+	}
+	return rows
+}
+
+// vecArgs boxes one row's evaluated arguments. The slice is freshly
+// allocated per row because aggregate Update may retain it.
+func vecArgs(vecs []*types.Vec, i int) []types.Value {
+	if len(vecs) == 0 {
+		return nil
+	}
+	out := make([]types.Value, len(vecs))
+	for j, v := range vecs {
+		out[j] = v.Value(i)
+	}
+	return out
+}
+
+// batchKeyTuple projects the group-key columns of row i (new or old
+// image) into a fresh tuple — the retained keyTuple of a new group,
+// matching Tuple.Project on the materialized row.
+func batchKeyTuple(b *types.DeltaBatch, i int, key []int, old bool) types.Tuple {
+	out := make(types.Tuple, len(key))
+	for j, c := range key {
+		if old {
+			out[j] = b.OldCol(c).Value(i)
+		} else {
+			out[j] = b.Col(c).Value(i)
+		}
+	}
+	return out
 }
 
 func (g *groupByOp) Push(port int, batch []types.Delta) error {
@@ -83,15 +185,85 @@ func (g *groupByOp) Push(port int, batch []types.Delta) error {
 	return nil
 }
 
-// PushBatch is the columnar group-by path: rows fold into aggregate state
-// through reused scratch tuples — everything retained from a row (the map
-// key, the projected key tuple, evaluated arguments) is freshly built by
-// apply, so no per-row delta materialization is needed. UDA mode falls
-// back to the row path.
+// PushBatch is the columnar group-by path. With compiled argument
+// kernels, keys come columnar off KeyAt and arguments off typed result
+// vectors — no scratch-tuple materialization at all; otherwise rows fold
+// through reused scratch tuples. UDA mode falls back to the row path.
 func (g *groupByOp) PushBatch(port int, b *types.DeltaBatch) error {
 	if g.udaAgg != nil {
 		return g.Push(port, b.Deltas())
 	}
+	if b.Len() > 0 {
+		if g.argKerns != nil {
+			if done, err := g.pushKernel(b); done {
+				return err
+			}
+			kernelFallbackEvals.Add(1)
+		} else {
+			kernelBridgedBatches.Add(1)
+		}
+	}
+	return g.pushBridged(b)
+}
+
+// pushKernel folds the batch through compiled argument kernels and
+// columnar key extraction. It declines (false) before touching group
+// state, so pushBridged can re-run the whole batch from scratch.
+func (g *groupByOp) pushKernel(b *types.DeltaBatch) (bool, error) {
+	n := b.Len()
+	g.oldRows = g.oldRows[:0]
+	for i := 0; i < n; i++ {
+		if b.Op(i) == types.OpReplace {
+			g.oldRows = append(g.oldRows, int32(i))
+		}
+	}
+	if len(g.oldRows) > 0 && !b.HasOld() {
+		// Row-path replace handling without an old image differs per
+		// aggregate; let the bridge reproduce it.
+		return false, nil
+	}
+	g.rows = identityRows(g.rows, n)
+	if g.argVecs == nil {
+		g.argVecs = vecGrid(g.argKerns)
+		g.oldVecs = vecGrid(g.argKerns)
+	}
+	if !evalArgKernels(g.argKerns, g.argVecs, g.oldVecs, b, g.rows, g.oldRows) {
+		return false, nil
+	}
+	kernelVectorBatches.Add(1)
+	for i := 0; i < n; i++ {
+		op := b.Op(i)
+		key := b.KeyAt(i, g.spec.GroupKey)
+		gs, ok := g.groups[key]
+		if !ok {
+			gs = &groupState{keyTuple: batchKeyTuple(b, i, g.spec.GroupKey, false)}
+			gs.states = make([]uda.State, len(g.aggs))
+			for j, a := range g.aggs {
+				gs.states[j] = a.NewState()
+			}
+			g.groups[key] = gs
+		}
+		for j, a := range g.aggs {
+			var oldArgs []types.Value
+			if op == types.OpReplace {
+				oldArgs = vecArgs(g.oldVecs[j], i)
+			}
+			if err := a.Update(gs.states[j], op, vecArgs(g.argVecs[j], i), oldArgs); err != nil {
+				return true, fmt.Errorf("exec: group-by %s: %w", a.Name(), err)
+			}
+		}
+		g.dirty[key] = true
+		g.ckptDirty[key] = true
+	}
+	return true, nil
+}
+
+// pushBridged folds batch rows through reused scratch tuples —
+// everything retained from a row (the map key, the projected key tuple,
+// evaluated arguments) is freshly built by apply, so no per-row delta
+// materialization is needed. This is a documented expr row-path
+// fallback site.
+func (g *groupByOp) pushBridged(b *types.DeltaBatch) error {
 	var scratch, oldScratch types.Tuple
 	for i := 0; i < b.Len(); i++ {
 		op := b.Op(i)
@@ -347,9 +519,16 @@ type preAggOp struct {
 	argExprs   [][]expr.Expr
 	groups     map[types.Value]*groupState
 	invertible bool
+
+	// kernel path: see groupByOp.argKerns.
+	argKerns [][]*expr.Kernel
+	argVecs  [][]*types.Vec
+	oldVecs  [][]*types.Vec
+	rows     []int32
+	oldRows  []int32
 }
 
-func newPreAggOp(spec *OpSpec, nin int) (*preAggOp, error) {
+func newPreAggOp(spec *OpSpec, nin int, schema []types.Kind) (*preAggOp, error) {
 	p := &preAggOp{spec: spec, tracker: newPortTracker(nin), groups: map[types.Value]*groupState{}, invertible: true}
 	for _, as := range spec.Aggs {
 		if as.Fn == "avg" || as.Fn == "argmin" {
@@ -365,6 +544,7 @@ func newPreAggOp(spec *OpSpec, nin int) (*preAggOp, error) {
 		p.aggs = append(p.aggs, a)
 		p.argExprs = append(p.argExprs, as.Args)
 	}
+	p.argKerns = compileArgKernels(p.argExprs, schema)
 	return p, nil
 }
 
@@ -400,9 +580,110 @@ func (p *preAggOp) Push(port int, batch []types.Delta) error {
 	return nil
 }
 
-// PushBatch is the columnar combiner path; fold retains nothing from its
-// tuple, so rows stream through reused scratch tuples.
+// PushBatch is the columnar combiner path. With compiled argument
+// kernels, keys and arguments stay columnar; otherwise rows stream
+// through reused scratch tuples (fold retains nothing from its tuple).
 func (p *preAggOp) PushBatch(port int, b *types.DeltaBatch) error {
+	if b.Len() > 0 {
+		if p.argKerns != nil {
+			if done, err := p.pushKernel(b); done {
+				return err
+			}
+			kernelFallbackEvals.Add(1)
+		} else {
+			kernelBridgedBatches.Add(1)
+		}
+	}
+	return p.pushBridged(b)
+}
+
+// pushKernel folds the batch through compiled argument kernels. It
+// declines (false) before touching group state — including for the
+// non-invertible-delta error cases, where pushBridged reproduces the
+// row path's fold-then-error ordering exactly.
+func (p *preAggOp) pushKernel(b *types.DeltaBatch) (bool, error) {
+	n := b.Len()
+	p.oldRows = p.oldRows[:0]
+	for i := 0; i < n; i++ {
+		switch b.Op(i) {
+		case types.OpInsert, types.OpUpdate:
+		case types.OpDelete:
+			if !p.invertible {
+				return false, nil
+			}
+		case types.OpReplace:
+			if !p.invertible {
+				return false, nil
+			}
+			p.oldRows = append(p.oldRows, int32(i))
+		default:
+			return false, nil
+		}
+	}
+	if len(p.oldRows) > 0 && !b.HasOld() {
+		return false, nil
+	}
+	p.rows = identityRows(p.rows, n)
+	if p.argVecs == nil {
+		p.argVecs = vecGrid(p.argKerns)
+		p.oldVecs = vecGrid(p.argKerns)
+	}
+	if !evalArgKernels(p.argKerns, p.argVecs, p.oldVecs, b, p.rows, p.oldRows) {
+		return false, nil
+	}
+	kernelVectorBatches.Add(1)
+	for i := 0; i < n; i++ {
+		op := b.Op(i)
+		if op == types.OpReplace {
+			// Old and new may land in different groups: net them apart.
+			if err := p.foldKeyed(types.OpDelete, b, i, true); err != nil {
+				return true, err
+			}
+			if err := p.foldKeyed(types.OpInsert, b, i, false); err != nil {
+				return true, err
+			}
+			continue
+		}
+		if err := p.foldKeyed(op, b, i, false); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// foldKeyed is fold over one image (old or new) of batch row i, with the
+// key extracted columnar and arguments read off the kernel result grid.
+func (p *preAggOp) foldKeyed(op types.Op, b *types.DeltaBatch, i int, old bool) error {
+	var key types.Value
+	if old {
+		key = b.OldKeyAt(i, p.spec.GroupKey)
+	} else {
+		key = b.KeyAt(i, p.spec.GroupKey)
+	}
+	gs, ok := p.groups[key]
+	if !ok {
+		gs = &groupState{keyTuple: batchKeyTuple(b, i, p.spec.GroupKey, old)}
+		gs.states = make([]uda.State, len(p.aggs))
+		for j, a := range p.aggs {
+			gs.states[j] = a.NewState()
+		}
+		p.groups[key] = gs
+	}
+	vecs := p.argVecs
+	if old {
+		vecs = p.oldVecs
+	}
+	for j, a := range p.aggs {
+		if err := a.Update(gs.states[j], op, vecArgs(vecs[j], i), nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pushBridged streams batch rows through reused scratch tuples. This is
+// a documented expr row-path fallback site.
+func (p *preAggOp) pushBridged(b *types.DeltaBatch) error {
 	var scratch, oldScratch types.Tuple
 	for i := 0; i < b.Len(); i++ {
 		op := b.Op(i)

@@ -1,0 +1,47 @@
+package exec
+
+import "sync/atomic"
+
+// Kernel counters: process-wide tallies of how much batch traffic the
+// compiled expression kernels actually carried. They answer the question
+// the fallback design raises — "is the fast path on?" — through
+// Session.Stats, the rexd /stats endpoint, and srvproto.ServerStats.
+var (
+	// kernelCompiled counts successful expr.Compile calls at operator
+	// instantiation (one per compiled kernel, not per batch).
+	kernelCompiled atomic.Int64
+	// kernelVectorBatches counts batches fully evaluated by a kernel.
+	kernelVectorBatches atomic.Int64
+	// kernelBridgedBatches counts batches pushed through an operator
+	// with no compiled kernel (UDF expressions, uncompilable shapes),
+	// bridged row-by-row through scratch tuples.
+	kernelBridgedBatches atomic.Int64
+	// kernelFallbackEvals counts batches a compiled kernel declined at
+	// eval time (boxed-any columns, kind drift, rows the interpreter
+	// would reject) and the operator re-ran through the row path.
+	kernelFallbackEvals atomic.Int64
+)
+
+// KernelStats is a snapshot of the expression-kernel counters.
+type KernelStats struct {
+	// Compiled is the number of kernels compiled at operator
+	// instantiation since process start.
+	Compiled int64 `json:"kernel_compiled"`
+	// VectorBatches / BridgedBatches / FallbackEvals split the batch
+	// traffic of kernel-capable operators: evaluated column-wise by a
+	// compiled kernel, bridged because no kernel compiled, or declined
+	// by a kernel at eval time and re-run on the row path.
+	VectorBatches  int64 `json:"kernel_vector_batches"`
+	BridgedBatches int64 `json:"kernel_bridged_batches"`
+	FallbackEvals  int64 `json:"kernel_fallback_evals"`
+}
+
+// ReadKernelStats snapshots the process-wide kernel counters.
+func ReadKernelStats() KernelStats {
+	return KernelStats{
+		Compiled:       kernelCompiled.Load(),
+		VectorBatches:  kernelVectorBatches.Load(),
+		BridgedBatches: kernelBridgedBatches.Load(),
+		FallbackEvals:  kernelFallbackEvals.Load(),
+	}
+}

@@ -303,11 +303,16 @@ func (e *Engine) Standing(ctx context.Context, spec *PlanSpec, opts Options) (*S
 
 	// Spawn one worker loop per node hosted in this process; remote nodes
 	// run theirs inside their daemons. The loops stay alive across rounds
-	// until teardown broadcasts MsgShutdown.
+	// until teardown broadcasts MsgShutdown. Drain each persistent
+	// in-process inbox first (see Engine.run): debris of an abandoned
+	// prior query must not be replayed into this plan as early frames.
 	var wg sync.WaitGroup
 	for _, n := range alive {
 		if e.Stores[n] == nil {
 			continue
+		}
+		if ib := e.Transport.Inbox(n); ib != nil {
+			ib.Drain()
 		}
 		w := NewWorker(WorkerConfig{
 			Node: n, Transport: e.Transport, Store: e.Stores[n],

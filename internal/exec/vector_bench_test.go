@@ -36,7 +36,7 @@ func benchPipeline(b *testing.B) (*filterOp, *preAggOp) {
 	agg, err := newPreAggOp(&OpSpec{
 		GroupKey: []int{0},
 		Aggs:     []AggSpec{{Fn: "sum", Args: []expr.Expr{expr.NewCol(1, types.KindFloat, "d")}, OutName: "s", OutKind: types.KindFloat}},
-	}, 1)
+	}, 1, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -112,4 +112,98 @@ func BenchmarkBatchMaterialize(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchSchema matches benchStream's (vertex int, dist float) shape.
+var benchSchema = []types.Kind{types.KindInt, types.KindFloat}
+
+// batchCountSink consumes batches without materializing rows, so the
+// kernel-vs-bridge pairs measure expression evaluation, not downstream
+// delivery.
+type batchCountSink struct{ rows int }
+
+func (c *batchCountSink) Push(port int, batch []types.Delta) error {
+	c.rows += len(batch)
+	return nil
+}
+func (c *batchCountSink) PushBatch(port int, b *types.DeltaBatch) error {
+	c.rows += b.Len()
+	return nil
+}
+func (c *batchCountSink) Punct(port, stratum int, closed bool) error { return nil }
+
+// benchBatch4k is the 4096-row batch the kernel-vs-bridge pairs share.
+func benchBatch4k(b *testing.B) *types.DeltaBatch {
+	cb, ok := types.FromDeltas(benchStream(4096))
+	if !ok {
+		b.Fatal("stream not batchable")
+	}
+	return cb
+}
+
+// The filter pair isolates predicate evaluation over one resident
+// 4096-row batch: compiled kernel (typed float loop + selection vector)
+// vs the scratch-tuple bridge (box every row, interpret the tree).
+func benchFilter4k(b *testing.B, f *filterOp) {
+	sink := &batchCountSink{}
+	f.outs = outputs{{op: sink, port: 0}}
+	cb := benchBatch4k(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.PushBatch(0, cb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilter4kKernel(b *testing.B) {
+	f := newFilterOp(expr.NewCmp(expr.OpLt, expr.NewCol(1, types.KindFloat, "d"), expr.NewConst(float64(25))), benchSchema)
+	if f.kern == nil {
+		b.Fatal("predicate must compile")
+	}
+	benchFilter4k(b, f)
+}
+
+func BenchmarkFilter4kBridged(b *testing.B) {
+	f := &filterOp{pred: expr.NewCmp(expr.OpLt, expr.NewCol(1, types.KindFloat, "d"), expr.NewConst(float64(25)))}
+	benchFilter4k(b, f)
+}
+
+// The project pair measures column-at-a-time output assembly vs per-row
+// interpretation: (vertex, dist*0.5+1) over the same 4096-row batch.
+func benchProjectExprs() []expr.Expr {
+	return []expr.Expr{
+		expr.NewCol(0, types.KindInt, "v"),
+		expr.NewArith(expr.OpAdd,
+			expr.NewArith(expr.OpMul, expr.NewCol(1, types.KindFloat, "d"), expr.NewConst(float64(0.5))),
+			expr.NewConst(float64(1))),
+	}
+}
+
+func benchProject4k(b *testing.B, p *projectOp) {
+	sink := &batchCountSink{}
+	p.outs = outputs{{op: sink, port: 0}}
+	cb := benchBatch4k(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.PushBatch(0, cb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProject4kKernel(b *testing.B) {
+	p := newProjectOp(benchProjectExprs(), nil, benchSchema)
+	if p.kerns == nil {
+		b.Fatal("projection must compile")
+	}
+	benchProject4k(b, p)
+}
+
+func BenchmarkProject4kBridged(b *testing.B) {
+	p := newProjectOp(benchProjectExprs(), nil, nil)
+	p.kerns = nil // force the row-interpreter bridge
+	benchProject4k(b, p)
 }

@@ -46,6 +46,20 @@ type Worker struct {
 	ckptOps  map[int]checkpointer
 	epoch    int
 
+	// early buffers peer frames (data, punctuation, checkpoint replicas)
+	// that arrive ahead of this worker's MsgStart for their epoch. The
+	// requestor's MsgStart and a peer's first stratum frames travel on
+	// different links (different sockets over TCP, different goroutines
+	// in-process), so nothing orders them: a fast peer can finish its
+	// stratum before a slow one has even dequeued MsgStart. Dropping the
+	// early arrivals loses punctuation, the stratum barrier never
+	// completes, and the whole query hangs — so they are held here and
+	// replayed by handleStart once the epoch's operators exist. aborted
+	// marks the current epoch abandoned by MsgAbort, whose debris must
+	// drain (not buffer) until the next MsgStart.
+	early   []cluster.Message
+	aborted bool
+
 	// standing-query round state: lastStratum is the highest stratum this
 	// worker has started (strata grow monotonically across ingestion
 	// rounds so punctuation alignment stays ordered), and ingest buffers
@@ -118,11 +132,12 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		checkpoints: opts.Checkpoint,
 		compaction:  opts.Compaction, highWater: opts.CompactionHighWater,
 		stream: opts.Stream,
-		// Operator vectorization engages only without the shuffle
-		// compactor: compaction re-encodes row frames anyway, so a
-		// vectorized scan chain would pay the row↔column bridging cost at
-		// every expression operator and win nothing back at the wire.
-		vectorize: !opts.NoVectorize && !opts.Compaction,
+		// Operator vectorization now composes with the shuffle
+		// compactor: rehash converts to rows at the compactor boundary
+		// (see rehashOp.PushBatch), so the scan→filter→project chain keeps
+		// its compiled column kernels while the wire still gets the
+		// compaction byte savings.
+		vectorize: !opts.NoVectorize,
 		drain:     &cluster.DrainMeter{},
 	}
 }
@@ -181,19 +196,23 @@ func (w *Worker) handle(msg cluster.Message) error {
 		// re-staging after MsgStart rebuilds both buffers.
 		w.pending = nil
 		w.ingest = nil
+		// The abandoned query's remaining frames must drain unprocessed,
+		// including any held for an epoch that will now never start.
+		w.early = nil
+		w.aborted = true
 		return nil
 	case cluster.MsgStart:
 		return w.handleStart(msg)
 	case cluster.MsgCheckpoint:
-		if msg.Epoch != w.epoch || w.ops == nil {
-			// Stale epoch or aborted query: checkpoint debris from a
-			// cancelled run must not be stored under the next query's ID.
+		// Checkpoint debris from a cancelled run must not be stored under
+		// the next query's ID; early replicas are held like data frames.
+		if w.triage(msg) {
 			return nil
 		}
 		return w.handleCheckpoint(msg)
 	case cluster.MsgData:
-		if msg.Epoch != w.epoch || w.ops == nil {
-			return nil // stale epoch: drop
+		if w.triage(msg) {
+			return nil // early: held for replay; stale: dropped
 		}
 		op, port := splitEdge(msg.Edge)
 		inst, ok := w.ops[op]
@@ -218,7 +237,7 @@ func (w *Worker) handle(msg cluster.Message) error {
 		w.drain.Observe(len(rows))
 		return inst.Push(port, rows)
 	case cluster.MsgPunct:
-		if msg.Epoch != w.epoch || w.ops == nil {
+		if w.triage(msg) {
 			return nil
 		}
 		op, port := splitEdge(msg.Edge)
@@ -259,6 +278,22 @@ func (w *Worker) handle(msg cluster.Message) error {
 	}
 }
 
+// triage classifies a peer frame (data, punctuation, or a checkpoint
+// replica) against the worker's epoch state and reports whether the
+// caller should skip it. A frame that outran its epoch's MsgStart — a
+// future epoch, or the current epoch before the operators exist — is
+// appended to w.early for replay by handleStart; a frame from a stale
+// epoch or an aborted query is dropped. Only peer frames need this:
+// requestor-origin control frames share a link with MsgStart and
+// therefore arrive in order behind it.
+func (w *Worker) triage(msg cluster.Message) bool {
+	if msg.Epoch > w.epoch || (msg.Epoch == w.epoch && w.ops == nil && !w.aborted) {
+		w.early = append(w.early, msg)
+		return true
+	}
+	return msg.Epoch != w.epoch || w.ops == nil
+}
+
 // startMode values carried in MsgStart.Count.
 const (
 	startFresh       = 0
@@ -276,6 +311,7 @@ func (w *Worker) handleStart(msg cluster.Message) error {
 	w.lastStratum = msg.Stratum
 	w.ingest = nil
 	w.pending = nil
+	w.aborted = false
 	switch msg.Count {
 	case startFresh:
 		w.appliedRound = 0
@@ -327,6 +363,22 @@ func (w *Worker) handleStart(msg cluster.Message) error {
 		// Report the restored Δ set as this (already completed) stratum's
 		// vote so the requestor can advance past it.
 		w.stratumEnd(resume, w.fixpoint.PendingCount(), false)
+	}
+	// Replay peer frames that outran this MsgStart, in arrival order (so
+	// per-sender FIFO — data before its punctuation — is preserved).
+	// Frames held for any other epoch are dead by construction: the
+	// requestor abandoned that epoch before starting this one.
+	if len(w.early) > 0 {
+		replay := w.early
+		w.early = nil
+		for _, m := range replay {
+			if m.Epoch != w.epoch {
+				continue
+			}
+			if err := w.handle(m); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -682,14 +734,34 @@ func (w *Worker) setOuts(inst Operator, outs outputs) {
 	}
 }
 
+// inputKinds resolves the column kinds feeding an expression operator's
+// first input (filter and project are single-input), used to compile
+// typed column kernels. It returns nil — kernels stay off, operators
+// bridge through scratch tuples — when the plan carries no upstream
+// schema, as hand-built test plans may.
+func (w *Worker) inputKinds(spec *OpSpec) []types.Kind {
+	if len(spec.Inputs) == 0 {
+		return nil
+	}
+	in := w.spec.Op(spec.Inputs[0])
+	if in == nil || in.Out == nil {
+		return nil
+	}
+	ks := make([]types.Kind, len(in.Out.Fields))
+	for i, f := range in.Out.Fields {
+		ks[i] = f.Kind
+	}
+	return ks
+}
+
 func (w *Worker) instantiate(spec *OpSpec, ctx *Context) (Operator, error) {
 	switch spec.Kind {
 	case OpScan:
 		return &scanOp{ctx: ctx, table: spec.Table, batch: ctx.BatchSize}, nil
 	case OpFilter:
-		return &filterOp{pred: spec.Pred}, nil
+		return newFilterOp(spec.Pred, w.inputKinds(spec)), nil
 	case OpProject:
-		return newProjectOp(spec.Exprs, spec.UDFArgKinds), nil
+		return newProjectOp(spec.Exprs, spec.UDFArgKinds, w.inputKinds(spec)), nil
 	case OpTVF:
 		fn, err := ctx.Catalog.TVF(spec.TVFName)
 		if err != nil {
@@ -715,9 +787,9 @@ func (w *Worker) instantiate(spec *OpSpec, ctx *Context) (Operator, error) {
 			}
 			agg = def.Agg
 		}
-		return newGroupByOp(spec, max(1, len(spec.Inputs)), agg)
+		return newGroupByOp(spec, max(1, len(spec.Inputs)), agg, w.inputKinds(spec))
 	case OpPreAgg:
-		return newPreAggOp(spec, max(1, len(spec.Inputs)))
+		return newPreAggOp(spec, max(1, len(spec.Inputs)), w.inputKinds(spec))
 	case OpRehash:
 		return newRehashOp(spec, ctx, false), nil
 	case OpBroadcast:

@@ -1,0 +1,746 @@
+// Expression kernels: a bound expression compiled once into a tree of
+// typed vector evaluators that process a whole DeltaBatch column-wise —
+// typed loops over int64/float64 vectors with validity-bitmap handling —
+// instead of interpreting the tree per row over boxed scratch tuples.
+//
+// The row interpreter (Expr.Eval) stays the ground truth. A kernel never
+// computes a different answer: whenever a batch contains anything the
+// typed loops cannot reproduce exactly — a mixed-kind (boxed-any) column,
+// a column whose runtime kind drifted from its declared kind, a row the
+// interpreter would reject (NULL arithmetic, integer division by zero,
+// non-boolean logic operand), an unbound parameter — the kernel declines
+// the whole batch and the operator re-runs it through the row path, which
+// reproduces the exact result or error. Declining is therefore always
+// safe; it is only ever a performance event, counted by the operator's
+// fallback counters.
+package expr
+
+import (
+	"math"
+
+	"github.com/rex-data/rex/internal/types"
+)
+
+// Kernel is a compiled vectorized evaluator for one bound expression.
+// A kernel is owned by a single operator instance on one worker
+// goroutine: its scratch vectors are reused across batches without
+// locking, and results are valid only until the next Eval* call.
+type Kernel struct {
+	root knode
+	k    types.Kind
+
+	vecs []*types.Vec // scratch vector pool, reset per Eval* call
+	used int
+	all  []int32 // dense identity selection cache
+}
+
+// Compile compiles e against the input schema (column kinds; nil when
+// the plan did not record one — column declarations are trusted then).
+// ok=false means the expression has a shape the kernel compiler does not
+// handle (UDF calls, non-numeric arithmetic operands, float modulo):
+// the operator keeps the row-interpreter bridge for every batch.
+func Compile(e Expr, schema []types.Kind) (*Kernel, bool) {
+	root, ok := compileNode(e, schema)
+	if !ok {
+		return nil, false
+	}
+	return &Kernel{root: root, k: e.Kind()}, true
+}
+
+// Kind reports the expression's static result kind.
+func (k *Kernel) Kind() types.Kind { return k.k }
+
+// EvalBools evaluates a predicate kernel over the selected rows of b
+// (new images, or old images of replace rows when old is true), writing
+// each row's verdict into out (indexed by absolute row number, which
+// must cover b.Len()). ok=false declines the batch: re-run it through
+// the row interpreter. Like EvalBool, predicates are strict — a NULL
+// result is not a bool, so any NULL verdict declines.
+func (k *Kernel) EvalBools(b *types.DeltaBatch, old bool, rows []int32, out []bool) bool {
+	if k.k != types.KindBool {
+		return false
+	}
+	kc := kctx{b: b, old: old, n: b.Len(), kern: k}
+	k.used = 0
+	v, ok := k.root.eval(&kc, rows)
+	if !ok || v.K != types.KindBool || hasNullAt(v, rows) {
+		return false
+	}
+	for _, i := range rows {
+		out[i] = v.Bools[i]
+	}
+	return true
+}
+
+// EvalInto evaluates a projection kernel over the selected rows of b
+// into dst (indexed by absolute row number). dst is caller-owned, so two
+// passes of one kernel (new images, then old images) can coexist.
+// ok=false declines the batch.
+func (k *Kernel) EvalInto(b *types.DeltaBatch, old bool, rows []int32, dst *types.Vec) bool {
+	kc := kctx{b: b, old: old, n: b.Len(), kern: k}
+	k.used = 0
+	v, ok := k.root.eval(&kc, rows)
+	if !ok {
+		return false
+	}
+	dst.Reset(v.K, kc.n)
+	for _, i := range rows {
+		dst.CopyRow(v, int(i))
+	}
+	return true
+}
+
+// AllRows returns the dense identity selection [0, n) — the "evaluate
+// the whole batch" selection vector, cached on the kernel.
+func (k *Kernel) AllRows(n int) []int32 {
+	if cap(k.all) < n {
+		k.all = make([]int32, n)
+		for i := range k.all {
+			k.all[i] = int32(i)
+		}
+	}
+	if len(k.all) < n {
+		for i := len(k.all); i < n; i++ {
+			k.all = append(k.all, int32(i))
+		}
+	}
+	return k.all[:n]
+}
+
+// kctx is one Eval* call's context: the batch, which image group to
+// read, the row count (vectors are sized to cover it), and the owning
+// kernel (for scratch).
+type kctx struct {
+	b    *types.DeltaBatch
+	old  bool
+	n    int
+	kern *Kernel
+}
+
+// knode is one compiled node. eval computes the node over the selected
+// rows (absolute indexes into kc.b) and returns a vector indexed the
+// same way. ok=false declines the whole batch to the row interpreter —
+// the decline contract in the package comment.
+type knode interface {
+	eval(kc *kctx, rows []int32) (*types.Vec, bool)
+}
+
+func (k *Kernel) getVec() *types.Vec {
+	if k.used == len(k.vecs) {
+		k.vecs = append(k.vecs, new(types.Vec))
+	}
+	v := k.vecs[k.used]
+	k.used++
+	return v
+}
+
+func compileNode(e Expr, schema []types.Kind) (knode, bool) {
+	switch v := e.(type) {
+	case *Col:
+		if v.Idx < 0 {
+			return nil, false
+		}
+		if schema != nil && v.Idx >= len(schema) {
+			return nil, false
+		}
+		return &colNode{idx: v.Idx, k: v.K}, true
+	case *Const:
+		return &scalarNode{v: v.V}, true
+	case *Param:
+		return &paramNode{p: v}, true
+	case *Arith:
+		// Float modulo always errors in the row path; a statically
+		// non-numeric operand would lean on AsInt/AsFloat string/bool
+		// coercion, which the typed loops do not reproduce.
+		if v.Kind() == types.KindFloat && v.Op == OpMod {
+			return nil, false
+		}
+		if !numericKind(v.L.Kind()) || !numericKind(v.R.Kind()) {
+			return nil, false
+		}
+		l, ok := compileNode(v.L, schema)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileNode(v.R, schema)
+		if !ok {
+			return nil, false
+		}
+		return &arithNode{op: v.Op, l: l, r: r, k: v.Kind()}, true
+	case *Cmp:
+		l, ok := compileNode(v.L, schema)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileNode(v.R, schema)
+		if !ok {
+			return nil, false
+		}
+		return &cmpNode{op: v.Op, l: l, r: r}, true
+	case *Logic:
+		l, ok := compileNode(v.L, schema)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileNode(v.R, schema)
+		if !ok {
+			return nil, false
+		}
+		return &logicNode{op: v.Op, l: l, r: r}, true
+	case *Not:
+		c, ok := compileNode(v.E, schema)
+		if !ok {
+			return nil, false
+		}
+		return &notNode{e: c}, true
+	default:
+		// *Call (UDFs run through boxed values by design) and anything
+		// this compiler does not know.
+		return nil, false
+	}
+}
+
+func numericKind(k types.Kind) bool {
+	return k == types.KindInt || k == types.KindFloat
+}
+
+// colNode reads one column of the batch as a borrowed typed vector.
+type colNode struct {
+	idx int
+	k   types.Kind
+}
+
+func (n *colNode) eval(kc *kctx, rows []int32) (*types.Vec, bool) {
+	var c *types.Column
+	if kc.old {
+		if n.idx >= kc.b.NumOldCols() {
+			return nil, false
+		}
+		c = kc.b.OldCol(n.idx)
+	} else {
+		if n.idx >= kc.b.NumCols() {
+			return nil, false
+		}
+		c = kc.b.Col(n.idx)
+	}
+	v := kc.kern.getVec()
+	if v.BorrowColumn(c) {
+		if n.k != types.KindNull && v.K != n.k {
+			// Runtime kind drifted from the declared kind; the row
+			// interpreter knows the coercion rules.
+			return nil, false
+		}
+		return v, true
+	}
+	if c.Mixed() {
+		return nil, false // boxed-any column: documented fallback
+	}
+	// Empty-kinded column: every row reads as NULL.
+	v.Reset(n.k, kc.n)
+	for _, i := range rows {
+		v.SetNull(int(i))
+	}
+	return v, true
+}
+
+// scalarNode broadcasts a literal over the selection.
+type scalarNode struct {
+	v types.Value
+}
+
+func (n *scalarNode) eval(kc *kctx, rows []int32) (*types.Vec, bool) {
+	return splat(kc, rows, n.v)
+}
+
+// paramNode broadcasts a bound parameter value. The value is read once
+// per batch — the per-row resolution of the interpreter collapses to one
+// splat, since parameters cannot change mid-batch.
+type paramNode struct {
+	p *Param
+}
+
+func (n *paramNode) eval(kc *kctx, rows []int32) (*types.Vec, bool) {
+	if n.p.Set == nil || n.p.Idx < 0 || n.p.Idx >= len(n.p.Set.Values) {
+		return nil, false // unbound: the row path raises the real error
+	}
+	return splat(kc, rows, n.p.Set.Values[n.p.Idx])
+}
+
+func splat(kc *kctx, rows []int32, val types.Value) (*types.Vec, bool) {
+	v := kc.kern.getVec()
+	switch x := val.(type) {
+	case int64:
+		v.Reset(types.KindInt, kc.n)
+		for _, i := range rows {
+			v.Ints[i] = x
+		}
+	case float64:
+		v.Reset(types.KindFloat, kc.n)
+		for _, i := range rows {
+			v.Floats[i] = x
+		}
+	case string:
+		v.Reset(types.KindString, kc.n)
+		for _, i := range rows {
+			v.Strs[i] = x
+		}
+	case bool:
+		v.Reset(types.KindBool, kc.n)
+		for _, i := range rows {
+			v.Bools[i] = x
+		}
+	case nil:
+		v.Reset(types.KindNull, kc.n)
+		for _, i := range rows {
+			v.SetNull(int(i))
+		}
+	default:
+		return nil, false
+	}
+	return v, true
+}
+
+// hasNullAt reports whether any selected row is NULL (bitmap scan first,
+// so all-valid vectors cost one slice-length check).
+func hasNullAt(v *types.Vec, rows []int32) bool {
+	if !v.AnyNull() {
+		return false
+	}
+	for _, i := range rows {
+		if v.Null(int(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// asFloats returns a float64 view of a numeric vector over the selected
+// rows, converting int64 through kernel scratch exactly as AsFloat does.
+// Validity must be checked against the original vector.
+func asFloats(kc *kctx, v *types.Vec, rows []int32) ([]float64, bool) {
+	switch v.K {
+	case types.KindFloat:
+		return v.Floats, true
+	case types.KindInt:
+		t := kc.kern.getVec()
+		t.Reset(types.KindFloat, kc.n)
+		src := v.Ints
+		for _, i := range rows {
+			t.Floats[i] = float64(src[i])
+		}
+		return t.Floats, true
+	}
+	return nil, false
+}
+
+// asBools returns a bool view of a logic operand over the selected rows.
+// AsBool accepts bool and int64 (non-zero = true); anything else — and
+// any NULL row — errors in the interpreter, so the caller declines.
+func asBools(kc *kctx, v *types.Vec, rows []int32) ([]bool, bool) {
+	if hasNullAt(v, rows) {
+		return nil, false
+	}
+	switch v.K {
+	case types.KindBool:
+		return v.Bools, true
+	case types.KindInt:
+		t := kc.kern.getVec()
+		t.Reset(types.KindBool, kc.n)
+		src := v.Ints
+		for _, i := range rows {
+			t.Bools[i] = src[i] != 0
+		}
+		return t.Bools, true
+	}
+	return nil, false
+}
+
+// arithNode is +,-,*,/,% with the interpreter's mode rule baked in at
+// compile time: float mode when either side is statically Float, else
+// int mode. Any condition the interpreter would reject — a NULL operand,
+// integer division or modulo by zero, an operand vector of the wrong
+// kind — declines the batch.
+type arithNode struct {
+	op   ArithOp
+	l, r knode
+	k    types.Kind
+}
+
+func (n *arithNode) eval(kc *kctx, rows []int32) (*types.Vec, bool) {
+	lv, ok := n.l.eval(kc, rows)
+	if !ok {
+		return nil, false
+	}
+	rv, ok := n.r.eval(kc, rows)
+	if !ok {
+		return nil, false
+	}
+	if hasNullAt(lv, rows) || hasNullAt(rv, rows) {
+		return nil, false // "non-numeric operand" in the row path
+	}
+	out := kc.kern.getVec()
+	if n.k == types.KindFloat {
+		lf, ok := asFloats(kc, lv, rows)
+		if !ok {
+			return nil, false
+		}
+		rf, ok := asFloats(kc, rv, rows)
+		if !ok {
+			return nil, false
+		}
+		out.Reset(types.KindFloat, kc.n)
+		o := out.Floats
+		switch n.op {
+		case OpAdd:
+			for _, i := range rows {
+				o[i] = lf[i] + rf[i]
+			}
+		case OpSub:
+			for _, i := range rows {
+				o[i] = lf[i] - rf[i]
+			}
+		case OpMul:
+			for _, i := range rows {
+				o[i] = lf[i] * rf[i]
+			}
+		case OpDiv:
+			for _, i := range rows {
+				o[i] = lf[i] / rf[i]
+			}
+		default:
+			return nil, false // OpMod rejected at compile time
+		}
+		return out, true
+	}
+	if lv.K != types.KindInt || rv.K != types.KindInt {
+		return nil, false
+	}
+	li, ri := lv.Ints, rv.Ints
+	out.Reset(types.KindInt, kc.n)
+	o := out.Ints
+	switch n.op {
+	case OpAdd:
+		for _, i := range rows {
+			o[i] = li[i] + ri[i]
+		}
+	case OpSub:
+		for _, i := range rows {
+			o[i] = li[i] - ri[i]
+		}
+	case OpMul:
+		for _, i := range rows {
+			o[i] = li[i] * ri[i]
+		}
+	case OpDiv:
+		for _, i := range rows {
+			if ri[i] == 0 {
+				return nil, false // "integer division by zero"
+			}
+			o[i] = li[i] / ri[i]
+		}
+	case OpMod:
+		for _, i := range rows {
+			if ri[i] == 0 {
+				return nil, false // "modulo by zero"
+			}
+			o[i] = li[i] % ri[i]
+		}
+	default:
+		return nil, false
+	}
+	return out, true
+}
+
+// cmpNode yields Bool per row with ValueEq/ValueCompare semantics:
+// NULL-tolerant (nil equals only nil and sorts before everything),
+// mixed numeric kinds compare as floats, NaN sorts before non-NaN.
+// Kind combinations outside the typed fast paths run a boxed generic
+// loop — still exact, just slower — rather than declining.
+type cmpNode struct {
+	op   CmpOp
+	l, r knode
+}
+
+func (n *cmpNode) eval(kc *kctx, rows []int32) (*types.Vec, bool) {
+	lv, ok := n.l.eval(kc, rows)
+	if !ok {
+		return nil, false
+	}
+	rv, ok := n.r.eval(kc, rows)
+	if !ok {
+		return nil, false
+	}
+	out := kc.kern.getVec()
+	out.Reset(types.KindBool, kc.n)
+	ob := out.Bools
+	nulls := lv.AnyNull() || rv.AnyNull()
+
+	// Promote mixed numeric sides to float: ValueCompare(int64, f) is
+	// compareFloat(float64(i), f) and ValueEq converts through AsFloat,
+	// so the promoted loops are bit-exact.
+	flv, frv := lv, rv
+	var lf, rf []float64
+	if lv.K != rv.K && numericKind(lv.K) && numericKind(rv.K) {
+		lf, _ = asFloats(kc, lv, rows)
+		rf, _ = asFloats(kc, rv, rows)
+	} else if lv.K == types.KindFloat && rv.K == types.KindFloat {
+		lf, rf = lv.Floats, rv.Floats
+	}
+
+	switch {
+	case lf != nil:
+		n.evalFloats(rows, ob, flv, frv, lf, rf, nulls)
+	case lv.K == types.KindInt && rv.K == types.KindInt:
+		n.evalInts(rows, ob, lv, rv, nulls)
+	case lv.K == types.KindString && rv.K == types.KindString:
+		n.evalStrings(rows, ob, lv, rv, nulls)
+	case lv.K == types.KindBool && rv.K == types.KindBool:
+		n.evalBools(rows, ob, lv, rv, nulls)
+	default:
+		// Generic boxed loop: exact by construction (it IS ValueEq /
+		// ValueCompare), covering odd kind pairs and all-NULL vectors.
+		for _, i := range rows {
+			a, b := lv.Value(int(i)), rv.Value(int(i))
+			switch n.op {
+			case OpEq:
+				ob[i] = types.ValueEq(a, b)
+			case OpNe:
+				ob[i] = !types.ValueEq(a, b)
+			default:
+				ob[i] = cmpHolds(n.op, types.ValueCompare(a, b))
+			}
+		}
+	}
+	return out, true
+}
+
+// nullCmp mirrors ValueCompare's nil ordering: nil == nil, nil < any.
+func nullCmp(ln, rn bool) int {
+	switch {
+	case ln && rn:
+		return 0
+	case ln:
+		return -1
+	default:
+		return 1
+	}
+}
+
+func cmpHolds(op CmpOp, c int) bool {
+	switch op {
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	default: // OpGe
+		return c >= 0
+	}
+}
+
+func floatCmp(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case math.IsNaN(a) && !math.IsNaN(b):
+		return -1
+	case !math.IsNaN(a) && math.IsNaN(b):
+		return 1
+	}
+	return 0
+}
+
+func (n *cmpNode) evalInts(rows []int32, ob []bool, lv, rv *types.Vec, nulls bool) {
+	li, ri := lv.Ints, rv.Ints
+	eqOp := n.op == OpEq || n.op == OpNe
+	neq := n.op == OpNe
+	for _, i := range rows {
+		if nulls {
+			if ln, rn := lv.Null(int(i)), rv.Null(int(i)); ln || rn {
+				if eqOp {
+					ob[i] = (ln && rn) != neq
+				} else {
+					ob[i] = cmpHolds(n.op, nullCmp(ln, rn))
+				}
+				continue
+			}
+		}
+		if eqOp {
+			ob[i] = (li[i] == ri[i]) != neq
+			continue
+		}
+		var c int
+		switch {
+		case li[i] < ri[i]:
+			c = -1
+		case li[i] > ri[i]:
+			c = 1
+		}
+		ob[i] = cmpHolds(n.op, c)
+	}
+}
+
+func (n *cmpNode) evalFloats(rows []int32, ob []bool, lv, rv *types.Vec, lf, rf []float64, nulls bool) {
+	eqOp := n.op == OpEq || n.op == OpNe
+	neq := n.op == OpNe
+	for _, i := range rows {
+		if nulls {
+			if ln, rn := lv.Null(int(i)), rv.Null(int(i)); ln || rn {
+				if eqOp {
+					ob[i] = (ln && rn) != neq
+				} else {
+					ob[i] = cmpHolds(n.op, nullCmp(ln, rn))
+				}
+				continue
+			}
+		}
+		if eqOp {
+			ob[i] = (lf[i] == rf[i]) != neq
+			continue
+		}
+		ob[i] = cmpHolds(n.op, floatCmp(lf[i], rf[i]))
+	}
+}
+
+func (n *cmpNode) evalStrings(rows []int32, ob []bool, lv, rv *types.Vec, nulls bool) {
+	ls, rs := lv.Strs, rv.Strs
+	eqOp := n.op == OpEq || n.op == OpNe
+	neq := n.op == OpNe
+	for _, i := range rows {
+		if nulls {
+			if ln, rn := lv.Null(int(i)), rv.Null(int(i)); ln || rn {
+				if eqOp {
+					ob[i] = (ln && rn) != neq
+				} else {
+					ob[i] = cmpHolds(n.op, nullCmp(ln, rn))
+				}
+				continue
+			}
+		}
+		if eqOp {
+			ob[i] = (ls[i] == rs[i]) != neq
+			continue
+		}
+		var c int
+		switch {
+		case ls[i] < rs[i]:
+			c = -1
+		case ls[i] > rs[i]:
+			c = 1
+		}
+		ob[i] = cmpHolds(n.op, c)
+	}
+}
+
+func (n *cmpNode) evalBools(rows []int32, ob []bool, lv, rv *types.Vec, nulls bool) {
+	lb, rb := lv.Bools, rv.Bools
+	eqOp := n.op == OpEq || n.op == OpNe
+	neq := n.op == OpNe
+	for _, i := range rows {
+		if nulls {
+			if ln, rn := lv.Null(int(i)), rv.Null(int(i)); ln || rn {
+				if eqOp {
+					ob[i] = (ln && rn) != neq
+				} else {
+					ob[i] = cmpHolds(n.op, nullCmp(ln, rn))
+				}
+				continue
+			}
+		}
+		if eqOp {
+			ob[i] = (lb[i] == rb[i]) != neq
+			continue
+		}
+		var c int
+		switch {
+		case !lb[i] && rb[i]:
+			c = -1
+		case lb[i] && !rb[i]:
+			c = 1
+		}
+		ob[i] = cmpHolds(n.op, c)
+	}
+}
+
+// logicNode is AND/OR with the interpreter's per-row short-circuit
+// preserved through sub-selections: the right side is evaluated only
+// over rows the left side did not decide, so a row-path expression like
+// `x <> 0 AND 10/x > 1` never trips the division guard on rows the
+// interpreter would have short-circuited past.
+type logicNode struct {
+	op   LogicOp
+	l, r knode
+	sub  []int32
+}
+
+func (n *logicNode) eval(kc *kctx, rows []int32) (*types.Vec, bool) {
+	lv, ok := n.l.eval(kc, rows)
+	if !ok {
+		return nil, false
+	}
+	lb, ok := asBools(kc, lv, rows)
+	if !ok {
+		return nil, false // "non-boolean operand" in the row path
+	}
+	out := kc.kern.getVec()
+	out.Reset(types.KindBool, kc.n)
+	ob := out.Bools
+	n.sub = n.sub[:0]
+	if n.op == OpAnd {
+		for _, i := range rows {
+			if lb[i] {
+				n.sub = append(n.sub, i)
+			} else {
+				ob[i] = false
+			}
+		}
+	} else {
+		for _, i := range rows {
+			if lb[i] {
+				ob[i] = true
+			} else {
+				n.sub = append(n.sub, i)
+			}
+		}
+	}
+	if len(n.sub) > 0 {
+		rv, ok := n.r.eval(kc, n.sub)
+		if !ok {
+			return nil, false
+		}
+		rb, ok := asBools(kc, rv, n.sub)
+		if !ok {
+			return nil, false
+		}
+		for _, i := range n.sub {
+			ob[i] = rb[i]
+		}
+	}
+	return out, true
+}
+
+// notNode negates a bool-coercible operand; NULL or a non-boolean kind
+// errors in the interpreter, so it declines here.
+type notNode struct {
+	e knode
+}
+
+func (n *notNode) eval(kc *kctx, rows []int32) (*types.Vec, bool) {
+	v, ok := n.e.eval(kc, rows)
+	if !ok {
+		return nil, false
+	}
+	nb, ok := asBools(kc, v, rows)
+	if !ok {
+		return nil, false
+	}
+	out := kc.kern.getVec()
+	out.Reset(types.KindBool, kc.n)
+	for _, i := range rows {
+		out.Bools[i] = !nb[i]
+	}
+	return out, true
+}

@@ -189,12 +189,16 @@ func (n *Node) startJob(msg cluster.Message) error {
 		return err
 	}
 	self := msg.To
+	// Stop the previous job's worker loop BEFORE the generation bumps:
+	// the transport stamps outgoing frames with its current generation at
+	// send time, so a loop joined only after Configure could sign its
+	// final stragglers with the new job's generation and smuggle them
+	// past the staleness filters into the next run.
+	n.tr.Quiesce()
+	n.waitLoop()
 	if err := n.tr.Configure(self, spec.Peers, msg.Job); err != nil {
 		return err
 	}
-	// Configure closed the previous inbox; reap the stale loop before its
-	// replacement starts.
-	n.waitLoop()
 	if n.worker != nil {
 		n.worker.DropQuery()
 		n.worker = nil

@@ -32,6 +32,7 @@ import (
 
 	rex "github.com/rex-data/rex"
 	"github.com/rex-data/rex/internal/cluster"
+	"github.com/rex-data/rex/internal/exec"
 	"github.com/rex-data/rex/internal/srvproto"
 	"github.com/rex-data/rex/internal/types"
 )
@@ -254,28 +255,33 @@ func (s *Server) Stats() srvproto.ServerStats {
 	hits, misses, compiles := s.cache.counters()
 	pool := s.be.poolStats()
 	g := s.gate.snapshot()
+	kern := exec.ReadKernelStats()
 	return srvproto.ServerStats{
-		PoolHits:         pool.Hits,
-		PoolMisses:       pool.Misses,
-		PoolEvictions:    pool.Evictions,
-		PoolBytesSpilled: pool.BytesSpilled,
-		Sessions:         s.stSessions.Load(),
-		ActiveSessions:   s.stActive.Load(),
-		Queries:          s.stQueries.Load(),
-		Rejected:         s.stRejected.Load(),
-		QuotaRejections:  g.quotaRejects,
-		SubPools:         int64(s.be.size()),
-		Inflight:         g.inflight,
-		QueueDepth:       g.waiting,
-		Tenants:          g.tenants,
-		Compiles:         compiles,
-		PlanCacheHits:    hits,
-		PlanCacheMisses:  misses,
-		PlanCacheSize:    s.cache.size(),
-		Subscriptions:    s.stSubs.Load(),
-		Rounds:           s.stRounds.Load(),
-		Ingests:          s.stIngests.Load(),
-		CatalogVersion:   s.be.catalogVersion(),
+		PoolHits:             pool.Hits,
+		PoolMisses:           pool.Misses,
+		PoolEvictions:        pool.Evictions,
+		PoolBytesSpilled:     pool.BytesSpilled,
+		KernelCompiled:       kern.Compiled,
+		KernelVectorBatches:  kern.VectorBatches,
+		KernelBridgedBatches: kern.BridgedBatches,
+		KernelFallbackEvals:  kern.FallbackEvals,
+		Sessions:             s.stSessions.Load(),
+		ActiveSessions:       s.stActive.Load(),
+		Queries:              s.stQueries.Load(),
+		Rejected:             s.stRejected.Load(),
+		QuotaRejections:      g.quotaRejects,
+		SubPools:             int64(s.be.size()),
+		Inflight:             g.inflight,
+		QueueDepth:           g.waiting,
+		Tenants:              g.tenants,
+		Compiles:             compiles,
+		PlanCacheHits:        hits,
+		PlanCacheMisses:      misses,
+		PlanCacheSize:        s.cache.size(),
+		Subscriptions:        s.stSubs.Load(),
+		Rounds:               s.stRounds.Load(),
+		Ingests:              s.stIngests.Load(),
+		CatalogVersion:       s.be.catalogVersion(),
 	}
 }
 

@@ -187,6 +187,14 @@ type ServerStats struct {
 	PoolMisses       int64 `json:"pool_misses"`
 	PoolEvictions    int64 `json:"pool_evictions"`
 	PoolBytesSpilled int64 `json:"pool_bytes_spilled"`
+	// Expression-kernel traffic of the pool's workers: kernels compiled
+	// at operator instantiation, batches evaluated column-wise by a
+	// compiled kernel, batches bridged row-by-row because no kernel
+	// compiled, and batches a kernel declined at eval time.
+	KernelCompiled       int64 `json:"kernel_compiled"`
+	KernelVectorBatches  int64 `json:"kernel_vector_batches"`
+	KernelBridgedBatches int64 `json:"kernel_bridged_batches"`
+	KernelFallbackEvals  int64 `json:"kernel_fallback_evals"`
 }
 
 // TenantStats is one tenant's slice of the scheduler counters.

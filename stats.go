@@ -4,8 +4,15 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/rex-data/rex/internal/exec"
 	"github.com/rex-data/rex/internal/srvproto"
 )
+
+// KernelStats snapshots the expression-kernel counters: kernels compiled
+// at operator instantiation, batches evaluated column-wise, batches
+// bridged row-by-row through scratch tuples, and batches a compiled
+// kernel declined back to the row interpreter.
+type KernelStats = exec.KernelStats
 
 // Stats is the unified session snapshot: one call covers what the
 // deprecated per-surface getters (ServerStats, PoolStats) and
@@ -25,6 +32,10 @@ type Stats struct {
 	// BytesShipped is the measured inter-worker wire volume (zero on a
 	// server session — the server's pool does the shipping).
 	BytesShipped int64
+	// Kernel is the process-wide expression-kernel counter snapshot for
+	// local (inproc/tcp) sessions. On a server session the server's own
+	// kernel counters travel inside Server instead.
+	Kernel KernelStats
 	// Server is the rexd server's counter snapshot on server sessions —
 	// admission, plan cache, scheduler (sub-pools, inflight, queue
 	// depth), and the per-tenant quota counters. Nil otherwise.
@@ -53,10 +64,12 @@ func (s *Session) Stats(ctx context.Context) (*Stats, error) {
 	case s.jc != nil:
 		st.Transport = "tcp"
 		st.BytesShipped = s.BytesShipped()
+		st.Kernel = exec.ReadKernelStats()
 	default:
 		st.Transport = "inproc"
 		st.Pool = s.eng.PoolStats()
 		st.BytesShipped = s.BytesShipped()
+		st.Kernel = exec.ReadKernelStats()
 	}
 	if sub := s.liveSub(); sub != nil {
 		st.SubscriptionRounds = sub.Rounds()
